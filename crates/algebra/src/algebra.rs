@@ -1,0 +1,194 @@
+//! Event-state algebras (paper Section 2.1).
+//!
+//! An event-state algebra is `⟨A, σ, Π⟩`: a state set, an initial state, and
+//! a set of *partial* unary operations (events). We represent the partial
+//! operations by [`Algebra::apply`] returning `None` outside the event's
+//! domain. The rules deciding when an event is defined *are* the protocol
+//! under study.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An event-state algebra.
+///
+/// `enabled` exists for state-space exploration and random execution
+/// generation: it must return only events whose `apply` succeeds on the
+/// given state, and — for the exhaustiveness claims of the experiments — it
+/// should cover every enabled event up to the documented finite restriction
+/// of event parameters (e.g. the candidate `u` values of orphan `perform`s
+/// at level 2).
+pub trait Algebra {
+    /// States of the algebra. Value semantics; hashable for exploration.
+    type State: Clone + Eq + Hash + Debug;
+    /// Events (the operations Π).
+    type Event: Clone + Eq + Hash + Debug;
+
+    /// The initial state σ.
+    fn initial(&self) -> Self::State;
+
+    /// Apply an event: `Some(next)` iff `state ∈ domain(event)`.
+    fn apply(&self, state: &Self::State, event: &Self::Event) -> Option<Self::State>;
+
+    /// Enumerate enabled events at `state` (see trait docs for the contract).
+    fn enabled(&self, state: &Self::State) -> Vec<Self::Event>;
+}
+
+/// Why a replay failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index of the offending event in the input sequence.
+    pub step: usize,
+    /// Debug rendering of the offending event.
+    pub event: String,
+    /// Debug rendering of the state it was not enabled in.
+    pub state: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event #{} {} not enabled in state {}", self.step, self.event, self.state)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replay an event sequence from σ, returning every intermediate state
+/// (`result[0]` is σ, `result[k]` the state after `events[k-1]`).
+///
+/// This is "Φ is valid" from Section 2.1, with the witness states.
+pub fn replay<A: Algebra>(
+    algebra: &A,
+    events: impl IntoIterator<Item = A::Event>,
+) -> Result<Vec<A::State>, ReplayError> {
+    replay_from(algebra, algebra.initial(), events)
+}
+
+/// Replay an event sequence from an arbitrary start state.
+pub fn replay_from<A: Algebra>(
+    algebra: &A,
+    start: A::State,
+    events: impl IntoIterator<Item = A::Event>,
+) -> Result<Vec<A::State>, ReplayError> {
+    let mut states = vec![start];
+    for (step, event) in events.into_iter().enumerate() {
+        let cur = states.last().expect("states nonempty");
+        match algebra.apply(cur, &event) {
+            Some(next) => states.push(next),
+            None => {
+                return Err(ReplayError {
+                    step,
+                    event: format!("{event:?}"),
+                    state: format!("{cur:?}"),
+                })
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// True iff the event sequence is valid from σ (paper: "Φ is valid").
+pub fn is_valid<A: Algebra>(algebra: &A, events: impl IntoIterator<Item = A::Event>) -> bool {
+    replay(algebra, events).is_ok()
+}
+
+/// The result of a valid event sequence applied to σ, if valid.
+pub fn result_of<A: Algebra>(
+    algebra: &A,
+    events: impl IntoIterator<Item = A::Event>,
+) -> Option<A::State> {
+    replay(algebra, events).ok().and_then(|mut s| s.pop())
+}
+
+#[cfg(test)]
+pub(crate) mod counter {
+    //! A tiny algebra used by the framework's own tests: a saturating
+    //! counter with increments and a guarded reset.
+    use super::*;
+
+    /// Counter in `0..=max`; `Inc` is defined below `max`, `Reset` only at
+    /// `max`.
+    pub struct Counter {
+        pub max: u32,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    pub enum CEvent {
+        Inc,
+        Reset,
+    }
+
+    impl Algebra for Counter {
+        type State = u32;
+        type Event = CEvent;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn apply(&self, s: &u32, e: &CEvent) -> Option<u32> {
+            match e {
+                CEvent::Inc if *s < self.max => Some(s + 1),
+                CEvent::Reset if *s == self.max => Some(0),
+                _ => None,
+            }
+        }
+
+        fn enabled(&self, s: &u32) -> Vec<CEvent> {
+            let mut out = Vec::new();
+            if *s < self.max {
+                out.push(CEvent::Inc);
+            }
+            if *s == self.max {
+                out.push(CEvent::Reset);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::counter::{CEvent, Counter};
+    use super::*;
+
+    #[test]
+    fn replay_records_all_states() {
+        let alg = Counter { max: 3 };
+        let states = replay(&alg, vec![CEvent::Inc, CEvent::Inc]).unwrap();
+        assert_eq!(states, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn replay_rejects_disabled_event() {
+        let alg = Counter { max: 1 };
+        let err = replay(&alg, vec![CEvent::Inc, CEvent::Inc]).unwrap_err();
+        assert_eq!(err.step, 1);
+        assert!(err.to_string().contains("Inc"));
+    }
+
+    #[test]
+    fn validity_and_result() {
+        let alg = Counter { max: 2 };
+        assert!(is_valid(&alg, vec![CEvent::Inc, CEvent::Inc, CEvent::Reset]));
+        assert!(!is_valid(&alg, vec![CEvent::Reset]));
+        assert_eq!(result_of(&alg, vec![CEvent::Inc]), Some(1));
+        assert_eq!(result_of(&alg, vec![CEvent::Reset]), None);
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let alg = Counter { max: 2 };
+        for s in 0..=2u32 {
+            for e in alg.enabled(&s) {
+                assert!(alg.apply(&s, &e).is_some(), "enabled() returned disabled event");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_from_arbitrary_start() {
+        let alg = Counter { max: 5 };
+        let states = replay_from(&alg, 4, vec![CEvent::Inc, CEvent::Reset]).unwrap();
+        assert_eq!(states, vec![4, 5, 0]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Distributed algebras and local mappings (paper Section 2.3).
+//!
+//! A distributed algebra's state is a product of component states, each
+//! event has a *doer*, and definability/effects are componentwise (the
+//! Local Domain and Local Changes properties). A *local mapping* gives, per
+//! component, the set of abstract states consistent with that component's
+//! knowledge; Lemma 4 shows the intersection over components is a
+//! possibilities mapping. We expose the membership predicates and provide
+//! executable checkers for all of these properties — the content of the
+//! paper's Figures 2 and 3.
+
+use crate::algebra::Algebra;
+use crate::mapping::{Interpretation, SimulationError};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An algebra distributed over a finite component index set.
+pub trait DistributedAlgebra: Algebra {
+    /// Component identifiers (the index set `I`).
+    type ComponentId: Copy + Eq + Ord + Debug;
+    /// The local state of one component.
+    type ComponentState: Clone + Eq + Hash + Debug;
+
+    /// The index set `I`.
+    fn component_ids(&self) -> Vec<Self::ComponentId>;
+
+    /// `d(π)`: the component that performs the event.
+    fn doer(&self, event: &Self::Event) -> Self::ComponentId;
+
+    /// Project a global state onto one component.
+    fn component_state(&self, state: &Self::State, comp: Self::ComponentId) -> Self::ComponentState;
+}
+
+/// A violation of the Local Domain or Local Changes property.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalityError {
+    /// Two states agreeing on the doer's component disagreed on
+    /// definability of an event.
+    DomainMismatch {
+        /// Debug rendering of the event.
+        event: String,
+    },
+    /// Two states agreeing on some component were mapped by an event to
+    /// states disagreeing on that component.
+    ChangeMismatch {
+        /// Debug rendering of the event.
+        event: String,
+        /// Debug rendering of the component index.
+        component: String,
+    },
+}
+
+impl std::fmt::Display for LocalityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalityError::DomainMismatch { event } => {
+                write!(f, "local-domain violation for event {event}")
+            }
+            LocalityError::ChangeMismatch { event, component } => {
+                write!(f, "local-changes violation for event {event} at component {component}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalityError {}
+
+/// Check the Local Domain property on a sample of states: for every pair
+/// agreeing on the doer's component state, an event is enabled in one iff
+/// enabled in the other.
+pub fn check_local_domain<D: DistributedAlgebra>(
+    alg: &D,
+    states: &[D::State],
+    events: &[D::Event],
+) -> Result<(), LocalityError> {
+    for e in events {
+        let i = alg.doer(e);
+        for a in states {
+            for b in states {
+                if alg.component_state(a, i) == alg.component_state(b, i)
+                    && alg.apply(a, e).is_some() != alg.apply(b, e).is_some()
+                {
+                    return Err(LocalityError::DomainMismatch { event: format!("{e:?}") });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check the Local Changes property on a sample of states: for every pair
+/// in an event's domain agreeing on *any* component `j`, the successors
+/// agree on `j` too.
+pub fn check_local_changes<D: DistributedAlgebra>(
+    alg: &D,
+    states: &[D::State],
+    events: &[D::Event],
+) -> Result<(), LocalityError> {
+    let comps = alg.component_ids();
+    for e in events {
+        for a in states {
+            let Some(a2) = alg.apply(a, e) else { continue };
+            for b in states {
+                let Some(b2) = alg.apply(b, e) else { continue };
+                for &j in &comps {
+                    if alg.component_state(a, j) == alg.component_state(b, j)
+                        && alg.component_state(&a2, j) != alg.component_state(&b2, j)
+                    {
+                        return Err(LocalityError::ChangeMismatch {
+                            event: format!("{e:?}"),
+                            component: format!("{j:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A local mapping (paper §2.3): per-component possibilities predicates
+/// whose intersection, by Lemma 4, is a possibilities mapping.
+pub trait LocalMapping<L: DistributedAlgebra, H: Algebra>: Interpretation<L, H> {
+    /// `high ∈ h_i(low)`: is the abstract state consistent with component
+    /// `comp`'s local knowledge? Must depend only on
+    /// `L::component_state(low, comp)`.
+    fn is_locally_consistent(&self, low: &L::State, comp: L::ComponentId, high: &H::State) -> bool;
+}
+
+/// The possibilities membership `high ∈ ⋂_i h_i(low)` derived from a local
+/// mapping — the construction of Lemma 4. Takes the algebra to enumerate
+/// the component index set.
+pub fn is_global_possibility<L, H, M>(
+    alg: &L,
+    mapping: &M,
+    low: &L::State,
+    high: &H::State,
+) -> bool
+where
+    L: DistributedAlgebra,
+    H: Algebra,
+    M: LocalMapping<L, H>,
+{
+    alg.component_ids().iter().all(|&c| mapping.is_locally_consistent(low, c, high))
+}
+
+/// Check the local-mapping discipline along one low-level run: the
+/// executable content of Lemmas 23–26 and the paper's Figures 2/3.
+///
+/// At σ and after every step, for *every* component `i`, the co-replayed
+/// high state must be in `h_i` (properties (a), (c), (d)); property (b) is
+/// checked by validity of the mapped high-level replay.
+pub fn check_local_mapping_on_run<L, H, M>(
+    low: &L,
+    high: &H,
+    mapping: &M,
+    events: &[L::Event],
+) -> Result<crate::mapping::SimulationReport, SimulationError>
+where
+    L: DistributedAlgebra,
+    H: Algebra,
+    M: LocalMapping<L, H>,
+{
+    let comps = low.component_ids();
+    let mut low_state = low.initial();
+    let mut high_state = high.initial();
+    let check_all = |low_state: &L::State, high_state: &H::State, step: usize, ev: &str| {
+        for &c in &comps {
+            if !mapping.is_locally_consistent(low_state, c, high_state) {
+                return Err(if ev.is_empty() {
+                    SimulationError::InitialNotPossible
+                } else {
+                    SimulationError::PossibilityLost { step, event: format!("{ev} @ {c:?}") }
+                });
+            }
+        }
+        Ok(())
+    };
+    check_all(&low_state, &high_state, 0, "")?;
+    let mut high_steps = 0;
+    for (step, event) in events.iter().enumerate() {
+        low_state = low.apply(&low_state, event).ok_or_else(|| {
+            SimulationError::LowInvalid(crate::algebra::ReplayError {
+                step,
+                event: format!("{event:?}"),
+                state: format!("{low_state:?}"),
+            })
+        })?;
+        if let Some(image) = mapping.map_event(event) {
+            high_state = high.apply(&high_state, &image).ok_or_else(|| {
+                SimulationError::HighInvalid(crate::algebra::ReplayError {
+                    step,
+                    event: format!("{image:?}"),
+                    state: format!("{high_state:?}"),
+                })
+            })?;
+            high_steps += 1;
+        }
+        check_all(&low_state, &high_state, step, &format!("{event:?}"))?;
+    }
+    Ok(crate::mapping::SimulationReport { low_steps: events.len(), high_steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two counters plus an unbounded channel: component 0 increments and
+    /// sends its value; component 1 receives. The doer of Recv is the
+    /// channel (as the paper's buffer is the doer of receive events), so
+    /// definability is local to the doer in all cases.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct TwoState {
+        left: u32,
+        chan: Vec<u32>,
+        right: u32,
+    }
+
+    /// Payloads ride in the event name, as in the paper's `send_{i,j,T'}`:
+    /// the Local Changes property requires effects on non-doer components
+    /// to be determined by the event and that component's state alone.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    enum TwoEvent {
+        IncLeft,
+        Send(u32),
+        Recv(u32),
+    }
+
+    struct TwoNode;
+
+    impl Algebra for TwoNode {
+        type State = TwoState;
+        type Event = TwoEvent;
+
+        fn initial(&self) -> TwoState {
+            TwoState { left: 0, chan: Vec::new(), right: 0 }
+        }
+
+        fn apply(&self, s: &TwoState, e: &TwoEvent) -> Option<TwoState> {
+            let mut n = s.clone();
+            match e {
+                TwoEvent::IncLeft => {
+                    n.left += 1;
+                    Some(n)
+                }
+                TwoEvent::Send(v) => {
+                    // Precondition local to the doer (node 0): the payload
+                    // is the doer's current value.
+                    if *v != s.left {
+                        return None;
+                    }
+                    n.chan.push(*v);
+                    Some(n)
+                }
+                TwoEvent::Recv(v) => {
+                    // Precondition local to the doer (the channel).
+                    if s.chan.first() != Some(v) {
+                        return None;
+                    }
+                    n.right = *v;
+                    n.chan.remove(0);
+                    Some(n)
+                }
+            }
+        }
+
+        fn enabled(&self, s: &TwoState) -> Vec<TwoEvent> {
+            let mut out = vec![TwoEvent::IncLeft, TwoEvent::Send(s.left)];
+            if let Some(&v) = s.chan.first() {
+                out.push(TwoEvent::Recv(v));
+            }
+            out
+        }
+    }
+
+    impl DistributedAlgebra for TwoNode {
+        type ComponentId = u8; // 0 = left node, 1 = right node, 2 = channel
+        type ComponentState = (u32, Vec<u32>);
+
+        fn component_ids(&self) -> Vec<u8> {
+            vec![0, 1, 2]
+        }
+
+        fn doer(&self, e: &TwoEvent) -> u8 {
+            match e {
+                TwoEvent::IncLeft | TwoEvent::Send(_) => 0,
+                TwoEvent::Recv(_) => 2,
+            }
+        }
+
+        fn component_state(&self, s: &TwoState, c: u8) -> (u32, Vec<u32>) {
+            match c {
+                0 => (s.left, Vec::new()),
+                1 => (s.right, Vec::new()),
+                _ => (0, s.chan.clone()),
+            }
+        }
+    }
+
+    #[test]
+    fn locality_properties_hold() {
+        let alg = TwoNode;
+        // Sample a few reachable states.
+        let mut states = vec![alg.initial()];
+        for e in [TwoEvent::IncLeft, TwoEvent::Send(1), TwoEvent::IncLeft, TwoEvent::Recv(1)] {
+            let last = states.last().unwrap().clone();
+            states.push(alg.apply(&last, &e).unwrap());
+        }
+        let events =
+            vec![TwoEvent::IncLeft, TwoEvent::Send(1), TwoEvent::Send(2), TwoEvent::Recv(1)];
+        check_local_domain(&alg, &states, &events).unwrap();
+        check_local_changes(&alg, &states, &events).unwrap();
+    }
+
+    /// High algebra: the left counter alone.
+    struct LeftOnly;
+    impl Interpretation<TwoNode, crate::algebra::counter::Counter> for LeftOnly {
+        fn map_event(&self, e: &TwoEvent) -> Option<crate::algebra::counter::CEvent> {
+            match e {
+                TwoEvent::IncLeft => Some(crate::algebra::counter::CEvent::Inc),
+                _ => None,
+            }
+        }
+    }
+    impl LocalMapping<TwoNode, crate::algebra::counter::Counter> for LeftOnly {
+        fn is_locally_consistent(&self, low: &TwoState, comp: u8, high: &u32) -> bool {
+            match comp {
+                0 => *high == low.left,
+                // Right node knows only a lower bound (its last received value).
+                1 => *high >= low.right,
+                // The channel carries lower bounds too.
+                _ => low.chan.iter().all(|v| *high >= *v),
+            }
+        }
+    }
+
+    #[test]
+    fn local_mapping_run_check() {
+        let low = TwoNode;
+        let high = crate::algebra::counter::Counter { max: 1000 };
+        let run = vec![
+            TwoEvent::IncLeft,
+            TwoEvent::Send(1),
+            TwoEvent::IncLeft,
+            TwoEvent::Recv(1),
+            TwoEvent::Send(2),
+            TwoEvent::Recv(2),
+        ];
+        let rep = check_local_mapping_on_run(&low, &high, &LeftOnly, &run).unwrap();
+        assert_eq!(rep.low_steps, 6);
+        assert_eq!(rep.high_steps, 2);
+    }
+
+    #[test]
+    fn local_mapping_violation_detected() {
+        /// Wrong local predicate for the right node: claims exact equality.
+        struct Wrong;
+        impl Interpretation<TwoNode, crate::algebra::counter::Counter> for Wrong {
+            fn map_event(&self, e: &TwoEvent) -> Option<crate::algebra::counter::CEvent> {
+                LeftOnly.map_event(e)
+            }
+        }
+        impl LocalMapping<TwoNode, crate::algebra::counter::Counter> for Wrong {
+            fn is_locally_consistent(&self, low: &TwoState, comp: u8, high: &u32) -> bool {
+                match comp {
+                    0 => *high == low.left,
+                    1 => *high == low.right, // wrong: stale knowledge ≠ equality
+                    _ => true,
+                }
+            }
+        }
+        let low = TwoNode;
+        let high = crate::algebra::counter::Counter { max: 1000 };
+        // After IncLeft, right still 0 but high is 1 → violation at comp 1.
+        let run = vec![TwoEvent::IncLeft];
+        let err = check_local_mapping_on_run(&low, &high, &Wrong, &run).unwrap_err();
+        assert!(matches!(err, SimulationError::PossibilityLost { .. }));
+    }
+}

@@ -1,0 +1,237 @@
+//! Bounded state-space exploration.
+//!
+//! The experiments "prove by exhaustion": on a small action universe they
+//! visit *every* computable state of an algebra and check an invariant
+//! (e.g. Theorem 14's "perm(T) is data-serializable") on each. This module
+//! provides the breadth-first explorer with deduplication, bounds, and
+//! counterexample path reconstruction.
+
+use crate::algebra::Algebra;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Stop after this many distinct states (0 = unlimited).
+    pub max_states: usize,
+    /// Do not expand states deeper than this many events (0 = unlimited).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig { max_states: 100_000, max_depth: 0 }
+    }
+}
+
+/// Statistics from an exploration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions traversed (including ones into already-known states).
+    pub transitions: usize,
+    /// True iff a bound cut the exploration short (the state space was not
+    /// exhausted).
+    pub truncated: bool,
+    /// Depth (in events) of the deepest visited state.
+    pub max_depth_reached: usize,
+}
+
+/// An invariant violation with its witness path.
+#[derive(Clone)]
+pub struct Counterexample<A: Algebra> {
+    /// The offending state.
+    pub state: A::State,
+    /// A shortest event path from σ to the offending state.
+    pub path: Vec<A::Event>,
+    /// The invariant's message.
+    pub message: String,
+}
+
+impl<A: Algebra> std::fmt::Debug for Counterexample<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counterexample")
+            .field("state", &self.state)
+            .field("path", &self.path)
+            .field("message", &self.message)
+            .finish()
+    }
+}
+
+impl<A: Algebra> std::fmt::Display for Counterexample<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violated: {}", self.message)?;
+        writeln!(f, "state: {:?}", self.state)?;
+        writeln!(f, "path ({} events):", self.path.len())?;
+        for e in &self.path {
+            writeln!(f, "  {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Breadth-first exploration of the computable states, invoking `invariant`
+/// on every distinct state. Returns the report, or the first
+/// counterexample (with a shortest witness path, thanks to BFS order).
+pub fn explore<A: Algebra>(
+    algebra: &A,
+    config: &ExploreConfig,
+    mut invariant: impl FnMut(&A::State) -> Result<(), String>,
+) -> Result<ExploreReport, Box<Counterexample<A>>> {
+    // id ↦ (parent id, inbound event); used to rebuild counterexample paths.
+    let mut parents: Vec<Option<(usize, A::Event)>> = Vec::new();
+    let mut ids: HashMap<A::State, usize> = HashMap::new();
+    let mut states: Vec<A::State> = Vec::new();
+    let mut depths: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut report = ExploreReport::default();
+
+    let rebuild_path = |parents: &[Option<(usize, A::Event)>], mut id: usize| {
+        let mut path = Vec::new();
+        while let Some((pid, ev)) = &parents[id] {
+            path.push(ev.clone());
+            id = *pid;
+        }
+        path.reverse();
+        path
+    };
+
+    let initial = algebra.initial();
+    ids.insert(initial.clone(), 0);
+    states.push(initial.clone());
+    parents.push(None);
+    depths.push(0);
+    queue.push_back(0);
+    report.states = 1;
+    if let Err(message) = invariant(&initial) {
+        return Err(Box::new(Counterexample { state: initial, path: Vec::new(), message }));
+    }
+
+    while let Some(id) = queue.pop_front() {
+        if config.max_depth > 0 && depths[id] >= config.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        let state = states[id].clone();
+        for event in algebra.enabled(&state) {
+            let Some(next) = algebra.apply(&state, &event) else {
+                panic!("enabled() returned disabled event {event:?}");
+            };
+            report.transitions += 1;
+            if ids.contains_key(&next) {
+                continue;
+            }
+            if config.max_states > 0 && report.states >= config.max_states {
+                report.truncated = true;
+                continue;
+            }
+            let nid = states.len();
+            ids.insert(next.clone(), nid);
+            states.push(next.clone());
+            parents.push(Some((id, event)));
+            depths.push(depths[id] + 1);
+            report.states += 1;
+            report.max_depth_reached = report.max_depth_reached.max(depths[nid]);
+            if let Err(message) = invariant(&next) {
+                let path = rebuild_path(&parents, nid);
+                return Err(Box::new(Counterexample { state: next, path, message }));
+            }
+            queue.push_back(nid);
+        }
+    }
+    Ok(report)
+}
+
+/// Exhaustively collect all computable states (no invariant). Panics if the
+/// bounds truncate, since callers rely on completeness.
+pub fn reachable_states<A: Algebra>(algebra: &A, config: &ExploreConfig) -> Vec<A::State> {
+    let mut out = Vec::new();
+    let report = explore(algebra, config, |s| {
+        out.push(s.clone());
+        Ok(())
+    })
+    .unwrap_or_else(|ce| panic!("invariant-free exploration failed: {ce}"));
+    assert!(!report.truncated, "reachable_states: exploration truncated; raise the bounds");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::counter::{CEvent, Counter};
+
+    #[test]
+    fn explores_whole_counter() {
+        let alg = Counter { max: 5 };
+        let report = explore(&alg, &ExploreConfig::default(), |_| Ok(())).unwrap();
+        assert_eq!(report.states, 6);
+        assert!(!report.truncated);
+        // Transitions: Inc from 0..=4 (5), Reset from 5 (1).
+        assert_eq!(report.transitions, 6);
+    }
+
+    #[test]
+    fn finds_counterexample_with_shortest_path() {
+        let alg = Counter { max: 10 };
+        let err = explore(&alg, &ExploreConfig::default(), |s| {
+            if *s >= 3 {
+                Err(format!("state {s} too large"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.state, 3);
+        assert_eq!(err.path, vec![CEvent::Inc; 3]);
+        assert!(err.message.contains("too large"));
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let alg = Counter { max: 1000 };
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 10, max_depth: 0 }, |_| Ok(())).unwrap();
+        assert_eq!(report.states, 10);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let alg = Counter { max: 1000 };
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 0, max_depth: 4 }, |_| Ok(())).unwrap();
+        assert_eq!(report.states, 5); // 0..=4
+        assert!(report.truncated);
+        assert_eq!(report.max_depth_reached, 4);
+    }
+
+    #[test]
+    fn reachable_states_complete() {
+        let alg = Counter { max: 3 };
+        let states = reachable_states(&alg, &ExploreConfig::default());
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn reachable_states_panics_on_truncation() {
+        let alg = Counter { max: 1000 };
+        let _ = reachable_states(&alg, &ExploreConfig { max_states: 5, max_depth: 0 });
+    }
+
+    #[test]
+    fn initial_state_checked() {
+        let alg = Counter { max: 3 };
+        let err = explore(&alg, &ExploreConfig::default(), |s| {
+            if *s == 0 {
+                Err("bad init".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.path.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # rnt-algebra
+//!
+//! The event-state algebra framework of Lynch's PODS'83 paper (Section 2),
+//! made executable:
+//!
+//! * [`Algebra`] — states, initial state, partial events ([`replay`],
+//!   validity, results);
+//! * [`Interpretation`] / [`PossibilitiesMapping`] — simulations between
+//!   algebras, with run-based checkers ([`check_simulation_on_run`],
+//!   [`check_possibilities_on_run`]) realizing Lemmas 1–3 and the
+//!   diagram-chase of Figure 1;
+//! * [`DistributedAlgebra`] / [`LocalMapping`] — Section 2.3, with checkers
+//!   for the Local Domain / Local Changes properties and the Lemma 4
+//!   construction ([`check_local_mapping_on_run`], Figures 2–3);
+//! * [`explore`] — bounded exhaustive exploration of computable states with
+//!   invariant checking and shortest counterexample paths.
+//!
+//! This crate is independent of the nested-transaction model; the concrete
+//! five-level algebra tower lives in `rnt-spec`, `rnt-locking` and
+//! `rnt-distributed`.
+//!
+//! ```
+//! use rnt_algebra::{explore, is_valid, Algebra, ExploreConfig};
+//!
+//! /// A two-phase toggle: `Set` is defined only when off, `Clear` only on.
+//! struct Toggle;
+//! #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+//! enum Ev { Set, Clear }
+//!
+//! impl Algebra for Toggle {
+//!     type State = bool;
+//!     type Event = Ev;
+//!     fn initial(&self) -> bool { false }
+//!     fn apply(&self, s: &bool, e: &Ev) -> Option<bool> {
+//!         match (e, s) {
+//!             (Ev::Set, false) => Some(true),
+//!             (Ev::Clear, true) => Some(false),
+//!             _ => None,
+//!         }
+//!     }
+//!     fn enabled(&self, s: &bool) -> Vec<Ev> {
+//!         if *s { vec![Ev::Clear] } else { vec![Ev::Set] }
+//!     }
+//! }
+//!
+//! assert!(is_valid(&Toggle, [Ev::Set, Ev::Clear, Ev::Set]));
+//! assert!(!is_valid(&Toggle, [Ev::Clear]));
+//! let report = explore(&Toggle, &ExploreConfig::default(), |_| Ok(())).unwrap();
+//! assert_eq!(report.states, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod algebra;
+mod distributed;
+mod explore;
+mod mapping;
+
+pub use algebra::{is_valid, replay, replay_from, result_of, Algebra, ReplayError};
+pub use distributed::{
+    check_local_changes, check_local_domain, check_local_mapping_on_run, is_global_possibility,
+    DistributedAlgebra, LocalMapping, LocalityError,
+};
+pub use explore::{explore, reachable_states, Counterexample, ExploreConfig, ExploreReport};
+pub use mapping::{
+    check_possibilities_on_run, check_simulation_on_run, Composed, Interpretation,
+    PossibilitiesMapping, SimulationError, SimulationReport,
+};

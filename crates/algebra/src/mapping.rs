@@ -1,0 +1,291 @@
+//! Interpretations, simulations and possibilities mappings (paper
+//! Sections 2.1–2.2).
+//!
+//! An *interpretation* maps low-level events to high-level events or to the
+//! null event Λ. It is a *simulation* when every valid low-level sequence
+//! maps to a valid high-level sequence (Lemma 2's content). A
+//! *possibilities mapping* additionally relates states — a single low state
+//! to a *set* of high states — and is a sufficient condition for simulation
+//! (Lemma 3). Because sets cannot be enumerated in general, the trait
+//! exposes the membership predicate `is_possibility` plus a *canonical
+//! witness* used to chase the paper's Figure 1/2/3 diagrams executably.
+
+use crate::algebra::{Algebra, ReplayError};
+
+/// An interpretation `h : Π' → Π ∪ {Λ}` (`None` encodes Λ).
+pub trait Interpretation<L: Algebra, H: Algebra> {
+    /// Map a low-level event to its high-level image, or Λ.
+    fn map_event(&self, event: &L::Event) -> Option<H::Event>;
+
+    /// Map an event sequence homomorphically, deleting Λ images.
+    fn map_sequence(&self, events: &[L::Event]) -> Vec<H::Event> {
+        events.iter().filter_map(|e| self.map_event(e)).collect()
+    }
+}
+
+/// A possibilities mapping: an interpretation together with the state
+/// relation `a ∈ h(a')`.
+///
+/// The four defining properties (paper §2.2) are checked executably by
+/// [`check_possibilities_on_run`]:
+///
+/// * (a) `σ ∈ h(σ')`;
+/// * (b) enabled low events with non-Λ image have their image enabled at
+///   every possibility;
+/// * (c) non-Λ steps preserve possibilities;
+/// * (d) Λ steps preserve possibilities.
+pub trait PossibilitiesMapping<L: Algebra, H: Algebra>: Interpretation<L, H> {
+    /// The membership predicate `high ∈ h(low)`.
+    fn is_possibility(&self, low: &L::State, high: &H::State) -> bool;
+}
+
+/// How a simulation/possibilities check failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimulationError {
+    /// The given low-level sequence was itself invalid.
+    LowInvalid(ReplayError),
+    /// The mapped high-level sequence was invalid — the interpretation is
+    /// not a simulation on this run (property (b) violated).
+    HighInvalid(ReplayError),
+    /// The co-replayed high state left the possibility set (property (c)
+    /// or (d) violated) at the given low-level step.
+    PossibilityLost {
+        /// Low-level step index after which membership failed.
+        step: usize,
+        /// Debug rendering of the low event.
+        event: String,
+    },
+    /// `σ ∉ h(σ')` (property (a) violated).
+    InitialNotPossible,
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::LowInvalid(e) => write!(f, "low-level run invalid: {e}"),
+            SimulationError::HighInvalid(e) => write!(f, "mapped high-level run invalid: {e}"),
+            SimulationError::PossibilityLost { step, event } => {
+                write!(f, "possibility lost after low step #{step} ({event})")
+            }
+            SimulationError::InitialNotPossible => write!(f, "initial high state not a possibility"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Statistics from a successful simulation check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// Low-level events replayed.
+    pub low_steps: usize,
+    /// High-level events (non-Λ images) replayed.
+    pub high_steps: usize,
+}
+
+/// Check the *simulation* property on one run: replay the low sequence,
+/// map it, and replay the image at the high level (Lemma 2, first half).
+pub fn check_simulation_on_run<L, H, M>(
+    low: &L,
+    high: &H,
+    mapping: &M,
+    events: &[L::Event],
+) -> Result<SimulationReport, SimulationError>
+where
+    L: Algebra,
+    H: Algebra,
+    M: Interpretation<L, H>,
+{
+    crate::algebra::replay(low, events.iter().cloned()).map_err(SimulationError::LowInvalid)?;
+    let mapped = mapping.map_sequence(events);
+    crate::algebra::replay(high, mapped.iter().cloned()).map_err(SimulationError::HighInvalid)?;
+    Ok(SimulationReport { low_steps: events.len(), high_steps: mapped.len() })
+}
+
+/// Check the full *possibilities* discipline on one run (the executable
+/// content of Figure 1): co-replay low and high, asserting
+///
+/// * property (a) at the start,
+/// * property (b) by high-level replay validity,
+/// * properties (c)/(d) by possibility membership after every low step.
+pub fn check_possibilities_on_run<L, H, M>(
+    low: &L,
+    high: &H,
+    mapping: &M,
+    events: &[L::Event],
+) -> Result<SimulationReport, SimulationError>
+where
+    L: Algebra,
+    H: Algebra,
+    M: PossibilitiesMapping<L, H>,
+{
+    let mut low_state = low.initial();
+    let mut high_state = high.initial();
+    if !mapping.is_possibility(&low_state, &high_state) {
+        return Err(SimulationError::InitialNotPossible);
+    }
+    let mut high_steps = 0;
+    for (step, event) in events.iter().enumerate() {
+        low_state = low.apply(&low_state, event).ok_or_else(|| {
+            SimulationError::LowInvalid(ReplayError {
+                step,
+                event: format!("{event:?}"),
+                state: format!("{low_state:?}"),
+            })
+        })?;
+        if let Some(image) = mapping.map_event(event) {
+            high_state = high.apply(&high_state, &image).ok_or_else(|| {
+                SimulationError::HighInvalid(ReplayError {
+                    step,
+                    event: format!("{image:?}"),
+                    state: format!("{high_state:?}"),
+                })
+            })?;
+            high_steps += 1;
+        }
+        if !mapping.is_possibility(&low_state, &high_state) {
+            return Err(SimulationError::PossibilityLost { step, event: format!("{event:?}") });
+        }
+    }
+    Ok(SimulationReport { low_steps: events.len(), high_steps })
+}
+
+/// The composition `h ∘ h'` of two interpretations (Lemma 1: composing
+/// simulations yields a simulation). The middle algebra is a phantom
+/// parameter so the impl can name it.
+pub struct Composed<'a, M1, M2, Mid> {
+    lower: &'a M1,
+    upper: &'a M2,
+    _mid: std::marker::PhantomData<fn() -> Mid>,
+}
+
+impl<'a, M1, M2, Mid> Composed<'a, M1, M2, Mid> {
+    /// Compose `upper ∘ lower`.
+    pub fn new(lower: &'a M1, upper: &'a M2) -> Self {
+        Composed { lower, upper, _mid: std::marker::PhantomData }
+    }
+}
+
+impl<'a, Low, Mid, High, M1, M2> Interpretation<Low, High> for Composed<'a, M1, M2, Mid>
+where
+    Low: Algebra,
+    Mid: Algebra,
+    High: Algebra,
+    M1: Interpretation<Low, Mid>,
+    M2: Interpretation<Mid, High>,
+{
+    fn map_event(&self, event: &Low::Event) -> Option<High::Event> {
+        self.lower.map_event(event).and_then(|mid| self.upper.map_event(&mid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::counter::{CEvent, Counter};
+
+    /// Parity abstraction of the counter: the high algebra is a counter
+    /// mod 2 where Inc flips and Reset maps to Λ iff max is even... here we
+    /// use a trivially correct abstraction: a counter with a larger max.
+    struct Widen;
+
+    impl Interpretation<Counter, Counter> for Widen {
+        fn map_event(&self, e: &CEvent) -> Option<CEvent> {
+            match e {
+                CEvent::Inc => Some(CEvent::Inc),
+                CEvent::Reset => None, // the wide counter never resets
+            }
+        }
+    }
+
+    impl PossibilitiesMapping<Counter, Counter> for Widen {
+        fn is_possibility(&self, low: &u32, high: &u32) -> bool {
+            // The wide counter counts total increments; the narrow counter
+            // counts increments since the last reset — so low ≤ high and
+            // they agree mod nothing in general; membership: high ≥ low.
+            high >= low
+        }
+    }
+
+    #[test]
+    fn simulation_holds_on_valid_runs() {
+        let low = Counter { max: 2 };
+        let high = Counter { max: 100 };
+        let run =
+            vec![CEvent::Inc, CEvent::Inc, CEvent::Reset, CEvent::Inc, CEvent::Inc, CEvent::Reset];
+        let rep = check_simulation_on_run(&low, &high, &Widen, &run).unwrap();
+        assert_eq!(rep.low_steps, 6);
+        assert_eq!(rep.high_steps, 4);
+    }
+
+    #[test]
+    fn possibilities_check_passes() {
+        let low = Counter { max: 2 };
+        let high = Counter { max: 100 };
+        let run = vec![CEvent::Inc, CEvent::Inc, CEvent::Reset, CEvent::Inc];
+        check_possibilities_on_run(&low, &high, &Widen, &run).unwrap();
+    }
+
+    #[test]
+    fn low_invalid_detected() {
+        let low = Counter { max: 1 };
+        let high = Counter { max: 100 };
+        let err =
+            check_simulation_on_run(&low, &high, &Widen, &[CEvent::Inc, CEvent::Inc]).unwrap_err();
+        assert!(matches!(err, SimulationError::LowInvalid(_)));
+    }
+
+    #[test]
+    fn high_invalid_detected() {
+        // A bogus "abstraction" with a max too small: the image run dies.
+        let low = Counter { max: 5 };
+        let high = Counter { max: 2 };
+        let run = vec![CEvent::Inc; 5];
+        let err = check_simulation_on_run(&low, &high, &Widen, &run).unwrap_err();
+        assert!(matches!(err, SimulationError::HighInvalid(_)));
+    }
+
+    #[test]
+    fn possibility_loss_detected() {
+        /// A wrong membership predicate: requires equality, which Reset breaks.
+        struct Bogus;
+        impl Interpretation<Counter, Counter> for Bogus {
+            fn map_event(&self, e: &CEvent) -> Option<CEvent> {
+                Widen.map_event(e)
+            }
+        }
+        impl PossibilitiesMapping<Counter, Counter> for Bogus {
+            fn is_possibility(&self, low: &u32, high: &u32) -> bool {
+                low == high
+            }
+        }
+        let low = Counter { max: 2 };
+        let high = Counter { max: 100 };
+        let run = vec![CEvent::Inc, CEvent::Inc, CEvent::Reset];
+        let err = check_possibilities_on_run(&low, &high, &Bogus, &run).unwrap_err();
+        assert_eq!(err, SimulationError::PossibilityLost { step: 2, event: "Reset".into() });
+    }
+
+    #[test]
+    fn composition_maps_through() {
+        let m: Composed<'_, _, _, Counter> = Composed::new(&Widen, &Widen);
+        assert_eq!(
+            Interpretation::<Counter, Counter>::map_event(&m, &CEvent::Inc),
+            Some(CEvent::Inc)
+        );
+        assert_eq!(Interpretation::<Counter, Counter>::map_event(&m, &CEvent::Reset), None);
+    }
+
+    #[test]
+    fn composed_simulation_lemma1() {
+        // Lemma 1: composition of simulations is a simulation, checked on a run.
+        let low = Counter { max: 2 };
+        let mid = Counter { max: 50 };
+        let high = Counter { max: 100 };
+        let run = vec![CEvent::Inc, CEvent::Inc, CEvent::Reset, CEvent::Inc];
+        check_simulation_on_run(&low, &mid, &Widen, &run).unwrap();
+        let composed: Composed<'_, _, _, Counter> = Composed::new(&Widen, &Widen);
+        let _ = mid;
+        check_simulation_on_run(&low, &high, &composed, &run).unwrap();
+    }
+}

@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the algebra tower: per-event application cost at
+//! each level and the cost ablation the paper's level-4 optimization
+//! motivates (version maps vs value maps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnt_algebra::Algebra;
+use rnt_locking::{Level3, Level4};
+use rnt_sim::gen::{random_run, random_universe, UniverseConfig};
+use rnt_spec::Level2;
+use std::sync::Arc;
+
+fn cfg() -> UniverseConfig {
+    UniverseConfig { objects: 3, top_actions: 4, max_fanout: 2, max_depth: 3, inner_prob: 0.5 }
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let u = Arc::new(random_universe(5, &cfg()));
+    let mut group = c.benchmark_group("levels/replay_run");
+    let l2 = Level2::new(u.clone());
+    let run2 = random_run(&l2, 9, 60);
+    group.bench_function("level2", |b| {
+        b.iter(|| {
+            let mut s = l2.initial();
+            for e in &run2 {
+                s = l2.apply(&s, e).expect("valid");
+            }
+            s
+        })
+    });
+    // Levels 3 and 4 run the *same* event sequence (Lemma 19/20): this is
+    // the paper's optimization ablation — how much does dropping version
+    // sequences for single values save?
+    let l4 = Level4::new(u.clone());
+    let run4 = random_run(&l4, 9, 60);
+    let l3 = Level3::new(u.clone());
+    group.bench_function("level3 (version sequences)", |b| {
+        b.iter(|| {
+            let mut s = l3.initial();
+            for e in &run4 {
+                s = l3.apply(&s, e).expect("valid at level 3");
+            }
+            s
+        })
+    });
+    group.bench_function("level4 (latest values)", |b| {
+        b.iter(|| {
+            let mut s = l4.initial();
+            for e in &run4 {
+                s = l4.apply(&s, e).expect("valid");
+            }
+            s
+        })
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let u = Arc::new(random_universe(5, &cfg()));
+    let l4 = Level4::new(u);
+    let run = random_run(&l4, 9, 30);
+    let mut s = l4.initial();
+    for e in &run {
+        s = l4.apply(&s, e).expect("valid");
+    }
+    c.bench_function("levels/enabled level4", |b| b.iter(|| l4.enabled(&s).len()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_apply, bench_enabled
+}
+criterion_main!(benches);

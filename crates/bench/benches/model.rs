@@ -1,0 +1,65 @@
+//! Micro-benchmarks for the model layer: visibility queries, `perm`,
+//! the Theorem 9 characterization, and its brute-force ground truth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rnt_model::serial::is_data_serializable_bruteforce;
+use rnt_sim::aat_gen::random_aat;
+use rnt_sim::gen::{random_universe, UniverseConfig};
+
+fn bench_visibility(c: &mut Criterion) {
+    let cfg = UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
+    let u = random_universe(1, &cfg);
+    let aat = random_aat(&u, 2, 0.0);
+    let vs: Vec<_> = aat.tree.vertices().cloned().collect();
+    c.bench_function("model/is_visible_to (all pairs)", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for a in &vs {
+                for q in &vs {
+                    if aat.tree.is_visible_to(a, q) {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        })
+    });
+}
+
+fn bench_perm(c: &mut Criterion) {
+    let cfg = UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
+    let u = random_universe(1, &cfg);
+    let aat = random_aat(&u, 2, 0.0);
+    c.bench_function("model/perm", |b| b.iter(|| aat.perm()));
+}
+
+fn bench_theorem9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/theorem9");
+    for (name, tops) in [("small", 2u32), ("medium", 4), ("large", 8)] {
+        let cfg = UniverseConfig {
+            objects: 3,
+            top_actions: tops,
+            max_fanout: 2,
+            max_depth: 3,
+            inner_prob: 0.5,
+        };
+        let u = random_universe(7, &cfg);
+        let aat = random_aat(&u, 9, 0.0);
+        group.bench_with_input(BenchmarkId::new("characterization", name), &aat, |b, aat| {
+            b.iter(|| aat.is_data_serializable(&u))
+        });
+        if tops <= 2 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", name), &aat, |b, aat| {
+                b.iter(|| is_data_serializable_bruteforce(aat, &u))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_visibility, bench_perm, bench_theorem9
+}
+criterion_main!(benches);

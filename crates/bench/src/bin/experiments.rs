@@ -1,0 +1,51 @@
+//! Regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage: `experiments [--quick] [ids...]`, e.g. `experiments --quick e2 e5`.
+//! With no ids, all experiments run. Markdown goes to stdout; a JSON dump
+//! is written to `experiments.json` in the working directory.
+
+use rnt_bench::table::Table;
+use rnt_bench::{dist_exp, engine_exp, theory};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| ids.is_empty() || ids.iter().any(|w| w == &id.to_lowercase());
+
+    type Job = Box<dyn Fn(bool) -> Table>;
+    let mut tables: Vec<Table> = Vec::new();
+    let jobs: Vec<(&str, Job)> = vec![
+        ("e1", Box::new(theory::e1_exhaustive)),
+        ("e2", Box::new(theory::e2_theorem9)),
+        ("e3", Box::new(theory::e3_simulation_chain)),
+        ("f1-f3", Box::new(theory::figures_diagram_chase)),
+        ("e4", Box::new(engine_exp::e4_audit)),
+        ("e4b", Box::new(engine_exp::e4b_schedule_sweep)),
+        ("e5", Box::new(engine_exp::e5_throughput)),
+        ("e5b", Box::new(engine_exp::e5b_policies)),
+        ("e6", Box::new(engine_exp::e6_rw_vs_exclusive)),
+        ("e7", Box::new(engine_exp::e7_resilience)),
+        ("e8", Box::new(dist_exp::e8_gossip)),
+        ("e8b", Box::new(dist_exp::e8b_crash)),
+        ("e9", Box::new(theory::e9_orphan_views)),
+        ("e10", Box::new(theory::e10_schedulers)),
+    ];
+    for (id, job) in jobs {
+        let figure_alias = id == "f1-f3" && want("figures");
+        if !want(id) && !figure_alias {
+            continue;
+        }
+        eprintln!("running {id}{}...", if quick { " (quick)" } else { "" });
+        let t = job(quick);
+        println!("{}", t.to_markdown());
+        tables.push(t);
+    }
+    let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+    std::fs::write("experiments.json", json).expect("write experiments.json");
+    eprintln!("wrote experiments.json ({} tables)", tables.len());
+}

@@ -1,0 +1,950 @@
+//! The nested-transaction database: public API.
+//!
+//! [`Db`] is a sharded in-memory store whose concurrency control is Moss's
+//! nested-transaction locking (read/write variant) — the algorithm the
+//! paper proves correct, made concurrent. [`Txn`] handles form the action
+//! tree: [`Db::begin`] starts a top-level transaction, [`Txn::child`] a
+//! subtransaction; a subtransaction's failure aborts only its own subtree
+//! (resilience), while its commit publishes its work *to its parent* via
+//! lock inheritance.
+
+use crate::audit::{hash_value, AuditLog, AuditRecord};
+use crate::deadlock::WaitForGraph;
+use crate::error::TxnError;
+use crate::lock::{Conflict, LockEnv, LockState};
+use crate::registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
+use crate::stats::{Stats, StatsSnapshot};
+use parking_lot::{Condvar, Mutex};
+use rnt_model::UpdateFn;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How lock conflicts that could deadlock are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// Wait with a bound; give up with [`TxnError::Timeout`].
+    Timeout,
+    /// Wait-die: older (smaller root id) requesters wait, younger ones get
+    /// [`TxnError::Die`] and should abort-and-retry.
+    WaitDie,
+    /// Maintain a wait-for graph; the requester closing a cycle gets
+    /// [`TxnError::Deadlock`].
+    Detect,
+    /// Never wait: any conflict is returned as [`TxnError::Die`]
+    /// immediately (optimistic-style callers that retry).
+    NoWait,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct DbConfig {
+    /// Number of lock-table shards (power of two recommended).
+    pub shards: usize,
+    /// Deadlock handling policy.
+    pub policy: DeadlockPolicy,
+    /// Overall lock-wait bound for [`DeadlockPolicy::Timeout`].
+    pub lock_timeout: Duration,
+    /// Single condvar wait slice (guards against missed wakeups).
+    pub wait_slice: Duration,
+    /// Record an audit log for serializability checking.
+    pub audit: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            shards: 16,
+            policy: DeadlockPolicy::Detect,
+            lock_timeout: Duration::from_millis(100),
+            wait_slice: Duration::from_micros(500),
+            audit: false,
+        }
+    }
+}
+
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, LockState<V>>>,
+    cv: Condvar,
+}
+
+struct AuditState<K> {
+    log: AuditLog,
+    keymap: Mutex<HashMap<K, u32>>,
+}
+
+struct DbInner<K, V> {
+    registry: Registry,
+    shards: Box<[Shard<K, V>]>,
+    hasher: RandomState,
+    stats: Stats,
+    wfg: WaitForGraph,
+    config: DbConfig,
+    audit: Option<AuditState<K>>,
+}
+
+impl LockEnv for Registry {
+    fn is_ancestor(&self, a: TxnId, b: TxnId) -> bool {
+        Registry::is_ancestor(self, a, b)
+    }
+    fn is_dead(&self, t: TxnId) -> bool {
+        Registry::is_dead(self, t)
+    }
+}
+
+/// A nested-transaction in-memory database.
+pub struct Db<K, V> {
+    inner: Arc<DbInner<K, V>>,
+}
+
+impl<K, V> Clone for Db<K, V> {
+    fn clone(&self) -> Self {
+        Db { inner: self.inner.clone() }
+    }
+}
+
+impl<K, V> Db<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// Create a database with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default())
+    }
+
+    /// Create a database with the given configuration.
+    pub fn with_config(config: DbConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Shard { map: Mutex::new(HashMap::new()), cv: Condvar::new() })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let audit = config
+            .audit
+            .then(|| AuditState { log: AuditLog::new(), keymap: Mutex::new(HashMap::new()) });
+        Db {
+            inner: Arc::new(DbInner {
+                registry: Registry::new(),
+                shards,
+                hasher: RandomState::new(),
+                stats: Stats::default(),
+                wfg: WaitForGraph::new(),
+                config,
+                audit,
+            }),
+        }
+    }
+
+    /// Seed an object with its initial value (non-transactional; mirrors
+    /// the paper's `init(x)`). Returns false if the key already exists.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let inner = &self.inner;
+        let shard = inner.shard_of(&key);
+        let mut map = inner.shards[shard].map.lock();
+        if map.contains_key(&key) {
+            return false;
+        }
+        if let Some(audit) = &inner.audit {
+            let mut keymap = audit.keymap.lock();
+            let id = keymap.len() as u32;
+            keymap.entry(key.clone()).or_insert(id);
+            audit.log.register_object(id, hash_value(&value));
+        }
+        map.insert(key, LockState::new(value));
+        true
+    }
+
+    /// The committed (top-level) value of a key, outside any transaction.
+    pub fn committed_value(&self, key: &K) -> Option<V> {
+        let inner = &self.inner;
+        let shard = inner.shard_of(key);
+        let map = inner.shards[shard].map.lock();
+        map.get(key).map(|s| s.base_value().clone())
+    }
+
+    /// Begin a top-level transaction.
+    pub fn begin(&self) -> Txn<K, V> {
+        let id = self.inner.registry.begin_top();
+        Stats::bump(&self.inner.stats.begun);
+        self.inner.audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh") });
+        Txn {
+            inner: self.inner.clone(),
+            id,
+            done: false,
+            touched: Arc::new(Mutex::new(std::collections::HashSet::new())),
+            parent_touched: None,
+        }
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// The audit log, if auditing is enabled.
+    pub fn audit_log(&self) -> Option<&AuditLog> {
+        self.inner.audit.as_ref().map(|a| &a.log)
+    }
+}
+
+impl<K, V> Default for Db<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> DbInner<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    fn audit_record(&self, f: impl FnOnce(&Registry) -> AuditRecord) {
+        if let Some(audit) = &self.audit {
+            audit.log.push(f(&self.registry));
+        }
+    }
+
+    /// The audited object id of a key (auditing enabled and key seeded).
+    fn audit_object(&self, key: &K) -> Option<u32> {
+        self.audit.as_ref().and_then(|a| a.keymap.lock().get(key).copied())
+    }
+
+    /// Run one lock-acquiring operation with conflict resolution.
+    ///
+    /// Lock order is always shard → registry-read; the registry view is
+    /// dropped before any condvar wait so registry writers (transaction
+    /// begins) are never blocked by a sleeping waiter.
+    fn with_locked_state<R>(
+        &self,
+        t: TxnId,
+        key: &K,
+        mut op: impl FnMut(&mut LockState<V>, &RegistryView<'_>) -> Result<(R, Option<AuditRecord>), Conflict>,
+    ) -> Result<R, TxnError> {
+        let start = Instant::now();
+        let shard = &self.shards[self.shard_of(key)];
+        loop {
+            let mut map = shard.map.lock();
+            let view = self.registry.read_view();
+            match view.status(t) {
+                Some(TxnStatus::Active) => {}
+                _ => return Err(TxnError::NotActive),
+            }
+            if view.is_dead(t) {
+                return Err(TxnError::Orphaned);
+            }
+            let Some(state) = map.get_mut(key) else {
+                return Err(TxnError::UnknownKey);
+            };
+            let conflict = match op(state, &view) {
+                Ok((out, record)) => {
+                    if let (Some(audit), Some(record)) = (&self.audit, record) {
+                        // Appended under the shard lock so the log order is
+                        // the true per-object acquisition order.
+                        audit.log.push(record);
+                    }
+                    return Ok(out);
+                }
+                Err(c) => c,
+            };
+            Stats::bump(&self.stats.conflicts);
+            match self.config.policy {
+                DeadlockPolicy::NoWait => {
+                    Stats::bump(&self.stats.dies);
+                    return Err(TxnError::Die { blocker: conflict.blockers[0] });
+                }
+                DeadlockPolicy::Timeout => {
+                    drop(view);
+                    if start.elapsed() >= self.config.lock_timeout {
+                        Stats::bump(&self.stats.timeouts);
+                        return Err(TxnError::Timeout(self.config.lock_timeout));
+                    }
+                    Stats::bump(&self.stats.waits);
+                    shard.cv.wait_for(&mut map, self.config.wait_slice);
+                }
+                DeadlockPolicy::WaitDie => {
+                    // Wait-die on (root, id): older requesters wait, younger
+                    // die. The id tie-break covers sibling subtransactions
+                    // of one top-level transaction (equal roots), which
+                    // could otherwise deadlock against each other.
+                    let my_root = view.root(t).ok_or(TxnError::NotActive)?;
+                    let older_blocker = conflict
+                        .blockers
+                        .iter()
+                        .find(|&&b| view.root(b).is_some_and(|r| (r, b) < (my_root, t)));
+                    if let Some(&b) = older_blocker {
+                        Stats::bump(&self.stats.dies);
+                        return Err(TxnError::Die { blocker: b });
+                    }
+                    drop(view);
+                    Stats::bump(&self.stats.waits);
+                    shard.cv.wait_for(&mut map, self.config.wait_slice);
+                }
+                DeadlockPolicy::Detect => {
+                    // Waiting on a holder means waiting on its whole active
+                    // subtree: a parent's lock releases only after its
+                    // children's threads finish. Expand blockers so nested
+                    // deadlocks close cycles in the graph.
+                    let expanded: Vec<TxnId> = conflict
+                        .blockers
+                        .iter()
+                        .flat_map(|&b| view.active_subtree(b))
+                        .collect();
+                    drop(view);
+                    if let Some(cycle) = self.wfg.block(t, &expanded) {
+                        Stats::bump(&self.stats.deadlocks);
+                        return Err(TxnError::Deadlock { cycle });
+                    }
+                    Stats::bump(&self.stats.waits);
+                    shard.cv.wait_for(&mut map, self.config.wait_slice);
+                    drop(map);
+                    self.wfg.unblock(t);
+                }
+            }
+        }
+    }
+
+    fn finish_locks(&self, t: TxnId, keys: &std::collections::HashSet<K>, commit: bool) {
+        let parent = self.registry.parent(t);
+        for key in keys {
+            let shard = &self.shards[self.shard_of(key)];
+            let mut map = shard.map.lock();
+            if let Some(state) = map.get_mut(key) {
+                if commit {
+                    // Shard → registry-read, the global lock order.
+                    let view = self.registry.read_view();
+                    state.commit_to_parent(t, parent, &view);
+                } else {
+                    state.abort_discard(t);
+                }
+            }
+            shard.cv.notify_all();
+        }
+    }
+}
+
+/// A handle on one (sub)transaction. Dropping an unfinished handle aborts
+/// it — the resilient default.
+pub struct Txn<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    inner: Arc<DbInner<K, V>>,
+    id: TxnId,
+    done: bool,
+    /// Keys this transaction holds locks on (own acquisitions plus those
+    /// inherited from committed children).
+    touched: Arc<Mutex<std::collections::HashSet<K>>>,
+    /// The parent's touched set, receiving our keys on commit.
+    parent_touched: Option<Arc<Mutex<std::collections::HashSet<K>>>>,
+}
+
+impl<K, V> Txn<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// True iff no ancestor has aborted.
+    pub fn is_live(&self) -> bool {
+        self.inner.registry.is_live(self.id)
+    }
+
+    /// Begin a subtransaction.
+    pub fn child(&self) -> Result<Txn<K, V>, TxnError> {
+        let id = self.inner.registry.begin_child(self.id).map_err(map_reg_err)?;
+        Stats::bump(&self.inner.stats.begun);
+        self.inner
+            .audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh child") });
+        Ok(Txn {
+            inner: self.inner.clone(),
+            id,
+            done: false,
+            touched: Arc::new(Mutex::new(std::collections::HashSet::new())),
+            parent_touched: Some(self.touched.clone()),
+        })
+    }
+
+    /// Read a key (acquiring a read lock in Moss's discipline).
+    pub fn read(&self, key: &K) -> Result<V, TxnError> {
+        let inner = &self.inner;
+        let out = inner.with_locked_state(self.id, key, |state, reg| {
+            state.try_read(self.id, reg).map(|v| {
+                let value = v.clone();
+                let record = inner.audit_object(key).map(|object| AuditRecord::Access {
+                    path: access_path(reg, self.id),
+                    object,
+                    update: UpdateFn::Read,
+                    seen: hash_value(&value),
+                });
+                (value, record)
+            })
+        })?;
+        self.touched.lock().insert(key.clone());
+        Stats::bump(&inner.stats.reads);
+        Ok(out)
+    }
+
+    /// Overwrite a key (acquiring a write lock). Returns the value that was
+    /// visible before the write.
+    pub fn write(&self, key: &K, value: V) -> Result<V, TxnError> {
+        self.rmw(key, move |_| value.clone())
+    }
+
+    /// Read-modify-write under a single write lock. Returns the value seen.
+    pub fn rmw(&self, key: &K, f: impl Fn(&V) -> V) -> Result<V, TxnError> {
+        let inner = &self.inner;
+        let out = inner.with_locked_state(self.id, key, |state, reg| {
+            let mut written: Option<V> = None;
+            let seen = state.try_write(self.id, reg, |old| {
+                let new = f(old);
+                written = Some(new.clone());
+                new
+            })?;
+            let record = inner.audit_object(key).map(|object| AuditRecord::Access {
+                path: access_path(reg, self.id),
+                object,
+                update: UpdateFn::Write(hash_value(written.as_ref().expect("written set"))),
+                seen: hash_value(&seen),
+            });
+            Ok((seen, record))
+        })?;
+        self.touched.lock().insert(key.clone());
+        Stats::bump(&inner.stats.writes);
+        Ok(out)
+    }
+
+    /// Run `body` in a subtransaction with automatic local retry: commits
+    /// on success; on a retryable error (deadlock, wait-die, timeout) the
+    /// subtransaction is aborted and re-run, leaving committed siblings
+    /// untouched — the recovery-block idiom as a one-liner.
+    ///
+    /// `body` errors that are not retryable abort the subtransaction and
+    /// propagate. `max_retries` bounds re-runs (0 = try once).
+    pub fn run_child<R>(
+        &self,
+        max_retries: u32,
+        mut body: impl FnMut(&Txn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut attempts = 0;
+        loop {
+            let child = self.child()?;
+            match body(&child) {
+                Ok(out) => match child.commit() {
+                    Ok(()) => return Ok(out),
+                    Err(e) if e.is_retryable() && attempts < max_retries => attempts += 1,
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() && attempts < max_retries => {
+                    child.abort();
+                    attempts += 1;
+                }
+                Err(e) => {
+                    child.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Commit this transaction to its parent (top-level: permanently).
+    ///
+    /// Fails with [`TxnError::ChildrenActive`] if subtransactions are still
+    /// running; in that case the transaction stays active.
+    pub fn commit(mut self) -> Result<(), TxnError> {
+        self.inner.registry.commit(self.id).map_err(map_reg_err)?;
+        // The Commit record must land before the locks move: once
+        // finish_locks runs, other threads can acquire them and log
+        // accesses whose prefix-visibility depends on this commit.
+        let id = self.id;
+        self.inner.audit_record(|reg| AuditRecord::Commit { path: reg.path(id).expect("known") });
+        let keys = std::mem::take(&mut *self.touched.lock());
+        self.inner.finish_locks(self.id, &keys, true);
+        if let Some(parent) = &self.parent_touched {
+            // Inherited locks become the parent's responsibility.
+            parent.lock().extend(keys);
+        }
+        Stats::bump(&self.inner.stats.committed);
+        self.done = true;
+        Ok(())
+    }
+
+    /// Abort this transaction: every version it wrote is discarded and the
+    /// enclosing versions are restored. Descendants become orphans.
+    pub fn abort(mut self) {
+        self.do_abort();
+    }
+
+    fn do_abort(&mut self) {
+        if self.done {
+            return;
+        }
+        // The Abort record must land before the registry transition: the
+        // moment the registry marks us dead, any conflicting thread may
+        // lazily reap our locks, read the restored value, and log its
+        // access — which must sort *after* this abort in the log.
+        let id = self.id;
+        self.inner.audit_record(|reg| AuditRecord::Abort { path: reg.path(id).expect("known") });
+        if self.inner.registry.abort(self.id).is_ok() {
+            let keys = std::mem::take(&mut *self.touched.lock());
+            self.inner.finish_locks(self.id, &keys, false);
+            Stats::bump(&self.inner.stats.aborted);
+        }
+        self.done = true;
+    }
+}
+
+/// Allocate the action-tree path of a fresh access leaf under `t`.
+fn access_path(reg: &RegistryView<'_>, t: TxnId) -> Vec<u32> {
+    let mut path = reg.path(t).expect("txn registered");
+    path.push(reg.alloc_child_index(t).expect("txn registered"));
+    path
+}
+
+impl<K, V> Drop for Txn<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        if !self.done {
+            self.do_abort();
+        }
+    }
+}
+
+fn map_reg_err(e: RegistryError) -> TxnError {
+    match e {
+        RegistryError::Unknown(_) | RegistryError::NotActive(_) => TxnError::NotActive,
+        RegistryError::ChildrenActive(_, n) => TxnError::ChildrenActive(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Db<u64, i64> {
+        let db = Db::new();
+        for k in 0..8 {
+            db.insert(k, 100 + k as i64);
+        }
+        db
+    }
+
+    #[test]
+    fn read_write_commit_roundtrip() {
+        let db = db();
+        let t = db.begin();
+        assert_eq!(t.read(&0).unwrap(), 100);
+        t.write(&0, 42).unwrap();
+        assert_eq!(t.read(&0).unwrap(), 42);
+        // Uncommitted: base unchanged.
+        assert_eq!(db.committed_value(&0), Some(100));
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&0), Some(42));
+    }
+
+    #[test]
+    fn abort_restores() {
+        let db = db();
+        let t = db.begin();
+        t.write(&0, 42).unwrap();
+        t.abort();
+        assert_eq!(db.committed_value(&0), Some(100));
+        let t2 = db.begin();
+        assert_eq!(t2.read(&0).unwrap(), 100);
+    }
+
+    #[test]
+    fn drop_aborts() {
+        let db = db();
+        {
+            let t = db.begin();
+            t.write(&0, 42).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(db.committed_value(&0), Some(100));
+        assert_eq!(db.stats().aborted, 1);
+    }
+
+    #[test]
+    fn child_commit_publishes_to_parent_only() {
+        let db = db();
+        let t = db.begin();
+        let c = t.child().unwrap();
+        c.write(&0, 7).unwrap();
+        c.commit().unwrap();
+        // Parent sees the child's write...
+        assert_eq!(t.read(&0).unwrap(), 7);
+        // ...but the world does not yet.
+        assert_eq!(db.committed_value(&0), Some(100));
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&0), Some(7));
+    }
+
+    #[test]
+    fn child_abort_is_contained() {
+        let db = db();
+        let t = db.begin();
+        t.write(&0, 1).unwrap();
+        let c = t.child().unwrap();
+        c.write(&0, 2).unwrap();
+        c.abort();
+        // Parent's version restored — the whole point of resilient nesting.
+        assert_eq!(t.read(&0).unwrap(), 1);
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&0), Some(1));
+    }
+
+    #[test]
+    fn commit_with_active_children_fails() {
+        let db = db();
+        let t = db.begin();
+        let c = t.child().unwrap();
+        let err = t.commit().unwrap_err();
+        assert_eq!(err, TxnError::ChildrenActive(1));
+        drop(c);
+    }
+
+    #[test]
+    fn orphan_operations_fail() {
+        let db = db();
+        let t = db.begin();
+        let c = t.child().unwrap();
+        let g = c.child().unwrap();
+        c.abort();
+        assert!(!g.is_live());
+        assert_eq!(g.read(&0), Err(TxnError::Orphaned));
+        assert_eq!(g.write(&0, 1), Err(TxnError::Orphaned));
+    }
+
+    #[test]
+    fn unknown_key() {
+        let db = db();
+        let t = db.begin();
+        assert_eq!(t.read(&99), Err(TxnError::UnknownKey));
+        assert_eq!(t.write(&99, 0), Err(TxnError::UnknownKey));
+    }
+
+    #[test]
+    fn sibling_isolation_nowait() {
+        let db: Db<u64, i64> = Db::with_config(DbConfig {
+            policy: DeadlockPolicy::NoWait,
+            ..DbConfig::default()
+        });
+        db.insert(0, 0);
+        let t = db.begin();
+        let a = t.child().unwrap();
+        let b = t.child().unwrap();
+        a.write(&0, 1).unwrap();
+        // Sibling b conflicts with a's live write lock.
+        assert!(matches!(b.read(&0), Err(TxnError::Die { .. })));
+        a.commit().unwrap();
+        // Lock now held by t (ancestor of b): b may read.
+        assert_eq!(b.read(&0).unwrap(), 1);
+        b.commit().unwrap();
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&0), Some(1));
+    }
+
+    #[test]
+    fn rmw_composes() {
+        let db = db();
+        let t = db.begin();
+        let seen = t.rmw(&1, |v| v * 2).unwrap();
+        assert_eq!(seen, 101);
+        assert_eq!(t.read(&1).unwrap(), 202);
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&1), Some(202));
+    }
+
+    #[test]
+    fn concurrent_disjoint_commits() {
+        let db = db();
+        let mut handles = Vec::new();
+        for k in 0..8u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let t = db.begin();
+                    t.rmw(&k, |v| v + 1).unwrap();
+                    t.commit().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for k in 0..8u64 {
+            assert_eq!(db.committed_value(&k), Some(100 + k as i64 + 50));
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_counter() {
+        let db: Db<u64, i64> = Db::with_config(DbConfig {
+            policy: DeadlockPolicy::Detect,
+            ..DbConfig::default()
+        });
+        db.insert(0, 0);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                while done < 100 {
+                    let t = db.begin();
+                    match t.rmw(&0, |v| v + 1) {
+                        Ok(_) => {
+                            t.commit().unwrap();
+                            done += 1;
+                        }
+                        Err(e) if e.is_retryable() => {
+                            t.abort();
+                        }
+                        Err(e) => panic!("unexpected {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.committed_value(&0), Some(400));
+    }
+
+    #[test]
+    fn deadlock_detected_and_resolved() {
+        let db: Db<u64, i64> = Db::with_config(DbConfig {
+            policy: DeadlockPolicy::Detect,
+            ..DbConfig::default()
+        });
+        db.insert(0, 0);
+        db.insert(1, 0);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mk = |first: u64, second: u64, db: Db<u64, i64>, barrier: Arc<std::sync::Barrier>| {
+            std::thread::spawn(move || loop {
+                let t = db.begin();
+                if t.write(&first, 1).is_err() {
+                    t.abort();
+                    continue;
+                }
+                barrier.wait();
+                match t.write(&second, 1) {
+                    Ok(_) => {
+                        t.commit().unwrap();
+                        return true; // this side won
+                    }
+                    Err(e) if e.is_retryable() => {
+                        t.abort();
+                        return false; // this side was the victim
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            })
+        };
+        let h1 = mk(0, 1, db.clone(), barrier.clone());
+        let h2 = mk(1, 0, db.clone(), barrier.clone());
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        // At least one side must have been the victim or both eventually
+        // succeeded after a victim retried; either way, no hang, and the
+        // detector fired unless timing avoided the overlap entirely.
+        let _ = (r1, r2);
+    }
+
+    #[test]
+    fn wait_die_never_hangs() {
+        let db: Db<u64, i64> = Db::with_config(DbConfig {
+            policy: DeadlockPolicy::WaitDie,
+            ..DbConfig::default()
+        });
+        db.insert(0, 0);
+        db.insert(1, 0);
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut committed = 0;
+                while committed < 25 {
+                    let t = db.begin();
+                    let (a, b) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                    let ok = t.rmw(&a, |v| v + 1).is_ok() && t.rmw(&b, |v| v + 1).is_ok();
+                    if ok {
+                        t.commit().unwrap();
+                        committed += 1;
+                    } else {
+                        t.abort();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = db.committed_value(&0).unwrap() + db.committed_value(&1).unwrap();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn audited_run_is_data_serializable() {
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        for k in 0..4 {
+            db.insert(k, 0);
+        }
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..20u64 {
+                    let t = db.begin();
+                    let k1 = (i + j) % 4;
+                    let k2 = (i + j + 1) % 4;
+                    let ok = (|| {
+                        let c = t.child()?;
+                        c.rmw(&k1, |v| v + 1)?;
+                        c.commit()?;
+                        let c2 = t.child()?;
+                        let v = c2.read(&k2)?;
+                        c2.write(&k2, v + 10)?;
+                        c2.commit()?;
+                        Ok::<_, TxnError>(())
+                    })();
+                    match ok {
+                        Ok(()) => {
+                            let _ = t.commit();
+                        }
+                        Err(_) => t.abort(),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = db.audit_log().expect("auditing on");
+        let (universe, aat) = log.reconstruct().expect("well-formed log");
+        assert!(
+            aat.perm().is_rw_data_serializable(&universe),
+            "engine execution violated the serializability guarantee"
+        );
+    }
+
+    #[test]
+    fn run_child_commits_on_success() {
+        let db = db();
+        let t = db.begin();
+        let seen = t.run_child(3, |c| c.rmw(&0, |v| v + 1)).unwrap();
+        assert_eq!(seen, 100);
+        assert_eq!(t.read(&0).unwrap(), 101);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn run_child_propagates_fatal_errors() {
+        let db = db();
+        let t = db.begin();
+        let err = t.run_child(3, |c| c.read(&999)).unwrap_err();
+        assert_eq!(err, TxnError::UnknownKey);
+        // The failed child aborted; the parent is untouched and usable.
+        assert_eq!(t.read(&0).unwrap(), 100);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn run_child_retries_contention() {
+        // A NoWait db: the first attempt conflicts with a holder thread,
+        // later ones succeed after the holder finishes.
+        let db: Db<u64, i64> = Db::with_config(DbConfig {
+            policy: DeadlockPolicy::NoWait,
+            ..DbConfig::default()
+        });
+        db.insert(0, 0);
+        let holder = db.begin();
+        holder.write(&0, 5).unwrap();
+        let t = db.begin();
+        // While the holder is alive, every attempt dies: max_retries = 2
+        // means exactly 3 attempts, then the error surfaces.
+        let mut attempts = 0;
+        let err = t
+            .run_child(2, |c| {
+                attempts += 1;
+                c.read(&0)
+            })
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Die { .. }));
+        assert_eq!(attempts, 3);
+        // After the holder commits, a retried child succeeds.
+        holder.commit().unwrap();
+        let v = t.run_child(10, |c| c.read(&0)).unwrap();
+        assert_eq!(v, 5);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn orphan_view_anomalies_zero_on_clean_run() {
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        db.insert(0, 1);
+        let t = db.begin();
+        t.run_child(0, |c| c.rmw(&0, |v| v * 10)).unwrap();
+        t.commit().unwrap();
+        let t2 = db.begin();
+        t2.read(&0).unwrap();
+        t2.abort();
+        let (performs, orphans, anomalies, live) =
+            db.audit_log().unwrap().orphan_view_anomalies().unwrap();
+        assert_eq!(performs, 2);
+        assert_eq!(orphans, 0);
+        assert_eq!(anomalies, 0);
+        assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let db = db();
+        let t = db.begin();
+        t.read(&0).unwrap();
+        t.write(&1, 5).unwrap();
+        t.commit().unwrap();
+        let s = db.stats();
+        assert_eq!(s.begun, 1);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn deep_nesting_chain() {
+        let db = db();
+        let t = db.begin();
+        let mut stack = vec![t.child().unwrap()];
+        for _ in 0..8 {
+            let next = stack.last().unwrap().child().unwrap();
+            stack.push(next);
+        }
+        // Deepest writes; commits cascade upward.
+        stack.last().unwrap().write(&0, 999).unwrap();
+        while let Some(txn) = stack.pop() {
+            txn.commit().unwrap();
+        }
+        assert_eq!(t.read(&0).unwrap(), 999);
+        t.commit().unwrap();
+        assert_eq!(db.committed_value(&0), Some(999));
+    }
+}

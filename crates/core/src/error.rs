@@ -1,0 +1,77 @@
+//! Engine error types.
+
+use crate::registry::TxnId;
+use std::time::Duration;
+
+/// Errors returned by transactional operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxnError {
+    /// The key is not in the store (objects must be seeded before use,
+    /// mirroring the paper's fixed object universe).
+    UnknownKey,
+    /// The transaction (or an ancestor) has aborted; the caller is an
+    /// orphan and should unwind.
+    Orphaned,
+    /// Lock wait exceeded the configured timeout.
+    Timeout(Duration),
+    /// Wait-die policy: the requester is younger than a lock holder and
+    /// must abort (and may retry as a new transaction).
+    Die {
+        /// The older transaction that held the contended lock.
+        blocker: TxnId,
+    },
+    /// Deadlock detected in the wait-for graph; the requester is the victim.
+    Deadlock {
+        /// The cycle found, starting and ending at the requester.
+        cycle: Vec<TxnId>,
+    },
+    /// Commit attempted while children are still active.
+    ChildrenActive(u32),
+    /// The transaction already committed or aborted.
+    NotActive,
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::UnknownKey => write!(f, "unknown key"),
+            TxnError::Orphaned => write!(f, "transaction orphaned by an ancestor abort"),
+            TxnError::Timeout(d) => write!(f, "lock wait timed out after {d:?}"),
+            TxnError::Die { blocker } => write!(f, "wait-die: must die (blocked by {blocker:?})"),
+            TxnError::Deadlock { cycle } => write!(f, "deadlock detected: {cycle:?}"),
+            TxnError::ChildrenActive(n) => write!(f, "{n} children still active"),
+            TxnError::NotActive => write!(f, "transaction not active"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl TxnError {
+    /// True for errors a caller is expected to handle by aborting the
+    /// transaction and retrying it afresh (contention outcomes).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TxnError::Timeout(_) | TxnError::Die { .. } | TxnError::Deadlock { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(TxnError::Timeout(Duration::from_millis(1)).is_retryable());
+        assert!(TxnError::Die { blocker: TxnId(0) }.is_retryable());
+        assert!(TxnError::Deadlock { cycle: vec![] }.is_retryable());
+        assert!(!TxnError::Orphaned.is_retryable());
+        assert!(!TxnError::UnknownKey.is_retryable());
+        assert!(!TxnError::NotActive.is_retryable());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxnError::UnknownKey.to_string(), "unknown key");
+        assert!(TxnError::Die { blocker: TxnId(3) }.to_string().contains("TxnId(3)"));
+    }
+}

@@ -1,0 +1,511 @@
+//! Transaction identities and the nesting registry.
+//!
+//! The engine's analogue of the paper's universal action tree: every
+//! transaction gets a [`TxnId`] and a path of child indices from the
+//! (virtual) root, so ancestor tests and audit reconstruction are pure
+//! functions of registry state.
+//!
+//! Hot-path queries (status, liveness, ancestry) go through a
+//! [`RegistryView`] — a single read guard over the id table with all
+//! per-transaction state in atomics — so one lock acquisition covers an
+//! entire lock-table operation instead of one per query.
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a transaction. Monotonically increasing across the
+/// database; usable as a wait-die timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId(pub u64);
+
+/// Lifecycle status of a transaction (the paper's `status_T`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnStatus {
+    /// Created and not yet completed.
+    Active,
+    /// Committed to its parent (or, for top-level, permanently).
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+const ST_ACTIVE: u8 = 0;
+const ST_COMMITTED: u8 = 1;
+const ST_ABORTED: u8 = 2;
+
+fn decode(s: u8) -> TxnStatus {
+    match s {
+        ST_ACTIVE => TxnStatus::Active,
+        ST_COMMITTED => TxnStatus::Committed,
+        _ => TxnStatus::Aborted,
+    }
+}
+
+#[derive(Debug)]
+struct TxnMeta {
+    parent: Option<TxnId>,
+    /// Root (top-level ancestor) id, used as the wait-die timestamp.
+    root: TxnId,
+    /// Path of child indices from the root; the audit log uses it to name
+    /// actions. Immutable after creation.
+    path: Vec<u32>,
+    status: AtomicU8,
+    /// Child *index* counter (transactions and audit access leaves).
+    children: AtomicU32,
+    /// Number of children still active.
+    active_children: AtomicU32,
+    /// Child transaction ids (for wait-for expansion over subtrees);
+    /// mutated only under the table's write lock.
+    child_ids: RwLock<Vec<TxnId>>,
+}
+
+/// The registry of all transactions ever created in a database.
+///
+/// Completed subtrees are *not* garbage-collected: dead-ness of orphans is
+/// decided by walking ancestors, so history must remain available while any
+/// descendant can still act. (A production system would prune fully-done
+/// subtrees; the registry keeps everything so the audit can reconstruct the
+/// full action tree.)
+#[derive(Debug, Default)]
+pub struct Registry {
+    next: AtomicU64,
+    top_count: AtomicU64,
+    map: RwLock<HashMap<TxnId, Arc<TxnMeta>>>,
+}
+
+/// A read view over the registry: one guard, arbitrarily many queries.
+pub struct RegistryView<'a> {
+    map: RwLockReadGuard<'a, HashMap<TxnId, Arc<TxnMeta>>>,
+}
+
+impl<'a> RegistryView<'a> {
+    fn meta(&self, id: TxnId) -> Option<&Arc<TxnMeta>> {
+        self.map.get(&id)
+    }
+
+    /// The status of `id`.
+    pub fn status(&self, id: TxnId) -> Option<TxnStatus> {
+        self.meta(id).map(|m| decode(m.status.load(Ordering::Acquire)))
+    }
+
+    /// The parent of `id`, if any.
+    pub fn parent(&self, id: TxnId) -> Option<TxnId> {
+        self.meta(id).and_then(|m| m.parent)
+    }
+
+    /// The root (top-level ancestor) of `id` — the wait-die timestamp.
+    pub fn root(&self, id: TxnId) -> Option<TxnId> {
+        self.meta(id).map(|m| m.root)
+    }
+
+    /// The action-tree path of `id`.
+    pub fn path(&self, id: TxnId) -> Option<Vec<u32>> {
+        self.meta(id).map(|m| m.path.clone())
+    }
+
+    /// Allocate the next child *index* under `id` (atomic; no write lock).
+    pub fn alloc_child_index(&self, id: TxnId) -> Option<u32> {
+        self.meta(id).map(|m| m.children.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// True iff `a` is an ancestor of `b` (reflexively).
+    pub fn is_ancestor(&self, a: TxnId, b: TxnId) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = self.meta(c).and_then(|m| m.parent);
+        }
+        false
+    }
+
+    /// True iff `id` or any ancestor has aborted (the paper's "dead").
+    pub fn is_dead(&self, id: TxnId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            match self.meta(c) {
+                None => return true, // unknown ⇒ treat as dead
+                Some(m) if m.status.load(Ordering::Acquire) == ST_ABORTED => return true,
+                Some(m) => cur = m.parent,
+            }
+        }
+        false
+    }
+
+    /// The members of `id`'s subtree that are still *active* (including
+    /// `id` itself if active). Waiting for a lock held by `id` really means
+    /// waiting for all of these to complete — a parent's lock is released
+    /// only when its own thread commits it, which in turn waits for the
+    /// children — so deadlock detection must expand blockers to this set.
+    pub fn active_subtree(&self, id: TxnId) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(t) = stack.pop() {
+            if let Some(m) = self.meta(t) {
+                if m.status.load(Ordering::Acquire) == ST_ACTIVE {
+                    out.push(t);
+                    stack.extend(m.child_ids.read().iter().copied());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl crate::lock::LockEnv for RegistryView<'_> {
+    fn is_ancestor(&self, a: TxnId, b: TxnId) -> bool {
+        RegistryView::is_ancestor(self, a, b)
+    }
+    fn is_dead(&self, t: TxnId) -> bool {
+        RegistryView::is_dead(self, t)
+    }
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a read view for a batch of queries.
+    pub fn read_view(&self) -> RegistryView<'_> {
+        RegistryView { map: self.map.read() }
+    }
+
+    /// Register a new top-level transaction.
+    pub fn begin_top(&self) -> TxnId {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        let top = self.top_count.fetch_add(1, Ordering::Relaxed) as u32;
+        let meta = Arc::new(TxnMeta {
+            parent: None,
+            root: id,
+            path: vec![top],
+            status: AtomicU8::new(ST_ACTIVE),
+            children: AtomicU32::new(0),
+            active_children: AtomicU32::new(0),
+            child_ids: RwLock::new(Vec::new()),
+        });
+        self.map.write().insert(id, meta);
+        id
+    }
+
+    /// Register a child of `parent`.
+    ///
+    /// Fails if the parent is not active (committed parents cannot gain
+    /// children; aborted parents *may* in the paper, but the engine rejects
+    /// spawning under a known-aborted parent as a programming error).
+    ///
+    /// Safe-API note: a parent's `commit`/`abort` consume the handle, so
+    /// they cannot race with `begin_child` through the public engine API;
+    /// the atomic counter updates here rely on that.
+    pub fn begin_child(&self, parent: TxnId) -> Result<TxnId, RegistryError> {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        let map = self.map.read();
+        let pm = map.get(&parent).ok_or(RegistryError::Unknown(parent))?;
+        if pm.status.load(Ordering::Acquire) != ST_ACTIVE {
+            return Err(RegistryError::NotActive(parent));
+        }
+        let idx = pm.children.fetch_add(1, Ordering::Relaxed);
+        pm.active_children.fetch_add(1, Ordering::AcqRel);
+        let mut path = pm.path.clone();
+        path.push(idx);
+        let root = pm.root;
+        pm.child_ids.write().push(id);
+        drop(map);
+        let meta = Arc::new(TxnMeta {
+            parent: Some(parent),
+            root,
+            path,
+            status: AtomicU8::new(ST_ACTIVE),
+            children: AtomicU32::new(0),
+            active_children: AtomicU32::new(0),
+            child_ids: RwLock::new(Vec::new()),
+        });
+        self.map.write().insert(id, meta);
+        Ok(id)
+    }
+
+    /// Allocate the next child *index* under `id` without registering a
+    /// transaction — used to name access leaves in the audit log (accesses
+    /// are children of their transaction in the action tree).
+    pub fn alloc_child_index(&self, id: TxnId) -> Option<u32> {
+        self.read_view().alloc_child_index(id)
+    }
+
+    /// The parent of `id`, if any.
+    pub fn parent(&self, id: TxnId) -> Option<TxnId> {
+        self.read_view().parent(id)
+    }
+
+    /// The status of `id`.
+    pub fn status(&self, id: TxnId) -> Option<TxnStatus> {
+        self.read_view().status(id)
+    }
+
+    /// The root (top-level ancestor) of `id` — the wait-die timestamp.
+    pub fn root(&self, id: TxnId) -> Option<TxnId> {
+        self.read_view().root(id)
+    }
+
+    /// The action-tree path of `id` (for audit reconstruction).
+    pub fn path(&self, id: TxnId) -> Option<Vec<u32>> {
+        self.read_view().path(id)
+    }
+
+    /// Number of still-active children of `id`.
+    pub fn active_children(&self, id: TxnId) -> u32 {
+        self.read_view().meta(id).map_or(0, |m| m.active_children.load(Ordering::Acquire))
+    }
+
+    /// Convenience wrapper over [`RegistryView`]'s `active_subtree`.
+    pub fn active_subtree(&self, id: TxnId) -> Vec<TxnId> {
+        self.read_view().active_subtree(id)
+    }
+
+    /// True iff `a` is an ancestor of `b` (reflexively).
+    pub fn is_ancestor(&self, a: TxnId, b: TxnId) -> bool {
+        self.read_view().is_ancestor(a, b)
+    }
+
+    /// True iff `id` or any ancestor has aborted (the paper's "dead").
+    pub fn is_dead(&self, id: TxnId) -> bool {
+        self.read_view().is_dead(id)
+    }
+
+    /// True iff `id` is live (no aborted ancestor).
+    pub fn is_live(&self, id: TxnId) -> bool {
+        !self.is_dead(id)
+    }
+
+    fn finish(&self, id: TxnId, to: u8, require_no_children: bool) -> Result<(), RegistryError> {
+        let map = self.map.read();
+        let meta = map.get(&id).ok_or(RegistryError::Unknown(id))?;
+        if require_no_children {
+            let n = meta.active_children.load(Ordering::Acquire);
+            if n > 0 {
+                return Err(RegistryError::ChildrenActive(id, n));
+            }
+        }
+        meta.status
+            .compare_exchange(ST_ACTIVE, to, Ordering::AcqRel, Ordering::Acquire)
+            .map_err(|_| RegistryError::NotActive(id))?;
+        if let Some(p) = meta.parent {
+            if let Some(pm) = map.get(&p) {
+                pm.active_children.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark `id` committed, decrementing the parent's active-children count.
+    ///
+    /// Fails unless `id` is active with no active children.
+    pub fn commit(&self, id: TxnId) -> Result<(), RegistryError> {
+        self.finish(id, ST_COMMITTED, true)
+    }
+
+    /// Mark `id` aborted (children may still be active — they become
+    /// orphans), decrementing the parent's active-children count.
+    pub fn abort(&self, id: TxnId) -> Result<(), RegistryError> {
+        self.finish(id, ST_ABORTED, false)
+    }
+
+    /// Snapshot of all transactions: `(id, parent, status, path)`.
+    pub fn snapshot(&self) -> Vec<(TxnId, Option<TxnId>, TxnStatus, Vec<u32>)> {
+        let map = self.map.read();
+        let mut out: Vec<_> = map
+            .iter()
+            .map(|(&id, m)| {
+                (id, m.parent, decode(m.status.load(Ordering::Acquire)), m.path.clone())
+            })
+            .collect();
+        out.sort_by_key(|(id, ..)| *id);
+        out
+    }
+}
+
+/// Registry operation errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegistryError {
+    /// The transaction id is not registered.
+    Unknown(TxnId),
+    /// The transaction is not active.
+    NotActive(TxnId),
+    /// Commit attempted with active children.
+    ChildrenActive(TxnId, u32),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Unknown(id) => write!(f, "unknown transaction {id:?}"),
+            RegistryError::NotActive(id) => write!(f, "transaction {id:?} not active"),
+            RegistryError::ChildrenActive(id, n) => {
+                write!(f, "transaction {id:?} has {n} active children")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_and_status() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        assert_eq!(r.status(t), Some(TxnStatus::Active));
+        assert_eq!(r.parent(t), None);
+        assert_eq!(r.root(t), Some(t));
+        assert!(r.is_live(t));
+    }
+
+    #[test]
+    fn child_paths_extend_parent() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c1 = r.begin_child(t).unwrap();
+        let c2 = r.begin_child(t).unwrap();
+        let g = r.begin_child(c1).unwrap();
+        let tp = r.path(t).unwrap();
+        assert_eq!(r.path(c1).unwrap(), [tp.clone(), vec![0]].concat());
+        assert_eq!(r.path(c2).unwrap(), [tp.clone(), vec![1]].concat());
+        assert_eq!(r.path(g).unwrap(), [tp, vec![0, 0]].concat());
+        assert_eq!(r.root(g), Some(t));
+    }
+
+    #[test]
+    fn distinct_top_level_paths() {
+        let r = Registry::new();
+        let a = r.begin_top();
+        let b = r.begin_top();
+        assert_ne!(r.path(a), r.path(b));
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c = r.begin_child(t).unwrap();
+        let g = r.begin_child(c).unwrap();
+        let other = r.begin_top();
+        assert!(r.is_ancestor(t, g));
+        assert!(r.is_ancestor(c, g));
+        assert!(r.is_ancestor(g, g));
+        assert!(!r.is_ancestor(g, t));
+        assert!(!r.is_ancestor(other, g));
+    }
+
+    #[test]
+    fn commit_requires_children_done() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c = r.begin_child(t).unwrap();
+        assert_eq!(r.commit(t), Err(RegistryError::ChildrenActive(t, 1)));
+        r.commit(c).unwrap();
+        r.commit(t).unwrap();
+        assert_eq!(r.status(t), Some(TxnStatus::Committed));
+        assert_eq!(r.commit(t), Err(RegistryError::NotActive(t)));
+    }
+
+    #[test]
+    fn abort_orphans_descendants() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c = r.begin_child(t).unwrap();
+        let g = r.begin_child(c).unwrap();
+        r.abort(c).unwrap();
+        assert!(r.is_dead(c));
+        assert!(r.is_dead(g), "descendants of aborted are dead");
+        assert!(r.is_live(t));
+        assert_eq!(r.status(g), Some(TxnStatus::Active), "orphan is still 'active'");
+    }
+
+    #[test]
+    fn abort_with_active_children_allowed() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let _c = r.begin_child(t).unwrap();
+        r.abort(t).unwrap();
+        assert!(r.is_dead(t));
+    }
+
+    #[test]
+    fn no_children_under_done_parent() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        r.commit(t).unwrap();
+        assert_eq!(r.begin_child(t), Err(RegistryError::NotActive(t)));
+    }
+
+    #[test]
+    fn wait_die_timestamps_monotone() {
+        let r = Registry::new();
+        let a = r.begin_top();
+        let b = r.begin_top();
+        assert!(a < b, "ids are monotone");
+        let ac = r.begin_child(a).unwrap();
+        assert_eq!(r.root(ac), Some(a), "children inherit root timestamp");
+    }
+
+    #[test]
+    fn active_subtree_walks_children() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c = r.begin_child(t).unwrap();
+        let g = r.begin_child(c).unwrap();
+        let mut sub = r.active_subtree(t);
+        sub.sort();
+        assert_eq!(sub, vec![t, c, g]);
+        r.commit(g).unwrap();
+        let mut sub = r.active_subtree(t);
+        sub.sort();
+        assert_eq!(sub, vec![t, c]);
+    }
+
+    #[test]
+    fn view_batches_queries() {
+        let r = Registry::new();
+        let t = r.begin_top();
+        let c = r.begin_child(t).unwrap();
+        let view = r.read_view();
+        assert_eq!(view.status(t), Some(TxnStatus::Active));
+        assert!(view.is_ancestor(t, c));
+        assert!(!view.is_dead(c));
+        assert_eq!(view.root(c), Some(t));
+        assert_eq!(view.parent(c), Some(t));
+    }
+
+    #[test]
+    fn concurrent_begin_children() {
+        use std::sync::Arc;
+        let r = Arc::new(Registry::new());
+        let t = r.begin_top();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..50 {
+                    ids.push(r.begin_child(t).unwrap());
+                }
+                ids
+            }));
+        }
+        let mut all: Vec<TxnId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut paths: Vec<_> = all.iter().map(|&id| r.path(id).unwrap()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400, "ids unique");
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), 400, "paths unique");
+        assert_eq!(r.active_children(t), 400);
+    }
+}

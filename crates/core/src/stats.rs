@@ -1,0 +1,99 @@
+//! Engine counters, cheap enough to leave on in benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters for one database.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Transactions begun (top-level + nested).
+    pub begun: AtomicU64,
+    /// Transactions committed.
+    pub committed: AtomicU64,
+    /// Transactions aborted.
+    pub aborted: AtomicU64,
+    /// Read operations completed.
+    pub reads: AtomicU64,
+    /// Write/rmw operations completed.
+    pub writes: AtomicU64,
+    /// Lock conflicts encountered (before any waiting).
+    pub conflicts: AtomicU64,
+    /// Wait episodes (a conflict that led to sleeping).
+    pub waits: AtomicU64,
+    /// Wait-die deaths issued.
+    pub dies: AtomicU64,
+    /// Deadlocks detected.
+    pub deadlocks: AtomicU64,
+    /// Lock-wait timeouts.
+    pub timeouts: AtomicU64,
+}
+
+/// A plain snapshot of [`Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Read operations completed.
+    pub reads: u64,
+    /// Write operations completed.
+    pub writes: u64,
+    /// Lock conflicts encountered.
+    pub conflicts: u64,
+    /// Wait episodes.
+    pub waits: u64,
+    /// Wait-die deaths.
+    pub dies: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+    /// Lock-wait timeouts.
+    pub timeouts: u64,
+}
+
+impl Stats {
+    /// Take a consistent-enough snapshot (each counter read atomically).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            begun: self.begun.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            dies: self.dies.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Net committed transactions.
+    pub fn commits_minus_aborts(&self) -> i64 {
+        self.committed as i64 - self.aborted as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::default();
+        Stats::bump(&s.begun);
+        Stats::bump(&s.begun);
+        Stats::bump(&s.deadlocks);
+        let snap = s.snapshot();
+        assert_eq!(snap.begun, 2);
+        assert_eq!(snap.deadlocks, 1);
+        assert_eq!(snap.commits_minus_aborts(), 0);
+    }
+}

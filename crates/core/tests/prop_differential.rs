@@ -1,0 +1,55 @@
+//! Differential fuzzing: random single-threaded nested-transaction
+//! scripts must behave identically on the engine and on the naive
+//! reference interpreter (copy-on-begin / merge-on-commit semantics).
+
+use proptest::prelude::*;
+use rnt_sim::reference::{run_differential, ScriptOp};
+
+fn op_strategy(keys: u64) -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        2 => Just(ScriptOp::Begin),
+        3 => (0..keys + 1).prop_map(ScriptOp::Read),
+        3 => (0..keys + 1, -9i64..10).prop_map(|(k, d)| ScriptOp::Add(k, d)),
+        2 => (0..keys + 1, -99i64..100).prop_map(|(k, v)| ScriptOp::Write(k, v)),
+        2 => Just(ScriptOp::Commit),
+        1 => Just(ScriptOp::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_reference_interpreter(
+        keys in 1u64..5,
+        script in prop::collection::vec(op_strategy(4), 0..60),
+    ) {
+        if let Err(divergence) = run_differential(keys, &script) {
+            prop_assert!(false, "{divergence}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_scripts(
+        depth in 1usize..10,
+        edits in prop::collection::vec((0u64..3, -5i64..6), 1..20),
+        abort_at in prop::option::of(0usize..10),
+    ) {
+        // Open `depth` transactions, sprinkle edits, then close them all,
+        // aborting one chosen level.
+        let mut script = vec![ScriptOp::Begin; depth];
+        for (i, (k, d)) in edits.iter().enumerate() {
+            script.insert(1 + (i % depth), ScriptOp::Add(*k, *d));
+        }
+        for level in (0..depth).rev() {
+            if abort_at == Some(level) {
+                script.push(ScriptOp::Abort);
+            } else {
+                script.push(ScriptOp::Commit);
+            }
+        }
+        if let Err(divergence) = run_differential(3, &script) {
+            prop_assert!(false, "{divergence}");
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Level 5: the distributed algebra `B` (paper Section 9.2) — `k` nodes,
+//! each holding an action summary and the value map of its homed objects,
+//! plus a message buffer recording everything ever sent to each node.
+
+use crate::topology::{NodeId, Topology};
+use rnt_algebra::{Algebra, DistributedAlgebra};
+use rnt_locking::ValueMap;
+use rnt_model::{ActionSummary, Status, TxEvent, Universe};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The local state of one node: `i.T` and `i.V`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeState {
+    /// `i.T`: the node's knowledge of action statuses.
+    pub summary: ActionSummary,
+    /// `i.V`: the value map over objects homed at this node.
+    pub vmap: ValueMap,
+}
+
+/// A global state of `B`: node states plus the buffer's per-recipient
+/// accumulated summaries `M_j`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct DistState {
+    /// Node-local states, indexed by [`NodeId`].
+    pub nodes: Vec<NodeState>,
+    /// `M_j`: everything ever sent to node `j`.
+    pub inboxes: Vec<ActionSummary>,
+}
+
+/// An event of `B`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DistEvent {
+    /// `create/commit/abort/perform/release-lock/lose-lock` at a node.
+    Tx(NodeId, TxEvent),
+    /// `send_{i,j,T'}`: node `i` sends summary `T'` to node `j`.
+    Send {
+        /// The sending node `i`.
+        from: NodeId,
+        /// The recipient node `j`.
+        to: NodeId,
+        /// The action summary `T' ≤ i.T`.
+        summary: ActionSummary,
+    },
+    /// `receive_{j,T'}`: the buffer delivers `T' ≤ M_j` into `j.T`.
+    Receive {
+        /// The recipient node `j`.
+        to: NodeId,
+        /// The delivered summary.
+        summary: ActionSummary,
+    },
+}
+
+/// The component index set `I = [k] ∪ {buffer}`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Component {
+    /// A node in `[k]`.
+    Node(NodeId),
+    /// The message system.
+    Buffer,
+}
+
+/// The projection of a global state onto one component.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ComponentState {
+    /// A node's local state.
+    Node(NodeState),
+    /// The buffer's inboxes.
+    Buffer(Vec<ActionSummary>),
+}
+
+/// The level-5 distributed Moss locking algebra.
+pub struct Level5 {
+    universe: Arc<Universe>,
+    topology: Arc<Topology>,
+}
+
+impl Level5 {
+    /// Build the algebra over a universe and a topology.
+    pub fn new(universe: Arc<Universe>, topology: Arc<Topology>) -> Self {
+        Level5 { universe, topology }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The node topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn apply_tx(&self, s: &DistState, i: NodeId, event: &TxEvent) -> Option<DistState> {
+        let u = &self.universe;
+        let t = &self.topology;
+        if i >= t.node_count() {
+            return None;
+        }
+        let node = &s.nodes[i];
+        match event {
+            TxEvent::Create(a) => {
+                // (a): origin(A) = i; A ∉ i.vertices; a non-U parent must be
+                // in i.vertices − i.committed.
+                if a.is_root() || !u.contains(a) || t.origin(a) != i {
+                    return None;
+                }
+                if node.summary.contains(a) {
+                    return None;
+                }
+                let parent = a.parent().expect("non-root");
+                if !parent.is_root()
+                    && (!node.summary.contains(&parent) || node.summary.is_committed(&parent))
+                {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[i].summary.set(a.clone(), Status::Active);
+                Some(next)
+            }
+            TxEvent::Commit(a) => {
+                // (b): A ∉ accesses, home(A) = i, A ∈ i.active, known
+                // children all done in i.T.
+                if a.is_root() || !u.contains(a) || u.is_access(a) || t.home_of_action(a) != i {
+                    return None;
+                }
+                if !node.summary.is_active(a) {
+                    return None;
+                }
+                let all_done = u
+                    .children_of(a)
+                    .iter()
+                    .filter(|c| node.summary.contains(c))
+                    .all(|c| node.summary.is_done(c));
+                if !all_done {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[i].summary.set(a.clone(), Status::Committed);
+                Some(next)
+            }
+            TxEvent::Abort(a) => {
+                // (c): A ∉ accesses, home(A) = i, A ∈ i.active.
+                if a.is_root() || !u.contains(a) || u.is_access(a) || t.home_of_action(a) != i {
+                    return None;
+                }
+                if !node.summary.is_active(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[i].summary.set(a.clone(), Status::Aborted);
+                Some(next)
+            }
+            TxEvent::Perform(a, value) => {
+                // (d): home(A) = home(x) = i; A ∈ i.active; i.V's holders
+                // are proper ancestors; u the principal value of i.V.
+                if !u.is_access(a) || t.home_of_action(a) != i {
+                    return None;
+                }
+                if !node.summary.is_active(a) {
+                    return None;
+                }
+                let x = u.object_of(a).expect("access has object");
+                if t.home_of_object(x) != i {
+                    return None;
+                }
+                if !node.vmap.holders(x).all(|h| h.is_proper_ancestor_of(a)) {
+                    return None;
+                }
+                if Some(*value) != node.vmap.principal_value(x) {
+                    return None;
+                }
+                let update = u.update_of(a).expect("access has update");
+                let mut next = s.clone();
+                next.nodes[i].summary.set(a.clone(), Status::Committed);
+                next.nodes[i].vmap.acquire(x, a.clone(), update.apply(*value));
+                Some(next)
+            }
+            TxEvent::ReleaseLock(a, x) => {
+                // (e): home(x) = i; i.V(x, A) defined; A ∈ i.committed.
+                if a.is_root() || t.home_of_object(*x) != i {
+                    return None;
+                }
+                if !node.vmap.is_defined(*x, a) || !node.summary.is_committed(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[i].vmap.release_to_parent(*x, a);
+                Some(next)
+            }
+            TxEvent::LoseLock(a, x) => {
+                // (f): home(x) = i; i.V(x, A) defined; some ancestor of A in
+                // i.aborted.
+                if a.is_root() || t.home_of_object(*x) != i {
+                    return None;
+                }
+                if !node.vmap.is_defined(*x, a) || !node.summary.knows_dead(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[i].vmap.discard(*x, a);
+                Some(next)
+            }
+        }
+    }
+}
+
+impl Algebra for Level5 {
+    type State = DistState;
+    type Event = DistEvent;
+
+    fn initial(&self) -> DistState {
+        let k = self.topology.node_count();
+        let nodes = (0..k)
+            .map(|i| NodeState {
+                summary: ActionSummary::trivial(),
+                vmap: ValueMap::initial_filtered(&self.universe, |x| {
+                    self.topology.home_of_object(x) == i
+                }),
+            })
+            .collect();
+        DistState { nodes, inboxes: vec![ActionSummary::trivial(); k] }
+    }
+
+    fn apply(&self, s: &DistState, event: &DistEvent) -> Option<DistState> {
+        match event {
+            DistEvent::Tx(i, tx) => self.apply_tx(s, *i, tx),
+            DistEvent::Send { from, to, summary } => {
+                // (g): T' ≤ i.T.
+                if *from >= s.nodes.len() || *to >= s.nodes.len() {
+                    return None;
+                }
+                if !summary.le(&s.nodes[*from].summary) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.inboxes[*to].union_in_place(summary);
+                Some(next)
+            }
+            DistEvent::Receive { to, summary } => {
+                // (h): T' ≤ M_j.
+                if *to >= s.nodes.len() {
+                    return None;
+                }
+                if !summary.le(&s.inboxes[*to]) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.nodes[*to].summary.union_in_place(summary);
+                Some(next)
+            }
+        }
+    }
+
+    /// Event enumeration. Communication events are restricted to *maximal*
+    /// summaries (full gossip: `T' = i.T` for send, `T' = M_j` for
+    /// receive); `apply` accepts any valid sub-summary, and the simulation
+    /// proof covers them all, but enumerating the power set of summaries is
+    /// exponential and adds no new reachable knowledge states beyond
+    /// staging, which the union-closed buffer already exercises.
+    fn enabled(&self, s: &DistState) -> Vec<DistEvent> {
+        let u = &self.universe;
+        let t = &self.topology;
+        let mut out = Vec::new();
+        for i in 0..t.node_count() {
+            let node = &s.nodes[i];
+            for a in u.actions() {
+                for tx in [
+                    TxEvent::Create(a.clone()),
+                    TxEvent::Commit(a.clone()),
+                    TxEvent::Abort(a.clone()),
+                ] {
+                    if self.apply_tx(s, i, &tx).is_some() {
+                        out.push(DistEvent::Tx(i, tx));
+                    }
+                }
+                if u.is_access(a) && node.summary.is_active(a) && t.home_of_action(a) == i {
+                    let x = u.object_of(a).expect("access has object");
+                    if let Some(value) = node.vmap.principal_value(x) {
+                        let tx = TxEvent::Perform(a.clone(), value);
+                        if self.apply_tx(s, i, &tx).is_some() {
+                            out.push(DistEvent::Tx(i, tx));
+                        }
+                    }
+                }
+            }
+            let lock_events: Vec<TxEvent> = node
+                .vmap
+                .entries()
+                .filter(|(_, h, _)| !h.is_root())
+                .flat_map(|(x, h, _)| {
+                    [TxEvent::ReleaseLock(h.clone(), x), TxEvent::LoseLock(h.clone(), x)]
+                })
+                .collect();
+            for tx in lock_events {
+                if self.apply_tx(s, i, &tx).is_some() {
+                    out.push(DistEvent::Tx(i, tx));
+                }
+            }
+            // Full gossip to every other node (skip no-op empty sends).
+            if !node.summary.is_empty() {
+                for j in 0..t.node_count() {
+                    if j != i {
+                        let ev = DistEvent::Send { from: i, to: j, summary: node.summary.clone() };
+                        out.push(ev);
+                    }
+                }
+            }
+        }
+        for j in 0..t.node_count() {
+            if !s.inboxes[j].is_empty() {
+                out.push(DistEvent::Receive { to: j, summary: s.inboxes[j].clone() });
+            }
+        }
+        out
+    }
+}
+
+impl DistributedAlgebra for Level5 {
+    type ComponentId = Component;
+    type ComponentState = ComponentState;
+
+    fn component_ids(&self) -> Vec<Component> {
+        (0..self.topology.node_count())
+            .map(Component::Node)
+            .chain(std::iter::once(Component::Buffer))
+            .collect()
+    }
+
+    fn doer(&self, event: &DistEvent) -> Component {
+        match event {
+            DistEvent::Tx(i, _) => Component::Node(*i),
+            DistEvent::Send { from, .. } => Component::Node(*from),
+            DistEvent::Receive { .. } => Component::Buffer,
+        }
+    }
+
+    fn component_state(&self, state: &DistState, comp: Component) -> ComponentState {
+        match comp {
+            Component::Node(i) => ComponentState::Node(state.nodes[i].clone()),
+            Component::Buffer => ComponentState::Buffer(state.inboxes.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{
+        check_local_changes, check_local_domain, explore, is_valid, replay, ExploreConfig,
+    };
+    use rnt_model::{act, ObjectId, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .object(1, 10)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .access(act![0, 1], 1, UpdateFn::Add(2))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn two_nodes() -> (Arc<Universe>, Arc<Topology>) {
+        let u = universe();
+        let t = Arc::new(Topology::round_robin(&u, 2));
+        (u, t)
+    }
+
+    /// A cross-node run: act![0] is created at node0 (home of x0), its
+    /// access to x1 runs at node 1, which must learn of the creation by
+    /// gossip first.
+    fn cross_node_run(alg: &Level5) -> Vec<DistEvent> {
+        let t = alg.topology();
+        let n0 = t.home_of_action(&act![0]);
+        let n1 = t.home_of_object(ObjectId(1));
+        assert_ne!(n0, n1);
+        vec![
+            DistEvent::Tx(n0, TxEvent::Create(act![0])),
+            // act![0,1] must be created at origin = home(parent) = n0.
+            DistEvent::Tx(n0, TxEvent::Create(act![0, 1])),
+            // Gossip the creation to node n1 so perform's i.active holds.
+            DistEvent::Send {
+                from: n0,
+                to: n1,
+                summary: ActionSummary::from_entries([
+                    (act![0], Status::Active),
+                    (act![0, 1], Status::Active),
+                ]),
+            },
+            DistEvent::Receive {
+                to: n1,
+                summary: ActionSummary::from_entries([
+                    (act![0], Status::Active),
+                    (act![0, 1], Status::Active),
+                ]),
+            },
+            DistEvent::Tx(n1, TxEvent::Perform(act![0, 1], 10)),
+        ]
+    }
+
+    #[test]
+    fn cross_node_run_is_valid() {
+        let (u, t) = two_nodes();
+        let alg = Level5::new(u, t);
+        let run = cross_node_run(&alg);
+        assert!(is_valid(&alg, run));
+    }
+
+    #[test]
+    fn perform_requires_local_knowledge() {
+        let (u, t) = two_nodes();
+        let alg = Level5::new(u, t);
+        let run = cross_node_run(&alg);
+        // Without the gossip steps the perform is rejected.
+        let short: Vec<_> =
+            run.iter().filter(|e| !matches!(e, DistEvent::Send { .. } | DistEvent::Receive { .. })).cloned().collect();
+        assert!(!is_valid(&alg, short));
+    }
+
+    #[test]
+    fn create_requires_origin() {
+        let (u, t) = two_nodes();
+        let n0 = t.home_of_action(&act![0]);
+        let alg = Level5::new(u, t);
+        let s = alg.initial();
+        let wrong = (n0 + 1) % 2;
+        assert!(alg.apply(&s, &DistEvent::Tx(wrong, TxEvent::Create(act![0]))).is_none());
+        assert!(alg.apply(&s, &DistEvent::Tx(n0, TxEvent::Create(act![0]))).is_some());
+    }
+
+    #[test]
+    fn send_requires_sub_summary() {
+        let (u, t) = two_nodes();
+        let alg = Level5::new(u, t);
+        let s = alg.initial();
+        let bogus = ActionSummary::singleton(act![0], Status::Committed);
+        assert!(alg
+            .apply(&s, &DistEvent::Send { from: 0, to: 1, summary: bogus.clone() })
+            .is_none());
+        // Receive of an unsent summary also rejected.
+        assert!(alg.apply(&s, &DistEvent::Receive { to: 1, summary: bogus }).is_none());
+    }
+
+    #[test]
+    fn stale_gossip_is_harmless() {
+        // Receiving an *old* summary after newer knowledge must not regress
+        // status (union prefers done).
+        let (u, t) = two_nodes();
+        let n0 = t.home_of_action(&act![0]);
+        let n1 = (n0 + 1) % 2;
+        let alg = Level5::new(u, t);
+        let active = ActionSummary::singleton(act![0], Status::Active);
+        let run = vec![
+            DistEvent::Tx(n0, TxEvent::Create(act![0])),
+            DistEvent::Send { from: n0, to: n1, summary: active.clone() },
+            DistEvent::Tx(n0, TxEvent::Commit(act![0])),
+            DistEvent::Send {
+                from: n0,
+                to: n1,
+                summary: ActionSummary::singleton(act![0], Status::Committed),
+            },
+            DistEvent::Receive {
+                to: n1,
+                summary: ActionSummary::singleton(act![0], Status::Committed),
+            },
+            // Stale delivery after the fact.
+            DistEvent::Receive { to: n1, summary: active },
+        ];
+        let states = replay(&alg, run).unwrap();
+        let last = states.last().unwrap();
+        assert!(last.nodes[n1].summary.is_committed(&act![0]));
+    }
+
+    #[test]
+    fn locality_properties_on_reachable_sample() {
+        let (u, t) = two_nodes();
+        let alg = Level5::new(u, t);
+        // Collect a bounded sample of reachable states.
+        let mut states = Vec::new();
+        let _ = explore(&alg, &ExploreConfig { max_states: 300, max_depth: 0 }, |s| {
+            states.push(s.clone());
+            Ok(())
+        })
+        .unwrap();
+        // Events to test: everything enabled anywhere in the sample.
+        let mut events = Vec::new();
+        for s in states.iter().take(40) {
+            events.extend(alg.enabled(s));
+        }
+        events.sort_by_key(|e| format!("{e:?}"));
+        events.dedup();
+        let sample: Vec<_> = states.iter().take(60).cloned().collect();
+        check_local_domain(&alg, &sample, &events).unwrap();
+        check_local_changes(&alg, &sample, &events).unwrap();
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let (u, t) = two_nodes();
+        let alg = Level5::new(u, t);
+        let mut state = alg.initial();
+        for _ in 0..12 {
+            let evs = alg.enabled(&state);
+            for e in &evs {
+                assert!(alg.apply(&state, e).is_some(), "enabled {e:?} rejected");
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = alg.apply(&state, &e).unwrap();
+        }
+    }
+
+    #[test]
+    fn exhaustive_exploration_with_node_invariants() {
+        // Every reachable level-5 state keeps each node's lock chain
+        // well-formed over its homed objects and its summary within the
+        // declared universe.
+        let u = universe();
+        let t = Arc::new(Topology::round_robin(&u, 2));
+        let alg = Level5::new(u.clone(), t.clone());
+        let report = explore(
+            &alg,
+            &ExploreConfig { max_states: 150_000, max_depth: 0 },
+            |s: &DistState| {
+                for (i, node) in s.nodes.iter().enumerate() {
+                    for (a, _) in node.summary.entries() {
+                        if !u.contains(a) {
+                            return Err(format!("node {i} knows undeclared {a}"));
+                        }
+                    }
+                    for (x, h, _) in
+                        node.vmap.entries().collect::<Vec<_>>().iter()
+                    {
+                        if t.home_of_object(*x) != i {
+                            return Err(format!("node {i} holds foreign object {x}"));
+                        }
+                        if !h.is_root() && !node.summary.contains(h) {
+                            return Err(format!("node {i} lock holder {h} unknown locally"));
+                        }
+                    }
+                }
+                for inbox in &s.inboxes {
+                    for (a, _) in inbox.entries() {
+                        if !u.contains(a) {
+                            return Err(format!("inbox carries undeclared {a}"));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(report.states > 1_000, "{report:?}");
+    }
+
+    #[test]
+    fn single_node_behaves_like_level4_locking() {
+        let u = universe();
+        let t = Arc::new(Topology::single_node(&u));
+        let alg = Level5::new(u, t);
+        let run = vec![
+            DistEvent::Tx(0, TxEvent::Create(act![0])),
+            DistEvent::Tx(0, TxEvent::Create(act![0, 0])),
+            DistEvent::Tx(0, TxEvent::Perform(act![0, 0], 1)),
+            DistEvent::Tx(0, TxEvent::ReleaseLock(act![0, 0], ObjectId(0))),
+            DistEvent::Tx(0, TxEvent::Commit(act![0])),
+            DistEvent::Tx(0, TxEvent::ReleaseLock(act![0], ObjectId(0))),
+            DistEvent::Tx(0, TxEvent::Create(act![1])),
+            DistEvent::Tx(0, TxEvent::Create(act![1, 0])),
+            DistEvent::Tx(0, TxEvent::Perform(act![1, 0], 2)),
+        ];
+        assert!(is_valid(&alg, run));
+    }
+}

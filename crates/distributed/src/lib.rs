@@ -1,0 +1,47 @@
+//! # rnt-distributed
+//!
+//! Level 5 of the paper's algebra tower: the distributed Moss locking
+//! algorithm `B` (Section 9), with
+//!
+//! * [`Topology`] — the `home`/`origin` partition of actions and objects
+//!   over `k` nodes;
+//! * [`Level5`] — nodes holding action summaries + homed value maps, a
+//!   message buffer, and the eight event kinds including `send`/`receive`
+//!   gossip;
+//! * [`HDist`] — the local mapping `h''', h_i` of Section 9.3
+//!   (Lemmas 23–28); composing with the higher mappings yields the main
+//!   correctness theorem, Theorem 29, checked on runs in the tests and
+//!   experiments.
+//!
+//! ```
+//! use rnt_algebra::{is_valid, Algebra};
+//! use rnt_distributed::{DistEvent, Level5, Topology};
+//! use rnt_model::{act, TxEvent, UniverseBuilder, UpdateFn};
+//! use std::sync::Arc;
+//!
+//! let universe = Arc::new(
+//!     UniverseBuilder::new()
+//!         .object(0, 0)
+//!         .action(act![0])
+//!         .access(act![0, 0], 0, UpdateFn::Add(1))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let topology = Arc::new(Topology::single_node(&universe));
+//! let level5 = Level5::new(universe, topology);
+//! assert!(is_valid(&level5, vec![
+//!     DistEvent::Tx(0, TxEvent::Create(act![0])),
+//!     DistEvent::Tx(0, TxEvent::Create(act![0, 0])),
+//!     DistEvent::Tx(0, TxEvent::Perform(act![0, 0], 0)),
+//! ]));
+//! ```
+
+#![warn(missing_docs)]
+
+mod level5;
+mod local_mapping;
+mod topology;
+
+pub use level5::{Component, ComponentState, DistEvent, DistState, Level5, NodeState};
+pub use local_mapping::{summary_le_tree, HDist};
+pub use topology::{NodeId, Topology, TopologyError};

@@ -1,0 +1,279 @@
+//! The local mapping `h''', h_i` from `B` to `A'''` (paper Section 9.3,
+//! Lemmas 23–28) and the composed main theorem (Theorem 29).
+//!
+//! Each node's possibilities are the level-4 states consistent with its
+//! partial knowledge: actions originated here are all known here, known
+//! statuses are true statuses (with `active` as partial knowledge of a
+//! possibly-done action), and the node's value map is exactly the global
+//! map restricted to its homed objects. The buffer's possibilities are the
+//! states whose tree dominates every inbox.
+
+use crate::level5::{Component, DistEvent, DistState, Level5};
+use crate::topology::Topology;
+use rnt_algebra::{Interpretation, LocalMapping};
+use rnt_locking::{L4State, Level4};
+use rnt_model::{ActionId, ActionSummary, ActionTree, Status, TxEvent, Universe};
+use std::sync::Arc;
+
+/// `T' ≤ T` where the left side is an action summary and the right an
+/// action tree (Section 9.1's ordering, mixed-type form).
+pub fn summary_le_tree(summary: &ActionSummary, tree: &ActionTree) -> bool {
+    summary.entries().all(|(a, s)| match (s, tree.status(a)) {
+        (_, None) => false,
+        (Status::Active, Some(_)) => true,
+        (Status::Committed, Some(ts)) => ts == Status::Committed,
+        (Status::Aborted, Some(ts)) => ts == Status::Aborted,
+    })
+}
+
+/// The interpretation + local mapping `h'''` of Section 9.3.
+pub struct HDist {
+    universe: Arc<Universe>,
+    topology: Arc<Topology>,
+}
+
+impl HDist {
+    /// Build the mapping for a given universe and topology.
+    pub fn new(universe: Arc<Universe>, topology: Arc<Topology>) -> Self {
+        HDist { universe, topology }
+    }
+
+    fn node_consistent(&self, low: &DistState, i: usize, high: &L4State) -> bool {
+        let node = &low.nodes[i];
+        let tree = &high.aat.tree;
+        // vertices_T ∩ {A : origin(A) = i} ⊆ i.vertices ⊆ vertices_T.
+        for a in tree.vertices() {
+            if !a.is_root() && self.topology.origin(a) == i && !node.summary.contains(a) {
+                return false;
+            }
+        }
+        for (a, s) in node.summary.entries() {
+            match tree.status(a) {
+                None => return false,
+                Some(ts) => {
+                    // committed_T ∩ home=i ⊆ i.committed ⊆ committed_T and
+                    // likewise for aborted: a node's done knowledge is true,
+                    // and done status of *homed* actions is always known.
+                    match s {
+                        Status::Active => {}
+                        Status::Committed if ts != Status::Committed => return false,
+                        Status::Aborted if ts != Status::Aborted => return false,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for a in tree.vertices() {
+            if a.is_root() || !self.universe.contains(a) {
+                continue;
+            }
+            if self.topology.home_of_action(a) != i {
+                continue;
+            }
+            match tree.status(a) {
+                Some(Status::Committed) if !node.summary.is_committed(a) => return false,
+                Some(Status::Aborted) if !node.summary.is_aborted(a) => return false,
+                _ => {}
+            }
+        }
+        // i.V is the restriction of V to objects homed at i.
+        let node_entries: Vec<(_, &ActionId, _)> = node.vmap.entries().collect();
+        let global_restricted: Vec<(_, &ActionId, _)> = high
+            .vmap
+            .entries()
+            .filter(|(x, _, _)| self.topology.home_of_object(*x) == i)
+            .collect();
+        node_entries == global_restricted
+    }
+}
+
+impl Interpretation<Level5, Level4> for HDist {
+    fn map_event(&self, event: &DistEvent) -> Option<TxEvent> {
+        match event {
+            DistEvent::Tx(_, tx) => Some(tx.clone()),
+            DistEvent::Send { .. } | DistEvent::Receive { .. } => None,
+        }
+    }
+}
+
+impl LocalMapping<Level5, Level4> for HDist {
+    fn is_locally_consistent(&self, low: &DistState, comp: Component, high: &L4State) -> bool {
+        match comp {
+            Component::Node(i) => self.node_consistent(low, i, high),
+            Component::Buffer => {
+                low.inboxes.iter().all(|m| summary_le_tree(m, &high.aat.tree))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{
+        check_local_mapping_on_run, check_simulation_on_run, Algebra, Composed,
+        SimulationError,
+    };
+    use rnt_locking::{HDoublePrime, HPrime, Level3};
+    use rnt_model::{act, ObjectId, UniverseBuilder, UpdateFn};
+    use rnt_spec::{HSpec, Level1, Level2};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .object(1, 10)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .access(act![0, 1], 1, UpdateFn::Add(2))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn setup() -> (Arc<Universe>, Arc<Topology>, Level5, Level4, HDist) {
+        let u = universe();
+        let t = Arc::new(Topology::round_robin(&u, 2));
+        let l5 = Level5::new(u.clone(), t.clone());
+        let l4 = Level4::new(u.clone());
+        let h = HDist::new(u.clone(), t.clone());
+        (u, t, l5, l4, h)
+    }
+
+    /// A distributed run exercising gossip, cross-node perform, commit,
+    /// abort and lock loss.
+    fn rich_run(t: &Topology) -> Vec<DistEvent> {
+        let n0 = t.home_of_action(&act![0]);
+        let n1 = t.home_of_object(ObjectId(1));
+        let full =
+            |entries: &[(&ActionId, Status)]| ActionSummary::from_entries(entries.iter().map(|(a, s)| ((*a).clone(), *s)));
+        vec![
+            DistEvent::Tx(n0, TxEvent::Create(act![0])),
+            DistEvent::Tx(n0, TxEvent::Create(act![0, 0])),
+            DistEvent::Tx(n0, TxEvent::Perform(act![0, 0], 1)),
+            DistEvent::Tx(n0, TxEvent::Create(act![0, 1])),
+            DistEvent::Send {
+                from: n0,
+                to: n1,
+                summary: full(&[(&act![0], Status::Active), (&act![0, 1], Status::Active)]),
+            },
+            DistEvent::Receive {
+                to: n1,
+                summary: full(&[(&act![0], Status::Active), (&act![0, 1], Status::Active)]),
+            },
+            DistEvent::Tx(n1, TxEvent::Perform(act![0, 1], 10)),
+            DistEvent::Tx(n0, TxEvent::ReleaseLock(act![0, 0], ObjectId(0))),
+            // Node 0 must learn the child datastep is done before (b12)
+            // lets it commit act![0].
+            DistEvent::Send {
+                from: n1,
+                to: n0,
+                summary: full(&[(&act![0, 1], Status::Committed)]),
+            },
+            DistEvent::Receive { to: n0, summary: full(&[(&act![0, 1], Status::Committed)]) },
+            DistEvent::Tx(n0, TxEvent::Commit(act![0])),
+            DistEvent::Send {
+                from: n0,
+                to: n1,
+                summary: full(&[(&act![0], Status::Committed)]),
+            },
+            DistEvent::Receive { to: n1, summary: full(&[(&act![0], Status::Committed)]) },
+            DistEvent::Tx(n1, TxEvent::ReleaseLock(act![0, 1], ObjectId(1))),
+            // A second top-level action that aborts. Its home (and so its
+            // children's origin) is wherever the topology put act![1].
+            DistEvent::Tx(t.home_of_action(&act![1]), TxEvent::Create(act![1])),
+            DistEvent::Tx(t.home_of_action(&act![1]), TxEvent::Create(act![1, 0])),
+            // x0's home must learn of the new access before performing it.
+            DistEvent::Send {
+                from: t.home_of_action(&act![1]),
+                to: n0,
+                summary: full(&[(&act![1], Status::Active), (&act![1, 0], Status::Active)]),
+            },
+            DistEvent::Receive {
+                to: n0,
+                summary: full(&[(&act![1], Status::Active), (&act![1, 0], Status::Active)]),
+            },
+            DistEvent::Tx(n0, TxEvent::ReleaseLock(act![0], ObjectId(0))),
+            DistEvent::Tx(n0, TxEvent::Perform(act![1, 0], 2)),
+            DistEvent::Tx(t.home_of_action(&act![1]), TxEvent::Abort(act![1])),
+            // The abort travels to x0's home, which then loses the lock.
+            DistEvent::Send {
+                from: t.home_of_action(&act![1]),
+                to: n0,
+                summary: full(&[(&act![1], Status::Aborted)]),
+            },
+            DistEvent::Receive { to: n0, summary: full(&[(&act![1], Status::Aborted)]) },
+            DistEvent::Tx(n0, TxEvent::LoseLock(act![1, 0], ObjectId(0))),
+        ]
+    }
+
+    #[test]
+    fn lemma28_local_mapping_on_run() {
+        let (_, t, l5, l4, h) = setup();
+        let run = rich_run(&t);
+        let rep = check_local_mapping_on_run(&l5, &l4, &h, &run).unwrap();
+        assert!(rep.high_steps < rep.low_steps, "gossip maps to Λ");
+    }
+
+    #[test]
+    fn theorem29_composed_simulation() {
+        // h ∘ h' ∘ h'' ∘ h''' : B simulates A.
+        let (u, t, l5, _, h) = setup();
+        let run = rich_run(&t);
+        let hdp = HDoublePrime::new(u.clone());
+        let h54: Composed<'_, _, _, Level4> = Composed::new(&h, &hdp);
+        let h53: Composed<'_, _, _, Level3> = Composed::new(&h54, &HPrime);
+        let h52: Composed<'_, _, _, Level2> = Composed::new(&h53, &HSpec);
+        let l1 = Level1::new(u.clone());
+        check_simulation_on_run(&l5, &l1, &h52, &run).unwrap();
+    }
+
+    #[test]
+    fn wrong_interleaving_detected() {
+        // Performing before gossip is invalid at level 5 (low invalid),
+        // which the checker reports rather than silently passing.
+        let (_, t, l5, l4, h) = setup();
+        let n1 = t.home_of_object(ObjectId(1));
+        let run = vec![DistEvent::Tx(n1, TxEvent::Perform(act![0, 1], 10))];
+        let err = check_local_mapping_on_run(&l5, &l4, &h, &run).unwrap_err();
+        assert!(matches!(err, SimulationError::LowInvalid(_)));
+    }
+
+    #[test]
+    fn summary_le_tree_cases() {
+        let mut tree = ActionTree::trivial();
+        tree.create(act![0]);
+        tree.set_committed(&act![0]);
+        assert!(summary_le_tree(&ActionSummary::singleton(act![0], Status::Active), &tree));
+        assert!(summary_le_tree(&ActionSummary::singleton(act![0], Status::Committed), &tree));
+        assert!(!summary_le_tree(&ActionSummary::singleton(act![0], Status::Aborted), &tree));
+        assert!(!summary_le_tree(&ActionSummary::singleton(act![1], Status::Active), &tree));
+        assert!(summary_le_tree(&ActionSummary::trivial(), &tree));
+    }
+
+    #[test]
+    fn initial_states_locally_consistent() {
+        let (_, _, l5, l4, h) = setup();
+        let low = l5.initial();
+        let high = l4.initial();
+        for comp in rnt_algebra::DistributedAlgebra::component_ids(&l5) {
+            assert!(h.is_locally_consistent(&low, comp, &high), "{comp:?} inconsistent at σ");
+        }
+    }
+
+    #[test]
+    fn global_possibility_is_intersection() {
+        let (_, t, l5, l4, h) = setup();
+        let run = rich_run(&t);
+        let low = rnt_algebra::replay(&l5, run.clone()).unwrap().pop().unwrap();
+        let mapped: Vec<_> = run.iter().filter_map(|e| h.map_event(e)).collect();
+        let high = rnt_algebra::replay(&l4, mapped).unwrap().pop().unwrap();
+        assert!(rnt_algebra::is_global_possibility(&l5, &h, &low, &high));
+        // A corrupted high state is rejected by some component.
+        let mut bad = high.clone();
+        bad.aat.tree.set_aborted(&act![0]);
+        assert!(!rnt_algebra::is_global_possibility(&l5, &h, &low, &bad));
+    }
+}

@@ -1,0 +1,207 @@
+//! Node topology for the distributed algebra (paper Section 9.1): the
+//! `home` partition of actions and objects among `k` nodes, and the
+//! derived `origin` function.
+
+use rnt_model::{ActionId, ObjectId, Universe};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a node in `[k]`.
+pub type NodeId = usize;
+
+/// Errors from topology validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A declared object has no home.
+    UnhomedObject(ObjectId),
+    /// A declared action has no home.
+    UnhomedAction(ActionId),
+    /// An access's home differs from its object's home (`home(A)` must be
+    /// `home(object(A))`).
+    AccessHomeMismatch(ActionId),
+    /// A home index is out of range.
+    NodeOutOfRange(NodeId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnhomedObject(x) => write!(f, "object {x} has no home"),
+            TopologyError::UnhomedAction(a) => write!(f, "action {a} has no home"),
+            TopologyError::AccessHomeMismatch(a) => {
+                write!(f, "access {a} homed away from its object")
+            }
+            TopologyError::NodeOutOfRange(n) => write!(f, "node {n} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The `home` assignment over a universe.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: usize,
+    home_obj: BTreeMap<ObjectId, NodeId>,
+    home_act: BTreeMap<ActionId, NodeId>,
+}
+
+impl Topology {
+    /// Validate and build a topology.
+    pub fn new(
+        universe: &Universe,
+        nodes: usize,
+        home_obj: BTreeMap<ObjectId, NodeId>,
+        home_act: BTreeMap<ActionId, NodeId>,
+    ) -> Result<Self, TopologyError> {
+        for obj in universe.objects() {
+            match home_obj.get(&obj.id) {
+                None => return Err(TopologyError::UnhomedObject(obj.id)),
+                Some(&n) if n >= nodes => return Err(TopologyError::NodeOutOfRange(n)),
+                Some(_) => {}
+            }
+        }
+        for a in universe.actions() {
+            match home_act.get(a) {
+                None => return Err(TopologyError::UnhomedAction(a.clone())),
+                Some(&n) if n >= nodes => return Err(TopologyError::NodeOutOfRange(n)),
+                Some(&n) => {
+                    if let Some(x) = universe.object_of(a) {
+                        if home_obj.get(&x) != Some(&n) {
+                            return Err(TopologyError::AccessHomeMismatch(a.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Topology { nodes, home_obj, home_act })
+    }
+
+    /// Deterministic assignment: objects round-robin by id; non-access
+    /// actions round-robin by declaration order; accesses follow their
+    /// objects.
+    pub fn round_robin(universe: &Universe, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut home_obj = BTreeMap::new();
+        for (i, obj) in universe.objects().enumerate() {
+            home_obj.insert(obj.id, i % nodes);
+        }
+        let mut home_act = BTreeMap::new();
+        let mut counter = 0usize;
+        for a in universe.actions() {
+            let home = match universe.object_of(a) {
+                Some(x) => home_obj[&x],
+                None => {
+                    counter += 1;
+                    (counter - 1) % nodes
+                }
+            };
+            home_act.insert(a.clone(), home);
+        }
+        Topology { nodes, home_obj, home_act }
+    }
+
+    /// Everything on a single node — the degenerate topology under which
+    /// level 5 collapses to level 4 plus gossip.
+    pub fn single_node(universe: &Universe) -> Self {
+        Self::round_robin(universe, 1)
+    }
+
+    /// Number of nodes `k`.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// `home(x)` for a declared object.
+    pub fn home_of_object(&self, x: ObjectId) -> NodeId {
+        self.home_obj[&x]
+    }
+
+    /// `home(A)` for a declared non-root action.
+    pub fn home_of_action(&self, a: &ActionId) -> NodeId {
+        self.home_act[a]
+    }
+
+    /// `origin(A)`: `home(A)` for top-level actions, else
+    /// `home(parent(A))`.
+    pub fn origin(&self, a: &ActionId) -> NodeId {
+        let parent = a.parent().expect("origin of root");
+        if parent.is_root() {
+            self.home_of_action(a)
+        } else {
+            self.home_of_action(&parent)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 0)
+            .object(1, 0)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Read)
+            .access(act![0, 1], 1, UpdateFn::Read)
+            .action(act![1])
+            .access(act![1, 0], 1, UpdateFn::Read)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_robin_homes_accesses_with_objects() {
+        let u = universe();
+        let t = Topology::round_robin(&u, 2);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.home_of_object(ObjectId(0)), 0);
+        assert_eq!(t.home_of_object(ObjectId(1)), 1);
+        assert_eq!(t.home_of_action(&act![0, 0]), 0);
+        assert_eq!(t.home_of_action(&act![0, 1]), 1);
+        assert_eq!(t.home_of_action(&act![1, 0]), 1);
+    }
+
+    #[test]
+    fn origin_rules() {
+        let u = universe();
+        let t = Topology::round_robin(&u, 2);
+        // Top-level: origin = own home.
+        assert_eq!(t.origin(&act![0]), t.home_of_action(&act![0]));
+        // Nested: origin = parent's home.
+        assert_eq!(t.origin(&act![0, 1]), t.home_of_action(&act![0]));
+    }
+
+    #[test]
+    fn validation_catches_mismatched_access() {
+        let u = universe();
+        let mut home_obj = BTreeMap::new();
+        home_obj.insert(ObjectId(0), 0);
+        home_obj.insert(ObjectId(1), 0);
+        let mut home_act = BTreeMap::new();
+        for a in u.actions() {
+            home_act.insert(a.clone(), 1); // every action on node 1
+        }
+        let err = Topology::new(&u, 2, home_obj, home_act).unwrap_err();
+        assert!(matches!(err, TopologyError::AccessHomeMismatch(_)));
+    }
+
+    #[test]
+    fn validation_catches_missing_homes() {
+        let u = universe();
+        let err = Topology::new(&u, 1, BTreeMap::new(), BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, TopologyError::UnhomedObject(_)));
+    }
+
+    #[test]
+    fn single_node_is_round_robin_1() {
+        let u = universe();
+        let t = Topology::single_node(&u);
+        assert_eq!(t.node_count(), 1);
+        for a in u.actions() {
+            assert_eq!(t.home_of_action(a), 0);
+        }
+    }
+}

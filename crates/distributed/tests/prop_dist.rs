@@ -1,0 +1,116 @@
+//! Randomized checking of the distributed level: Lemma 28's local mapping
+//! discipline, Theorem 29's composed simulation, the Local Domain / Local
+//! Changes properties, and gossip monotonicity, along random valid runs.
+
+use proptest::prelude::*;
+use rnt_algebra::{
+    check_local_changes, check_local_domain, check_local_mapping_on_run,
+    check_simulation_on_run, replay, Algebra, Composed, Interpretation,
+};
+use rnt_distributed::{summary_le_tree, DistEvent, HDist, Level5, Topology};
+use rnt_locking::{HDoublePrime, HPrime, Level3, Level4};
+use rnt_sim::gen::{random_run, random_universe, UniverseConfig};
+use rnt_spec::{HSpec, Level1, Level2};
+use std::sync::Arc;
+
+fn config() -> UniverseConfig {
+    UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.5 }
+}
+
+fn setup(useed: u64, nodes: usize) -> (Arc<rnt_model::Universe>, Arc<Topology>, Level5) {
+    let u = Arc::new(random_universe(useed, &config()));
+    let t = Arc::new(Topology::round_robin(&u, nodes));
+    let alg = Level5::new(u.clone(), t.clone());
+    (u, t, alg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lemma28_on_random_runs(useed in 0u64..3000, rseed in 0u64..3000, nodes in 1usize..4) {
+        let (u, t, low) = setup(useed, nodes);
+        let high = Level4::new(u.clone());
+        let h = HDist::new(u, t);
+        let run = random_run(&low, rseed, 50);
+        check_local_mapping_on_run(&low, &high, &h, &run)
+            .unwrap_or_else(|e| panic!("Lemma 28 failed: {e}"));
+    }
+
+    #[test]
+    fn theorem29_on_random_runs(useed in 0u64..2000, rseed in 0u64..2000, nodes in 1usize..4) {
+        let (u, t, l5) = setup(useed, nodes);
+        let h = HDist::new(u.clone(), t);
+        let hdp = HDoublePrime::new(u.clone());
+        let h54: Composed<'_, _, _, Level4> = Composed::new(&h, &hdp);
+        let h53: Composed<'_, _, _, Level3> = Composed::new(&h54, &HPrime);
+        let h52: Composed<'_, _, _, Level2> = Composed::new(&h53, &HSpec);
+        let l1 = Level1::new(u.clone());
+        let run = random_run(&l5, rseed, 35);
+        check_simulation_on_run(&l5, &l1, &h52, &run)
+            .unwrap_or_else(|e| panic!("Theorem 29 failed: {e}"));
+    }
+
+    #[test]
+    fn locality_on_random_samples(useed in 0u64..1000, rseed in 0u64..1000, nodes in 2usize..4) {
+        // Lemma 22's content: B is distributed — the Local Domain and Local
+        // Changes properties hold on sampled reachable states and events.
+        let (_, _, alg) = setup(useed, nodes);
+        let run = random_run(&alg, rseed, 30);
+        let states = replay(&alg, run).expect("valid");
+        let sample: Vec<_> = states.iter().step_by(3).cloned().collect();
+        let mut events = Vec::new();
+        for s in sample.iter().take(6) {
+            events.extend(alg.enabled(s));
+        }
+        events.sort_by_key(|e| format!("{e:?}"));
+        events.dedup();
+        check_local_domain(&alg, &sample, &events)
+            .unwrap_or_else(|e| panic!("local domain violated: {e}"));
+        check_local_changes(&alg, &sample, &events)
+            .unwrap_or_else(|e| panic!("local changes violated: {e}"));
+    }
+
+    #[test]
+    fn node_knowledge_is_sound(useed in 0u64..3000, rseed in 0u64..3000, nodes in 1usize..4) {
+        // Every node's summary, and every inbox, stays ≤ the true global
+        // tree obtained by replaying the mapped run at level 4.
+        let (u, t, low) = setup(useed, nodes);
+        let high = Level4::new(u.clone());
+        let h = HDist::new(u, t);
+        let run = random_run(&low, rseed, 50);
+        let low_states = replay(&low, run.clone()).expect("valid");
+        let mapped: Vec<_> = run.iter().filter_map(|e| h.map_event(e)).collect();
+        let high_states = replay(&high, mapped).expect("simulation holds");
+        // Align: walk the low run, advancing the high index on non-Λ events.
+        let mut hi = 0;
+        for (i, ls) in low_states.iter().enumerate() {
+            let tree = &high_states[hi].aat.tree;
+            for node in &ls.nodes {
+                for (a, _) in node.summary.entries() {
+                    prop_assert!(tree.contains(a), "node knows unknown action {a}");
+                }
+            }
+            for inbox in &ls.inboxes {
+                prop_assert!(summary_le_tree(inbox, tree), "inbox ahead of reality");
+            }
+            if i < run.len()
+                && !matches!(run[i], DistEvent::Send { .. } | DistEvent::Receive { .. })
+            {
+                hi += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn enabled_matches_apply_level5(useed in 0u64..1500, rseed in 0u64..1500, nodes in 1usize..4) {
+        let (_, _, alg) = setup(useed, nodes);
+        let run = random_run(&alg, rseed, 20);
+        let states = replay(&alg, run).expect("valid");
+        for s in states.iter().step_by(4) {
+            for e in alg.enabled(s) {
+                prop_assert!(alg.apply(s, &e).is_some(), "enabled {e:?} rejected");
+            }
+        }
+    }
+}

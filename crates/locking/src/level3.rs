@@ -1,0 +1,355 @@
+//! Level 3: the algebra `A''` over (AAT, version map) pairs (paper
+//! Section 7) — the information-rich locking algorithm, with the
+//! `release-lock` and `lose-lock` events.
+
+use crate::version_map::VersionMap;
+use rnt_algebra::Algebra;
+use rnt_model::{Aat, ActionId, ObjectId, TxEvent, Universe};
+use rnt_spec::common;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A level-3 state: the augmented action tree plus the version map.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct L3State {
+    /// The augmented action tree `T`.
+    pub aat: Aat,
+    /// The version map `V`.
+    pub vmap: VersionMap,
+}
+
+/// The level-3 locking algebra.
+pub struct Level3 {
+    universe: Arc<Universe>,
+}
+
+impl Level3 {
+    /// Build the algebra over a universe.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        Level3 { universe }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Precondition (d12): every current lock holder on `A`'s object is a
+    /// proper ancestor of `A`.
+    pub fn holders_are_proper_ancestors(&self, s: &L3State, a: &ActionId, x: ObjectId) -> bool {
+        s.vmap.holders(x).all(|h| h.is_proper_ancestor_of(a))
+    }
+}
+
+impl Algebra for Level3 {
+    type State = L3State;
+    type Event = TxEvent;
+
+    fn initial(&self) -> L3State {
+        L3State { aat: Aat::trivial(), vmap: VersionMap::initial(&self.universe) }
+    }
+
+    fn apply(&self, s: &L3State, event: &TxEvent) -> Option<L3State> {
+        let u = &self.universe;
+        match event {
+            TxEvent::Create(a) => {
+                if !common::create_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::create_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Commit(a) => {
+                if !common::commit_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::commit_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Abort(a) => {
+                if !common::abort_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::abort_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Perform(a, value) => {
+                // (d11) active access.
+                if !u.is_access(a) || !s.aat.tree.is_active(a) {
+                    return None;
+                }
+                let x = u.object_of(a).expect("access has object");
+                // (d12) lock holders are proper ancestors.
+                if !self.holders_are_proper_ancestors(s, a, x) {
+                    return None;
+                }
+                // (d13) u is the principal value — unconditionally, even
+                // for orphans (the lock discipline makes it well-defined).
+                if Some(*value) != s.vmap.principal_value(x, u) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.aat.tree.set_committed(a); // (d21)
+                next.aat.tree.set_label(a.clone(), *value); // (d22)
+                next.aat.append_datastep(x, a.clone()); // (d23)
+                next.vmap.acquire(x, a.clone()); // (d24)
+                Some(next)
+            }
+            TxEvent::ReleaseLock(a, x) => {
+                // (e1): V(x, A) defined and A committed.
+                if a.is_root() || !s.vmap.is_defined(*x, a) || !s.aat.tree.is_committed(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.vmap.release_to_parent(*x, a);
+                Some(next)
+            }
+            TxEvent::LoseLock(a, x) => {
+                // (f1): V(x, A) defined and A dead.
+                if a.is_root() || !s.vmap.is_defined(*x, a) || !s.aat.tree.is_dead(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.vmap.discard(*x, a);
+                Some(next)
+            }
+        }
+    }
+
+    fn enabled(&self, s: &L3State) -> Vec<TxEvent> {
+        let u = &self.universe;
+        let mut out = Vec::new();
+        for a in u.actions() {
+            if common::create_enabled(u, &s.aat.tree, a) {
+                out.push(TxEvent::Create(a.clone()));
+            }
+            if s.aat.tree.is_active(a) {
+                if u.is_access(a) {
+                    let x = u.object_of(a).expect("access has object");
+                    if self.holders_are_proper_ancestors(s, a, x) {
+                        let value =
+                            s.vmap.principal_value(x, u).expect("declared object has principal");
+                        out.push(TxEvent::Perform(a.clone(), value));
+                    }
+                } else if common::commit_enabled(u, &s.aat.tree, a) {
+                    out.push(TxEvent::Commit(a.clone()));
+                }
+                out.push(TxEvent::Abort(a.clone()));
+            }
+        }
+        for (x, holder, _) in s.vmap.entries() {
+            if holder.is_root() {
+                continue;
+            }
+            if s.aat.tree.is_committed(holder) {
+                out.push(TxEvent::ReleaseLock(holder.clone(), x));
+            }
+            if s.aat.tree.is_dead(holder) {
+                out.push(TxEvent::LoseLock(holder.clone(), x));
+            }
+        }
+        out
+    }
+}
+
+/// Lemma 16 invariants for computable level-3 states.
+///
+/// * (a) lock holders are tree vertices;
+/// * (b) every live datastep appears in some ancestor's version sequence;
+/// * (c) a holder's sequence elements are visible to the holder;
+/// * (d) a holder's sequence is in `data_T` order;
+/// * plus version-map well-formedness (§7.1).
+pub fn lemma16_invariants(s: &L3State, universe: &Universe) -> Result<(), String> {
+    s.vmap.well_formed(universe)?;
+    let tree = &s.aat.tree;
+    // (a)
+    for (x, holder, _) in s.vmap.entries() {
+        if !tree.contains(holder) {
+            return Err(format!("lemma 16a: holder {holder} of {x} not a vertex"));
+        }
+    }
+    // (b)
+    for x in s.aat.data_objects() {
+        for b in s.aat.data_order(x) {
+            if !tree.is_live(b) {
+                continue;
+            }
+            let covered = s
+                .vmap
+                .entries()
+                .any(|(y, h, seq)| y == x && h.is_ancestor_of(b) && seq.contains(b));
+            if !covered {
+                return Err(format!("lemma 16b: live datastep {b} on {x} not covered"));
+            }
+        }
+    }
+    // (c) and (d)
+    for (x, holder, seq) in s.vmap.entries() {
+        for b in seq {
+            if !tree.is_visible_to(b, holder) {
+                return Err(format!("lemma 16c: {b} in V({x},{holder}) not visible"));
+            }
+        }
+        for w in seq.windows(2) {
+            if !s.aat.data_precedes(x, &w[0], &w[1]) {
+                return Err(format!("lemma 16d: V({x},{holder}) not in data order"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{explore, is_valid, replay, ExploreConfig};
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// Serial run with explicit lock traffic.
+    fn locked_run() -> Vec<TxEvent> {
+        vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::ReleaseLock(act![0, 0], ObjectId(0)),
+            TxEvent::Commit(act![0]),
+            TxEvent::ReleaseLock(act![0], ObjectId(0)),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::ReleaseLock(act![1, 0], ObjectId(0)),
+            TxEvent::Commit(act![1]),
+        ]
+    }
+
+    #[test]
+    fn locked_run_is_valid() {
+        let alg = Level3::new(universe());
+        assert!(is_valid(&alg, locked_run()));
+    }
+
+    #[test]
+    fn perform_blocked_until_lock_released() {
+        let alg = Level3::new(universe());
+        let prefix = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+        ];
+        let states = replay(&alg, prefix).unwrap();
+        let s = states.last().unwrap();
+        // act![0,0] still holds the lock: not a proper ancestor of 1.0.
+        assert!(alg.apply(s, &TxEvent::Perform(act![1, 0], 2)).is_none());
+        // Even releasing to act![0] is not enough (act![0] not an ancestor
+        // of act![1,0] either)...
+        let s = alg.apply(s, &TxEvent::ReleaseLock(act![0, 0], ObjectId(0))).unwrap();
+        let s = alg.apply(&s, &TxEvent::Commit(act![0])).unwrap();
+        assert!(alg.apply(&s, &TxEvent::Perform(act![1, 0], 2)).is_none());
+        // ...until the lock reaches U.
+        let s = alg.apply(&s, &TxEvent::ReleaseLock(act![0], ObjectId(0))).unwrap();
+        assert!(alg.apply(&s, &TxEvent::Perform(act![1, 0], 2)).is_some());
+    }
+
+    #[test]
+    fn release_requires_commit_lose_requires_death() {
+        let alg = Level3::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        // act![0,0] committed by perform → release ok, lose not (live).
+        assert!(alg.apply(s, &TxEvent::ReleaseLock(act![0, 0], ObjectId(0))).is_some());
+        assert!(alg.apply(s, &TxEvent::LoseLock(act![0, 0], ObjectId(0))).is_none());
+        // Abort the parent: the access is now dead; lose ok, release also
+        // still allowed by (e1) — the access itself is committed.
+        let s = alg.apply(s, &TxEvent::Abort(act![0])).unwrap();
+        assert!(alg.apply(&s, &TxEvent::LoseLock(act![0, 0], ObjectId(0))).is_some());
+        assert!(alg.apply(&s, &TxEvent::ReleaseLock(act![0, 0], ObjectId(0))).is_some());
+    }
+
+    #[test]
+    fn orphan_perform_sees_principal_value() {
+        let alg = Level3::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Abort(act![0]), // orphan the access
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        // d13 at level 3 determines the orphan's value too: principal is U
+        // with init=1.
+        assert!(alg.apply(s, &TxEvent::Perform(act![0, 0], 1)).is_some());
+        assert!(alg.apply(s, &TxEvent::Perform(act![0, 0], 99)).is_none());
+    }
+
+    #[test]
+    fn lemma16_exhaustive_small() {
+        let alg = Level3::new(universe());
+        let u = universe();
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 400_000, max_depth: 0 }, |s: &L3State| {
+                lemma16_invariants(s, &u)
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(!report.truncated, "raise bounds: {report:?}");
+        assert!(report.states > 200, "states: {}", report.states);
+    }
+
+    #[test]
+    fn theorem14_via_level3_exhaustive() {
+        // Computable level-3 states project to computable level-2 states
+        // (Lemma 17), so their perm must be data-serializable too.
+        let alg = Level3::new(universe());
+        let u = universe();
+        explore(&alg, &ExploreConfig { max_states: 400_000, max_depth: 0 }, |s: &L3State| {
+            if s.aat.perm().is_data_serializable(&u) {
+                Ok(())
+            } else {
+                Err("perm not data-serializable at level 3".into())
+            }
+        })
+        .unwrap_or_else(|ce| panic!("{ce}"));
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let alg = Level3::new(universe());
+        let mut state = alg.initial();
+        for step in 0..10 {
+            let evs = alg.enabled(&state);
+            for e in &evs {
+                assert!(alg.apply(&state, e).is_some(), "enabled {e} rejected at {step}");
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = alg.apply(&state, &e).unwrap();
+        }
+    }
+}

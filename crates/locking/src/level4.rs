@@ -1,0 +1,284 @@
+//! Level 4: the algebra `A'''` over (AAT, value map) pairs (paper
+//! Section 8) — the optimized locking algorithm retaining only the latest
+//! value per lock holder.
+
+use crate::value_map::ValueMap;
+use rnt_algebra::Algebra;
+use rnt_model::{Aat, ActionId, ObjectId, TxEvent, Universe};
+use rnt_spec::common;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A level-4 state: the augmented action tree plus the value map.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct L4State {
+    /// The augmented action tree `T`.
+    pub aat: Aat,
+    /// The value map `V`.
+    pub vmap: ValueMap,
+}
+
+/// The level-4 optimized locking algebra.
+pub struct Level4 {
+    universe: Arc<Universe>,
+}
+
+impl Level4 {
+    /// Build the algebra over a universe.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        Level4 { universe }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Precondition (d12): every current lock holder on `A`'s object is a
+    /// proper ancestor of `A`.
+    pub fn holders_are_proper_ancestors(&self, s: &L4State, a: &ActionId, x: ObjectId) -> bool {
+        s.vmap.holders(x).all(|h| h.is_proper_ancestor_of(a))
+    }
+}
+
+impl Algebra for Level4 {
+    type State = L4State;
+    type Event = TxEvent;
+
+    fn initial(&self) -> L4State {
+        L4State { aat: Aat::trivial(), vmap: ValueMap::initial(&self.universe) }
+    }
+
+    fn apply(&self, s: &L4State, event: &TxEvent) -> Option<L4State> {
+        let u = &self.universe;
+        match event {
+            TxEvent::Create(a) => {
+                if !common::create_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::create_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Commit(a) => {
+                if !common::commit_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::commit_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Abort(a) => {
+                if !common::abort_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::abort_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Perform(a, value) => {
+                if !u.is_access(a) || !s.aat.tree.is_active(a) {
+                    return None;
+                }
+                let x = u.object_of(a).expect("access has object");
+                if !self.holders_are_proper_ancestors(s, a, x) {
+                    return None;
+                }
+                // (d13): u is the principal value.
+                if Some(*value) != s.vmap.principal_value(x) {
+                    return None;
+                }
+                let update = u.update_of(a).expect("access has update");
+                let mut next = s.clone();
+                next.aat.tree.set_committed(a); // (d21)
+                next.aat.tree.set_label(a.clone(), *value); // (d22)
+                next.aat.append_datastep(x, a.clone()); // (d23)
+                next.vmap.acquire(x, a.clone(), update.apply(*value)); // (d24, level 4)
+                Some(next)
+            }
+            TxEvent::ReleaseLock(a, x) => {
+                if a.is_root() || !s.vmap.is_defined(*x, a) || !s.aat.tree.is_committed(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.vmap.release_to_parent(*x, a);
+                Some(next)
+            }
+            TxEvent::LoseLock(a, x) => {
+                if a.is_root() || !s.vmap.is_defined(*x, a) || !s.aat.tree.is_dead(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.vmap.discard(*x, a);
+                Some(next)
+            }
+        }
+    }
+
+    fn enabled(&self, s: &L4State) -> Vec<TxEvent> {
+        let u = &self.universe;
+        let mut out = Vec::new();
+        for a in u.actions() {
+            if common::create_enabled(u, &s.aat.tree, a) {
+                out.push(TxEvent::Create(a.clone()));
+            }
+            if s.aat.tree.is_active(a) {
+                if u.is_access(a) {
+                    let x = u.object_of(a).expect("access has object");
+                    if self.holders_are_proper_ancestors(s, a, x) {
+                        let value = s.vmap.principal_value(x).expect("declared object");
+                        out.push(TxEvent::Perform(a.clone(), value));
+                    }
+                } else if common::commit_enabled(u, &s.aat.tree, a) {
+                    out.push(TxEvent::Commit(a.clone()));
+                }
+                out.push(TxEvent::Abort(a.clone()));
+            }
+        }
+        for (x, holder, _) in s.vmap.entries() {
+            if holder.is_root() {
+                continue;
+            }
+            if s.aat.tree.is_committed(holder) {
+                out.push(TxEvent::ReleaseLock(holder.clone(), x));
+            }
+            if s.aat.tree.is_dead(holder) {
+                out.push(TxEvent::LoseLock(holder.clone(), x));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{explore, is_valid, replay, ExploreConfig};
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn locked_run_is_valid() {
+        let alg = Level4::new(universe());
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::ReleaseLock(act![0, 0], ObjectId(0)),
+            TxEvent::Commit(act![0]),
+            TxEvent::ReleaseLock(act![0], ObjectId(0)),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::Commit(act![1]),
+        ];
+        assert!(is_valid(&alg, run));
+    }
+
+    #[test]
+    fn value_map_tracks_updates() {
+        let alg = Level4::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        // The access saw 1, applied Add(1): its lock value is 2.
+        assert_eq!(s.vmap.get(ObjectId(0), &act![0, 0]), Some(2));
+        assert_eq!(s.vmap.principal_value(ObjectId(0)), Some(2));
+    }
+
+    #[test]
+    fn abort_restores_old_value() {
+        // The resilience property at the heart of the paper: losing a dead
+        // lock re-exposes the pre-abort value.
+        let alg = Level4::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+                TxEvent::Abort(act![0]),
+                TxEvent::LoseLock(act![0, 0], ObjectId(0)),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert_eq!(s.vmap.principal_value(ObjectId(0)), Some(1), "init value restored");
+        // A fresh top-level access sees init again.
+        let s2 = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+                TxEvent::Abort(act![0]),
+                TxEvent::LoseLock(act![0, 0], ObjectId(0)),
+                TxEvent::Create(act![1]),
+                TxEvent::Create(act![1, 0]),
+                TxEvent::Perform(act![1, 0], 1),
+            ],
+        );
+        assert!(s2.is_ok());
+        let _ = s;
+    }
+
+    #[test]
+    fn perm_data_serializable_exhaustive() {
+        let alg = Level4::new(universe());
+        let u = universe();
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 400_000, max_depth: 0 }, |s: &L4State| {
+                if s.aat.perm().is_data_serializable(&u) {
+                    Ok(())
+                } else {
+                    Err("perm not data-serializable at level 4".into())
+                }
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(!report.truncated);
+        assert!(report.states > 200, "states: {}", report.states);
+    }
+
+    #[test]
+    fn value_map_well_formed_exhaustive() {
+        let alg = Level4::new(universe());
+        let u = universe();
+        explore(&alg, &ExploreConfig { max_states: 400_000, max_depth: 0 }, |s: &L4State| {
+            s.vmap.well_formed(&u)
+        })
+        .unwrap_or_else(|ce| panic!("{ce}"));
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let alg = Level4::new(universe());
+        let mut state = alg.initial();
+        for _ in 0..10 {
+            let evs = alg.enabled(&state);
+            for e in &evs {
+                assert!(alg.apply(&state, e).is_some(), "enabled {e} rejected");
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = alg.apply(&state, &e).unwrap();
+        }
+    }
+}

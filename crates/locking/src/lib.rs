@@ -1,0 +1,58 @@
+//! # rnt-locking
+//!
+//! Levels 3 and 4 of the paper's algebra tower — the centralized Moss-style
+//! locking algorithm:
+//!
+//! * [`VersionMap`] / [`Level3`] — locks holding *version sequences*
+//!   (Section 7), with `release-lock` / `lose-lock` and executable
+//!   Lemma 16 ([`lemma16_invariants`]);
+//! * [`ValueMap`] / [`Level4`] — the optimization retaining only latest
+//!   values (Section 8), related by [`eval`] (Lemma 19);
+//! * [`HPrime`] / [`HDoublePrime`] — the simulation mappings of Lemmas 17
+//!   and 20; composing them with `rnt_spec::HSpec` gives Theorem 21;
+//! * [`LevelRw`] — the *complete* Moss algorithm with read/write lock
+//!   modes (the paper's §10 future work), checked directly against
+//!   serializability.
+//!
+//! ```
+//! use rnt_algebra::{replay, Algebra};
+//! use rnt_locking::Level4;
+//! use rnt_model::{act, ObjectId, TxEvent, UniverseBuilder, UpdateFn};
+//! use std::sync::Arc;
+//!
+//! let universe = Arc::new(
+//!     UniverseBuilder::new()
+//!         .object(0, 5)
+//!         .action(act![0])
+//!         .access(act![0, 0], 0, UpdateFn::Write(9))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let level4 = Level4::new(universe.clone());
+//! let states = replay(&level4, vec![
+//!     TxEvent::Create(act![0]),
+//!     TxEvent::Create(act![0, 0]),
+//!     TxEvent::Perform(act![0, 0], 5),              // takes the lock, writes 9
+//!     TxEvent::Abort(act![0]),                      // the subtree dies...
+//!     TxEvent::LoseLock(act![0, 0], ObjectId(0)),   // ...and its version is discarded
+//! ]).unwrap();
+//! // Resilience: the initial value is visible again.
+//! let last = states.last().unwrap();
+//! assert_eq!(last.vmap.principal_value(ObjectId(0)), Some(5));
+//! ```
+
+#![warn(missing_docs)]
+
+mod level3;
+mod level4;
+mod mappings;
+mod rw_level;
+mod value_map;
+mod version_map;
+
+pub use level3::{lemma16_invariants, L3State, Level3};
+pub use level4::{L4State, Level4};
+pub use mappings::{HDoublePrime, HPrime};
+pub use rw_level::{LevelRw, RwLockMap, RwState};
+pub use value_map::{eval, ValueMap};
+pub use version_map::VersionMap;

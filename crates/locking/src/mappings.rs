@@ -1,0 +1,142 @@
+//! The simulation mappings `h' : A'' → A'` (Section 7.4, Lemma 17) and
+//! `h'' : A''' → A''` (Section 8.3, Lemma 20).
+//!
+//! `h''` is the paper's showcase for *possibilities* mappings: a level-4
+//! state `(T, V)` maps to the **set** `{(T, W) : eval(W) = V}` of level-3
+//! states — the discarded version sequences are recovered as a set of
+//! possibilities rather than a single witness.
+
+use crate::level3::{L3State, Level3};
+use crate::level4::{L4State, Level4};
+use crate::value_map::eval;
+use rnt_algebra::{Interpretation, PossibilitiesMapping};
+use rnt_model::{TxEvent, Universe};
+use rnt_spec::Level2;
+use std::sync::Arc;
+
+/// `h'` of Lemma 17: lock events to Λ, everything else by name;
+/// `h'(T, V) = {T}`.
+pub struct HPrime;
+
+impl Interpretation<Level3, Level2> for HPrime {
+    fn map_event(&self, event: &TxEvent) -> Option<TxEvent> {
+        (!event.is_lock_event()).then(|| event.clone())
+    }
+}
+
+impl PossibilitiesMapping<Level3, Level2> for HPrime {
+    fn is_possibility(&self, low: &L3State, high: &rnt_model::Aat) -> bool {
+        &low.aat == high
+    }
+}
+
+/// `h''` of Lemma 20: all events by name;
+/// `h''(T, V) = {(T, W) : eval(W) = V}`.
+pub struct HDoublePrime {
+    universe: Arc<Universe>,
+}
+
+impl HDoublePrime {
+    /// The mapping needs the universe to compute `eval`.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        HDoublePrime { universe }
+    }
+}
+
+impl Interpretation<Level4, Level3> for HDoublePrime {
+    fn map_event(&self, event: &TxEvent) -> Option<TxEvent> {
+        Some(event.clone())
+    }
+}
+
+impl PossibilitiesMapping<Level4, Level3> for HDoublePrime {
+    fn is_possibility(&self, low: &L4State, high: &L3State) -> bool {
+        low.aat == high.aat && eval(&high.vmap, &self.universe) == low.vmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{check_possibilities_on_run, check_simulation_on_run, Algebra, Composed};
+    use rnt_model::{act, ObjectId, UniverseBuilder, UpdateFn};
+    use rnt_spec::{HSpec, Level1};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// A run with lock traffic, aborts and an orphaned access.
+    fn rich_run() -> Vec<TxEvent> {
+        vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::ReleaseLock(act![0, 0], ObjectId(0)),
+            TxEvent::Commit(act![0]),
+            TxEvent::ReleaseLock(act![0], ObjectId(0)),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::Abort(act![1]),
+            TxEvent::LoseLock(act![1, 0], ObjectId(0)),
+        ]
+    }
+
+    #[test]
+    fn lemma17_simulation_and_possibilities() {
+        let low = Level3::new(universe());
+        let high = Level2::new(universe());
+        check_simulation_on_run(&low, &high, &HPrime, &rich_run()).unwrap();
+        check_possibilities_on_run(&low, &high, &HPrime, &rich_run()).unwrap();
+    }
+
+    #[test]
+    fn lemma20_simulation_and_possibilities() {
+        let low = Level4::new(universe());
+        let high = Level3::new(universe());
+        let h = HDoublePrime::new(universe());
+        let rep = check_simulation_on_run(&low, &high, &h, &rich_run()).unwrap();
+        assert_eq!(rep.low_steps, rep.high_steps, "h'' maps every event by name");
+        check_possibilities_on_run(&low, &high, &h, &rich_run()).unwrap();
+    }
+
+    #[test]
+    fn theorem21_composed_simulation() {
+        // h ∘ h' ∘ h'' : A''' simulates A (Theorem 21), on a run.
+        let l4 = Level4::new(universe());
+        let l1 = Level1::new(universe());
+        let hdp = HDoublePrime::new(universe());
+        let h43: Composed<'_, _, _, Level3> = Composed::new(&hdp, &HPrime);
+        let h42: Composed<'_, _, _, Level2> = Composed::new(&h43, &HSpec);
+        check_simulation_on_run(&l4, &l1, &h42, &rich_run()).unwrap();
+    }
+
+    #[test]
+    fn possibility_rejects_mismatched_value_map() {
+        let l4 = Level4::new(universe());
+        let l3 = Level3::new(universe());
+        let h = HDoublePrime::new(universe());
+        // After one perform, the level-3 witness with an *empty* version map
+        // is not a possibility.
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+        ];
+        let low = rnt_algebra::replay(&l4, run.clone()).unwrap().pop().unwrap();
+        let high_initial = l3.initial();
+        assert!(!h.is_possibility(&low, &high_initial));
+        let high = rnt_algebra::replay(&l3, run).unwrap().pop().unwrap();
+        assert!(h.is_possibility(&low, &high));
+    }
+}

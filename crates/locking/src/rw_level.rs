@@ -1,0 +1,483 @@
+//! The *complete* Moss algorithm as a formal level: read/write lock modes
+//! (paper §10: "Certainly, Moss' complete algorithm (with a distinction
+//! between read and write operations) should be proved correct; we do not
+//! expect this extension to be very difficult").
+//!
+//! `LevelRw` refines level 4: an access whose update is the identity takes
+//! a *read* lock — granted when every **write** holder is a proper
+//! ancestor — while any other access takes a *write* lock — granted when
+//! every holder of any lock is a proper ancestor. Its executions are
+//! checked against serializability directly (the conflict-restricted
+//! Theorem 9 condition, and brute force on small universes), since the
+//! level-2 abstract effect deliberately over-serializes reads.
+
+use rnt_algebra::Algebra;
+use rnt_model::{Aat, ActionId, ObjectId, TxEvent, Universe, Value};
+use rnt_spec::common;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Per-object read/write lock state: a write chain with values (the value
+/// map) plus a set of read holders.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RwObjectLocks {
+    /// Write holders, outermost first, with their values; `U` at the base.
+    writes: Vec<(ActionId, Value)>,
+    /// Read-lock holders (committed-to-some-level accesses and their
+    /// inheriting ancestors).
+    readers: Vec<ActionId>,
+}
+
+/// The lock table of [`LevelRw`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RwLockMap {
+    map: BTreeMap<ObjectId, RwObjectLocks>,
+}
+
+impl RwLockMap {
+    /// Initial table: `U` holds every object's initial value.
+    pub fn initial(universe: &Universe) -> Self {
+        let map = universe
+            .objects()
+            .map(|o| {
+                (o.id, RwObjectLocks { writes: vec![(ActionId::root(), o.init)], readers: Vec::new() })
+            })
+            .collect();
+        RwLockMap { map }
+    }
+
+    fn locks(&self, x: ObjectId) -> &RwObjectLocks {
+        self.map.get(&x).expect("declared object")
+    }
+
+    fn locks_mut(&mut self, x: ObjectId) -> &mut RwObjectLocks {
+        self.map.get_mut(&x).expect("declared object")
+    }
+
+    /// Write-lock holders of `x`, outermost first.
+    pub fn write_holders(&self, x: ObjectId) -> impl Iterator<Item = &ActionId> + '_ {
+        self.locks(x).writes.iter().map(|(h, _)| h)
+    }
+
+    /// Read-lock holders of `x`.
+    pub fn read_holders(&self, x: ObjectId) -> &[ActionId] {
+        &self.locks(x).readers
+    }
+
+    /// The principal (deepest write holder's) value of `x`.
+    pub fn principal_value(&self, x: ObjectId) -> Value {
+        self.locks(x).writes.last().expect("U always holds").1
+    }
+
+    /// True iff `a` holds any lock on `x`.
+    pub fn holds(&self, x: ObjectId, a: &ActionId) -> bool {
+        let l = self.locks(x);
+        l.readers.contains(a) || l.writes.iter().any(|(h, _)| h == a)
+    }
+
+    /// All `(object, holder)` pairs, writers then readers.
+    pub fn holders(&self) -> impl Iterator<Item = (ObjectId, &ActionId)> + '_ {
+        self.map.iter().flat_map(|(&x, l)| {
+            l.writes.iter().map(move |(h, _)| (x, h)).chain(l.readers.iter().map(move |h| (x, h)))
+        })
+    }
+
+    fn acquire_read(&mut self, x: ObjectId, a: ActionId) {
+        let l = self.locks_mut(x);
+        if !l.readers.contains(&a) {
+            l.readers.push(a);
+            l.readers.sort();
+        }
+    }
+
+    fn acquire_write(&mut self, x: ObjectId, a: ActionId, value: Value) {
+        let l = self.locks_mut(x);
+        debug_assert!(
+            l.writes.last().is_some_and(|(h, _)| h.is_proper_ancestor_of(&a)),
+            "write acquire must extend the chain"
+        );
+        l.writes.push((a, value));
+    }
+
+    fn release_to_parent(&mut self, x: ObjectId, a: &ActionId) {
+        let parent = a.parent().expect("non-root release");
+        let l = self.locks_mut(x);
+        if let Some(pos) = l.writes.iter().position(|(h, _)| h == a) {
+            let (_, v) = l.writes.remove(pos);
+            if let Some(entry) = l.writes.iter_mut().find(|(h, _)| *h == parent) {
+                entry.1 = v;
+            } else {
+                l.writes.insert(pos, (parent.clone(), v));
+            }
+            l.readers.retain(|r| *r != parent);
+        }
+        if let Some(pos) = l.readers.iter().position(|r| r == a) {
+            l.readers.remove(pos);
+            let parent_writes = l.writes.iter().any(|(h, _)| *h == parent);
+            if !parent_writes && !l.readers.contains(&parent) {
+                l.readers.push(parent);
+                l.readers.sort();
+            }
+        }
+    }
+
+    fn discard(&mut self, x: ObjectId, a: &ActionId) {
+        let l = self.locks_mut(x);
+        if let Some(pos) = l.writes.iter().position(|(h, _)| h == a) {
+            // Everything above a dead holder is a dead descendant.
+            l.writes.truncate(pos);
+        }
+        l.readers.retain(|r| r != a);
+    }
+
+    /// Structural invariants: write chains are ancestor chains rooted at a
+    /// chain containing `U`'s entry, and reader/writer pairs are related.
+    pub fn well_formed(&self, universe: &Universe) -> Result<(), String> {
+        for obj in universe.objects() {
+            let Some(l) = self.map.get(&obj.id) else {
+                return Err(format!("no lock state for {}", obj.id));
+            };
+            if !l.writes.iter().any(|(h, _)| h.is_root()) {
+                return Err(format!("U lost its base entry for {}", obj.id));
+            }
+            for w in l.writes.windows(2) {
+                if !w[0].0.is_proper_ancestor_of(&w[1].0) {
+                    return Err(format!("write chain broken for {}", obj.id));
+                }
+            }
+            for r in &l.readers {
+                for (h, _) in &l.writes {
+                    if !h.is_ancestor_of(r) && !r.is_ancestor_of(h) {
+                        return Err(format!("reader {r} unrelated to writer {h} on {}", obj.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A `LevelRw` state: the AAT plus the read/write lock table.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RwState {
+    /// The augmented action tree.
+    pub aat: Aat,
+    /// The lock table.
+    pub locks: RwLockMap,
+}
+
+/// The full read/write Moss locking algebra.
+pub struct LevelRw {
+    universe: Arc<Universe>,
+}
+
+impl LevelRw {
+    /// Build the algebra over a universe.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        LevelRw { universe }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Read-grant condition: every *write* holder is a proper ancestor.
+    pub fn read_grantable(&self, s: &RwState, a: &ActionId, x: ObjectId) -> bool {
+        s.locks.write_holders(x).all(|h| h.is_proper_ancestor_of(a))
+    }
+
+    /// Write-grant condition: every holder of any lock is a proper ancestor.
+    pub fn write_grantable(&self, s: &RwState, a: &ActionId, x: ObjectId) -> bool {
+        self.read_grantable(s, a, x)
+            && s.locks.read_holders(x).iter().all(|h| h.is_proper_ancestor_of(a))
+    }
+}
+
+impl Algebra for LevelRw {
+    type State = RwState;
+    type Event = TxEvent;
+
+    fn initial(&self) -> RwState {
+        RwState { aat: Aat::trivial(), locks: RwLockMap::initial(&self.universe) }
+    }
+
+    fn apply(&self, s: &RwState, event: &TxEvent) -> Option<RwState> {
+        let u = &self.universe;
+        match event {
+            TxEvent::Create(a) => {
+                if !common::create_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::create_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Commit(a) => {
+                if !common::commit_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::commit_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Abort(a) => {
+                if !common::abort_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::abort_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Perform(a, value) => {
+                if !u.is_access(a) || !s.aat.tree.is_active(a) {
+                    return None;
+                }
+                let x = u.object_of(a).expect("access has object");
+                let update = u.update_of(a).expect("access has update");
+                let grantable = if update.is_read() {
+                    self.read_grantable(s, a, x)
+                } else {
+                    self.write_grantable(s, a, x)
+                };
+                if !grantable || *value != s.locks.principal_value(x) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.aat.tree.set_committed(a);
+                next.aat.tree.set_label(a.clone(), *value);
+                next.aat.append_datastep(x, a.clone());
+                if update.is_read() {
+                    next.locks.acquire_read(x, a.clone());
+                } else {
+                    next.locks.acquire_write(x, a.clone(), update.apply(*value));
+                }
+                Some(next)
+            }
+            TxEvent::ReleaseLock(a, x) => {
+                if a.is_root() || !s.locks.holds(*x, a) || !s.aat.tree.is_committed(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.locks.release_to_parent(*x, a);
+                Some(next)
+            }
+            TxEvent::LoseLock(a, x) => {
+                if a.is_root() || !s.locks.holds(*x, a) || !s.aat.tree.is_dead(a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                next.locks.discard(*x, a);
+                Some(next)
+            }
+        }
+    }
+
+    fn enabled(&self, s: &RwState) -> Vec<TxEvent> {
+        let u = &self.universe;
+        let mut out = Vec::new();
+        for a in u.actions() {
+            if common::create_enabled(u, &s.aat.tree, a) {
+                out.push(TxEvent::Create(a.clone()));
+            }
+            if s.aat.tree.is_active(a) {
+                if u.is_access(a) {
+                    let x = u.object_of(a).expect("access has object");
+                    let update = u.update_of(a).expect("access has update");
+                    let grantable = if update.is_read() {
+                        self.read_grantable(s, a, x)
+                    } else {
+                        self.write_grantable(s, a, x)
+                    };
+                    if grantable {
+                        out.push(TxEvent::Perform(a.clone(), s.locks.principal_value(x)));
+                    }
+                } else if common::commit_enabled(u, &s.aat.tree, a) {
+                    out.push(TxEvent::Commit(a.clone()));
+                }
+                out.push(TxEvent::Abort(a.clone()));
+            }
+        }
+        let lock_holders: Vec<(ObjectId, ActionId)> = s
+            .locks
+            .holders()
+            .filter(|(_, h)| !h.is_root())
+            .map(|(x, h)| (x, h.clone()))
+            .collect();
+        for (x, h) in lock_holders {
+            if s.aat.tree.is_committed(&h) {
+                out.push(TxEvent::ReleaseLock(h.clone(), x));
+            }
+            if s.aat.tree.is_dead(&h) {
+                out.push(TxEvent::LoseLock(h, x));
+            }
+        }
+        out.sort_by_key(|e| format!("{e:?}"));
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{explore, is_valid, replay, ExploreConfig};
+    use rnt_model::serial::is_serializable_bruteforce;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    /// Universe with genuine read sharing: two readers and a writer on x0.
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Read)
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Read)
+                .action(act![2])
+                .access(act![2, 0], 0, UpdateFn::Add(1))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn concurrent_reads_allowed() {
+        // Both read accesses perform with neither transaction committed —
+        // impossible at levels 2–4 (exclusive accesses), legal here.
+        let alg = LevelRw::new(universe());
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Perform(act![1, 0], 1),
+        ];
+        assert!(is_valid(&alg, run));
+    }
+
+    #[test]
+    fn read_blocks_unrelated_write_until_released_to_root() {
+        let alg = LevelRw::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+                TxEvent::Create(act![2]),
+                TxEvent::Create(act![2, 0]),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert!(alg.apply(s, &TxEvent::Perform(act![2, 0], 1)).is_none(), "reader blocks writer");
+        // Reads don't block reads though.
+        let s2 = alg.apply(s, &TxEvent::Create(act![1])).unwrap();
+        let s2 = alg.apply(&s2, &TxEvent::Create(act![1, 0])).unwrap();
+        assert!(alg.apply(&s2, &TxEvent::Perform(act![1, 0], 1)).is_some());
+        // Release the read lock up to U; the write becomes grantable.
+        let s = alg.apply(s, &TxEvent::ReleaseLock(act![0, 0], ObjectId(0))).unwrap();
+        let s = alg.apply(&s, &TxEvent::Commit(act![0])).unwrap();
+        let s = alg.apply(&s, &TxEvent::ReleaseLock(act![0], ObjectId(0))).unwrap();
+        assert!(alg.apply(&s, &TxEvent::Perform(act![2, 0], 1)).is_some());
+    }
+
+    #[test]
+    fn writer_blocks_unrelated_read() {
+        let alg = LevelRw::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![2]),
+                TxEvent::Create(act![2, 0]),
+                TxEvent::Perform(act![2, 0], 1),
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert!(alg.apply(s, &TxEvent::Perform(act![0, 0], 1)).is_none());
+        assert!(alg.apply(s, &TxEvent::Perform(act![0, 0], 2)).is_none(), "value check too");
+    }
+
+    #[test]
+    fn abort_restores_written_value() {
+        let alg = LevelRw::new(universe());
+        let states = replay(
+            &alg,
+            vec![
+                TxEvent::Create(act![2]),
+                TxEvent::Create(act![2, 0]),
+                TxEvent::Perform(act![2, 0], 1), // writes 2
+                TxEvent::Abort(act![2]),
+                TxEvent::LoseLock(act![2, 0], ObjectId(0)),
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1), // sees init again
+            ],
+        );
+        assert!(states.is_ok());
+    }
+
+    #[test]
+    fn exhaustive_serializability_and_well_formedness() {
+        // Exhaustive over the read-sharing universe: every reachable state
+        // has perm(T) rw-data-serializable AND serializable by brute-force
+        // definition, and the lock table stays well-formed.
+        let u = universe();
+        let alg = LevelRw::new(u.clone());
+        let report = explore(
+            &alg,
+            &ExploreConfig { max_states: 500_000, max_depth: 0 },
+            |s: &RwState| {
+                s.locks.well_formed(&u)?;
+                if !s.aat.perm().is_rw_data_serializable(&u) {
+                    return Err("perm not rw-data-serializable".into());
+                }
+                if !is_serializable_bruteforce(&s.aat.perm().tree, &u) {
+                    return Err("perm not serializable (brute force)".into());
+                }
+                Ok(())
+            },
+        )
+        .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(!report.truncated, "raise bounds: {report:?}");
+        assert!(report.states > 300, "read sharing should enlarge the space: {report:?}");
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let alg = LevelRw::new(universe());
+        let mut state = alg.initial();
+        for _ in 0..12 {
+            let evs = alg.enabled(&state);
+            for e in &evs {
+                assert!(alg.apply(&state, e).is_some(), "enabled {e} rejected");
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = alg.apply(&state, &e).unwrap();
+        }
+    }
+
+    #[test]
+    fn strictly_more_concurrent_than_level4() {
+        // The same universe explored under exclusive locks (level 4) and
+        // rw locks: rw admits strictly more reachable states.
+        let u = universe();
+        let cfg = ExploreConfig { max_states: 500_000, max_depth: 0 };
+        let l4 = crate::Level4::new(u.clone());
+        let r4 = explore(&l4, &cfg, |_| Ok(())).unwrap();
+        let lrw = LevelRw::new(u);
+        let rrw = explore(&lrw, &cfg, |_| Ok(())).unwrap();
+        assert!(
+            rrw.states > r4.states,
+            "rw {} should exceed exclusive {}",
+            rrw.states,
+            r4.states
+        );
+    }
+}

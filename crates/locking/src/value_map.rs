@@ -1,0 +1,224 @@
+//! Value maps (paper Section 8.1): the optimized lock state retaining, for
+//! each holder, only the latest value of the object — plus `eval`, the
+//! projection from version maps that drives the Lemma 19/20 arguments.
+
+use crate::version_map::VersionMap;
+use rnt_model::{ActionId, ObjectId, Universe, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A value map `V : obj × act ⇀ values(obj)` with the same holder-chain
+/// discipline as a version map.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ValueMap {
+    /// Per object: holders sorted by depth ascending, with their values.
+    map: BTreeMap<ObjectId, Vec<(ActionId, Value)>>,
+}
+
+impl ValueMap {
+    /// The initial map: `V(x, U) = init(x)` for every declared object.
+    pub fn initial(universe: &Universe) -> Self {
+        Self::initial_filtered(universe, |_| true)
+    }
+
+    /// The initial map restricted to objects satisfying `pred` — used for
+    /// the per-node value maps of the distributed level, which hold only
+    /// the objects homed at that node.
+    pub fn initial_filtered(universe: &Universe, pred: impl Fn(ObjectId) -> bool) -> Self {
+        let map = universe
+            .objects()
+            .filter(|o| pred(o.id))
+            .map(|o| (o.id, vec![(ActionId::root(), o.init)]))
+            .collect();
+        ValueMap { map }
+    }
+
+    /// `V(x, A)`, if defined.
+    pub fn get(&self, x: ObjectId, a: &ActionId) -> Option<Value> {
+        self.map.get(&x)?.iter().find(|(h, _)| h == a).map(|(_, v)| *v)
+    }
+
+    /// True iff `V(x, A)` is defined.
+    pub fn is_defined(&self, x: ObjectId, a: &ActionId) -> bool {
+        self.get(x, a).is_some()
+    }
+
+    /// The holders of locks on `x`, outermost first.
+    pub fn holders(&self, x: ObjectId) -> impl Iterator<Item = &ActionId> + '_ {
+        self.map.get(&x).into_iter().flatten().map(|(h, _)| h)
+    }
+
+    /// All `(object, holder, value)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (ObjectId, &ActionId, Value)> + '_ {
+        self.map.iter().flat_map(|(&x, v)| v.iter().map(move |(h, val)| (x, h, *val)))
+    }
+
+    /// The principal (deepest) holder for `x`.
+    pub fn principal(&self, x: ObjectId) -> Option<&ActionId> {
+        self.map.get(&x)?.last().map(|(h, _)| h)
+    }
+
+    /// The principal value of `x`.
+    pub fn principal_value(&self, x: ObjectId) -> Option<Value> {
+        self.map.get(&x)?.last().map(|(_, v)| *v)
+    }
+
+    /// Effect (d24, level 4): `V(x, A) ← update(A)(u)` where `u` was the
+    /// principal value.
+    ///
+    /// # Panics
+    /// As [`VersionMap::acquire`]: `A` must be below the current principal.
+    pub fn acquire(&mut self, x: ObjectId, a: ActionId, new_value: Value) {
+        let stack = self.map.get_mut(&x).expect("acquire on undeclared object");
+        let (principal, _) = stack.last().expect("U always holds");
+        assert!(
+            principal.is_proper_ancestor_of(&a),
+            "acquire: {a} not below principal {principal}"
+        );
+        stack.push((a, new_value));
+    }
+
+    /// Effect (e2): move `A`'s value to its parent.
+    pub fn release_to_parent(&mut self, x: ObjectId, a: &ActionId) {
+        let parent = a.parent().expect("release of root lock");
+        let stack = self.map.get_mut(&x).expect("release on undeclared object");
+        let pos = stack.iter().position(|(h, _)| h == a).expect("release of unheld lock");
+        let (_, value) = stack.remove(pos);
+        if let Some(entry) = stack.iter_mut().find(|(h, _)| *h == parent) {
+            entry.1 = value;
+        } else {
+            let at = stack.iter().position(|(h, _)| h.depth() > parent.depth()).unwrap_or(stack.len());
+            stack.insert(at, (parent, value));
+        }
+    }
+
+    /// Effect (f2): discard `A`'s entry.
+    pub fn discard(&mut self, x: ObjectId, a: &ActionId) {
+        let stack = self.map.get_mut(&x).expect("discard on undeclared object");
+        let pos = stack.iter().position(|(h, _)| h == a).expect("discard of unheld lock");
+        stack.remove(pos);
+    }
+
+    /// Check the holder-chain well-formedness.
+    pub fn well_formed(&self, universe: &Universe) -> Result<(), String> {
+        for obj in universe.objects() {
+            let Some(stack) = self.map.get(&obj.id) else {
+                return Err(format!("no value stack for {}", obj.id));
+            };
+            if !stack.iter().any(|(h, _)| h.is_root()) {
+                return Err(format!("V({}, U) undefined", obj.id));
+            }
+            for w in stack.windows(2) {
+                if !w[0].0.is_proper_ancestor_of(&w[1].0) {
+                    return Err(format!(
+                        "holders {}, {} of {} not a chain",
+                        w[0].0, w[1].0, obj.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `eval(V)` (paper §8.1): the value map with the same domain as the
+/// version map, each sequence folded to its result.
+pub fn eval(version_map: &VersionMap, universe: &Universe) -> ValueMap {
+    let mut map: BTreeMap<ObjectId, Vec<(ActionId, Value)>> = BTreeMap::new();
+    for obj in universe.objects() {
+        map.insert(obj.id, Vec::new());
+    }
+    for (x, holder, seq) in version_map.entries() {
+        let init = universe.init_of(x).expect("declared object");
+        let value = rnt_model::fold_updates(
+            init,
+            seq.iter().map(|a| universe.update_of(a).expect("sequence holds accesses")),
+        );
+        map.entry(x).or_default().push((holder.clone(), value));
+    }
+    ValueMap { map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 5)
+            .action(act![0])
+            .action(act![0, 0])
+            .access(act![0, 0, 0], 0, UpdateFn::Add(1))
+            .access(act![0, 1], 0, UpdateFn::Mul(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_is_init_values() {
+        let u = universe();
+        let v = ValueMap::initial(&u);
+        assert_eq!(v.get(ObjectId(0), &ActionId::root()), Some(5));
+        assert_eq!(v.principal_value(ObjectId(0)), Some(5));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn acquire_release_discard_roundtrip() {
+        let u = universe();
+        let mut v = ValueMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0], 6);
+        assert_eq!(v.principal_value(ObjectId(0)), Some(6));
+        v.release_to_parent(ObjectId(0), &act![0, 0, 0]);
+        assert_eq!(v.get(ObjectId(0), &act![0, 0]), Some(6));
+        v.release_to_parent(ObjectId(0), &act![0, 0]);
+        v.acquire(ObjectId(0), act![0, 1], 12);
+        assert_eq!(v.principal_value(ObjectId(0)), Some(12));
+        v.discard(ObjectId(0), &act![0, 1]);
+        // act![0] holds 6 now.
+        assert_eq!(v.principal(ObjectId(0)), Some(&act![0]));
+        assert_eq!(v.principal_value(ObjectId(0)), Some(6));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn eval_matches_lemma19() {
+        // Lemma 19: principal action and value coincide under eval.
+        let u = universe();
+        let mut w = VersionMap::initial(&u);
+        w.acquire(ObjectId(0), act![0, 0, 0]);
+        w.release_to_parent(ObjectId(0), &act![0, 0, 0]);
+        w.release_to_parent(ObjectId(0), &act![0, 0]);
+        w.acquire(ObjectId(0), act![0, 1]);
+        let v = eval(&w, &u);
+        assert_eq!(v.principal(ObjectId(0)), w.principal(ObjectId(0)));
+        assert_eq!(
+            v.principal_value(ObjectId(0)),
+            w.principal_value(ObjectId(0), &u)
+        );
+        // (5+1)*2 = 12.
+        assert_eq!(v.principal_value(ObjectId(0)), Some(12));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn eval_preserves_domain() {
+        let u = universe();
+        let mut w = VersionMap::initial(&u);
+        w.acquire(ObjectId(0), act![0, 0, 0]);
+        let v = eval(&w, &u);
+        let wd: Vec<_> = w.entries().map(|(x, h, _)| (x, h.clone())).collect();
+        let vd: Vec<_> = v.entries().map(|(x, h, _)| (x, h.clone())).collect();
+        assert_eq!(wd, vd);
+    }
+
+    #[test]
+    #[should_panic(expected = "not below principal")]
+    fn acquire_chain_enforced() {
+        let u = universe();
+        let mut v = ValueMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0], 6);
+        v.acquire(ObjectId(0), act![0, 1], 12);
+    }
+}

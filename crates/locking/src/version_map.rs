@@ -1,0 +1,285 @@
+//! Version maps (paper Section 7.1): per object, a stack of lock holders —
+//! successive descendants — each holding the sequence of accesses whose
+//! result is available to it.
+
+use rnt_model::{ActionId, ObjectId, Universe, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A version map `V : obj × act ⇀ sequences of accesses`.
+///
+/// Invariants (the well-formedness conditions of §7.1, checked by
+/// [`VersionMap::well_formed`] and maintained by the mutating methods under
+/// the level-3 preconditions):
+///
+/// * `V(x, U)` is defined for every declared object;
+/// * holders of each object lie on one ancestor chain;
+/// * deeper holders' sequences extend shallower holders' sequences.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VersionMap {
+    /// Per object: holders sorted by depth ascending, with their sequences.
+    map: BTreeMap<ObjectId, Vec<(ActionId, Vec<ActionId>)>>,
+}
+
+impl VersionMap {
+    /// The initial map: `V(x, U)` = empty sequence for every declared
+    /// object, undefined otherwise.
+    pub fn initial(universe: &Universe) -> Self {
+        let map = universe
+            .objects()
+            .map(|o| (o.id, vec![(ActionId::root(), Vec::new())]))
+            .collect();
+        VersionMap { map }
+    }
+
+    /// `V(x, A)`, if defined.
+    pub fn get(&self, x: ObjectId, a: &ActionId) -> Option<&[ActionId]> {
+        self.map
+            .get(&x)?
+            .iter()
+            .find(|(h, _)| h == a)
+            .map(|(_, seq)| seq.as_slice())
+    }
+
+    /// True iff `V(x, A)` is defined.
+    pub fn is_defined(&self, x: ObjectId, a: &ActionId) -> bool {
+        self.get(x, a).is_some()
+    }
+
+    /// The holders of locks on `x`, outermost (shallowest) first.
+    pub fn holders(&self, x: ObjectId) -> impl Iterator<Item = &ActionId> + '_ {
+        self.map.get(&x).into_iter().flatten().map(|(h, _)| h)
+    }
+
+    /// All `(object, holder)` pairs with a defined entry.
+    pub fn entries(&self) -> impl Iterator<Item = (ObjectId, &ActionId, &[ActionId])> + '_ {
+        self.map
+            .iter()
+            .flat_map(|(&x, v)| v.iter().map(move |(h, seq)| (x, h, seq.as_slice())))
+    }
+
+    /// The *principal action* for `x`: the least (deepest) holder.
+    pub fn principal(&self, x: ObjectId) -> Option<&ActionId> {
+        self.map.get(&x)?.last().map(|(h, _)| h)
+    }
+
+    /// The principal action's sequence.
+    pub fn principal_sequence(&self, x: ObjectId) -> Option<&[ActionId]> {
+        self.map.get(&x)?.last().map(|(_, seq)| seq.as_slice())
+    }
+
+    /// The *principal value* of `x`: `result(x, V(x, principal))`.
+    pub fn principal_value(&self, x: ObjectId, universe: &Universe) -> Option<Value> {
+        let seq = self.principal_sequence(x)?;
+        let init = universe.init_of(x)?;
+        Some(rnt_model::fold_updates(
+            init,
+            seq.iter().map(|a| universe.update_of(a).expect("sequence holds accesses")),
+        ))
+    }
+
+    /// Effect (d24): give `A` a lock on `x`, with the principal sequence
+    /// extended by `A` itself.
+    ///
+    /// # Panics
+    /// If `x` has no holders (initial maps always hold `U`) or `A` is not a
+    /// proper descendant of the current principal (the d12 precondition).
+    pub fn acquire(&mut self, x: ObjectId, a: ActionId) {
+        let stack = self.map.get_mut(&x).expect("acquire on undeclared object");
+        let (principal, seq) = stack.last().expect("U always holds");
+        assert!(
+            principal.is_proper_ancestor_of(&a),
+            "acquire: {a} not below principal {principal}"
+        );
+        let mut new_seq = seq.clone();
+        new_seq.push(a.clone());
+        stack.push((a, new_seq));
+    }
+
+    /// Effect (e2): move `A`'s entry to its parent (`V(x, parent(A)) ←
+    /// V(x, A)`, `V(x, A)` undefined).
+    ///
+    /// # Panics
+    /// If `V(x, A)` is undefined or `A` is the root.
+    pub fn release_to_parent(&mut self, x: ObjectId, a: &ActionId) {
+        let parent = a.parent().expect("release of root lock");
+        let stack = self.map.get_mut(&x).expect("release on undeclared object");
+        let pos = stack.iter().position(|(h, _)| h == a).expect("release of unheld lock");
+        let (_, seq) = stack.remove(pos);
+        if let Some(entry) = stack.iter_mut().find(|(h, _)| *h == parent) {
+            entry.1 = seq;
+        } else {
+            stack.insert(pos_for(stack, &parent), (parent, seq));
+        }
+    }
+
+    /// Effect (f2): discard `A`'s entry.
+    ///
+    /// # Panics
+    /// If `V(x, A)` is undefined.
+    pub fn discard(&mut self, x: ObjectId, a: &ActionId) {
+        let stack = self.map.get_mut(&x).expect("discard on undeclared object");
+        let pos = stack.iter().position(|(h, _)| h == a).expect("discard of unheld lock");
+        stack.remove(pos);
+    }
+
+    /// Check the §7.1 well-formedness conditions.
+    pub fn well_formed(&self, universe: &Universe) -> Result<(), String> {
+        for obj in universe.objects() {
+            let Some(stack) = self.map.get(&obj.id) else {
+                return Err(format!("no version stack for {}", obj.id));
+            };
+            if stack.first().map(|(h, _)| h) != Some(&ActionId::root()) {
+                // U's entry may have been overwritten only by re-release to
+                // U itself; the chain must still start at a holder chain —
+                // but V(x, U) must always be defined per the definition.
+                if !stack.iter().any(|(h, _)| h.is_root()) {
+                    return Err(format!("V({}, U) undefined", obj.id));
+                }
+            }
+            for w in stack.windows(2) {
+                let (ref outer, ref oseq) = w[0];
+                let (ref inner, ref iseq) = w[1];
+                if !outer.is_proper_ancestor_of(inner) {
+                    return Err(format!("holders {outer}, {inner} of {} not a chain", obj.id));
+                }
+                if iseq.len() < oseq.len() || &iseq[..oseq.len()] != oseq.as_slice() {
+                    return Err(format!("sequence of {inner} does not extend {outer}'s"));
+                }
+            }
+            for (_, seq) in stack {
+                for a in seq {
+                    if universe.object_of(a) != Some(obj.id) {
+                        return Err(format!("{a} in {}'s sequence is not an access to it", obj.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Insertion position keeping the stack sorted by depth ascending.
+fn pos_for(stack: &[(ActionId, Vec<ActionId>)], a: &ActionId) -> usize {
+    stack.iter().position(|(h, _)| h.depth() > a.depth()).unwrap_or(stack.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 5)
+            .action(act![0])
+            .action(act![0, 0])
+            .access(act![0, 0, 0], 0, UpdateFn::Add(1))
+            .access(act![0, 1], 0, UpdateFn::Mul(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_holds_root_with_empty_sequence() {
+        let u = universe();
+        let v = VersionMap::initial(&u);
+        assert_eq!(v.get(ObjectId(0), &ActionId::root()), Some(&[] as &[ActionId]));
+        assert_eq!(v.principal(ObjectId(0)), Some(&ActionId::root()));
+        assert_eq!(v.principal_value(ObjectId(0), &u), Some(5));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn acquire_extends_principal_sequence() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        assert_eq!(v.get(ObjectId(0), &act![0, 0, 0]), Some(&[act![0, 0, 0]] as &[_]));
+        assert_eq!(v.principal(ObjectId(0)), Some(&act![0, 0, 0]));
+        // 5 + 1.
+        assert_eq!(v.principal_value(ObjectId(0), &u), Some(6));
+        // Root still holds its old empty sequence.
+        assert_eq!(v.get(ObjectId(0), &ActionId::root()), Some(&[] as &[ActionId]));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn release_moves_to_parent_and_overwrites() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        v.release_to_parent(ObjectId(0), &act![0, 0, 0]);
+        assert!(!v.is_defined(ObjectId(0), &act![0, 0, 0]));
+        assert_eq!(v.get(ObjectId(0), &act![0, 0]), Some(&[act![0, 0, 0]] as &[_]));
+        v.well_formed(&u).unwrap();
+        // Releasing up to act![0], then to root overwrites U's entry.
+        v.release_to_parent(ObjectId(0), &act![0, 0]);
+        v.release_to_parent(ObjectId(0), &act![0]);
+        assert_eq!(v.get(ObjectId(0), &ActionId::root()), Some(&[act![0, 0, 0]] as &[_]));
+        assert_eq!(v.principal(ObjectId(0)), Some(&ActionId::root()));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn discard_drops_entry() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        v.discard(ObjectId(0), &act![0, 0, 0]);
+        assert!(!v.is_defined(ObjectId(0), &act![0, 0, 0]));
+        assert_eq!(v.principal(ObjectId(0)), Some(&ActionId::root()));
+        assert_eq!(v.principal_value(ObjectId(0), &u), Some(5));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    fn nested_acquire_chain() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        v.release_to_parent(ObjectId(0), &act![0, 0, 0]);
+        // act![0,0] now principal with seq [0.0.0]; a sibling subtree access
+        // must extend it.
+        v.release_to_parent(ObjectId(0), &act![0, 0]);
+        v.acquire(ObjectId(0), act![0, 1]);
+        assert_eq!(
+            v.get(ObjectId(0), &act![0, 1]),
+            Some(&[act![0, 0, 0], act![0, 1]] as &[_])
+        );
+        // (5 + 1) * 2.
+        assert_eq!(v.principal_value(ObjectId(0), &u), Some(12));
+        v.well_formed(&u).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not below principal")]
+    fn acquire_requires_descendant_of_principal() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        // act![0,1] is not a descendant of the principal act![0,0,0].
+        v.acquire(ObjectId(0), act![0, 1]);
+    }
+
+    #[test]
+    fn holders_outermost_first() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        let hs: Vec<_> = v.holders(ObjectId(0)).cloned().collect();
+        assert_eq!(hs, vec![ActionId::root(), act![0, 0, 0]]);
+    }
+
+    #[test]
+    fn well_formed_detects_broken_chain() {
+        let u = universe();
+        let mut v = VersionMap::initial(&u);
+        v.acquire(ObjectId(0), act![0, 0, 0]);
+        // Corrupt: replace holder with a non-descendant of root's... root is
+        // everyone's ancestor, so corrupt the extension property instead.
+        let stack = v.map.get_mut(&ObjectId(0)).unwrap();
+        stack[0].1 = vec![act![0, 1]]; // outer seq not a prefix of inner
+        assert!(v.well_formed(&u).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Randomized checking of the level-3/4 results: Lemma 16, version-map
+//! well-formedness, Lemma 19, and the Lemma 17/20 simulations along random
+//! valid runs over generated universes.
+
+use proptest::prelude::*;
+use rnt_algebra::{check_possibilities_on_run, check_simulation_on_run, replay, Composed};
+use rnt_locking::{eval, lemma16_invariants, HDoublePrime, HPrime, Level3, Level4};
+use rnt_sim::gen::{random_run, random_universe, UniverseConfig};
+use rnt_spec::{HSpec, Level1, Level2};
+use std::sync::Arc;
+
+fn config() -> UniverseConfig {
+    UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 3, inner_prob: 0.5 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lemma16_on_random_runs(useed in 0u64..5000, rseed in 0u64..5000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level3::new(u.clone());
+        let run = random_run(&alg, rseed, 60);
+        let states = replay(&alg, run).expect("valid");
+        for s in &states {
+            prop_assert!(lemma16_invariants(s, &u).is_ok());
+        }
+    }
+
+    #[test]
+    fn level4_value_map_well_formed_on_random_runs(useed in 0u64..5000, rseed in 0u64..5000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level4::new(u.clone());
+        let run = random_run(&alg, rseed, 60);
+        let states = replay(&alg, run).expect("valid");
+        for s in &states {
+            prop_assert!(s.vmap.well_formed(&u).is_ok());
+        }
+    }
+
+    #[test]
+    fn lemma17_on_random_runs(useed in 0u64..3000, rseed in 0u64..3000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let low = Level3::new(u.clone());
+        let high = Level2::new(u.clone());
+        let run = random_run(&low, rseed, 40);
+        check_possibilities_on_run(&low, &high, &HPrime, &run)
+            .unwrap_or_else(|e| panic!("Lemma 17 failed: {e}"));
+    }
+
+    #[test]
+    fn lemma20_on_random_runs(useed in 0u64..3000, rseed in 0u64..3000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let low = Level4::new(u.clone());
+        let high = Level3::new(u.clone());
+        let h = HDoublePrime::new(u.clone());
+        let run = random_run(&low, rseed, 40);
+        check_possibilities_on_run(&low, &high, &h, &run)
+            .unwrap_or_else(|e| panic!("Lemma 20 failed: {e}"));
+    }
+
+    #[test]
+    fn lemma19_eval_naturality_on_random_runs(useed in 0u64..3000, rseed in 0u64..3000) {
+        // Run level 3 and level 4 on the *same* event sequence; at every
+        // step, eval of the level-3 version map equals the level-4 value
+        // map (the simulation invariant of Lemma 20, stated via Lemma 19).
+        let u = Arc::new(random_universe(useed, &config()));
+        let l3 = Level3::new(u.clone());
+        let l4 = Level4::new(u.clone());
+        let run = random_run(&l4, rseed, 40);
+        let s3 = replay(&l3, run.clone()).expect("level-3 accepts the same run");
+        let s4 = replay(&l4, run).expect("valid");
+        for (a, b) in s3.iter().zip(&s4) {
+            prop_assert_eq!(&eval(&a.vmap, &u), &b.vmap);
+            prop_assert_eq!(&a.aat, &b.aat);
+        }
+    }
+
+    #[test]
+    fn theorem21_on_random_runs(useed in 0u64..2000, rseed in 0u64..2000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let l4 = Level4::new(u.clone());
+        let l1 = Level1::new(u.clone());
+        let hdp = HDoublePrime::new(u.clone());
+        let h43: Composed<'_, _, _, Level3> = Composed::new(&hdp, &HPrime);
+        let h42: Composed<'_, _, _, Level2> = Composed::new(&h43, &HSpec);
+        let run = random_run(&l4, rseed, 25);
+        check_simulation_on_run(&l4, &l1, &h42, &run)
+            .unwrap_or_else(|e| panic!("Theorem 21 failed: {e}"));
+    }
+
+    #[test]
+    fn perm_data_serializable_at_level4(useed in 0u64..5000, rseed in 0u64..5000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level4::new(u.clone());
+        let run = random_run(&alg, rseed, 60);
+        let states = replay(&alg, run).expect("valid");
+        for s in &states {
+            prop_assert!(s.aat.perm().is_data_serializable(&u));
+        }
+    }
+}

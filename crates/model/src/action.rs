@@ -1,0 +1,256 @@
+//! Action identifiers: the a-priori universal tree of action names.
+//!
+//! The paper assumes "the actions are configured a priori into a tree
+//! representing their nesting relationship, with `U` as the root", and that
+//! the *name* of an action "carries within it information which locates that
+//! action in this universal tree". We realize this literally: an [`ActionId`]
+//! is the path of child indices from the root `U`, so tree relations
+//! (`parent`, `lca`, ancestor/descendant tests) are pure functions of the
+//! names and need no side tables.
+
+use std::fmt;
+
+/// The name of an action: the path of child indices from the root `U`.
+///
+/// `U` itself is the empty path. The action at path `[2, 0]` is the first
+/// child of the third top-level action.
+///
+/// Serializes as the dotted path string (`"U"`, `"U.2.0"`), so it can key
+/// JSON maps.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(Vec<u32>);
+
+impl serde::Serialize for ActionId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ActionId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        let mut parts = text.split('.');
+        if parts.next() != Some("U") {
+            return Err(serde::de::Error::custom("action path must start with 'U'"));
+        }
+        let path: Result<Vec<u32>, _> = parts.map(str::parse).collect();
+        path.map(ActionId).map_err(serde::de::Error::custom)
+    }
+}
+
+impl ActionId {
+    /// The root action `U`, the (virtual) parent of all top-level actions.
+    pub fn root() -> Self {
+        ActionId(Vec::new())
+    }
+
+    /// Construct an action from its path of child indices.
+    pub fn from_path(path: impl Into<Vec<u32>>) -> Self {
+        ActionId(path.into())
+    }
+
+    /// The path of child indices identifying this action.
+    pub fn path(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// True iff this is the root action `U`.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Nesting depth: `U` has depth 0, top-level actions depth 1, and so on.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The `index`-th child of this action in the universal tree.
+    pub fn child(&self, index: u32) -> Self {
+        let mut path = Vec::with_capacity(self.0.len() + 1);
+        path.extend_from_slice(&self.0);
+        path.push(index);
+        ActionId(path)
+    }
+
+    /// `parent(A)`; `None` for the root `U`.
+    pub fn parent(&self) -> Option<Self> {
+        if self.is_root() {
+            None
+        } else {
+            Some(ActionId(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The proper ancestors of this action, from parent up to (and
+    /// including) the root `U`.
+    pub fn proper_ancestors(&self) -> impl Iterator<Item = ActionId> + '_ {
+        (0..self.0.len()).rev().map(|k| ActionId(self.0[..k].to_vec()))
+    }
+
+    /// The ancestors of this action including itself, from itself up to `U`.
+    pub fn ancestors(&self) -> impl Iterator<Item = ActionId> + '_ {
+        (0..=self.0.len()).rev().map(|k| ActionId(self.0[..k].to_vec()))
+    }
+
+    /// True iff `self` is an ancestor of `other` (`other ∈ desc(self)`).
+    /// Every action is an ancestor of itself.
+    pub fn is_ancestor_of(&self, other: &ActionId) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True iff `self` is a *proper* ancestor of `other`.
+    pub fn is_proper_ancestor_of(&self, other: &ActionId) -> bool {
+        other.0.len() > self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True iff `self` is a descendant of `other` (`self ∈ desc(other)`).
+    pub fn is_descendant_of(&self, other: &ActionId) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// True iff `self` and `other` have the same parent.
+    ///
+    /// Following the paper's definition of the `siblings` relation this is
+    /// reflexive for non-root actions: `(A, A) ∈ siblings`.
+    pub fn is_sibling_of(&self, other: &ActionId) -> bool {
+        !self.is_root() && !other.is_root() && self.0[..self.0.len() - 1] == other.0[..other.0.len() - 1]
+    }
+
+    /// `lca(A, B)`: the least common ancestor of `self` and `other`.
+    pub fn lca(&self, other: &ActionId) -> ActionId {
+        let common = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        ActionId(self.0[..common].to_vec())
+    }
+
+    /// The child of `self` that lies on the path towards the proper
+    /// descendant `desc`, or `None` if `desc` is not a proper descendant.
+    ///
+    /// This is the projection used to define the `sibling-data` relation:
+    /// for a datastep `C` below sibling-group member `A'`, `A'` is
+    /// `lca.child_towards(C)`.
+    pub fn child_towards(&self, desc: &ActionId) -> Option<ActionId> {
+        if self.is_proper_ancestor_of(desc) {
+            Some(ActionId(desc.0[..self.0.len() + 1].to_vec()))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            write!(f, "U")
+        } else {
+            write!(f, "U")?;
+            for seg in &self.0 {
+                write!(f, ".{seg}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Convenience constructor: `act![0, 1]` is the action at path `[0, 1]`.
+#[macro_export]
+macro_rules! act {
+    () => { $crate::ActionId::root() };
+    ($($seg:expr),+ $(,)?) => { $crate::ActionId::from_path(vec![$($seg as u32),+]) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let u = ActionId::root();
+        assert!(u.is_root());
+        assert_eq!(u.depth(), 0);
+        assert_eq!(u.parent(), None);
+        assert!(u.is_ancestor_of(&u));
+        assert!(!u.is_proper_ancestor_of(&u));
+    }
+
+    #[test]
+    fn child_and_parent_roundtrip() {
+        let a = ActionId::root().child(3).child(1);
+        assert_eq!(a.path(), &[3, 1]);
+        assert_eq!(a.parent().unwrap().path(), &[3]);
+        assert_eq!(a.parent().unwrap().parent().unwrap(), ActionId::root());
+    }
+
+    #[test]
+    fn ancestor_relations() {
+        let a = act![0];
+        let b = act![0, 1];
+        let c = act![0, 1, 2];
+        assert!(a.is_proper_ancestor_of(&c));
+        assert!(a.is_ancestor_of(&a));
+        assert!(c.is_descendant_of(&a));
+        assert!(!c.is_ancestor_of(&a));
+        assert!(b.is_proper_ancestor_of(&c));
+        assert!(!b.is_proper_ancestor_of(&b));
+    }
+
+    #[test]
+    fn lca_cases() {
+        assert_eq!(act![0, 1].lca(&act![0, 2]), act![0]);
+        assert_eq!(act![0, 1].lca(&act![1, 2]), ActionId::root());
+        assert_eq!(act![0, 1].lca(&act![0, 1, 5]), act![0, 1]);
+        assert_eq!(act![0].lca(&act![0]), act![0]);
+    }
+
+    #[test]
+    fn lca_identity_law() {
+        // Lemma 5b relies on lca(A, B) = lca(A, lca(A, B)).
+        let a = act![0, 1, 2];
+        let b = act![0, 3];
+        let l = a.lca(&b);
+        assert_eq!(a.lca(&l), l);
+    }
+
+    #[test]
+    fn siblings() {
+        assert!(act![0, 1].is_sibling_of(&act![0, 2]));
+        assert!(act![0, 1].is_sibling_of(&act![0, 1]));
+        assert!(!act![0, 1].is_sibling_of(&act![1, 1]));
+        assert!(!ActionId::root().is_sibling_of(&act![0]));
+    }
+
+    #[test]
+    fn child_towards() {
+        let u = ActionId::root();
+        let c = act![2, 0, 1];
+        assert_eq!(u.child_towards(&c), Some(act![2]));
+        assert_eq!(act![2].child_towards(&c), Some(act![2, 0]));
+        assert_eq!(act![2, 0, 1].child_towards(&c), None);
+        assert_eq!(act![3].child_towards(&c), None);
+    }
+
+    #[test]
+    fn ancestors_iteration() {
+        let a = act![1, 2];
+        let ancs: Vec<_> = a.ancestors().collect();
+        assert_eq!(ancs, vec![act![1, 2], act![1], ActionId::root()]);
+        let proper: Vec<_> = a.proper_ancestors().collect();
+        assert_eq!(proper, vec![act![1], ActionId::root()]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ActionId::root().to_string(), "U");
+        assert_eq!(act![0, 3].to_string(), "U.0.3");
+    }
+}

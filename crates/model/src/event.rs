@@ -1,0 +1,103 @@
+//! The shared event vocabulary of algebra levels 1–4.
+//!
+//! The paper gives the four levels event sets "designated by the same
+//! names"; sharing one Rust type makes the interpretation mappings between
+//! adjacent levels the identity on the common events, exactly as in the
+//! paper. Levels 1 and 2 simply have an empty domain for the lock events
+//! (they are not in their Π), and the mappings h′/h″ send lock events to Λ
+//! where the paper does.
+
+use crate::action::ActionId;
+use crate::object::{ObjectId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An event of the (centralized) nested-transaction algebras.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TxEvent {
+    /// `create_A`: activate action `A`.
+    Create(ActionId),
+    /// `commit_A`: commit a non-access action to its parent.
+    Commit(ActionId),
+    /// `abort_A`: abort an active action.
+    Abort(ActionId),
+    /// `perform_{A,u}`: perform access `A`, seeing value `u`.
+    Perform(ActionId, Value),
+    /// `release-lock_{A,x}`: a committed action passes its lock on `x` to
+    /// its parent (levels 3–5 only).
+    ReleaseLock(ActionId, ObjectId),
+    /// `lose-lock_{A,x}`: a dead action's lock on `x` is discarded
+    /// (levels 3–5 only).
+    LoseLock(ActionId, ObjectId),
+}
+
+impl TxEvent {
+    /// The action the event concerns.
+    pub fn action(&self) -> &ActionId {
+        match self {
+            TxEvent::Create(a)
+            | TxEvent::Commit(a)
+            | TxEvent::Abort(a)
+            | TxEvent::Perform(a, _)
+            | TxEvent::ReleaseLock(a, _)
+            | TxEvent::LoseLock(a, _) => a,
+        }
+    }
+
+    /// True iff this is one of the two lock-manipulation events.
+    pub fn is_lock_event(&self) -> bool {
+        matches!(self, TxEvent::ReleaseLock(..) | TxEvent::LoseLock(..))
+    }
+}
+
+impl fmt::Display for TxEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxEvent::Create(a) => write!(f, "create({a})"),
+            TxEvent::Commit(a) => write!(f, "commit({a})"),
+            TxEvent::Abort(a) => write!(f, "abort({a})"),
+            TxEvent::Perform(a, u) => write!(f, "perform({a}, {u})"),
+            TxEvent::ReleaseLock(a, x) => write!(f, "release-lock({a}, {x})"),
+            TxEvent::LoseLock(a, x) => write!(f, "lose-lock({a}, {x})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act;
+
+    #[test]
+    fn action_projection() {
+        let a = act![1, 2];
+        for e in [
+            TxEvent::Create(a.clone()),
+            TxEvent::Commit(a.clone()),
+            TxEvent::Abort(a.clone()),
+            TxEvent::Perform(a.clone(), 7),
+            TxEvent::ReleaseLock(a.clone(), ObjectId(0)),
+            TxEvent::LoseLock(a.clone(), ObjectId(0)),
+        ] {
+            assert_eq!(e.action(), &a);
+        }
+    }
+
+    #[test]
+    fn lock_event_classification() {
+        assert!(TxEvent::ReleaseLock(act![0], ObjectId(1)).is_lock_event());
+        assert!(TxEvent::LoseLock(act![0], ObjectId(1)).is_lock_event());
+        assert!(!TxEvent::Perform(act![0], 0).is_lock_event());
+        assert!(!TxEvent::Create(act![0]).is_lock_event());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxEvent::Create(act![0]).to_string(), "create(U.0)");
+        assert_eq!(TxEvent::Perform(act![0, 1], 3).to_string(), "perform(U.0.1, 3)");
+        assert_eq!(
+            TxEvent::ReleaseLock(act![0], ObjectId(2)).to_string(),
+            "release-lock(U.0, x2)"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # rnt-model
+//!
+//! The data-structure layer of the resilient-nested-transactions
+//! reproduction (Lynch, *Concurrency Control for Resilient Nested
+//! Transactions*, PODS 1983):
+//!
+//! * [`ActionId`] — the a-priori universal tree of action names (§3.1);
+//! * [`Universe`] — the static assignment of accesses to objects and
+//!   update functions (§3.1);
+//! * [`ActionTree`] — status + labels, visibility, `perm(T)` (§3.2–3.4);
+//! * [`Aat`] — augmented action trees with the `data_T` order, `sibling-data`
+//!   and the Theorem 9 characterization of data-serializability (§5);
+//! * [`serial`] — serializability *by definition* (brute-force over
+//!   linearizing sibling orders), the ground truth the characterization is
+//!   validated against;
+//! * [`ActionSummary`] — status gossip for the distributed level (§9.1);
+//! * [`TxEvent`] — the shared event vocabulary of levels 1–4.
+//!
+//! The algebra levels themselves live in `rnt-spec` (levels 1–2),
+//! `rnt-locking` (levels 3–4) and `rnt-distributed` (level 5).
+//!
+//! ```
+//! use rnt_model::{act, Aat, ObjectId, UniverseBuilder, UpdateFn};
+//!
+//! // Two top-level actions, each with one access to a shared object.
+//! let universe = UniverseBuilder::new()
+//!     .object(0, 10)
+//!     .action(act![0])
+//!     .access(act![0, 0], 0, UpdateFn::Add(1))
+//!     .action(act![1])
+//!     .access(act![1, 0], 0, UpdateFn::Read)
+//!     .build()
+//!     .unwrap();
+//!
+//! // An execution where act0 ran (and committed) before act1's read.
+//! let mut aat = Aat::trivial();
+//! for a in [act![0], act![1]] { aat.tree.create(a); }
+//! for (a, label) in [(act![0, 0], 10), (act![1, 0], 11)] {
+//!     aat.tree.create(a.clone());
+//!     aat.tree.set_committed(&a);
+//!     aat.tree.set_label(a.clone(), label);
+//!     aat.append_datastep(ObjectId(0), a);
+//! }
+//! aat.tree.set_committed(&act![0]);
+//! aat.tree.set_committed(&act![1]);
+//!
+//! // Theorem 9's characterization says this is data-serializable.
+//! assert!(aat.is_data_serializable(&universe));
+//! assert!(aat.perm().is_data_serializable(&universe));
+//! ```
+
+#![warn(missing_docs)]
+
+mod action;
+mod aat;
+mod event;
+mod object;
+pub mod render;
+pub mod serial;
+mod summary;
+mod tree;
+mod universe;
+
+pub use action::ActionId;
+pub use aat::Aat;
+pub use event::TxEvent;
+pub use object::{fold_updates, ObjectId, ObjectSpec, UpdateFn, Value};
+pub use summary::ActionSummary;
+pub use tree::{ActionTree, Status};
+pub use universe::{AccessSpec, Universe, UniverseBuilder, UniverseError};

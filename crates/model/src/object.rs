@@ -1,0 +1,188 @@
+//! Data objects, values and per-access update functions.
+//!
+//! The paper models each access `A` as carrying a fixed total function
+//! `update(A) : values(object(A)) → values(object(A))`. Reads are accesses
+//! whose update is the identity; writes are accesses whose update is a
+//! constant function. We provide a small closed family of deterministic
+//! update functions ([`UpdateFn`]) rich enough that distinct interleavings
+//! of non-commuting accesses are observably different — which is what makes
+//! our serializability checks discriminating.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The value domain for all objects.
+///
+/// The paper allows each object an arbitrary value set `values(x)`; a single
+/// integer domain suffices for every construction in the paper (all that is
+/// ever required of values is that update functions compose and that
+/// equality is decidable).
+pub type Value = i64;
+
+/// Identifier for a data object.
+///
+/// Serializes as the string `"x<n>"` so it can key JSON maps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl serde::Serialize for ObjectId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for ObjectId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        text.strip_prefix('x')
+            .ok_or_else(|| serde::de::Error::custom("object id must look like 'x0'"))?
+            .parse()
+            .map(ObjectId)
+            .map_err(serde::de::Error::custom)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A deterministic total function `Value → Value`, the `update(A)` of an
+/// access.
+///
+/// * [`UpdateFn::Read`] is the identity (the paper's "read access").
+/// * [`UpdateFn::Write`] is a constant function (the paper's "write access").
+/// * The arithmetic variants are genuine read-modify-write accesses; `Add`
+///   commutes with itself but not with `Write`, and `Mul`/`Xor` do not
+///   commute with `Add`, so serialization order is observable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum UpdateFn {
+    /// Identity: a read access.
+    Read,
+    /// Constant: a (blind) write access.
+    Write(Value),
+    /// Wrapping addition of a constant.
+    Add(Value),
+    /// Wrapping multiplication by a constant.
+    Mul(Value),
+    /// Bitwise xor with a constant.
+    Xor(Value),
+    /// Maximum with a constant.
+    Max(Value),
+}
+
+impl UpdateFn {
+    /// Apply the function to a value.
+    pub fn apply(&self, v: Value) -> Value {
+        match *self {
+            UpdateFn::Read => v,
+            UpdateFn::Write(c) => c,
+            UpdateFn::Add(c) => v.wrapping_add(c),
+            UpdateFn::Mul(c) => v.wrapping_mul(c),
+            UpdateFn::Xor(c) => v ^ c,
+            UpdateFn::Max(c) => v.max(c),
+        }
+    }
+
+    /// True iff the function is the identity (a pure read).
+    pub fn is_read(&self) -> bool {
+        matches!(self, UpdateFn::Read)
+    }
+}
+
+impl fmt::Display for UpdateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            UpdateFn::Read => write!(f, "read"),
+            UpdateFn::Write(c) => write!(f, "write({c})"),
+            UpdateFn::Add(c) => write!(f, "add({c})"),
+            UpdateFn::Mul(c) => write!(f, "mul({c})"),
+            UpdateFn::Xor(c) => write!(f, "xor({c})"),
+            UpdateFn::Max(c) => write!(f, "max({c})"),
+        }
+    }
+}
+
+/// Static description of one data object: its identifier and initial value
+/// `init(x)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ObjectSpec {
+    /// The object's identifier.
+    pub id: ObjectId,
+    /// The distinguished initial value `init(x)`.
+    pub init: Value,
+}
+
+/// Fold a sequence of update functions over an initial value.
+///
+/// This is the paper's `result(x, s)` specialized to a pre-projected
+/// sequence: callers are responsible for passing only the updates of
+/// accesses to `x`, in order.
+pub fn fold_updates(init: Value, updates: impl IntoIterator<Item = UpdateFn>) -> Value {
+    updates.into_iter().fold(init, |v, u| u.apply(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_is_identity() {
+        for v in [-5, 0, 7, i64::MAX] {
+            assert_eq!(UpdateFn::Read.apply(v), v);
+        }
+        assert!(UpdateFn::Read.is_read());
+        assert!(!UpdateFn::Write(0).is_read());
+    }
+
+    #[test]
+    fn write_is_constant() {
+        assert_eq!(UpdateFn::Write(42).apply(0), 42);
+        assert_eq!(UpdateFn::Write(42).apply(-1), 42);
+    }
+
+    #[test]
+    fn arithmetic_updates() {
+        assert_eq!(UpdateFn::Add(3).apply(4), 7);
+        assert_eq!(UpdateFn::Mul(3).apply(4), 12);
+        assert_eq!(UpdateFn::Xor(0b101).apply(0b011), 0b110);
+        assert_eq!(UpdateFn::Max(10).apply(4), 10);
+        assert_eq!(UpdateFn::Max(10).apply(40), 40);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(UpdateFn::Add(1).apply(i64::MAX), i64::MIN);
+        assert_eq!(UpdateFn::Mul(2).apply(i64::MAX), -2);
+    }
+
+    #[test]
+    fn fold_is_left_to_right() {
+        // (0 + 5) * 3 = 15, not 0 + (5 * 3).
+        let out = fold_updates(0, [UpdateFn::Add(5), UpdateFn::Mul(3)]);
+        assert_eq!(out, 15);
+        let out = fold_updates(0, [UpdateFn::Mul(3), UpdateFn::Add(5)]);
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn fold_empty_is_init() {
+        assert_eq!(fold_updates(9, []), 9);
+    }
+
+    #[test]
+    fn noncommutativity_is_observable() {
+        // Two orders of {Add(1), Mul(2)} from 1 give 4 vs 3 — the property
+        // serializability checks rely on.
+        let a = fold_updates(1, [UpdateFn::Add(1), UpdateFn::Mul(2)]);
+        let b = fold_updates(1, [UpdateFn::Mul(2), UpdateFn::Add(1)]);
+        assert_ne!(a, b);
+    }
+}

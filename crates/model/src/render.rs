@@ -1,0 +1,99 @@
+//! Human-readable rendering of action trees and AATs — used by
+//! counterexample output, examples and debugging sessions.
+
+use crate::action::ActionId;
+use crate::tree::{ActionTree, Status};
+use crate::universe::Universe;
+use crate::Aat;
+use std::fmt::Write;
+
+fn status_glyph(s: Status) -> &'static str {
+    match s {
+        Status::Active => "…",
+        Status::Committed => "✓",
+        Status::Aborted => "✗",
+    }
+}
+
+/// Render a tree as an indented outline, statuses as glyphs
+/// (`…` active, `✓` committed, `✗` aborted), labels attached to datasteps.
+pub fn render_tree(tree: &ActionTree, universe: Option<&Universe>) -> String {
+    let mut out = String::new();
+    render_subtree(tree, universe, &ActionId::root(), 0, &mut out);
+    out
+}
+
+fn render_subtree(
+    tree: &ActionTree,
+    universe: Option<&Universe>,
+    node: &ActionId,
+    depth: usize,
+    out: &mut String,
+) {
+    let status = tree.status(node).expect("render of absent vertex");
+    let indent = "  ".repeat(depth);
+    write!(out, "{indent}{} {node}", status_glyph(status)).expect("string write");
+    if let Some(u) = universe {
+        if let Some(spec) = u.access(node) {
+            write!(out, " [{} {}]", spec.object, spec.update).expect("string write");
+        }
+    }
+    if let Some(label) = tree.label(node) {
+        write!(out, " saw {label}").expect("string write");
+    }
+    out.push('\n');
+    let children: Vec<ActionId> = tree.children_in_tree(node).cloned().collect();
+    for child in children {
+        render_subtree(tree, universe, &child, depth + 1, out);
+    }
+}
+
+/// Render an AAT: the tree plus the per-object data orders.
+pub fn render_aat(aat: &Aat, universe: Option<&Universe>) -> String {
+    let mut out = render_tree(&aat.tree, universe);
+    for x in aat.data_objects() {
+        let order: Vec<String> = aat.data_order(x).iter().map(|a| a.to_string()).collect();
+        writeln!(out, "data({x}): {}", order.join(" ≺ ")).expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{ObjectId, UpdateFn};
+    use crate::universe::UniverseBuilder;
+    use crate::act;
+
+    #[test]
+    fn renders_statuses_and_labels() {
+        let u = UniverseBuilder::new()
+            .object(0, 1)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Add(2))
+            .action(act![1])
+            .build()
+            .unwrap();
+        let mut aat = Aat::trivial();
+        aat.tree.create(act![0]);
+        aat.tree.create(act![0, 0]);
+        aat.tree.set_committed(&act![0, 0]);
+        aat.tree.set_label(act![0, 0], 1);
+        aat.append_datastep(ObjectId(0), act![0, 0]);
+        aat.tree.create(act![1]);
+        aat.tree.set_aborted(&act![1]);
+        let s = render_aat(&aat, Some(&u));
+        assert!(s.contains("… U\n"), "root active:\n{s}");
+        assert!(s.contains("✓ U.0.0 [x0 add(2)] saw 1"), "labelled access:\n{s}");
+        assert!(s.contains("✗ U.1"), "aborted action:\n{s}");
+        assert!(s.contains("data(x0): U.0.0"), "data order:\n{s}");
+        // Indentation reflects depth.
+        assert!(s.contains("\n  … U.0\n    ✓ U.0.0"), "indentation:\n{s}");
+    }
+
+    #[test]
+    fn renders_without_universe() {
+        let tree = ActionTree::trivial();
+        assert_eq!(render_tree(&tree, None), "… U\n");
+    }
+}

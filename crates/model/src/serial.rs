@@ -1,0 +1,327 @@
+//! Serializability by definition (paper Section 3.4): explicit enumeration
+//! of linearizing sibling orders.
+//!
+//! These checkers are exponential in the sibling-group sizes and exist as
+//! *ground truth*: Theorem 9's cycle-free characterization
+//! ([`crate::Aat::is_data_serializable`]) is cross-validated against them in
+//! tests and in experiment E2, and the Level-1 specification algebra uses
+//! them to decide its global constraint `C` on small trees.
+
+use crate::action::ActionId;
+use crate::object::fold_updates;
+use crate::tree::ActionTree;
+use crate::universe::Universe;
+use crate::Aat;
+use std::collections::BTreeMap;
+
+/// A linearizing partial order `p`: a total order on every sibling group of
+/// the tree, represented as a rank per non-root vertex within its group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Linearization {
+    rank: BTreeMap<ActionId, usize>,
+}
+
+impl Linearization {
+    /// The rank of `a` within its sibling group.
+    pub fn rank(&self, a: &ActionId) -> usize {
+        *self.rank.get(a).expect("rank of vertex not in linearization")
+    }
+
+    /// `(A, B) ∈ induced_{T,p}` for *distinct, non-ancestor-related*
+    /// datasteps: compare the sibling ancestors at their lca.
+    ///
+    /// Returns `None` when the pair is not governed by the induced order
+    /// (equal actions, or one an ancestor of the other — impossible for
+    /// distinct leaves).
+    pub fn induced_precedes(&self, a: &ActionId, b: &ActionId) -> Option<bool> {
+        let lca = a.lca(b);
+        let a_side = lca.child_towards(a)?;
+        let b_side = lca.child_towards(b)?;
+        Some(self.rank(&a_side) < self.rank(&b_side))
+    }
+
+    /// `preds_{T,p}(A)`: the datasteps on `A`'s object that are visible to
+    /// `A` and strictly precede it in the induced order, sorted by the
+    /// induced order.
+    pub fn preds(&self, tree: &ActionTree, universe: &Universe, a: &ActionId) -> Vec<ActionId> {
+        let x = universe.object_of(a).expect("preds of a non-access");
+        let mut out: Vec<ActionId> = tree
+            .datasteps_of(x, universe)
+            .filter(|b| b != a && tree.is_visible_to(b, a))
+            .filter(|b| self.induced_precedes(b, a) == Some(true))
+            .collect();
+        out.sort_by(|p, q| {
+            if p == q {
+                std::cmp::Ordering::Equal
+            } else if self.induced_precedes(p, q) == Some(true) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        out
+    }
+
+    /// True iff `p` is *serializing* for the tree: every datastep's label is
+    /// the result of applying its `preds` sequence to `init(x)`.
+    pub fn is_serializing(&self, tree: &ActionTree, universe: &Universe) -> bool {
+        tree.datasteps(universe).all(|a| {
+            let x = universe.object_of(&a).expect("datastep is access");
+            let init = universe.init_of(x).expect("declared object");
+            let expected = fold_updates(
+                init,
+                self.preds(tree, universe, &a)
+                    .iter()
+                    .map(|b| universe.update_of(b).expect("datastep is access")),
+            );
+            tree.label(&a) == Some(expected)
+        })
+    }
+
+    /// True iff the induced order is consistent with the AAT's `data_T`
+    /// order: for every object, every strict data pair is an induced pair.
+    pub fn is_consistent_with_data(&self, aat: &Aat) -> bool {
+        aat.data_objects().all(|x| {
+            let order = aat.data_order(x);
+            order.iter().enumerate().all(|(i, b)| {
+                order[i + 1..].iter().all(|a| self.induced_precedes(b, a) == Some(true))
+            })
+        })
+    }
+}
+
+/// The sibling groups of a tree's vertex set: children lists keyed by parent.
+fn sibling_groups(tree: &ActionTree) -> Vec<Vec<ActionId>> {
+    let mut groups: BTreeMap<ActionId, Vec<ActionId>> = BTreeMap::new();
+    for a in tree.vertices() {
+        if let Some(p) = a.parent() {
+            groups.entry(p).or_default().push(a.clone());
+        }
+    }
+    groups.into_values().collect()
+}
+
+/// Number of linearizing orders of the tree (product of group factorials).
+/// Saturates at `u64::MAX`.
+pub fn linearization_count(tree: &ActionTree) -> u64 {
+    sibling_groups(tree).iter().fold(1u64, |acc, g| {
+        let fact = (1..=g.len() as u64).try_fold(1u64, |f, k| f.checked_mul(k)).unwrap_or(u64::MAX);
+        acc.saturating_mul(fact)
+    })
+}
+
+/// Search for a linearizing order satisfying `pred`, enumerating the product
+/// of per-group permutations. Exponential; intended for small trees.
+pub fn find_linearization(
+    tree: &ActionTree,
+    mut pred: impl FnMut(&Linearization) -> bool,
+) -> Option<Linearization> {
+    let groups = sibling_groups(tree);
+    let mut rank: BTreeMap<ActionId, usize> = BTreeMap::new();
+
+    fn rec(
+        groups: &[Vec<ActionId>],
+        rank: &mut BTreeMap<ActionId, usize>,
+        pred: &mut impl FnMut(&Linearization) -> bool,
+    ) -> Option<Linearization> {
+        let Some((group, rest)) = groups.split_first() else {
+            let lin = Linearization { rank: rank.clone() };
+            return pred(&lin).then_some(lin);
+        };
+        let mut perm: Vec<usize> = (0..group.len()).collect();
+        // Lexicographic permutation enumeration.
+        loop {
+            for (pos, &gi) in perm.iter().enumerate() {
+                rank.insert(group[gi].clone(), pos);
+            }
+            if let Some(found) = rec(rest, rank, pred) {
+                return Some(found);
+            }
+            if !next_permutation(&mut perm) {
+                break;
+            }
+        }
+        None
+    }
+
+    rec(&groups, &mut rank, &mut pred)
+}
+
+/// Advance `perm` to the next lexicographic permutation; false at the last.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    if perm.len() < 2 {
+        return false;
+    }
+    let mut i = perm.len() - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = perm.len() - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+/// Serializability by definition: does some linearizing order serialize the
+/// tree? (Paper Section 3.4.) Exponential; small trees only.
+pub fn is_serializable_bruteforce(tree: &ActionTree, universe: &Universe) -> bool {
+    find_linearization(tree, |lin| lin.is_serializing(tree, universe)).is_some()
+}
+
+/// Data-serializability by definition (paper Section 5.1): a serializing
+/// order whose induced order is consistent with `data_T`.
+pub fn is_data_serializable_bruteforce(aat: &Aat, universe: &Universe) -> bool {
+    find_linearization(&aat.tree, |lin| {
+        lin.is_consistent_with_data(aat) && lin.is_serializing(&aat.tree, universe)
+    })
+    .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act;
+    use crate::object::{ObjectId, UpdateFn};
+    use crate::universe::UniverseBuilder;
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 1)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Add(1))
+            .action(act![1])
+            .access(act![1, 0], 0, UpdateFn::Mul(2))
+            .build()
+            .unwrap()
+    }
+
+    /// Tree where both accesses committed fully; labels chosen per `order`.
+    fn committed_tree(label0: i64, label1: i64) -> ActionTree {
+        let mut t = ActionTree::trivial();
+        for a in [act![0], act![1]] {
+            t.create(a);
+        }
+        for a in [act![0, 0], act![1, 0]] {
+            t.create(a.clone());
+            t.set_committed(&a);
+        }
+        t.set_committed(&act![0]);
+        t.set_committed(&act![1]);
+        t.set_label(act![0, 0], label0);
+        t.set_label(act![1, 0], label1);
+        t
+    }
+
+    #[test]
+    fn next_permutation_walks_all() {
+        let mut p = vec![0, 1, 2];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 1, 2]);
+        assert_eq!(seen[5], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn linearization_count_products() {
+        let t = committed_tree(0, 0);
+        // Groups: {act0, act1} (2!), {act0.0} (1!), {act1.0} (1!).
+        assert_eq!(linearization_count(&t), 2);
+    }
+
+    #[test]
+    fn serializable_when_labels_match_some_order() {
+        let u = universe();
+        // Order "0 then 1": 0.0 sees init=1, 1.0 sees 2.
+        assert!(is_serializable_bruteforce(&committed_tree(1, 2), &u));
+        // Order "1 then 0": 1.0 sees 1, 0.0 sees 2.
+        assert!(is_serializable_bruteforce(&committed_tree(2, 1), &u));
+        // No order explains labels (1, 7).
+        assert!(!is_serializable_bruteforce(&committed_tree(1, 7), &u));
+    }
+
+    #[test]
+    fn data_serializability_respects_data_order() {
+        let u = universe();
+        // Labels match "0 then 1", but data order says 1 before 0.
+        let mut aat = Aat::from_tree(committed_tree(1, 2));
+        aat.append_datastep(ObjectId(0), act![1, 0]);
+        aat.append_datastep(ObjectId(0), act![0, 0]);
+        assert!(is_serializable_bruteforce(&aat.tree, &u));
+        assert!(!is_data_serializable_bruteforce(&aat, &u));
+        // With the matching data order it is data-serializable.
+        let mut good = Aat::from_tree(committed_tree(1, 2));
+        good.append_datastep(ObjectId(0), act![0, 0]);
+        good.append_datastep(ObjectId(0), act![1, 0]);
+        assert!(is_data_serializable_bruteforce(&good, &u));
+    }
+
+    #[test]
+    fn theorem9_agrees_with_bruteforce_here() {
+        let u = universe();
+        for (l0, l1, data_rev) in
+            [(1, 2, false), (2, 1, true), (1, 7, false), (1, 2, true), (2, 1, false)]
+        {
+            let mut aat = Aat::from_tree(committed_tree(l0, l1));
+            if data_rev {
+                aat.append_datastep(ObjectId(0), act![1, 0]);
+                aat.append_datastep(ObjectId(0), act![0, 0]);
+            } else {
+                aat.append_datastep(ObjectId(0), act![0, 0]);
+                aat.append_datastep(ObjectId(0), act![1, 0]);
+            }
+            assert_eq!(
+                aat.is_data_serializable(&u),
+                is_data_serializable_bruteforce(&aat, &u),
+                "theorem 9 disagreement at ({l0},{l1},rev={data_rev})"
+            );
+        }
+    }
+
+    #[test]
+    fn preds_sorted_by_induced_order() {
+        let u = UniverseBuilder::new()
+            .object(0, 0)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Add(1))
+            .action(act![1])
+            .access(act![1, 0], 0, UpdateFn::Add(2))
+            .action(act![2])
+            .access(act![2, 0], 0, UpdateFn::Read)
+            .build()
+            .unwrap();
+        let mut t = ActionTree::trivial();
+        for a in [act![0], act![1], act![2]] {
+            t.create(a.clone());
+        }
+        for a in [act![0, 0], act![1, 0], act![2, 0]] {
+            t.create(a.clone());
+            t.set_committed(&a);
+            t.set_label(a, 0);
+        }
+        for a in [act![0], act![1], act![2]] {
+            t.set_committed(&a);
+        }
+        // Find the order 1 < 0 < 2 and check preds of 2.0 comes back sorted.
+        let lin = find_linearization(&t, |l| {
+            l.rank(&act![1]) == 0 && l.rank(&act![0]) == 1 && l.rank(&act![2]) == 2
+        })
+        .expect("specific order exists");
+        let preds = lin.preds(&t, &u, &act![2, 0]);
+        assert_eq!(preds, vec![act![1, 0], act![0, 0]]);
+    }
+
+    #[test]
+    fn empty_tree_is_serializable() {
+        let u = universe();
+        assert!(is_serializable_bruteforce(&ActionTree::trivial(), &u));
+    }
+}

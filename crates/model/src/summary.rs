@@ -1,0 +1,199 @@
+//! Action summaries (paper Section 9.1): partial knowledge of the latest
+//! status of transactions, used as node-local state and message payloads in
+//! the distributed algebra.
+//!
+//! Unlike an action tree, a summary's vertex set is *not* required to be
+//! parent-closed, and there are no labels — it is pure status gossip.
+
+use crate::action::ActionId;
+use crate::tree::Status;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An action summary: a finite status map over actions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct ActionSummary {
+    status: BTreeMap<ActionId, Status>,
+}
+
+impl ActionSummary {
+    /// The trivial summary: no vertices.
+    pub fn trivial() -> Self {
+        Self::default()
+    }
+
+    /// Build a summary from status entries.
+    pub fn from_entries(entries: impl IntoIterator<Item = (ActionId, Status)>) -> Self {
+        ActionSummary { status: entries.into_iter().collect() }
+    }
+
+    /// A singleton summary recording one action's status.
+    pub fn singleton(a: ActionId, s: Status) -> Self {
+        ActionSummary { status: BTreeMap::from([(a, s)]) }
+    }
+
+    /// True iff the summary has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// True iff `A` is a vertex of the summary.
+    pub fn contains(&self, a: &ActionId) -> bool {
+        self.status.contains_key(a)
+    }
+
+    /// The status of `A`, if known.
+    pub fn status(&self, a: &ActionId) -> Option<Status> {
+        self.status.get(a).copied()
+    }
+
+    /// True iff `A` is known active.
+    pub fn is_active(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Active)
+    }
+
+    /// True iff `A` is known committed.
+    pub fn is_committed(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Committed)
+    }
+
+    /// True iff `A` is known aborted.
+    pub fn is_aborted(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Aborted)
+    }
+
+    /// True iff `A` is known done (committed or aborted).
+    pub fn is_done(&self, a: &ActionId) -> bool {
+        matches!(self.status(a), Some(Status::Committed | Status::Aborted))
+    }
+
+    /// All vertices with status, in name order.
+    pub fn entries(&self) -> impl Iterator<Item = (&ActionId, Status)> + '_ {
+        self.status.iter().map(|(a, &s)| (a, s))
+    }
+
+    /// Set or overwrite the status of `A`.
+    pub fn set(&mut self, a: ActionId, s: Status) {
+        self.status.insert(a, s);
+    }
+
+    /// `self ≤ other` (Section 9.1): vertex, committed and aborted sets are
+    /// contained component-wise.
+    pub fn le(&self, other: &ActionSummary) -> bool {
+        self.status.iter().all(|(a, &s)| match (s, other.status(a)) {
+            (_, None) => false,
+            (Status::Active, Some(_)) => true,
+            (Status::Committed, Some(os)) => os == Status::Committed,
+            (Status::Aborted, Some(os)) => os == Status::Aborted,
+        })
+    }
+
+    /// `self ∪ other`: component-wise union. Done statuses win over active
+    /// (an action never leaves `done`, so the union of consistent summaries
+    /// is well-defined; for inconsistent inputs the *other* operand's done
+    /// status wins deterministically).
+    pub fn union(&self, other: &ActionSummary) -> ActionSummary {
+        let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// In-place version of [`ActionSummary::union`].
+    pub fn union_in_place(&mut self, other: &ActionSummary) {
+        for (a, &s) in &other.status {
+            match self.status.get(a) {
+                Some(Status::Committed | Status::Aborted) if s == Status::Active => {}
+                _ => {
+                    self.status.insert(a.clone(), s);
+                }
+            }
+        }
+    }
+
+    /// True iff `A` is dead according to this summary: some ancestor is
+    /// known aborted.
+    pub fn knows_dead(&self, a: &ActionId) -> bool {
+        a.ancestors().any(|anc| self.is_aborted(&anc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act;
+
+    #[test]
+    fn trivial_and_singleton() {
+        assert!(ActionSummary::trivial().is_empty());
+        let s = ActionSummary::singleton(act![0], Status::Active);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_active(&act![0]));
+        assert!(!s.contains(&act![1]));
+    }
+
+    #[test]
+    fn not_parent_closed() {
+        // A summary may know about a deep action without its ancestors.
+        let s = ActionSummary::singleton(act![3, 1, 4], Status::Committed);
+        assert!(s.contains(&act![3, 1, 4]));
+        assert!(!s.contains(&act![3]));
+    }
+
+    #[test]
+    fn le_is_componentwise() {
+        let small = ActionSummary::from_entries([(act![0], Status::Active)]);
+        let big = ActionSummary::from_entries([
+            (act![0], Status::Committed),
+            (act![1], Status::Aborted),
+        ]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+        assert!(ActionSummary::trivial().le(&small));
+        // aborted ≤ requires aborted on the right.
+        let ab = ActionSummary::from_entries([(act![1], Status::Aborted)]);
+        let cm = ActionSummary::from_entries([(act![1], Status::Committed)]);
+        assert!(!ab.le(&cm));
+    }
+
+    #[test]
+    fn union_prefers_done() {
+        let a = ActionSummary::from_entries([(act![0], Status::Committed)]);
+        let b = ActionSummary::from_entries([(act![0], Status::Active), (act![1], Status::Active)]);
+        let u = a.union(&b);
+        assert!(u.is_committed(&act![0]), "done must not regress to active");
+        assert!(u.is_active(&act![1]));
+        let u2 = b.union(&a);
+        assert!(u2.is_committed(&act![0]));
+    }
+
+    #[test]
+    fn union_upper_bound_law() {
+        let a = ActionSummary::from_entries([(act![0], Status::Active), (act![2], Status::Aborted)]);
+        let b = ActionSummary::from_entries([(act![0], Status::Committed), (act![1], Status::Active)]);
+        let u = a.union(&b);
+        assert!(a.le(&u));
+        assert!(b.le(&u));
+    }
+
+    #[test]
+    fn knows_dead_walks_ancestors() {
+        let s = ActionSummary::from_entries([(act![0], Status::Aborted)]);
+        assert!(s.knows_dead(&act![0, 1, 2]));
+        assert!(s.knows_dead(&act![0]));
+        assert!(!s.knows_dead(&act![1]));
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut s = ActionSummary::trivial();
+        s.set(act![0], Status::Active);
+        s.set(act![0], Status::Committed);
+        assert!(s.is_committed(&act![0]));
+        assert!(s.is_done(&act![0]));
+    }
+}

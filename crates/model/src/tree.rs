@@ -1,0 +1,484 @@
+//! Action trees: the nested-transaction generalization of the log
+//! (paper Section 3.2), with visibility (3.3) and `perm(T)` (3.4).
+
+use crate::action::ActionId;
+use crate::object::{ObjectId, Value};
+use crate::universe::Universe;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The status of an action that has been created.
+///
+/// "Committed" means committed *relative to its parent*, not permanently;
+/// permanence is captured by [`ActionTree::perm`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Status {
+    /// Created and not yet completed.
+    Active,
+    /// Committed to its parent.
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+/// An action tree: which actions have been activated, their status, and the
+/// value seen by each committed access (its *label*).
+///
+/// Invariants maintained by the mutating methods:
+/// * the vertex set is parent-closed (except that `U` is always present);
+/// * only accesses carry labels, and only once committed.
+///
+/// The tree deliberately does **not** enforce the paper's event
+/// *preconditions* (e.g. "commit requires all children done") — those
+/// belong to the algebra levels; this type is the shared state language.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct ActionTree {
+    status: BTreeMap<ActionId, Status>,
+    labels: BTreeMap<ActionId, Value>,
+}
+
+impl ActionTree {
+    /// The trivial tree: the single vertex `U`, active.
+    pub fn trivial() -> Self {
+        let mut status = BTreeMap::new();
+        status.insert(ActionId::root(), Status::Active);
+        ActionTree { status, labels: BTreeMap::new() }
+    }
+
+    /// True iff `A` has been activated.
+    pub fn contains(&self, a: &ActionId) -> bool {
+        self.status.contains_key(a)
+    }
+
+    /// The status of `A`, if activated.
+    pub fn status(&self, a: &ActionId) -> Option<Status> {
+        self.status.get(a).copied()
+    }
+
+    /// True iff `A ∈ active_T`.
+    pub fn is_active(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Active)
+    }
+
+    /// True iff `A ∈ committed_T`.
+    pub fn is_committed(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Committed)
+    }
+
+    /// True iff `A ∈ aborted_T`.
+    pub fn is_aborted(&self, a: &ActionId) -> bool {
+        self.status(a) == Some(Status::Aborted)
+    }
+
+    /// True iff `A ∈ done_T = committed_T ∪ aborted_T`.
+    pub fn is_done(&self, a: &ActionId) -> bool {
+        matches!(self.status(a), Some(Status::Committed | Status::Aborted))
+    }
+
+    /// All activated actions in name order.
+    pub fn vertices(&self) -> impl Iterator<Item = &ActionId> + '_ {
+        self.status.keys()
+    }
+
+    /// Number of activated actions (including `U`).
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// True iff only `U` has been activated.
+    pub fn is_empty(&self) -> bool {
+        self.status.len() <= 1
+    }
+
+    /// All activated actions with status, in name order.
+    pub fn statuses(&self) -> impl Iterator<Item = (&ActionId, Status)> + '_ {
+        self.status.iter().map(|(a, &s)| (a, s))
+    }
+
+    /// The label of a datastep, if assigned.
+    pub fn label(&self, a: &ActionId) -> Option<Value> {
+        self.labels.get(a).copied()
+    }
+
+    /// All labelled datasteps in name order.
+    pub fn labels(&self) -> impl Iterator<Item = (&ActionId, Value)> + '_ {
+        self.labels.iter().map(|(a, &v)| (a, v))
+    }
+
+    /// Children of `A` among the activated vertices.
+    ///
+    /// Uses the path-prefix ordering of [`ActionId`] to range-scan the
+    /// vertex map rather than scanning all vertices.
+    pub fn children_in_tree<'a>(&'a self, a: &'a ActionId) -> impl Iterator<Item = &'a ActionId> + 'a {
+        let target_depth = a.depth() + 1;
+        self.descendants_in_tree(a).filter(move |b| b.depth() == target_depth)
+    }
+
+    /// Activated descendants of `A` (including `A` itself if activated).
+    pub fn descendants_in_tree<'a>(&'a self, a: &'a ActionId) -> impl Iterator<Item = &'a ActionId> + 'a {
+        self.status
+            .range(a.clone()..)
+            .map(|(b, _)| b)
+            .take_while(move |b| a.is_ancestor_of(b))
+    }
+
+    // ---- mutation (raw effects; preconditions live in the algebras) ----
+
+    /// Effect of `create_A`: add `A` with status 'active'.
+    ///
+    /// # Panics
+    /// If `A` is already present or its parent is absent (the vertex set
+    /// must stay parent-closed).
+    pub fn create(&mut self, a: ActionId) {
+        assert!(!a.is_root(), "U is created implicitly");
+        assert!(!self.contains(&a), "create of existing action {a}");
+        let parent = a.parent().expect("non-root has parent");
+        assert!(self.contains(&parent), "create of {a} without parent in tree");
+        self.status.insert(a, Status::Active);
+    }
+
+    /// Effect of `commit_A` / the status half of `perform`: set status to
+    /// 'committed'.
+    pub fn set_committed(&mut self, a: &ActionId) {
+        let s = self.status.get_mut(a).expect("commit of unknown action");
+        *s = Status::Committed;
+    }
+
+    /// Effect of `abort_A`: set status to 'aborted'.
+    pub fn set_aborted(&mut self, a: &ActionId) {
+        let s = self.status.get_mut(a).expect("abort of unknown action");
+        *s = Status::Aborted;
+    }
+
+    /// Record the label (value seen) of a datastep.
+    pub fn set_label(&mut self, a: ActionId, value: Value) {
+        self.labels.insert(a, value);
+    }
+
+    // ---- visibility (Section 3.3) ----
+
+    /// True iff `B ∈ visible_T(A)`: every ancestor of `B` strictly below
+    /// `lca(A, B)` (including `B` itself when applicable) is committed.
+    ///
+    /// Both actions must be vertices of the tree.
+    pub fn is_visible_to(&self, b: &ActionId, a: &ActionId) -> bool {
+        let lca = a.lca(b);
+        let mut cur = b.clone();
+        while lca.is_proper_ancestor_of(&cur) {
+            if !self.is_committed(&cur) {
+                return false;
+            }
+            cur = cur.parent().expect("below lca, so non-root");
+        }
+        true
+    }
+
+    /// `visible_T(A)`: all vertices visible to `A`.
+    pub fn visible_set(&self, a: &ActionId) -> Vec<ActionId> {
+        self.vertices().filter(|b| self.is_visible_to(b, a)).cloned().collect()
+    }
+
+    /// `visible_T(A, x)`: datasteps on `x` visible to `A`, in name order.
+    pub fn visible_datasteps(&self, a: &ActionId, x: ObjectId, universe: &Universe) -> Vec<ActionId> {
+        self.datasteps(universe)
+            .filter(|b| universe.object_of(b) == Some(x) && self.is_visible_to(b, a))
+            .collect()
+    }
+
+    /// True iff `A` is live in `T`: no ancestor of `A` is aborted.
+    pub fn is_live(&self, a: &ActionId) -> bool {
+        a.ancestors().all(|anc| !self.is_aborted(&anc))
+    }
+
+    /// True iff `A` is dead in `T`.
+    pub fn is_dead(&self, a: &ActionId) -> bool {
+        !self.is_live(a)
+    }
+
+    // ---- datasteps and perm (Section 3.4) ----
+
+    /// `datasteps_T`: committed accesses, in name order.
+    pub fn datasteps<'a>(&'a self, universe: &'a Universe) -> impl Iterator<Item = ActionId> + 'a {
+        self.status
+            .iter()
+            .filter(move |(a, &s)| s == Status::Committed && universe.is_access(a))
+            .map(|(a, _)| a.clone())
+    }
+
+    /// `datasteps_T(x)`: committed accesses to `x`, in name order.
+    pub fn datasteps_of<'a>(
+        &'a self,
+        x: ObjectId,
+        universe: &'a Universe,
+    ) -> impl Iterator<Item = ActionId> + 'a {
+        self.datasteps(universe).filter(move |a| universe.object_of(a) == Some(x))
+    }
+
+    /// `perm(T)`: the subtree of actions visible to `U` — those whose whole
+    /// ancestor chain (except `U`) has committed. Status and labels are
+    /// inherited (Lemma 5e guarantees this is a tree).
+    pub fn perm(&self) -> ActionTree {
+        let root = ActionId::root();
+        let mut out = ActionTree::default();
+        for (a, &s) in &self.status {
+            if self.is_visible_to(a, &root) {
+                out.status.insert(a.clone(), s);
+                if let Some(v) = self.labels.get(a) {
+                    out.labels.insert(a.clone(), *v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge-compare used by action summaries: true iff this tree's data is
+    /// contained in `other`'s, component-wise (`T ≤ T'` of Section 9.1,
+    /// specialized to trees).
+    pub fn le(&self, other: &ActionTree) -> bool {
+        self.status.iter().all(|(a, &s)| match (s, other.status(a)) {
+            (_, None) => false,
+            (Status::Active, Some(_)) => true,
+            (Status::Committed, Some(os)) => os == Status::Committed,
+            (Status::Aborted, Some(os)) => os == Status::Aborted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act;
+    use crate::object::UpdateFn;
+    use crate::universe::UniverseBuilder;
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 0)
+            .action(act![0])
+            .action(act![0, 0])
+            .access(act![0, 0, 0], 0, UpdateFn::Add(1))
+            .access(act![0, 1], 0, UpdateFn::Read)
+            .action(act![1])
+            .access(act![1, 0], 0, UpdateFn::Write(7))
+            .build()
+            .unwrap()
+    }
+
+    fn tree_with(entries: &[(&ActionId, Status)]) -> ActionTree {
+        let mut t = ActionTree::trivial();
+        // Insert in depth order so parent-closure assertions hold.
+        let mut sorted: Vec<_> = entries.to_vec();
+        sorted.sort_by_key(|(a, _)| a.depth());
+        for (a, s) in sorted {
+            t.create((*a).clone());
+            match s {
+                Status::Active => {}
+                Status::Committed => t.set_committed(a),
+                Status::Aborted => t.set_aborted(a),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn trivial_tree() {
+        let t = ActionTree::trivial();
+        assert!(t.is_active(&ActionId::root()));
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without parent")]
+    fn create_requires_parent() {
+        let mut t = ActionTree::trivial();
+        t.create(act![0, 0]);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut t = ActionTree::trivial();
+        t.create(act![0]);
+        assert!(t.is_active(&act![0]));
+        t.set_committed(&act![0]);
+        assert!(t.is_committed(&act![0]) && t.is_done(&act![0]));
+        t.create(act![1]);
+        t.set_aborted(&act![1]);
+        assert!(t.is_aborted(&act![1]) && t.is_done(&act![1]));
+    }
+
+    #[test]
+    fn visibility_self_and_ancestors() {
+        // Lemma 5a: if B ∈ desc(A) then A ∈ visible(B).
+        let t = tree_with(&[(&act![0], Status::Active), (&act![0, 0], Status::Active)]);
+        assert!(t.is_visible_to(&act![0], &act![0, 0]));
+        assert!(t.is_visible_to(&ActionId::root(), &act![0, 0]));
+        // An active non-ancestor is not visible.
+        assert!(!t.is_visible_to(&act![0, 0], &ActionId::root()));
+    }
+
+    #[test]
+    fn visibility_requires_commit_chain() {
+        let mut t = tree_with(&[
+            (&act![0], Status::Active),
+            (&act![0, 0], Status::Committed),
+            (&act![1], Status::Active),
+        ]);
+        // act![0,0] committed but act![0] still active: not visible to act![1].
+        assert!(!t.is_visible_to(&act![0, 0], &act![1]));
+        // Visible to its own parent's subtree though.
+        assert!(t.is_visible_to(&act![0, 0], &act![0]));
+        t.set_committed(&act![0]);
+        assert!(t.is_visible_to(&act![0, 0], &act![1]));
+    }
+
+    #[test]
+    fn aborted_blocks_visibility() {
+        let t = tree_with(&[(&act![0], Status::Aborted), (&act![0, 0], Status::Committed)]);
+        assert!(!t.is_visible_to(&act![0, 0], &ActionId::root()));
+    }
+
+    #[test]
+    fn lemma5_transitivity_samples() {
+        // Lemma 5c on a concrete tree: A ∈ vis(B), B ∈ vis(C) ⇒ A ∈ vis(C).
+        let t = tree_with(&[
+            (&act![0], Status::Committed),
+            (&act![0, 0], Status::Committed),
+            (&act![1], Status::Active),
+            (&act![1, 0], Status::Committed),
+        ]);
+        let vs: Vec<_> = t.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                for c in &vs {
+                    if t.is_visible_to(a, b) && t.is_visible_to(b, c) {
+                        assert!(t.is_visible_to(a, c), "lemma 5c failed: {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_and_dead() {
+        let t = tree_with(&[
+            (&act![0], Status::Aborted),
+            (&act![0, 0], Status::Committed),
+            (&act![1], Status::Active),
+        ]);
+        assert!(t.is_dead(&act![0]));
+        assert!(t.is_dead(&act![0, 0]));
+        assert!(t.is_live(&act![1]));
+        assert!(t.is_live(&ActionId::root()));
+    }
+
+    #[test]
+    fn lemma6_live_visible_is_live() {
+        let t = tree_with(&[
+            (&act![0], Status::Committed),
+            (&act![0, 0], Status::Committed),
+            (&act![1], Status::Active),
+        ]);
+        let vs: Vec<_> = t.vertices().cloned().collect();
+        for a in vs.iter().filter(|a| t.is_live(a)) {
+            for b in &vs {
+                if t.is_visible_to(b, a) {
+                    assert!(t.is_live(b), "lemma 6 failed: {b} visible to live {a} but dead");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn datasteps_and_labels() {
+        let u = universe();
+        let mut t = tree_with(&[
+            (&act![0], Status::Active),
+            (&act![0, 1], Status::Committed),
+            (&act![1], Status::Active),
+            (&act![1, 0], Status::Active),
+        ]);
+        t.set_label(act![0, 1], 0);
+        let ds: Vec<_> = t.datasteps(&u).collect();
+        assert_eq!(ds, vec![act![0, 1]]); // act![1,0] not committed
+        assert_eq!(t.label(&act![0, 1]), Some(0));
+        let ds0: Vec<_> = t.datasteps_of(ObjectId(0), &u).collect();
+        assert_eq!(ds0, vec![act![0, 1]]);
+    }
+
+    #[test]
+    fn perm_keeps_fully_committed_chains() {
+        let mut t = tree_with(&[
+            (&act![0], Status::Committed),
+            (&act![0, 1], Status::Committed),
+            (&act![1], Status::Active),
+            (&act![1, 0], Status::Committed),
+        ]);
+        t.set_label(act![0, 1], 3);
+        let p = t.perm();
+        assert!(p.contains(&ActionId::root()));
+        assert!(p.contains(&act![0]) && p.contains(&act![0, 1]));
+        // visible_T(U) requires every ancestor below U committed, including
+        // the action itself; active act![1] and its subtree are excluded.
+        assert!(!p.contains(&act![1]));
+        assert!(!p.contains(&act![1, 0]));
+        assert_eq!(p.label(&act![0, 1]), Some(3));
+    }
+
+    #[test]
+    fn perm_excludes_active_and_aborted() {
+        let t = tree_with(&[
+            (&act![0], Status::Active),
+            (&act![1], Status::Aborted),
+            (&act![2], Status::Committed),
+        ]);
+        let p = t.perm();
+        assert!(!p.contains(&act![0]));
+        assert!(!p.contains(&act![1]));
+        assert!(p.contains(&act![2]));
+        assert_eq!(p.len(), 2); // U and act![2]
+    }
+
+    #[test]
+    fn lemma7_perm_mutually_visible() {
+        let t = tree_with(&[
+            (&act![0], Status::Committed),
+            (&act![0, 0], Status::Committed),
+            (&act![1], Status::Committed),
+        ]);
+        let p = t.perm();
+        let vs: Vec<_> = p.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                assert!(p.is_visible_to(b, a), "lemma 7 failed: {b} not visible to {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_and_descendants() {
+        let t = tree_with(&[
+            (&act![0], Status::Active),
+            (&act![0, 0], Status::Active),
+            (&act![0, 0, 0], Status::Active),
+            (&act![1], Status::Active),
+        ]);
+        let kids: Vec<_> = t.children_in_tree(&ActionId::root()).cloned().collect();
+        assert_eq!(kids, vec![act![0], act![1]]);
+        let descs: Vec<_> = t.descendants_in_tree(&act![0]).cloned().collect();
+        assert_eq!(descs, vec![act![0], act![0, 0], act![0, 0, 0]]);
+    }
+
+    #[test]
+    fn le_ordering() {
+        let small = tree_with(&[(&act![0], Status::Active)]);
+        let big = tree_with(&[(&act![0], Status::Committed), (&act![1], Status::Active)]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small));
+        // Status regressions are not ≤.
+        let regressed = tree_with(&[(&act![0], Status::Active)]);
+        let committed = tree_with(&[(&act![0], Status::Committed)]);
+        assert!(regressed.le(&committed));
+        assert!(!committed.le(&regressed));
+    }
+}

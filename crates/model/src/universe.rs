@@ -1,0 +1,324 @@
+//! The action universe: the finite fragment of the paper's a-priori
+//! configuration that a given execution can draw from.
+//!
+//! The paper fixes, before any execution, (i) the universal tree of action
+//! names, (ii) which actions are *accesses* (exactly the leaves), and
+//! (iii) for each access its object and update function. A [`Universe`]
+//! declares a finite, parent-closed set of candidate actions together with
+//! that static data. Algebra levels consult the universe both to validate
+//! events (is `A` an access? to which object?) and to enumerate candidate
+//! events during state-space exploration.
+
+use crate::action::ActionId;
+use crate::object::{ObjectId, ObjectSpec, UpdateFn, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The static role of an access: its object and update function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AccessSpec {
+    /// `object(A)`.
+    pub object: ObjectId,
+    /// `update(A)`.
+    pub update: UpdateFn,
+}
+
+/// Errors detected while validating a universe definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UniverseError {
+    /// An action was declared whose parent is not declared.
+    MissingParent(ActionId),
+    /// The root `U` was declared as an access.
+    RootIsAccess,
+    /// An access has declared children (accesses must be leaves).
+    AccessHasChildren(ActionId),
+    /// An access refers to an undeclared object.
+    UnknownObject(ActionId, ObjectId),
+    /// The same action was declared twice.
+    DuplicateAction(ActionId),
+    /// The same object was declared twice.
+    DuplicateObject(ObjectId),
+}
+
+impl std::fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UniverseError::MissingParent(a) => write!(f, "action {a} declared without its parent"),
+            UniverseError::RootIsAccess => write!(f, "the root U may not be an access"),
+            UniverseError::AccessHasChildren(a) => write!(f, "access {a} has declared children"),
+            UniverseError::UnknownObject(a, x) => write!(f, "access {a} refers to undeclared object {x}"),
+            UniverseError::DuplicateAction(a) => write!(f, "action {a} declared twice"),
+            UniverseError::DuplicateObject(x) => write!(f, "object {x} declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+/// A finite, validated action universe.
+///
+/// Non-access declared actions may gain children; declared accesses are
+/// leaves. The root `U` is always implicitly declared.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Universe {
+    objects: BTreeMap<ObjectId, Value>,
+    /// Every declared non-root action; `None` marks a non-access.
+    actions: BTreeMap<ActionId, Option<AccessSpec>>,
+    /// Children of each declared action (including `U`), precomputed.
+    children: BTreeMap<ActionId, Vec<ActionId>>,
+}
+
+impl Universe {
+    /// Validate and build a universe from object and action declarations.
+    pub fn new(
+        objects: impl IntoIterator<Item = ObjectSpec>,
+        actions: impl IntoIterator<Item = (ActionId, Option<AccessSpec>)>,
+    ) -> Result<Self, UniverseError> {
+        let mut obj_map = BTreeMap::new();
+        for spec in objects {
+            if obj_map.insert(spec.id, spec.init).is_some() {
+                return Err(UniverseError::DuplicateObject(spec.id));
+            }
+        }
+        let mut act_map: BTreeMap<ActionId, Option<AccessSpec>> = BTreeMap::new();
+        for (id, access) in actions {
+            if id.is_root() {
+                if access.is_some() {
+                    return Err(UniverseError::RootIsAccess);
+                }
+                continue; // U is implicit
+            }
+            if act_map.insert(id.clone(), access).is_some() {
+                return Err(UniverseError::DuplicateAction(id));
+            }
+        }
+        let mut children: BTreeMap<ActionId, Vec<ActionId>> = BTreeMap::new();
+        children.insert(ActionId::root(), Vec::new());
+        for id in act_map.keys() {
+            children.entry(id.clone()).or_default();
+        }
+        for (id, access) in &act_map {
+            let parent = id.parent().expect("non-root action has a parent");
+            if !parent.is_root() {
+                match act_map.get(&parent) {
+                    None => return Err(UniverseError::MissingParent(id.clone())),
+                    Some(Some(_)) => return Err(UniverseError::AccessHasChildren(parent)),
+                    Some(None) => {}
+                }
+            }
+            if let Some(spec) = access {
+                if !obj_map.contains_key(&spec.object) {
+                    return Err(UniverseError::UnknownObject(id.clone(), spec.object));
+                }
+            }
+            children.get_mut(&parent).expect("parent registered").push(id.clone());
+        }
+        for (id, access) in &act_map {
+            if access.is_some() && !children.get(id).is_none_or(Vec::is_empty) {
+                return Err(UniverseError::AccessHasChildren(id.clone()));
+            }
+        }
+        Ok(Universe { objects: obj_map, actions: act_map, children })
+    }
+
+    /// True iff `A` is declared (the root is always declared).
+    pub fn contains(&self, a: &ActionId) -> bool {
+        a.is_root() || self.actions.contains_key(a)
+    }
+
+    /// True iff `A` is a declared access.
+    pub fn is_access(&self, a: &ActionId) -> bool {
+        matches!(self.actions.get(a), Some(Some(_)))
+    }
+
+    /// The access specification of `A`, if `A` is an access.
+    pub fn access(&self, a: &ActionId) -> Option<&AccessSpec> {
+        self.actions.get(a).and_then(|s| s.as_ref())
+    }
+
+    /// `object(A)` for an access `A`.
+    pub fn object_of(&self, a: &ActionId) -> Option<ObjectId> {
+        self.access(a).map(|s| s.object)
+    }
+
+    /// `update(A)` for an access `A`.
+    pub fn update_of(&self, a: &ActionId) -> Option<UpdateFn> {
+        self.access(a).map(|s| s.update)
+    }
+
+    /// `init(x)` for a declared object.
+    pub fn init_of(&self, x: ObjectId) -> Option<Value> {
+        self.objects.get(&x).copied()
+    }
+
+    /// All declared objects with their initial values.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectSpec> + '_ {
+        self.objects.iter().map(|(&id, &init)| ObjectSpec { id, init })
+    }
+
+    /// Number of declared objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// All declared non-root actions, in name order.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionId> + '_ {
+        self.actions.keys()
+    }
+
+    /// All declared accesses with their specs, in name order.
+    pub fn accesses(&self) -> impl Iterator<Item = (&ActionId, &AccessSpec)> + '_ {
+        self.actions.iter().filter_map(|(id, s)| s.as_ref().map(|s| (id, s)))
+    }
+
+    /// Number of declared non-root actions.
+    pub fn action_count(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Declared children of `A` (empty for accesses and undeclared actions).
+    pub fn children_of(&self, a: &ActionId) -> &[ActionId] {
+        self.children.get(a).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Fluent builder for [`Universe`] definitions used throughout tests,
+/// examples and experiments.
+#[derive(Clone, Debug, Default)]
+pub struct UniverseBuilder {
+    objects: Vec<ObjectSpec>,
+    actions: Vec<(ActionId, Option<AccessSpec>)>,
+}
+
+impl UniverseBuilder {
+    /// Start an empty universe definition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an object with an initial value.
+    pub fn object(mut self, id: u32, init: Value) -> Self {
+        self.objects.push(ObjectSpec { id: ObjectId(id), init });
+        self
+    }
+
+    /// Declare a non-access (inner) action.
+    pub fn action(mut self, id: ActionId) -> Self {
+        self.actions.push((id, None));
+        self
+    }
+
+    /// Declare an access to `object` with the given update function.
+    pub fn access(mut self, id: ActionId, object: u32, update: UpdateFn) -> Self {
+        self.actions.push((id, Some(AccessSpec { object: ObjectId(object), update })));
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Universe, UniverseError> {
+        Universe::new(self.objects, self.actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act;
+
+    fn small() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 0)
+            .object(1, 10)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Add(1))
+            .access(act![0, 1], 1, UpdateFn::Read)
+            .action(act![1])
+            .access(act![1, 0], 0, UpdateFn::Write(5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_queries() {
+        let u = small();
+        assert!(u.contains(&ActionId::root()));
+        assert!(u.contains(&act![0, 0]));
+        assert!(!u.contains(&act![2]));
+        assert!(u.is_access(&act![0, 0]));
+        assert!(!u.is_access(&act![0]));
+        assert_eq!(u.object_of(&act![0, 0]), Some(ObjectId(0)));
+        assert_eq!(u.update_of(&act![1, 0]), Some(UpdateFn::Write(5)));
+        assert_eq!(u.init_of(ObjectId(1)), Some(10));
+        assert_eq!(u.init_of(ObjectId(7)), None);
+        assert_eq!(u.action_count(), 5);
+        assert_eq!(u.object_count(), 2);
+    }
+
+    #[test]
+    fn children_precomputed() {
+        let u = small();
+        assert_eq!(u.children_of(&ActionId::root()), &[act![0], act![1]]);
+        assert_eq!(u.children_of(&act![0]), &[act![0, 0], act![0, 1]]);
+        assert!(u.children_of(&act![0, 0]).is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_parent() {
+        let err = UniverseBuilder::new().action(act![0, 0]).build().unwrap_err();
+        assert_eq!(err, UniverseError::MissingParent(act![0, 0]));
+    }
+
+    #[test]
+    fn rejects_access_with_children() {
+        let err = UniverseBuilder::new()
+            .object(0, 0)
+            .access(act![0], 0, UpdateFn::Read)
+            .action(act![0, 0])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, UniverseError::AccessHasChildren(act![0]));
+    }
+
+    #[test]
+    fn rejects_unknown_object() {
+        let err = UniverseBuilder::new().access(act![0], 9, UpdateFn::Read).build().unwrap_err();
+        assert_eq!(err, UniverseError::UnknownObject(act![0], ObjectId(9)));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = UniverseBuilder::new().action(act![0]).action(act![0]).build().unwrap_err();
+        assert_eq!(err, UniverseError::DuplicateAction(act![0]));
+        let err = UniverseBuilder::new().object(0, 0).object(0, 1).build().unwrap_err();
+        assert_eq!(err, UniverseError::DuplicateObject(ObjectId(0)));
+    }
+
+    #[test]
+    fn access_has_children_detected_after_the_fact() {
+        // Declare the child first, then the parent as an access.
+        let err = UniverseBuilder::new()
+            .object(0, 0)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Read)
+            .access(act![0], 0, UpdateFn::Read)
+            .build()
+            .unwrap_err();
+        // Either ordering of detection is acceptable; both name act![0].
+        match err {
+            UniverseError::AccessHasChildren(a) | UniverseError::DuplicateAction(a) => {
+                assert_eq!(a, act![0])
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_not_access() {
+        let err = Universe::new(
+            [],
+            [(ActionId::root(), Some(AccessSpec { object: ObjectId(0), update: UpdateFn::Read }))],
+        )
+        .unwrap_err();
+        assert_eq!(err, UniverseError::RootIsAccess);
+    }
+}

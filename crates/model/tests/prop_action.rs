@@ -1,0 +1,95 @@
+//! Property-based tests for the action-name algebra: the tree laws that
+//! every later proof step (visibility, sibling-data projection, locality)
+//! silently relies on.
+
+use proptest::prelude::*;
+use rnt_model::ActionId;
+
+fn action_strategy() -> impl Strategy<Value = ActionId> {
+    prop::collection::vec(0u32..4, 0..5).prop_map(ActionId::from_path)
+}
+
+proptest! {
+    #[test]
+    fn parent_child_roundtrip(a in action_strategy(), i in 0u32..8) {
+        let c = a.child(i);
+        prop_assert_eq!(c.parent().unwrap(), a.clone());
+        prop_assert_eq!(c.depth(), a.depth() + 1);
+        prop_assert!(a.is_proper_ancestor_of(&c));
+    }
+
+    #[test]
+    fn lca_is_commutative(a in action_strategy(), b in action_strategy()) {
+        prop_assert_eq!(a.lca(&b), b.lca(&a));
+    }
+
+    #[test]
+    fn lca_is_common_ancestor_and_deepest(a in action_strategy(), b in action_strategy()) {
+        let l = a.lca(&b);
+        prop_assert!(l.is_ancestor_of(&a));
+        prop_assert!(l.is_ancestor_of(&b));
+        // No deeper common ancestor: the child of l towards a (if any)
+        // must not be an ancestor of b, unless a is an ancestor of b or
+        // vice versa (then l equals the shallower one).
+        if let (Some(ca), Some(cb)) = (l.child_towards(&a), l.child_towards(&b)) {
+            prop_assert_ne!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn lca_absorbs(a in action_strategy(), b in action_strategy()) {
+        // Lemma 5b's identity: lca(A, B) = lca(A, lca(A, B)).
+        let l = a.lca(&b);
+        prop_assert_eq!(a.lca(&l), l);
+    }
+
+    #[test]
+    fn ancestor_antisymmetry(a in action_strategy(), b in action_strategy()) {
+        if a.is_ancestor_of(&b) && b.is_ancestor_of(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ancestor_transitivity(a in action_strategy(), b in action_strategy(), c in action_strategy()) {
+        if a.is_ancestor_of(&b) && b.is_ancestor_of(&c) {
+            prop_assert!(a.is_ancestor_of(&c));
+        }
+    }
+
+    #[test]
+    fn ancestors_iter_agrees_with_predicate(a in action_strategy(), b in action_strategy()) {
+        let listed = b.ancestors().any(|x| x == a);
+        prop_assert_eq!(listed, a.is_ancestor_of(&b));
+    }
+
+    #[test]
+    fn child_towards_is_on_path(a in action_strategy(), b in action_strategy()) {
+        match a.child_towards(&b) {
+            Some(c) => {
+                prop_assert!(a.is_proper_ancestor_of(&c));
+                prop_assert!(c.is_ancestor_of(&b));
+                prop_assert_eq!(c.depth(), a.depth() + 1);
+            }
+            None => prop_assert!(!a.is_proper_ancestor_of(&b)),
+        }
+    }
+
+    #[test]
+    fn sibling_iff_same_parent(a in action_strategy(), b in action_strategy()) {
+        let expected = match (a.parent(), b.parent()) {
+            (Some(pa), Some(pb)) => pa == pb,
+            _ => false,
+        };
+        prop_assert_eq!(a.is_sibling_of(&b), expected);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent(a in action_strategy(), b in action_strategy()) {
+        // ActionId's Ord is prefix-compatible: an ancestor sorts before
+        // its proper descendants (used by the range-scan tree queries).
+        if a.is_proper_ancestor_of(&b) {
+            prop_assert!(a < b);
+        }
+    }
+}

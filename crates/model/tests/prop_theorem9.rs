@@ -1,0 +1,176 @@
+//! Property-based cross-validation of Theorem 9: the cycle-free
+//! characterization of data-serializability must agree with the
+//! brute-force definition on arbitrary (not just computable) AATs.
+
+use proptest::prelude::*;
+use rnt_model::serial::{is_data_serializable_bruteforce, is_serializable_bruteforce};
+use rnt_model::{act, Aat, ActionId, ObjectId, Universe, UniverseBuilder, UpdateFn, Value};
+
+/// A fixed small universe rich enough for interesting conflicts:
+/// two top-level actions, each with a nested subtransaction holding two
+/// accesses, over two objects with non-commuting updates.
+fn universe() -> Universe {
+    UniverseBuilder::new()
+        .object(0, 1)
+        .object(1, 2)
+        .action(act![0])
+        .action(act![0, 0])
+        .access(act![0, 0, 0], 0, UpdateFn::Add(1))
+        .access(act![0, 0, 1], 1, UpdateFn::Mul(2))
+        .access(act![0, 1], 0, UpdateFn::Read)
+        .action(act![1])
+        .access(act![1, 0], 0, UpdateFn::Mul(3))
+        .access(act![1, 1], 1, UpdateFn::Add(5))
+        .build()
+        .unwrap()
+}
+
+/// Build an AAT from generated choices: which actions exist and their
+/// statuses, per-object permutations, and label noise.
+fn aat_from(
+    universe: &Universe,
+    status_picks: Vec<u8>,
+    order_noise: Vec<usize>,
+    label_noise: Vec<Option<Value>>,
+) -> Aat {
+    let mut aat = Aat::trivial();
+    let mut actions: Vec<ActionId> = universe.actions().cloned().collect();
+    actions.sort_by_key(|a| a.depth());
+    for (i, a) in actions.iter().enumerate() {
+        let pick = status_picks.get(i).copied().unwrap_or(0) % 4;
+        if pick == 3 {
+            continue; // not created
+        }
+        let parent = a.parent().expect("non-root");
+        if !aat.tree.contains(&parent) {
+            continue;
+        }
+        aat.tree.create(a.clone());
+        // Accesses are either committed (a datastep) or left out entirely;
+        // inner actions range over all three statuses.
+        match pick {
+            0 => aat.tree.set_committed(a),
+            1 => {
+                if universe.is_access(a) {
+                    aat.tree.set_committed(a)
+                } // else: stays active
+            }
+            2 => {
+                if universe.is_access(a) {
+                    aat.tree.set_committed(a)
+                } else {
+                    aat.tree.set_aborted(a)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    // Per-object order: name order rotated by noise.
+    for (i, obj) in universe.objects().enumerate() {
+        let mut steps: Vec<ActionId> = aat.tree.datasteps_of(obj.id, universe).collect();
+        if !steps.is_empty() {
+            let rot = order_noise.get(i).copied().unwrap_or(0) % steps.len();
+            steps.rotate_left(rot);
+            // Extra shuffle: swap first two when noise is odd.
+            if steps.len() >= 2 && order_noise.get(i + 2).copied().unwrap_or(0) % 2 == 1 {
+                steps.swap(0, 1);
+            }
+        }
+        for a in steps {
+            aat.append_datastep(obj.id, a);
+        }
+    }
+    // Labels: correct fold, possibly overridden by noise.
+    let all: Vec<(ActionId, ObjectId)> = aat
+        .data_objects()
+        .flat_map(|x| aat.data_order(x).iter().cloned().map(move |a| (a, x)))
+        .collect();
+    for (i, (a, x)) in all.into_iter().enumerate() {
+        let init = universe.init_of(x).expect("declared");
+        let correct = rnt_model::fold_updates(
+            init,
+            aat.v_data(&a, universe).iter().map(|b| universe.update_of(b).expect("access")),
+        );
+        let label = match label_noise.get(i).copied().flatten() {
+            Some(noise) => correct.wrapping_add(noise),
+            None => correct,
+        };
+        aat.tree.set_label(a, label);
+    }
+    aat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem9_characterization_agrees_with_definition(
+        status_picks in prop::collection::vec(0u8..4, 9),
+        order_noise in prop::collection::vec(0usize..6, 4),
+        label_noise in prop::collection::vec(prop::option::weighted(0.25, 1i64..4), 8),
+    ) {
+        let u = universe();
+        let aat = aat_from(&u, status_picks, order_noise, label_noise);
+        prop_assert_eq!(
+            aat.is_data_serializable(&u),
+            is_data_serializable_bruteforce(&aat, &u),
+            "Theorem 9 disagreement on {:?}", aat
+        );
+    }
+
+    #[test]
+    fn data_serializable_implies_serializable(
+        status_picks in prop::collection::vec(0u8..4, 9),
+        order_noise in prop::collection::vec(0usize..6, 4),
+    ) {
+        let u = universe();
+        let aat = aat_from(&u, status_picks, order_noise, vec![]);
+        if aat.is_data_serializable(&u) {
+            prop_assert!(is_serializable_bruteforce(&aat.tree, &u));
+        }
+    }
+
+    #[test]
+    fn rw_characterization_is_sound(
+        status_picks in prop::collection::vec(0u8..4, 9),
+        order_noise in prop::collection::vec(0usize..6, 4),
+    ) {
+        // When the conflict-restricted check passes, a serializing order
+        // exists by definition (the rw check is a *sufficient* condition).
+        let u = universe();
+        let aat = aat_from(&u, status_picks, order_noise, vec![]);
+        if aat.is_rw_data_serializable(&u) {
+            prop_assert!(
+                is_serializable_bruteforce(&aat.tree, &u),
+                "rw check passed but no serializing order exists: {:?}", aat
+            );
+        }
+    }
+
+    #[test]
+    fn rw_edges_subset_of_full_edges(
+        status_picks in prop::collection::vec(0u8..4, 9),
+        order_noise in prop::collection::vec(0usize..6, 4),
+    ) {
+        let u = universe();
+        let aat = aat_from(&u, status_picks, order_noise, vec![]);
+        let full = aat.sibling_data_edges();
+        for e in aat.rw_sibling_data_edges(&u) {
+            prop_assert!(full.contains(&e));
+        }
+    }
+
+    #[test]
+    fn perm_preserves_data_serializability(
+        status_picks in prop::collection::vec(0u8..4, 9),
+        order_noise in prop::collection::vec(0usize..6, 4),
+    ) {
+        // perm only removes datasteps that were invisible to survivors, so
+        // a data-serializable AAT has a data-serializable perm.
+        let u = universe();
+        let aat = aat_from(&u, status_picks, order_noise, vec![]);
+        if aat.is_data_serializable(&u) {
+            prop_assert!(aat.perm().is_data_serializable(&u));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for action trees: the visibility lemmas (5, 6, 7)
+//! of the paper, checked on randomly generated trees.
+
+use proptest::prelude::*;
+use rnt_model::{ActionId, ActionTree, Status};
+
+/// Strategy: a random parent-closed action tree with random statuses.
+/// Encoded as a vector of (child-index, status) instructions interpreted
+/// as "create a child of a random existing vertex".
+fn tree_strategy() -> impl Strategy<Value = ActionTree> {
+    prop::collection::vec((0u32..4, 0u8..3, 0usize..8), 0..14).prop_map(|instrs| {
+        let mut tree = ActionTree::trivial();
+        let mut vertices = vec![ActionId::root()];
+        for (child_idx, status, parent_pick) in instrs {
+            let parent = vertices[parent_pick % vertices.len()].clone();
+            let a = parent.child(child_idx);
+            if tree.contains(&a) {
+                continue;
+            }
+            tree.create(a.clone());
+            match status {
+                0 => {}
+                1 => tree.set_committed(&a),
+                _ => tree.set_aborted(&a),
+            }
+            vertices.push(a);
+        }
+        tree
+    })
+}
+
+proptest! {
+    #[test]
+    fn lemma5a_ancestors_visible_to_descendants(tree in tree_strategy()) {
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                if b.is_descendant_of(a) {
+                    prop_assert!(tree.is_visible_to(a, b), "{a} not visible to desc {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5b_visibility_via_lca(tree in tree_strategy()) {
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                let l = a.lca(b);
+                prop_assert_eq!(
+                    tree.is_visible_to(a, b),
+                    tree.is_visible_to(a, &l),
+                    "lemma 5b failed for {} {}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5c_visibility_transitive(tree in tree_strategy()) {
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                if !tree.is_visible_to(a, b) { continue; }
+                for c in &vs {
+                    if tree.is_visible_to(b, c) {
+                        prop_assert!(tree.is_visible_to(a, c), "5c failed {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5d_descendants_inherit_views(tree in tree_strategy()) {
+        // If A ∈ desc(B) and C ∈ visible(B), then C ∈ visible(A).
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for b in &vs {
+            for a in vs.iter().filter(|a| a.is_descendant_of(b)) {
+                for c in &vs {
+                    if tree.is_visible_to(c, b) {
+                        prop_assert!(tree.is_visible_to(c, a), "5d failed {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5e_visible_closed_under_ancestors(tree in tree_strategy()) {
+        // If A ∈ desc(B) and A ∈ visible(C), then B ∈ visible(C).
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in &vs {
+            for b in vs.iter().filter(|b| a.is_descendant_of(b)) {
+                for c in &vs {
+                    if tree.is_visible_to(a, c) {
+                        prop_assert!(tree.is_visible_to(b, c), "5e failed {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma6_visible_to_live_is_live(tree in tree_strategy()) {
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in vs.iter().filter(|a| tree.is_live(a)) {
+            for b in &vs {
+                if tree.is_visible_to(b, a) {
+                    prop_assert!(tree.is_live(b), "lemma 6 failed: {b} vis to live {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_perm_mutually_visible(tree in tree_strategy()) {
+        let p = tree.perm();
+        let vs: Vec<ActionId> = p.vertices().cloned().collect();
+        for a in &vs {
+            for b in &vs {
+                prop_assert!(p.is_visible_to(b, a), "lemma 7 failed: {b}, {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn perm_is_parent_closed_tree(tree in tree_strategy()) {
+        let p = tree.perm();
+        for a in p.vertices() {
+            if let Some(parent) = a.parent() {
+                prop_assert!(p.contains(&parent), "perm not parent-closed at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn perm_statuses_all_committed_except_root(tree in tree_strategy()) {
+        let p = tree.perm();
+        for (a, s) in p.statuses() {
+            if a.is_root() {
+                prop_assert_eq!(s, Status::Active);
+            } else {
+                prop_assert_eq!(s, Status::Committed);
+            }
+        }
+    }
+
+    #[test]
+    fn perm_is_idempotent(tree in tree_strategy()) {
+        let p = tree.perm();
+        prop_assert_eq!(p.perm(), p);
+    }
+
+    #[test]
+    fn le_is_reflexive_and_transitive(t1 in tree_strategy(), t2 in tree_strategy(), t3 in tree_strategy()) {
+        prop_assert!(t1.le(&t1));
+        if t1.le(&t2) && t2.le(&t3) {
+            prop_assert!(t1.le(&t3));
+        }
+    }
+
+    #[test]
+    fn children_in_tree_are_children(tree in tree_strategy()) {
+        let vs: Vec<ActionId> = tree.vertices().cloned().collect();
+        for a in &vs {
+            for c in tree.children_in_tree(a) {
+                let parent = c.parent();
+                prop_assert_eq!(parent.as_ref(), Some(a));
+            }
+            // Completeness: every vertex whose parent is `a` is listed.
+            let listed: Vec<&ActionId> = tree.children_in_tree(a).collect();
+            for v in &vs {
+                if v.parent().as_ref() == Some(a) {
+                    prop_assert!(listed.contains(&v));
+                }
+            }
+        }
+    }
+}

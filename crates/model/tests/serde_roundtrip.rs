@@ -1,0 +1,99 @@
+//! Serde round-trips for every serializable model type — universes, trees
+//! and AATs are exchanged between the experiment harness and its JSON
+//! output, so shape stability matters.
+
+use rnt_model::{act, Aat, ActionId, ActionSummary, ObjectId, Status, TxEvent, Universe,
+    UniverseBuilder, UpdateFn};
+
+fn universe() -> Universe {
+    UniverseBuilder::new()
+        .object(0, 1)
+        .object(1, -3)
+        .action(act![0])
+        .access(act![0, 0], 0, UpdateFn::Add(2))
+        .access(act![0, 1], 1, UpdateFn::Write(9))
+        .action(act![1])
+        .access(act![1, 0], 0, UpdateFn::Read)
+        .build()
+        .unwrap()
+}
+
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(
+    value: &T,
+) {
+    let json = serde_json::to_string(value).expect("serializes");
+    let back: T = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn action_ids_roundtrip() {
+    roundtrip(&ActionId::root());
+    roundtrip(&act![0, 3, 7]);
+}
+
+#[test]
+fn universe_roundtrips() {
+    roundtrip(&universe());
+}
+
+#[test]
+fn aat_roundtrips() {
+    let mut aat = Aat::trivial();
+    aat.tree.create(act![0]);
+    aat.tree.create(act![0, 0]);
+    aat.tree.set_committed(&act![0, 0]);
+    aat.tree.set_label(act![0, 0], 1);
+    aat.append_datastep(ObjectId(0), act![0, 0]);
+    aat.tree.create(act![1]);
+    aat.tree.set_aborted(&act![1]);
+    roundtrip(&aat);
+}
+
+#[test]
+fn summary_roundtrips() {
+    let s = ActionSummary::from_entries([
+        (act![0], Status::Committed),
+        (act![2, 1], Status::Active),
+        (act![3], Status::Aborted),
+    ]);
+    roundtrip(&s);
+}
+
+#[test]
+fn events_roundtrip() {
+    for e in [
+        TxEvent::Create(act![0]),
+        TxEvent::Commit(act![0]),
+        TxEvent::Abort(act![0]),
+        TxEvent::Perform(act![0, 1], -7),
+        TxEvent::ReleaseLock(act![0], ObjectId(1)),
+        TxEvent::LoseLock(act![0], ObjectId(1)),
+    ] {
+        roundtrip(&e);
+    }
+}
+
+#[test]
+fn update_fns_roundtrip() {
+    for u in [
+        UpdateFn::Read,
+        UpdateFn::Write(5),
+        UpdateFn::Add(-2),
+        UpdateFn::Mul(3),
+        UpdateFn::Xor(7),
+        UpdateFn::Max(0),
+    ] {
+        roundtrip(&u);
+    }
+}
+
+#[test]
+fn deserialized_universe_behaves_identically() {
+    let u = universe();
+    let json = serde_json::to_string(&u).unwrap();
+    let back: Universe = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.object_count(), u.object_count());
+    assert_eq!(back.children_of(&ActionId::root()), u.children_of(&ActionId::root()));
+    assert_eq!(back.update_of(&act![0, 1]), Some(UpdateFn::Write(9)));
+}

@@ -1,0 +1,129 @@
+//! Random generation of *arbitrary* (not necessarily computable) augmented
+//! action trees, for cross-validating Theorem 9's characterization against
+//! the brute-force definition of data-serializability on both satisfying
+//! and violating instances.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rnt_model::{Aat, ActionId, Status, Universe};
+
+/// Generate a random AAT over the universe: a random parent-closed subset
+/// of actions with random statuses, a random per-object permutation of the
+/// committed accesses as the data order, and labels that are *sometimes*
+/// correct (folds of visible predecessors) and sometimes corrupted.
+pub fn random_aat(universe: &Universe, seed: u64, corrupt_prob: f64) -> Aat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut aat = Aat::trivial();
+    // Parent-closed random activation in name order (parents precede
+    // children in the builder's declaration order only if we sort by depth).
+    let mut actions: Vec<ActionId> = universe.actions().cloned().collect();
+    actions.sort_by_key(|a| a.depth());
+    for a in actions {
+        let parent = a.parent().expect("non-root");
+        if !aat.tree.contains(&parent) || !rng.gen_bool(0.8) {
+            continue;
+        }
+        aat.tree.create(a.clone());
+        let status = match rng.gen_range(0..10) {
+            0..=5 => Status::Committed,
+            6..=7 => Status::Active,
+            _ => Status::Aborted,
+        };
+        match status {
+            Status::Active => {}
+            Status::Committed => aat.tree.set_committed(&a),
+            Status::Aborted => aat.tree.set_aborted(&a),
+        }
+    }
+    // Random data order per object over the committed accesses.
+    for obj in universe.objects() {
+        let mut steps: Vec<ActionId> = aat
+            .tree
+            .datasteps_of(obj.id, universe)
+            .collect();
+        steps.shuffle(&mut rng);
+        for a in steps {
+            aat.append_datastep(obj.id, a);
+        }
+    }
+    // Labels: fold of visible data-predecessors, possibly corrupted.
+    let labelled: Vec<(ActionId, i64)> = aat
+        .data_objects()
+        .flat_map(|x| aat.data_order(x).to_vec())
+        .map(|a| {
+            let x = universe.object_of(&a).expect("datastep");
+            let init = universe.init_of(x).expect("declared");
+            let correct = rnt_model::fold_updates(
+                init,
+                aat.v_data(&a, universe)
+                    .iter()
+                    .map(|b| universe.update_of(b).expect("datastep")),
+            );
+            (a, correct)
+        })
+        .collect();
+    for (a, correct) in labelled {
+        let label =
+            if rng.gen_bool(corrupt_prob) { correct.wrapping_add(rng.gen_range(1..=5)) } else { correct };
+        aat.tree.set_label(a, label);
+    }
+    aat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_universe, UniverseConfig};
+    use rnt_model::serial::is_data_serializable_bruteforce;
+
+    #[test]
+    fn generated_aats_reproducible() {
+        let u = random_universe(1, &UniverseConfig::default());
+        assert_eq!(random_aat(&u, 5, 0.2), random_aat(&u, 5, 0.2));
+    }
+
+    #[test]
+    fn theorem9_cross_validation_sample() {
+        // The core of experiment E2, in miniature.
+        let cfg = UniverseConfig {
+            objects: 2,
+            top_actions: 2,
+            max_fanout: 2,
+            max_depth: 2,
+            inner_prob: 0.4,
+        };
+        let mut agree_ser = 0;
+        let mut agree_not = 0;
+        for seed in 0..200 {
+            let u = random_universe(seed, &cfg);
+            let aat = random_aat(&u, seed.wrapping_mul(31), 0.3);
+            let characterized = aat.is_data_serializable(&u);
+            let brute = is_data_serializable_bruteforce(&aat, &u);
+            assert_eq!(
+                characterized, brute,
+                "Theorem 9 disagreement at seed {seed}: {aat:?}"
+            );
+            if brute {
+                agree_ser += 1;
+            } else {
+                agree_not += 1;
+            }
+        }
+        // The generator must exercise both outcomes to be a real test.
+        assert!(agree_ser > 10, "too few serializable instances: {agree_ser}");
+        assert!(agree_not > 10, "too few violating instances: {agree_not}");
+    }
+
+    #[test]
+    fn zero_corruption_mostly_serializable_modulo_cycles() {
+        // With correct labels the only violation source is a sibling-data
+        // cycle, so version-compatibility must hold.
+        let cfg = UniverseConfig::default();
+        for seed in 0..50 {
+            let u = random_universe(seed, &cfg);
+            let aat = random_aat(&u, seed, 0.0);
+            assert!(aat.is_version_compatible(&u), "labels were computed correctly");
+        }
+    }
+}

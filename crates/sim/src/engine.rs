@@ -1,0 +1,492 @@
+//! Concurrent workloads for the production engine: nested and flat
+//! transaction modes, contention/skew knobs, failure injection, and a
+//! serial baseline — the machinery behind experiments E4–E7.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnt_core::{Db, DbConfig, Txn, TxnError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the workload structures its transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnShape {
+    /// One flat transaction per unit of work; any failure retries the
+    /// whole transaction.
+    Flat,
+    /// Work split into subtransactions; a failed subtransaction is retried
+    /// *locally* without rolling back its committed siblings.
+    Nested {
+        /// Number of subtransactions per top-level transaction.
+        children: u32,
+        /// Nesting depth below the top level (1 = children are leaves).
+        depth: u32,
+    },
+    /// All operations under one global mutex — the serial baseline.
+    Serial,
+}
+
+/// Key-selection skew.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipf with the given exponent (≥ 0; 0 ≡ uniform).
+    Zipf(f64),
+}
+
+/// A complete workload description.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Top-level transactions per thread.
+    pub txns_per_thread: u32,
+    /// Operations per (sub)transaction.
+    pub ops_per_txn: u32,
+    /// Fraction of operations that are reads.
+    pub read_ratio: f64,
+    /// Number of keys in the store.
+    pub keys: u64,
+    /// Key-selection distribution.
+    pub dist: KeyDist,
+    /// Transaction shape.
+    pub shape: TxnShape,
+    /// Probability that a (sub)transaction aborts voluntarily at the end
+    /// (failure injection; the resilience knob of E7).
+    pub abort_prob: f64,
+    /// Treat reads as identity writes (exclusive locks only) — the paper's
+    /// simplified variant, used as the E6 ablation baseline.
+    pub exclusive_reads: bool,
+    /// Per-*operation* failure hazard: after each completed operation the
+    /// enclosing (sub)transaction fails with this probability and is
+    /// retried at the nearest retry boundary — whole transaction for
+    /// flat/serial shapes, the failing subtransaction for nested ones.
+    /// This is the E7 resilience knob: the same hazard per unit of work,
+    /// different blast radius.
+    pub op_abort_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            threads: 4,
+            txns_per_thread: 200,
+            ops_per_txn: 4,
+            read_ratio: 0.5,
+            keys: 256,
+            dist: KeyDist::Uniform,
+            shape: TxnShape::Nested { children: 4, depth: 1 },
+            abort_prob: 0.0,
+            exclusive_reads: false,
+            op_abort_prob: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a workload run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunResult {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Top-level transactions committed.
+    pub committed: u64,
+    /// Transactions (any level) aborted, including injected aborts.
+    pub aborted: u64,
+    /// Retries performed (full txn for flat, subtxn for nested).
+    pub retries: u64,
+    /// Completed operations.
+    pub ops: u64,
+    /// Committed top-level transactions per second.
+    pub throughput: f64,
+}
+
+/// A precomputed Zipf sampler over `[0, n)`.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler for `n` items with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Sample an index in `[0, n)`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+fn pick_key(rng: &mut StdRng, keys: u64, dist: &KeyDist, zipf: Option<&ZipfSampler>) -> u64 {
+    match dist {
+        KeyDist::Uniform => rng.gen_range(0..keys),
+        KeyDist::Zipf(_) => zipf.expect("sampler built").sample(rng),
+    }
+}
+
+/// Run `ops` operations within a transaction. Returns the first error;
+/// a per-op injected failure surfaces as a retryable [`TxnError::Die`].
+fn run_ops(
+    txn: &Txn<u64, i64>,
+    rng: &mut StdRng,
+    w: &Workload,
+    zipf: Option<&ZipfSampler>,
+    ops_done: &AtomicU64,
+) -> Result<(), TxnError> {
+    for _ in 0..w.ops_per_txn {
+        let key = pick_key(rng, w.keys, &w.dist, zipf);
+        if rng.gen_bool(w.read_ratio) {
+            if w.exclusive_reads {
+                // Simplified-variant ablation: a read takes a write lock.
+                txn.rmw(&key, |v| *v)?;
+            } else {
+                txn.read(&key)?;
+            }
+        } else {
+            txn.rmw(&key, |v| v.wrapping_add(1))?;
+        }
+        ops_done.fetch_add(1, Ordering::Relaxed);
+        if w.op_abort_prob > 0.0 && rng.gen_bool(w.op_abort_prob) {
+            // Injected component failure: kill the enclosing work unit.
+            return Err(TxnError::Die { blocker: txn.id() });
+        }
+    }
+    Ok(())
+}
+
+/// Run a nested subtree of the given depth under `parent`; retries each
+/// failed subtransaction locally up to `max_retries`.
+#[allow(clippy::too_many_arguments)]
+fn run_nested(
+    parent: &Txn<u64, i64>,
+    rng: &mut StdRng,
+    w: &Workload,
+    children: u32,
+    depth: u32,
+    zipf: Option<&ZipfSampler>,
+    ops_done: &AtomicU64,
+    retries: &AtomicU64,
+    injected: &AtomicU64,
+) -> Result<(), TxnError> {
+    for _ in 0..children {
+        let mut attempts = 0;
+        loop {
+            let child = parent.child()?;
+            let outcome = if depth <= 1 {
+                run_ops(&child, rng, w, zipf, ops_done)
+            } else {
+                run_nested(&child, rng, w, 2, depth - 1, zipf, ops_done, retries, injected)
+            };
+            match outcome {
+                Ok(()) if rng.gen_bool(w.abort_prob) => {
+                    // Injected failure: abort just this subtree and retry it.
+                    child.abort();
+                    injected.fetch_add(1, Ordering::Relaxed);
+                    retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(()) => {
+                    child.commit()?;
+                    break;
+                }
+                Err(e) if e.is_retryable() => {
+                    child.abort();
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                    if attempts > 10_000 {
+                        return Err(e);
+                    }
+                }
+                Err(e) => {
+                    child.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute a workload against a database (which must already hold keys
+/// `0..w.keys`). Returns aggregate results.
+pub fn run_workload(db: &Db<u64, i64>, w: &Workload) -> RunResult {
+    let ops_done = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let committed = Arc::new(AtomicU64::new(0));
+    let injected = Arc::new(AtomicU64::new(0));
+    let serial_gate = Arc::new(parking_lot::Mutex::new(()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..w.threads {
+            let db = db.clone();
+            let w = w.clone();
+            let ops_done = ops_done.clone();
+            let retries = retries.clone();
+            let committed = committed.clone();
+            let injected = injected.clone();
+            let serial_gate = serial_gate.clone();
+            scope.spawn(move || {
+                let zipf = match w.dist {
+                    KeyDist::Zipf(s) => Some(ZipfSampler::new(w.keys, s)),
+                    KeyDist::Uniform => None,
+                };
+                let mut rng = StdRng::seed_from_u64(w.seed ^ (thread as u64) << 32);
+                for _ in 0..w.txns_per_thread {
+                    // Retry the top-level transaction until it commits.
+                    loop {
+                        let _serial;
+                        if w.shape == TxnShape::Serial {
+                            _serial = serial_gate.lock();
+                        }
+                        let txn = db.begin();
+                        let outcome = match w.shape {
+                            TxnShape::Flat | TxnShape::Serial => {
+                                match run_ops(&txn, &mut rng, &w, zipf.as_ref(), &ops_done) {
+                                    Ok(()) if rng.gen_bool(w.abort_prob) => {
+                                        injected.fetch_add(1, Ordering::Relaxed);
+                                        Err(TxnError::Die { blocker: txn.id() })
+                                    }
+                                    other => other,
+                                }
+                            }
+                            TxnShape::Nested { children, depth } => run_nested(
+                                &txn,
+                                &mut rng,
+                                &w,
+                                children,
+                                depth,
+                                zipf.as_ref(),
+                                &ops_done,
+                                &retries,
+                                &injected,
+                            ),
+                        };
+                        match outcome {
+                            Ok(()) => match txn.commit() {
+                                Ok(()) => {
+                                    committed.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(_) => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
+                            Err(e) if e.is_retryable() => {
+                                txn.abort();
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                txn.abort();
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = db.stats();
+    let committed = committed.load(Ordering::Relaxed);
+    RunResult {
+        elapsed,
+        committed,
+        aborted: stats.aborted,
+        retries: retries.load(Ordering::Relaxed),
+        ops: ops_done.load(Ordering::Relaxed),
+        throughput: committed as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Seed a database with keys `0..keys`, all zero.
+pub fn seeded_db(config: DbConfig, keys: u64) -> Db<u64, i64> {
+    let db = Db::with_config(config);
+    for k in 0..keys {
+        db.insert(k, 0);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_core::DeadlockPolicy;
+
+    fn quick(shape: TxnShape, abort_prob: f64) -> (RunResult, Db<u64, i64>) {
+        let db = seeded_db(DbConfig::default(), 64);
+        let w = Workload {
+            threads: 4,
+            txns_per_thread: 30,
+            ops_per_txn: 3,
+            read_ratio: 0.5,
+            keys: 64,
+            dist: KeyDist::Uniform,
+            shape,
+            abort_prob,
+            exclusive_reads: false,
+            op_abort_prob: 0.0,
+            seed: 7,
+        };
+        (run_workload(&db, &w), db)
+    }
+
+    #[test]
+    fn flat_workload_completes() {
+        let (r, _) = quick(TxnShape::Flat, 0.0);
+        assert_eq!(r.committed, 120);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn nested_workload_completes() {
+        let (r, _) = quick(TxnShape::Nested { children: 3, depth: 1 }, 0.0);
+        assert_eq!(r.committed, 120);
+        // 3 children × 3 ops × 120 txns, plus re-runs from retries.
+        assert!(r.ops >= 1080, "ops: {}", r.ops);
+    }
+
+    #[test]
+    fn serial_baseline_completes() {
+        let (r, _) = quick(TxnShape::Serial, 0.0);
+        assert_eq!(r.committed, 120);
+    }
+
+    #[test]
+    fn failure_injection_still_commits_everything() {
+        let (r, _) = quick(TxnShape::Nested { children: 3, depth: 1 }, 0.2);
+        assert_eq!(r.committed, 120, "locally-retried subtxns still converge");
+        assert!(r.retries > 0, "injection must have fired");
+    }
+
+    #[test]
+    fn deep_nesting_workload() {
+        let (r, _) = quick(TxnShape::Nested { children: 2, depth: 3 }, 0.05);
+        assert_eq!(r.committed, 120);
+    }
+
+    #[test]
+    fn conservation_under_contention() {
+        // Increment-only workload: the sum of all values must equal the
+        // number of completed increment ops (no lost updates).
+        let db = seeded_db(
+            DbConfig { policy: DeadlockPolicy::WaitDie, ..DbConfig::default() },
+            8,
+        );
+        let w = Workload {
+            threads: 4,
+            txns_per_thread: 25,
+            ops_per_txn: 2,
+            read_ratio: 0.0, // all increments
+            keys: 8,
+            dist: KeyDist::Uniform,
+            shape: TxnShape::Nested { children: 2, depth: 1 },
+            abort_prob: 0.0,
+            exclusive_reads: false,
+            op_abort_prob: 0.0,
+            seed: 3,
+        };
+        let r = run_workload(&db, &w);
+        let total: i64 = (0..8).map(|k| db.committed_value(&k).unwrap()).sum();
+        // Committed increments = 2 children × 2 ops × 100 txns = 400; but
+        // retried subtxns may have re-run ops, so compare against the
+        // *committed* structure: every committed txn contributed exactly 4.
+        assert_eq!(total, 4 * r.committed as i64, "no lost or phantom updates");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed() {
+        let z = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "head much hotter than tail");
+        assert!(counts.iter().sum::<u32>() == 10_000);
+    }
+
+    #[test]
+    fn exclusive_reads_run_satisfies_plain_theorem9() {
+        // With exclusive_reads every access takes a write lock and audits
+        // as a Write — the paper's exact single-mode model — so the
+        // *unrestricted* Theorem 9 characterization must hold, not just
+        // the conflict-restricted one.
+        let db = seeded_db(DbConfig { audit: true, ..DbConfig::default() }, 16);
+        let w = Workload {
+            threads: 4,
+            txns_per_thread: 15,
+            ops_per_txn: 3,
+            read_ratio: 0.6,
+            keys: 16,
+            dist: KeyDist::Uniform,
+            shape: TxnShape::Nested { children: 2, depth: 1 },
+            abort_prob: 0.1,
+            exclusive_reads: true,
+            op_abort_prob: 0.0,
+            seed: 21,
+        };
+        run_workload(&db, &w);
+        let (universe, aat) = db.audit_log().unwrap().reconstruct().unwrap();
+        assert!(aat.perm().is_data_serializable(&universe), "plain Theorem 9 failed");
+    }
+
+    #[test]
+    fn per_op_hazard_injects_and_converges() {
+        let db = seeded_db(DbConfig::default(), 64);
+        let w = Workload {
+            threads: 4,
+            txns_per_thread: 30,
+            ops_per_txn: 4,
+            read_ratio: 0.5,
+            keys: 64,
+            dist: KeyDist::Uniform,
+            shape: TxnShape::Nested { children: 4, depth: 1 },
+            abort_prob: 0.0,
+            exclusive_reads: false,
+            op_abort_prob: 0.05,
+            seed: 33,
+        };
+        let r = run_workload(&db, &w);
+        assert_eq!(r.committed, 120);
+        assert!(r.retries > 0, "hazard should have fired");
+        assert!(r.ops > r.committed * 16, "redone work counted");
+    }
+
+    #[test]
+    fn audited_workload_serializable() {
+        let db = seeded_db(DbConfig { audit: true, ..DbConfig::default() }, 16);
+        let w = Workload {
+            threads: 4,
+            txns_per_thread: 10,
+            ops_per_txn: 3,
+            read_ratio: 0.5,
+            keys: 16,
+            dist: KeyDist::Uniform,
+            shape: TxnShape::Nested { children: 2, depth: 2 },
+            abort_prob: 0.1,
+            exclusive_reads: false,
+            op_abort_prob: 0.0,
+            seed: 9,
+        };
+        run_workload(&db, &w);
+        let (universe, aat) = db.audit_log().unwrap().reconstruct().unwrap();
+        // The engine uses read/write locks: read-read log order is an
+        // artifact, so the conflict-restricted characterization applies.
+        assert!(aat.perm().is_rw_data_serializable(&universe));
+    }
+}

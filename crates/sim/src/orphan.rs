@@ -1,0 +1,134 @@
+//! Orphan-view consistency checking (experiment E9).
+//!
+//! The paper (§1) reports that the Argus group wants even *orphans* —
+//! subtransactions of aborted transactions — to see views "that could
+//! occur during an execution in which they are not orphans", and leaves
+//! proving this to future work (Goree's thesis). We render the property
+//! executable: at each `perform_{A,u}`, compare `u` against the
+//! counterfactual expected value ([`rnt_model::Aat::counterfactual_expected_value`])
+//! and count anomalies. Live performs can never be anomalous (Lemma 6 +
+//! d13); the interesting counts are the orphans'.
+
+use rnt_algebra::Algebra;
+use rnt_model::{Aat, TxEvent, Universe};
+
+/// Counts from one run's orphan-view check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrphanViewReport {
+    /// Total performs observed.
+    pub performs: usize,
+    /// Performs executed by orphans (dead at perform time).
+    pub orphan_performs: usize,
+    /// Performs whose value differs from the counterfactual expectation.
+    pub anomalies: usize,
+    /// Anomalies among live performs (must be 0 at every level).
+    pub live_anomalies: usize,
+}
+
+/// Check orphan-view consistency along a valid run of any algebra whose
+/// events are [`TxEvent`]s, given a projection from states to AATs.
+pub fn check_orphan_views<A>(
+    algebra: &A,
+    universe: &Universe,
+    run: &[A::Event],
+    project: impl Fn(&A::State) -> &Aat,
+) -> OrphanViewReport
+where
+    A: Algebra<Event = TxEvent>,
+{
+    let mut report = OrphanViewReport::default();
+    let mut state = algebra.initial();
+    for event in run {
+        if let TxEvent::Perform(a, u) = event {
+            let aat = project(&state);
+            report.performs += 1;
+            let orphan = aat.tree.is_dead(a);
+            if orphan {
+                report.orphan_performs += 1;
+            }
+            let expected = aat.counterfactual_expected_value(a, universe);
+            if *u != expected {
+                report.anomalies += 1;
+                if !orphan {
+                    report.live_anomalies += 1;
+                }
+            }
+        }
+        state = algebra.apply(&state, event).expect("run is valid");
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_run, random_universe, UniverseConfig};
+    use rnt_locking::{Level3, Level4};
+    use rnt_spec::Level2;
+    use std::sync::Arc;
+
+    fn config() -> UniverseConfig {
+        UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 3, inner_prob: 0.5 }
+    }
+
+    #[test]
+    fn live_performs_never_anomalous_at_any_level() {
+        for seed in 0..40u64 {
+            let u = Arc::new(random_universe(seed, &config()));
+            let l2 = Level2::new(u.clone());
+            let run = random_run(&l2, seed, 50);
+            let r = check_orphan_views(&l2, &u, &run, |aat| aat);
+            assert_eq!(r.live_anomalies, 0, "live anomaly at level 2, seed {seed}");
+            let l3 = Level3::new(u.clone());
+            let run = random_run(&l3, seed, 50);
+            let r = check_orphan_views(&l3, &u, &run, |s| &s.aat);
+            assert_eq!(r.live_anomalies, 0, "live anomaly at level 3, seed {seed}");
+            let l4 = Level4::new(u.clone());
+            let run = random_run(&l4, seed, 50);
+            let r = check_orphan_views(&l4, &u, &run, |s| &s.aat);
+            assert_eq!(r.live_anomalies, 0, "live anomaly at level 4, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn level2_orphans_can_be_anomalous() {
+        // The level-2 spec leaves orphan values unconstrained; random runs
+        // over enough seeds must exhibit at least one orphan anomaly —
+        // demonstrating that the paper's basic conditions do NOT give
+        // orphan-view consistency (their §1 caveat).
+        let mut orphan_performs = 0;
+        let mut anomalies = 0;
+        for seed in 0..200u64 {
+            let u = Arc::new(random_universe(seed, &config()));
+            let l2 = Level2::new(u.clone());
+            let run = random_run(&l2, seed, 60);
+            let r = check_orphan_views(&l2, &u, &run, |aat| aat);
+            orphan_performs += r.orphan_performs;
+            anomalies += r.anomalies;
+        }
+        assert!(orphan_performs > 0, "generator never orphaned a perform");
+        assert!(anomalies > 0, "expected level-2 orphan anomalies, found none");
+    }
+
+    #[test]
+    fn level3_orphans_mostly_consistent() {
+        // Level 3's unconditional d13 pins orphan values to the lock
+        // stack; anomalies can arise only through lose-lock races, so
+        // they must be rare relative to orphan performs.
+        let mut orphan_performs = 0usize;
+        let mut anomalies = 0usize;
+        for seed in 0..200u64 {
+            let u = Arc::new(random_universe(seed, &config()));
+            let l3 = Level3::new(u.clone());
+            let run = random_run(&l3, seed, 60);
+            let r = check_orphan_views(&l3, &u, &run, |s| &s.aat);
+            orphan_performs += r.orphan_performs;
+            anomalies += r.anomalies;
+        }
+        assert!(orphan_performs > 0, "generator never orphaned a perform");
+        assert!(
+            anomalies * 2 <= orphan_performs,
+            "level 3 should be mostly consistent: {anomalies}/{orphan_performs}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! A naive reference implementation of nested-transaction semantics, used
+//! as a differential-testing oracle for the engine.
+//!
+//! Semantics are implemented in the most obvious possible way — each
+//! transaction holds a full *copy* of its parent's view of the store;
+//! commit merges the copy into the parent, abort drops it — so the code
+//! is trivially auditable. Any single-threaded operation sequence must
+//! produce identical reads and identical final state on `rnt_core::Db`
+//! and on this interpreter.
+
+use std::collections::HashMap;
+
+/// A store view: key → value.
+type View = HashMap<u64, i64>;
+
+/// The reference interpreter: a stack of nested views per open
+/// transaction path, over a base store.
+#[derive(Clone, Debug)]
+pub struct RefStore {
+    base: View,
+    /// Open transactions, outermost first; each holds its current view.
+    stack: Vec<View>,
+}
+
+/// Errors mirroring the engine's semantics for single-threaded use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefError {
+    /// Key not seeded.
+    UnknownKey,
+    /// Operation on a transaction that is not the innermost open one, or
+    /// no transaction open.
+    BadNesting,
+}
+
+impl RefStore {
+    /// Seed a store.
+    pub fn new(initial: impl IntoIterator<Item = (u64, i64)>) -> Self {
+        RefStore { base: initial.into_iter().collect(), stack: Vec::new() }
+    }
+
+    /// Open a (sub)transaction: its view is a copy of the current view.
+    pub fn begin(&mut self) {
+        let view = self.current().clone();
+        self.stack.push(view);
+    }
+
+    fn current(&self) -> &View {
+        self.stack.last().unwrap_or(&self.base)
+    }
+
+    /// Nesting depth (0 = no open transaction).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Read in the innermost transaction.
+    pub fn read(&self, key: u64) -> Result<i64, RefError> {
+        if self.stack.is_empty() {
+            return Err(RefError::BadNesting);
+        }
+        self.current().get(&key).copied().ok_or(RefError::UnknownKey)
+    }
+
+    /// Read-modify-write in the innermost transaction; returns the value
+    /// seen.
+    pub fn rmw(&mut self, key: u64, f: impl FnOnce(i64) -> i64) -> Result<i64, RefError> {
+        let Some(view) = self.stack.last_mut() else {
+            return Err(RefError::BadNesting);
+        };
+        let slot = view.get_mut(&key).ok_or(RefError::UnknownKey)?;
+        let seen = *slot;
+        *slot = f(seen);
+        Ok(seen)
+    }
+
+    /// Commit the innermost transaction into its parent (or the base).
+    pub fn commit(&mut self) -> Result<(), RefError> {
+        let view = self.stack.pop().ok_or(RefError::BadNesting)?;
+        match self.stack.last_mut() {
+            Some(parent) => *parent = view,
+            None => self.base = view,
+        }
+        Ok(())
+    }
+
+    /// Abort the innermost transaction: its view is discarded.
+    pub fn abort(&mut self) -> Result<(), RefError> {
+        self.stack.pop().map(|_| ()).ok_or(RefError::BadNesting)
+    }
+
+    /// The committed (base) value of a key.
+    pub fn committed_value(&self, key: u64) -> Option<i64> {
+        self.base.get(&key).copied()
+    }
+}
+
+/// A single-threaded nested-transaction script operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Open a subtransaction (or the top-level one at depth 0).
+    Begin,
+    /// Read a key in the innermost transaction.
+    Read(u64),
+    /// Add a constant to a key in the innermost transaction.
+    Add(u64, i64),
+    /// Overwrite a key in the innermost transaction.
+    Write(u64, i64),
+    /// Commit the innermost transaction.
+    Commit,
+    /// Abort the innermost transaction.
+    Abort,
+}
+
+/// Run a script against the engine and the reference side by side,
+/// asserting identical observations; returns the number of ops executed.
+///
+/// The script is normalized on the fly: ops at depth 0 other than `Begin`
+/// are skipped, and unclosed transactions are committed at the end.
+pub fn run_differential(
+    keys: u64,
+    script: &[ScriptOp],
+) -> Result<usize, String> {
+    use rnt_core::Db;
+    let db: Db<u64, i64> = Db::new();
+    let mut reference = RefStore::new((0..keys).map(|k| (k, k as i64 * 10)));
+    for k in 0..keys {
+        db.insert(k, k as i64 * 10);
+    }
+    let mut open: Vec<rnt_core::Txn<u64, i64>> = Vec::new();
+    let mut executed = 0;
+    for op in script {
+        match op {
+            ScriptOp::Begin => {
+                let txn = match open.last() {
+                    None => db.begin(),
+                    Some(parent) => parent.child().map_err(|e| e.to_string())?,
+                };
+                open.push(txn);
+                reference.begin();
+            }
+            ScriptOp::Read(k) => {
+                let Some(txn) = open.last() else { continue };
+                let engine = txn.read(k);
+                let reference_out = reference.read(*k);
+                match (&engine, &reference_out) {
+                    (Ok(a), Ok(b)) if a == b => {}
+                    (Err(rnt_core::TxnError::UnknownKey), Err(RefError::UnknownKey)) => {}
+                    other => return Err(format!("read({k}) diverged: {other:?}")),
+                }
+            }
+            ScriptOp::Add(k, d) => {
+                let Some(txn) = open.last() else { continue };
+                let engine = txn.rmw(k, |v| v.wrapping_add(*d));
+                let reference_out = reference.rmw(*k, |v| v.wrapping_add(*d));
+                match (&engine, &reference_out) {
+                    (Ok(a), Ok(b)) if a == b => {}
+                    (Err(rnt_core::TxnError::UnknownKey), Err(RefError::UnknownKey)) => {}
+                    other => return Err(format!("add({k},{d}) diverged: {other:?}")),
+                }
+            }
+            ScriptOp::Write(k, v) => {
+                let Some(txn) = open.last() else { continue };
+                let engine = txn.write(k, *v);
+                let reference_out = reference.rmw(*k, |_| *v);
+                match (&engine, &reference_out) {
+                    (Ok(a), Ok(b)) if a == b => {}
+                    (Err(rnt_core::TxnError::UnknownKey), Err(RefError::UnknownKey)) => {}
+                    other => return Err(format!("write({k},{v}) diverged: {other:?}")),
+                }
+            }
+            ScriptOp::Commit => {
+                let Some(txn) = open.pop() else { continue };
+                txn.commit().map_err(|e| e.to_string())?;
+                reference.commit().map_err(|e| format!("{e:?}"))?;
+            }
+            ScriptOp::Abort => {
+                let Some(txn) = open.pop() else { continue };
+                txn.abort();
+                reference.abort().map_err(|e| format!("{e:?}"))?;
+            }
+        }
+        executed += 1;
+    }
+    // Close any remaining transactions by committing innermost-first.
+    while let Some(txn) = open.pop() {
+        txn.commit().map_err(|e| e.to_string())?;
+        reference.commit().map_err(|e| format!("{e:?}"))?;
+    }
+    for k in 0..keys {
+        let engine = db.committed_value(&k);
+        let reference_out = reference.committed_value(k);
+        if engine != reference_out {
+            return Err(format!("final value of {k} diverged: {engine:?} vs {reference_out:?}"));
+        }
+    }
+    Ok(executed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_nesting_semantics() {
+        let mut r = RefStore::new([(0, 1)]);
+        r.begin();
+        r.rmw(0, |v| v + 1).unwrap();
+        r.begin();
+        r.rmw(0, |v| v * 10).unwrap();
+        assert_eq!(r.read(0), Ok(20));
+        r.abort().unwrap();
+        assert_eq!(r.read(0), Ok(2), "child abort restores parent view");
+        r.commit().unwrap();
+        assert_eq!(r.committed_value(0), Some(2));
+    }
+
+    #[test]
+    fn reference_rejects_toplevel_ops() {
+        let mut r = RefStore::new([(0, 1)]);
+        assert_eq!(r.read(0), Err(RefError::BadNesting));
+        assert_eq!(r.commit(), Err(RefError::BadNesting));
+        assert_eq!(r.abort(), Err(RefError::BadNesting));
+        r.begin();
+        assert_eq!(r.read(9), Err(RefError::UnknownKey));
+    }
+
+    #[test]
+    fn differential_on_fixed_script() {
+        let script = vec![
+            ScriptOp::Begin,
+            ScriptOp::Add(0, 5),
+            ScriptOp::Begin,
+            ScriptOp::Write(1, 99),
+            ScriptOp::Read(0),
+            ScriptOp::Abort,
+            ScriptOp::Read(1), // back to parent's view
+            ScriptOp::Begin,
+            ScriptOp::Add(1, 1),
+            ScriptOp::Commit,
+            ScriptOp::Commit,
+            ScriptOp::Read(0), // skipped: depth 0
+        ];
+        run_differential(3, &script).unwrap();
+    }
+
+    #[test]
+    fn differential_unknown_keys_agree() {
+        let script = vec![ScriptOp::Begin, ScriptOp::Read(77), ScriptOp::Add(66, 1)];
+        run_differential(2, &script).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Preconditions and effects shared verbatim by levels 1–5 for the
+//! `create`, `commit` and `abort` events (the paper defines them once at
+//! level 1 and reuses them by name at every later level).
+
+use rnt_model::{ActionId, ActionTree, Universe};
+
+/// Precondition of `create_A` (a1): `A` declared, not yet in the tree, and
+/// its parent present and not committed.
+pub fn create_enabled(universe: &Universe, tree: &ActionTree, a: &ActionId) -> bool {
+    !a.is_root()
+        && universe.contains(a)
+        && !tree.contains(a)
+        && a.parent().is_some_and(|p| tree.contains(&p) && !tree.is_committed(&p))
+}
+
+/// Effect of `create_A` (a2).
+pub fn create_apply(tree: &mut ActionTree, a: &ActionId) {
+    tree.create(a.clone());
+}
+
+/// Precondition of `commit_A` (b1): `A` a non-access, active, with every
+/// child present in the tree already done.
+pub fn commit_enabled(universe: &Universe, tree: &ActionTree, a: &ActionId) -> bool {
+    !a.is_root()
+        && universe.contains(a)
+        && !universe.is_access(a)
+        && tree.is_active(a)
+        && tree.children_in_tree(a).all(|c| tree.is_done(c))
+}
+
+/// Effect of `commit_A` (b2).
+pub fn commit_apply(tree: &mut ActionTree, a: &ActionId) {
+    tree.set_committed(a);
+}
+
+/// Precondition of `abort_A` (c1): `A` active (accesses included).
+pub fn abort_enabled(universe: &Universe, tree: &ActionTree, a: &ActionId) -> bool {
+    !a.is_root() && universe.contains(a) && tree.is_active(a)
+}
+
+/// Effect of `abort_A` (c2).
+pub fn abort_apply(tree: &mut ActionTree, a: &ActionId) {
+    tree.set_aborted(a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Universe {
+        UniverseBuilder::new()
+            .object(0, 0)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Read)
+            .action(act![1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn create_preconditions() {
+        let u = universe();
+        let mut t = ActionTree::trivial();
+        assert!(create_enabled(&u, &t, &act![0]));
+        assert!(!create_enabled(&u, &t, &act![0, 0]), "parent absent");
+        assert!(!create_enabled(&u, &t, &act![7]), "undeclared");
+        assert!(!create_enabled(&u, &t, &ActionId::root()), "root implicit");
+        create_apply(&mut t, &act![0]);
+        assert!(!create_enabled(&u, &t, &act![0]), "already present");
+        assert!(create_enabled(&u, &t, &act![0, 0]));
+        // Committed parent blocks creation; aborted parent does NOT
+        // (the paper explicitly allows creating under an aborted parent).
+        t.set_committed(&act![0]);
+        assert!(!create_enabled(&u, &t, &act![0, 0]));
+        let mut t2 = ActionTree::trivial();
+        create_apply(&mut t2, &act![0]);
+        t2.set_aborted(&act![0]);
+        assert!(create_enabled(&u, &t2, &act![0, 0]), "orphan creation allowed");
+    }
+
+    #[test]
+    fn commit_preconditions() {
+        let u = universe();
+        let mut t = ActionTree::trivial();
+        create_apply(&mut t, &act![0]);
+        create_apply(&mut t, &act![0, 0]);
+        assert!(!commit_enabled(&u, &t, &act![0]), "child not done");
+        assert!(!commit_enabled(&u, &t, &act![0, 0]), "accesses never plain-commit");
+        t.set_committed(&act![0, 0]);
+        assert!(commit_enabled(&u, &t, &act![0]));
+        commit_apply(&mut t, &act![0]);
+        assert!(!commit_enabled(&u, &t, &act![0]), "no recommit");
+        // Aborted children also count as done.
+        create_apply(&mut t, &act![1]);
+        assert!(commit_enabled(&u, &t, &act![1]), "childless commit ok");
+    }
+
+    #[test]
+    fn abort_preconditions() {
+        let u = universe();
+        let mut t = ActionTree::trivial();
+        create_apply(&mut t, &act![0]);
+        create_apply(&mut t, &act![0, 0]);
+        assert!(abort_enabled(&u, &t, &act![0]), "abort needs no done children");
+        assert!(abort_enabled(&u, &t, &act![0, 0]), "accesses may abort");
+        abort_apply(&mut t, &act![0]);
+        assert!(!abort_enabled(&u, &t, &act![0]));
+        assert!(!abort_enabled(&u, &t, &ActionId::root()), "U never aborts");
+    }
+}

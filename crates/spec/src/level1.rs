@@ -1,0 +1,236 @@
+//! Level 1: the algebra `A` over action trees (paper Section 4).
+//!
+//! This algebra is the *specification* of correct behavior: events carry
+//! only the basic preconditions (a1)–(d1), plus the implicit global
+//! constraint `C` — the result of every event must leave `perm(T)`
+//! serializable. Only `commit` and `perform` can violate `C` (creating or
+//! aborting an *active* action never changes `perm(T)`), so only those
+//! events re-check it, exactly as the paper observes.
+//!
+//! Deciding `C` is done by the brute-force serializability search of
+//! `rnt_model::serial`; this is exponential and confines the executable
+//! level-1 algebra to small universes — which is its role: the top of the
+//! simulation tower, not an implementation.
+
+use crate::common;
+use crate::values::ValuePool;
+use rnt_algebra::Algebra;
+use rnt_model::serial::is_serializable_bruteforce;
+use rnt_model::{ActionTree, TxEvent, Universe};
+use std::sync::Arc;
+
+/// The level-1 specification algebra.
+pub struct Level1 {
+    universe: Arc<Universe>,
+    pool: ValuePool,
+}
+
+impl Level1 {
+    /// Build the algebra over a universe.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        let pool = ValuePool::for_universe(&universe);
+        Level1 { universe, pool }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The constraint `C`: is `perm(T)` serializable?
+    pub fn satisfies_c(&self, tree: &ActionTree) -> bool {
+        is_serializable_bruteforce(&tree.perm(), &self.universe)
+    }
+}
+
+impl Algebra for Level1 {
+    type State = ActionTree;
+    type Event = TxEvent;
+
+    fn initial(&self) -> ActionTree {
+        ActionTree::trivial()
+    }
+
+    fn apply(&self, tree: &ActionTree, event: &TxEvent) -> Option<ActionTree> {
+        let u = &self.universe;
+        match event {
+            TxEvent::Create(a) => {
+                if !common::create_enabled(u, tree, a) {
+                    return None;
+                }
+                let mut next = tree.clone();
+                common::create_apply(&mut next, a);
+                Some(next) // cannot violate C
+            }
+            TxEvent::Commit(a) => {
+                if !common::commit_enabled(u, tree, a) {
+                    return None;
+                }
+                let mut next = tree.clone();
+                common::commit_apply(&mut next, a);
+                self.satisfies_c(&next).then_some(next)
+            }
+            TxEvent::Abort(a) => {
+                if !common::abort_enabled(u, tree, a) {
+                    return None;
+                }
+                let mut next = tree.clone();
+                common::abort_apply(&mut next, a);
+                Some(next) // cannot violate C
+            }
+            TxEvent::Perform(a, value) => {
+                // (d1): A is an active access.
+                if !u.is_access(a) || !tree.is_active(a) {
+                    return None;
+                }
+                let mut next = tree.clone();
+                next.set_committed(a);
+                next.set_label(a.clone(), *value);
+                self.satisfies_c(&next).then_some(next)
+            }
+            // Lock events are not in Π at level 1.
+            TxEvent::ReleaseLock(..) | TxEvent::LoseLock(..) => None,
+        }
+    }
+
+    fn enabled(&self, tree: &ActionTree) -> Vec<TxEvent> {
+        let u = &self.universe;
+        let mut out = Vec::new();
+        for a in u.actions() {
+            if common::create_enabled(u, tree, a) {
+                out.push(TxEvent::Create(a.clone()));
+            }
+            if !tree.is_active(a) {
+                continue;
+            }
+            if u.is_access(a) {
+                let x = u.object_of(a).expect("access has object");
+                for &value in self.pool.values(x) {
+                    let ev = TxEvent::Perform(a.clone(), value);
+                    if self.apply(tree, &ev).is_some() {
+                        out.push(ev);
+                    }
+                }
+            } else if common::commit_enabled(u, tree, a) {
+                let ev = TxEvent::Commit(a.clone());
+                if self.apply(tree, &ev).is_some() {
+                    out.push(ev);
+                }
+            }
+            if common::abort_enabled(u, tree, a) {
+                out.push(TxEvent::Abort(a.clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{explore, is_valid, replay, ExploreConfig};
+    use rnt_model::{act, ActionId, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn serial_run_is_valid() {
+        let alg = Level1::new(universe());
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Commit(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::Commit(act![1]),
+        ];
+        assert!(is_valid(&alg, run));
+    }
+
+    #[test]
+    fn wrong_label_blocks_commit_not_perform() {
+        let alg = Level1::new(universe());
+        // Record a garbage label while ancestors are active: allowed,
+        // because perm(T) does not yet contain the access.
+        let prefix = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 999),
+        ];
+        let states = replay(&alg, prefix.clone()).expect("garbage label is not yet visible");
+        // But committing the parent would put it into perm(T): C blocks it.
+        let last = states.last().unwrap();
+        assert!(alg.apply(last, &TxEvent::Commit(act![0])).is_none());
+        // Aborting instead is fine — resilience in action.
+        assert!(alg.apply(last, &TxEvent::Abort(act![0])).is_some());
+    }
+
+    #[test]
+    fn perform_requires_active_access() {
+        let alg = Level1::new(universe());
+        let t = ActionTree::trivial();
+        assert!(alg.apply(&t, &TxEvent::Perform(act![0, 0], 1)).is_none(), "not created");
+        assert!(alg.apply(&t, &TxEvent::Perform(act![0], 1)).is_none(), "not an access");
+    }
+
+    #[test]
+    fn lock_events_rejected() {
+        let alg = Level1::new(universe());
+        let t = ActionTree::trivial();
+        assert!(alg.apply(&t, &TxEvent::ReleaseLock(act![0], rnt_model::ObjectId(0))).is_none());
+        assert!(alg.apply(&t, &TxEvent::LoseLock(act![0], rnt_model::ObjectId(0))).is_none());
+    }
+
+    #[test]
+    fn enabled_events_all_apply() {
+        let alg = Level1::new(universe());
+        let mut state = alg.initial();
+        for _ in 0..6 {
+            let evs = alg.enabled(&state);
+            for e in &evs {
+                assert!(alg.apply(&state, e).is_some());
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = alg.apply(&state, &e).unwrap();
+        }
+    }
+
+    #[test]
+    fn exploration_preserves_c_by_construction() {
+        let alg = Level1::new(universe());
+        let report = explore(
+            &alg,
+            &ExploreConfig { max_states: 30_000, max_depth: 0 },
+            |t: &ActionTree| {
+                if is_serializable_bruteforce(&t.perm(), &universe()) {
+                    Ok(())
+                } else {
+                    Err("C violated".into())
+                }
+            },
+        )
+        .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(report.states > 100, "level 1 should branch: got {}", report.states);
+    }
+
+    #[test]
+    fn root_cannot_be_committed_or_aborted() {
+        let alg = Level1::new(universe());
+        let t = alg.initial();
+        assert!(alg.apply(&t, &TxEvent::Commit(ActionId::root())).is_none());
+        assert!(alg.apply(&t, &TxEvent::Abort(ActionId::root())).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! # rnt-spec
+//!
+//! The top two levels of the paper's five-level algebra tower:
+//!
+//! * [`Level1`] — the specification algebra `A` over action trees
+//!   (Section 4), with the global serializability constraint `C`;
+//! * [`Level2`] — the abstract-locking algebra `A'` over augmented action
+//!   trees (Section 6), whose computable states all satisfy Theorem 14;
+//! * [`HSpec`] — the possibilities mapping `h : A' → A` of Lemma 15;
+//! * [`lemma10_invariants`] — executable Lemma 10;
+//! * [`ValuePool`] and the shared `create`/`commit`/`abort`
+//!   preconditions/effects ([`common`]) reused by levels 3–5.
+//!
+//! ```
+//! use rnt_algebra::{replay, Algebra};
+//! use rnt_model::{act, TxEvent, UniverseBuilder, UpdateFn};
+//! use rnt_spec::Level2;
+//! use std::sync::Arc;
+//!
+//! let universe = Arc::new(
+//!     UniverseBuilder::new()
+//!         .object(0, 5)
+//!         .action(act![0])
+//!         .access(act![0, 0], 0, UpdateFn::Add(1))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let level2 = Level2::new(universe.clone());
+//! let states = replay(&level2, vec![
+//!     TxEvent::Create(act![0]),
+//!     TxEvent::Create(act![0, 0]),
+//!     TxEvent::Perform(act![0, 0], 5), // d13: must see init(x0)
+//!     TxEvent::Commit(act![0]),
+//! ]).unwrap();
+//! // Theorem 14: the permanent subtree is data-serializable.
+//! assert!(states.last().unwrap().perm().is_data_serializable(&universe));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+mod level1;
+mod level2;
+mod mapping;
+mod values;
+
+pub use level1::Level1;
+pub use level2::{lemma10_invariants, Level2};
+pub use mapping::HSpec;
+pub use values::ValuePool;

@@ -1,0 +1,100 @@
+//! The simulation mapping `h : A' → A` (paper Section 6.4, Lemma 15):
+//! events map to the events of the same name, and `h(T) = {S}` — the AAT's
+//! underlying action tree is the single possibility.
+
+use crate::level1::Level1;
+use crate::level2::Level2;
+use rnt_algebra::{Interpretation, PossibilitiesMapping};
+use rnt_model::{Aat, ActionTree, TxEvent};
+
+/// The mapping `h` of Lemma 15.
+pub struct HSpec;
+
+impl Interpretation<Level2, Level1> for HSpec {
+    fn map_event(&self, event: &TxEvent) -> Option<TxEvent> {
+        // Same-name mapping; lock events are not level-2 events at all, but
+        // mapping them to Λ keeps the interpretation total.
+        (!event.is_lock_event()).then(|| event.clone())
+    }
+}
+
+impl PossibilitiesMapping<Level2, Level1> for HSpec {
+    fn is_possibility(&self, low: &Aat, high: &ActionTree) -> bool {
+        &low.tree == high
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{check_possibilities_on_run, check_simulation_on_run};
+    use rnt_model::{act, ObjectId, Universe, UniverseBuilder, UpdateFn};
+    use std::sync::Arc;
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn nontrivial_run() -> Vec<TxEvent> {
+        vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Commit(act![0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::Commit(act![1]),
+        ]
+    }
+
+    #[test]
+    fn lemma15_simulation_on_run() {
+        let low = Level2::new(universe());
+        let high = Level1::new(universe());
+        let rep = check_simulation_on_run(&low, &high, &HSpec, &nontrivial_run()).unwrap();
+        assert_eq!(rep.low_steps, rep.high_steps, "no Λ events at this level");
+    }
+
+    #[test]
+    fn lemma15_possibilities_on_run() {
+        let low = Level2::new(universe());
+        let high = Level1::new(universe());
+        check_possibilities_on_run(&low, &high, &HSpec, &nontrivial_run()).unwrap();
+    }
+
+    #[test]
+    fn abort_run_simulates_too() {
+        let low = Level2::new(universe());
+        let high = Level1::new(universe());
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Abort(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+            // After the abort, 1.0 sees init again.
+            TxEvent::Perform(act![1, 0], 1),
+            TxEvent::Commit(act![1]),
+        ];
+        check_possibilities_on_run(&low, &high, &HSpec, &run).unwrap();
+    }
+
+    #[test]
+    fn event_mapping_is_identity_on_tx_events() {
+        let e = TxEvent::Perform(act![0, 0], 3);
+        assert_eq!(Interpretation::<Level2, Level1>::map_event(&HSpec, &e), Some(e.clone()));
+        let l = TxEvent::ReleaseLock(act![0], ObjectId(0));
+        assert_eq!(Interpretation::<Level2, Level1>::map_event(&HSpec, &l), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Candidate perform-values for event enumeration.
+//!
+//! The paper allows `perform_{A,u}` for *any* `u ∈ values(x)` meeting the
+//! preconditions. At level 1 a label is unconstrained until the access's
+//! ancestors commit (`C` only restricts `perm(T)`), and at level 2 an
+//! *orphan's* label is unconstrained (d13 is conditional on liveness) — so
+//! exhaustive exploration needs a finite candidate set. We use the *value
+//! closure*: every value an object can take under sequences of its
+//! declared accesses' updates, which covers every label any serializable
+//! execution could produce. Exploration restricted to this pool is
+//! documented in DESIGN.md as the finite event-parameter restriction.
+
+use rnt_model::{ObjectId, Universe, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-object candidate values for `perform` events.
+#[derive(Clone, Debug)]
+pub struct ValuePool {
+    pool: BTreeMap<ObjectId, Vec<Value>>,
+}
+
+/// Cap on the closure size per object; each access occurs at most once in a
+/// tree, so the true closure is finite, but we bound the computation
+/// defensively for universes with many accesses.
+const MAX_POOL: usize = 256;
+
+impl ValuePool {
+    /// Compute the value closure of each declared object under its
+    /// accesses' update functions.
+    pub fn for_universe(universe: &Universe) -> Self {
+        let mut pool = BTreeMap::new();
+        for obj in universe.objects() {
+            let updates: Vec<_> = universe
+                .accesses()
+                .filter(|(_, spec)| spec.object == obj.id)
+                .map(|(_, spec)| spec.update)
+                .collect();
+            let mut seen: BTreeSet<Value> = BTreeSet::new();
+            let mut frontier = std::collections::VecDeque::from([obj.init]);
+            seen.insert(obj.init);
+            // Breadth-first so that the cap keeps the *shallow* closure —
+            // values reachable with few updates — rather than one deep chain.
+            while let Some(v) = frontier.pop_front() {
+                if seen.len() >= MAX_POOL {
+                    break;
+                }
+                for u in &updates {
+                    let w = u.apply(v);
+                    if seen.insert(w) {
+                        frontier.push_back(w);
+                    }
+                }
+            }
+            pool.insert(obj.id, seen.into_iter().collect());
+        }
+        ValuePool { pool }
+    }
+
+    /// The candidate values for object `x`.
+    pub fn values(&self, x: ObjectId) -> &[Value] {
+        self.pool.get(&x).map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    #[test]
+    fn closure_contains_all_access_results() {
+        let u = UniverseBuilder::new()
+            .object(0, 1)
+            .action(act![0])
+            .access(act![0, 0], 0, UpdateFn::Add(1))
+            .action(act![1])
+            .access(act![1, 0], 0, UpdateFn::Mul(3))
+            .build()
+            .unwrap();
+        let pool = ValuePool::for_universe(&u);
+        let vals = pool.values(ObjectId(0));
+        // init=1; {1, 2, 3, 6, 4, 7, 12, ...} — at least these:
+        for v in [1, 2, 3, 6] {
+            assert!(vals.contains(&v), "missing {v} in {vals:?}");
+        }
+    }
+
+    #[test]
+    fn closure_of_write_only() {
+        let u = UniverseBuilder::new()
+            .object(0, 0)
+            .access(act![0], 0, UpdateFn::Write(9))
+            .build()
+            .unwrap();
+        let pool = ValuePool::for_universe(&u);
+        assert_eq!(pool.values(ObjectId(0)), &[0, 9]);
+    }
+
+    #[test]
+    fn unknown_object_empty() {
+        let u = UniverseBuilder::new().build().unwrap();
+        let pool = ValuePool::for_universe(&u);
+        assert!(pool.values(ObjectId(5)).is_empty());
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        // Add(1) alone would diverge without each-access-once reasoning;
+        // the cap keeps the computation bounded.
+        let u = UniverseBuilder::new()
+            .object(0, 0)
+            .access(act![0], 0, UpdateFn::Add(1))
+            .build()
+            .unwrap();
+        let pool = ValuePool::for_universe(&u);
+        assert!(pool.values(ObjectId(0)).len() <= super::MAX_POOL);
+        assert!(pool.values(ObjectId(0)).contains(&0));
+        assert!(pool.values(ObjectId(0)).contains(&1));
+    }
+}

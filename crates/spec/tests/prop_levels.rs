@@ -1,0 +1,106 @@
+//! Randomized checking of the level-1/2 results on generated universes:
+//! Theorem 14, Lemma 10, and the Lemma 15 simulation, along random valid
+//! runs rather than exhaustive exploration (which the unit tests cover for
+//! one fixed universe).
+
+use proptest::prelude::*;
+use rnt_algebra::{check_possibilities_on_run, replay, Algebra};
+use rnt_model::Aat;
+use rnt_sim::gen::{random_run, random_universe, UniverseConfig};
+use rnt_spec::{lemma10_invariants, HSpec, Level1, Level2};
+use std::sync::Arc;
+
+fn config() -> UniverseConfig {
+    UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 3, inner_prob: 0.5 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem14_on_random_runs(useed in 0u64..5000, rseed in 0u64..5000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level2::new(u.clone());
+        let run = random_run(&alg, rseed, 50);
+        let states = replay(&alg, run).expect("generated run is valid");
+        for aat in &states {
+            prop_assert!(
+                aat.perm().is_data_serializable(&u),
+                "Theorem 14 violated at state {:?}", aat
+            );
+        }
+    }
+
+    #[test]
+    fn lemma10_on_random_runs(useed in 0u64..5000, rseed in 0u64..5000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level2::new(u.clone());
+        let run = random_run(&alg, rseed, 50);
+        let states = replay(&alg, run).expect("generated run is valid");
+        for aat in &states {
+            prop_assert!(lemma10_invariants(aat, &u).is_ok());
+        }
+    }
+
+    #[test]
+    fn lemma11_monotonicity_on_random_runs(useed in 0u64..5000, rseed in 0u64..5000) {
+        // Along any run, vertices/committed/aborted/data only grow, labels
+        // never change, and visibility only grows (Lemma 11 a–d).
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level2::new(u.clone());
+        let run = random_run(&alg, rseed, 40);
+        let states: Vec<Aat> = replay(&alg, run).expect("valid");
+        for w in states.windows(2) {
+            let (before, after) = (&w[0], &w[1]);
+            for a in before.tree.vertices() {
+                prop_assert!(after.tree.contains(a), "vertex vanished");
+                if before.tree.is_committed(a) {
+                    prop_assert!(after.tree.is_committed(a), "commit regressed");
+                }
+                if before.tree.is_aborted(a) {
+                    prop_assert!(after.tree.is_aborted(a), "abort regressed");
+                }
+                if let Some(l) = before.tree.label(a) {
+                    prop_assert_eq!(after.tree.label(a), Some(l), "label changed");
+                }
+            }
+            for x in before.data_objects() {
+                let b = before.data_order(x);
+                let a = after.data_order(x);
+                prop_assert!(a.len() >= b.len() && &a[..b.len()] == b, "data order not extended");
+            }
+            // Lemma 11d: visibility monotone.
+            let vs: Vec<_> = before.tree.vertices().cloned().collect();
+            for p in &vs {
+                for q in &vs {
+                    if before.tree.is_visible_to(p, q) {
+                        prop_assert!(after.tree.is_visible_to(p, q), "visibility regressed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma15_simulation_on_random_runs(useed in 0u64..2000, rseed in 0u64..2000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let low = Level2::new(u.clone());
+        let high = Level1::new(u.clone());
+        let run = random_run(&low, rseed, 30);
+        check_possibilities_on_run(&low, &high, &HSpec, &run)
+            .unwrap_or_else(|e| panic!("Lemma 15 failed: {e}"));
+    }
+
+    #[test]
+    fn level2_enabled_events_all_apply(useed in 0u64..2000, rseed in 0u64..2000) {
+        let u = Arc::new(random_universe(useed, &config()));
+        let alg = Level2::new(u);
+        let run = random_run(&alg, rseed, 25);
+        let states = replay(&alg, run).expect("valid");
+        for s in &states {
+            for e in alg.enabled(s) {
+                prop_assert!(alg.apply(s, &e).is_some(), "enabled {e} rejected");
+            }
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! # rnt-timestamp
+//!
+//! A timestamp-ordered implementation of resilient nested transactions —
+//! the alternative the paper repeatedly contrasts with Moss's locking:
+//! "Reed \[10\] has designed an algorithm which uses multiple versions of
+//! data to implement nested transactions" (§1), and "other
+//! implementations for nested transactions, such as Reed's, should be
+//! proved correct" (§10).
+//!
+//! ## What is (and isn't) reproduced
+//!
+//! [`LevelTo`] keeps Reed's defining behavioral property: the
+//! serialization order is **predetermined by timestamps** assigned at
+//! creation (here: creation order within each sibling group, compared
+//! lexicographically along ancestor paths, i.e. Reed's nested
+//! pseudo-time), and accesses arriving **out of timestamp order are
+//! rejected** rather than blocked — timestamp schedulers never wait and
+//! never deadlock, they abort-and-retry. Reed's tentative versions with
+//! commit dependencies are *not* modeled; instead, like the paper's
+//! level-2 algebra, an access must find every live earlier-timestamped
+//! datastep already visible (the no-cascading-aborts discipline). This
+//! keeps the algebra directly comparable with levels 2–4 while exhibiting
+//! the locking-vs-timestamp trade-off (experiment E10).
+//!
+//! ```
+//! use rnt_algebra::{is_valid, Algebra};
+//! use rnt_model::{act, TxEvent, UniverseBuilder, UpdateFn};
+//! use rnt_timestamp::LevelTo;
+//! use std::sync::Arc;
+//!
+//! let universe = Arc::new(
+//!     UniverseBuilder::new()
+//!         .object(0, 1)
+//!         .action(act![0])
+//!         .access(act![0, 0], 0, UpdateFn::Add(1))
+//!         .action(act![1])
+//!         .access(act![1, 0], 0, UpdateFn::Mul(2))
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let to = LevelTo::new(universe);
+//! // act0 was created first, so it is serialized first: performing its
+//! // access after act1's would be a late arrival and is rejected.
+//! let run = vec![
+//!     TxEvent::Create(act![0]),
+//!     TxEvent::Create(act![1]),
+//!     TxEvent::Create(act![1, 0]),
+//!     TxEvent::Perform(act![1, 0], 1),
+//!     TxEvent::Create(act![0, 0]),
+//!     TxEvent::Perform(act![0, 0], 1), // too late: rejected
+//! ];
+//! assert!(!is_valid(&to, run));
+//! ```
+
+#![warn(missing_docs)]
+
+use rnt_algebra::Algebra;
+use rnt_model::{fold_updates, Aat, ActionId, ObjectId, TxEvent, Universe, Value};
+use rnt_spec::common;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A state of the timestamp-ordered algebra: the AAT (whose per-object
+/// data orders are kept in *timestamp* order) plus the timestamp
+/// assignment.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TsState {
+    /// The augmented action tree; `data_T` is ordered by timestamps.
+    pub aat: Aat,
+    /// Creation timestamps (Reed's pseudo-time, one per created action).
+    ts: BTreeMap<ActionId, u64>,
+    next_ts: u64,
+}
+
+impl TsState {
+    /// The timestamp of a created action.
+    pub fn timestamp(&self, a: &ActionId) -> Option<u64> {
+        self.ts.get(a).copied()
+    }
+
+    /// Compare two distinct, non-ancestor-related actions in the induced
+    /// pseudo-time order: the creation order of their sibling ancestors at
+    /// the lca (lexicographic nested timestamps).
+    pub fn ts_precedes(&self, a: &ActionId, b: &ActionId) -> Option<bool> {
+        let lca = a.lca(b);
+        let a_side = lca.child_towards(a)?;
+        let b_side = lca.child_towards(b)?;
+        match self.ts.get(&a_side)?.cmp(self.ts.get(&b_side)?) {
+            Ordering::Less => Some(true),
+            Ordering::Greater => Some(false),
+            Ordering::Equal => None,
+        }
+    }
+}
+
+/// Why a `perform` is rejected (exposed for tests and the E10 metrics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rejection {
+    /// A live later-timestamped datastep already performed: admitting this
+    /// access would retroactively invalidate that label.
+    LateArrival,
+    /// A live earlier-timestamped datastep is not yet visible: its effect
+    /// can be neither safely included nor excluded.
+    EarlierNotVisible,
+    /// The supplied value disagrees with the timestamp-ordered fold.
+    WrongValue,
+    /// Not an active access at all.
+    NotActiveAccess,
+}
+
+/// The timestamp-ordered nested-transaction algebra.
+pub struct LevelTo {
+    universe: Arc<Universe>,
+}
+
+impl LevelTo {
+    /// Build the algebra over a universe.
+    pub fn new(universe: Arc<Universe>) -> Self {
+        LevelTo { universe }
+    }
+
+    /// The universe this algebra draws actions from.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The value an admissible access must see: the fold of the visible
+    /// datasteps that precede it in pseudo-time.
+    pub fn expected_value(&self, s: &TsState, a: &ActionId) -> Value {
+        let x = self.universe.object_of(a).expect("expected value of non-access");
+        let init = self.universe.init_of(x).expect("declared object");
+        fold_updates(
+            init,
+            s.aat
+                .data_order(x)
+                .iter()
+                .filter(|b| {
+                    s.ts_precedes(b, a) == Some(true) && s.aat.tree.is_visible_to(b, a)
+                })
+                .map(|b| self.universe.update_of(b).expect("datastep is access")),
+        )
+    }
+
+    /// Check admissibility of `perform_{A,u}` without applying it.
+    pub fn check_perform(&self, s: &TsState, a: &ActionId, value: Value) -> Result<(), Rejection> {
+        if !self.universe.is_access(a) || !s.aat.tree.is_active(a) {
+            return Err(Rejection::NotActiveAccess);
+        }
+        let x = self.universe.object_of(a).expect("access has object");
+        for b in s.aat.data_order(x) {
+            if !s.aat.tree.is_live(b) {
+                continue;
+            }
+            match s.ts_precedes(b, a) {
+                Some(true) => {
+                    if !s.aat.tree.is_visible_to(b, a) {
+                        return Err(Rejection::EarlierNotVisible);
+                    }
+                }
+                Some(false) => return Err(Rejection::LateArrival),
+                None => return Err(Rejection::LateArrival), // ancestor-related: impossible for leaves
+            }
+        }
+        if s.aat.tree.is_live(a) && value != self.expected_value(s, a) {
+            return Err(Rejection::WrongValue);
+        }
+        Ok(())
+    }
+
+    fn insert_position(&self, s: &TsState, a: &ActionId, x: ObjectId) -> usize {
+        s.aat
+            .data_order(x)
+            .iter()
+            .position(|b| s.ts_precedes(a, b) == Some(true))
+            .unwrap_or_else(|| s.aat.data_order(x).len())
+    }
+}
+
+impl Algebra for LevelTo {
+    type State = TsState;
+    type Event = TxEvent;
+
+    fn initial(&self) -> TsState {
+        let mut ts = BTreeMap::new();
+        ts.insert(ActionId::root(), 0);
+        TsState { aat: Aat::trivial(), ts, next_ts: 1 }
+    }
+
+    fn apply(&self, s: &TsState, event: &TxEvent) -> Option<TsState> {
+        let u = &self.universe;
+        match event {
+            TxEvent::Create(a) => {
+                if !common::create_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::create_apply(&mut next.aat.tree, a);
+                next.ts.insert(a.clone(), next.next_ts);
+                next.next_ts += 1;
+                Some(next)
+            }
+            TxEvent::Commit(a) => {
+                if !common::commit_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::commit_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Abort(a) => {
+                if !common::abort_enabled(u, &s.aat.tree, a) {
+                    return None;
+                }
+                let mut next = s.clone();
+                common::abort_apply(&mut next.aat.tree, a);
+                Some(next)
+            }
+            TxEvent::Perform(a, value) => {
+                self.check_perform(s, a, *value).ok()?;
+                let x = u.object_of(a).expect("access has object");
+                let mut next = s.clone();
+                next.aat.tree.set_committed(a);
+                next.aat.tree.set_label(a.clone(), *value);
+                let pos = self.insert_position(s, a, x);
+                next.aat.insert_datastep(x, pos, a.clone());
+                Some(next)
+            }
+            // Timestamp schedulers have no locks.
+            TxEvent::ReleaseLock(..) | TxEvent::LoseLock(..) => None,
+        }
+    }
+
+    fn enabled(&self, s: &TsState) -> Vec<TxEvent> {
+        let u = &self.universe;
+        let mut out = Vec::new();
+        for a in u.actions() {
+            if common::create_enabled(u, &s.aat.tree, a) {
+                out.push(TxEvent::Create(a.clone()));
+            }
+            if s.aat.tree.is_active(a) {
+                if u.is_access(a) {
+                    let value = self.expected_value(s, a);
+                    if self.check_perform(s, a, value).is_ok() {
+                        out.push(TxEvent::Perform(a.clone(), value));
+                    }
+                } else if common::commit_enabled(u, &s.aat.tree, a) {
+                    out.push(TxEvent::Commit(a.clone()));
+                }
+                out.push(TxEvent::Abort(a.clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_algebra::{explore, is_valid, replay, ExploreConfig};
+    use rnt_model::{act, UniverseBuilder, UpdateFn};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .action(act![1])
+                .access(act![1, 0], 0, UpdateFn::Mul(2))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn in_order_run_is_valid() {
+        let to = LevelTo::new(universe());
+        let run = vec![
+            TxEvent::Create(act![0]),
+            TxEvent::Create(act![0, 0]),
+            TxEvent::Perform(act![0, 0], 1),
+            TxEvent::Commit(act![0]),
+            TxEvent::Create(act![1]),
+            TxEvent::Create(act![1, 0]),
+            TxEvent::Perform(act![1, 0], 2),
+            TxEvent::Commit(act![1]),
+        ];
+        assert!(is_valid(&to, run));
+    }
+
+    #[test]
+    fn late_arrival_rejected() {
+        let to = LevelTo::new(universe());
+        let states = replay(
+            &to,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![1]),
+                TxEvent::Create(act![1, 0]),
+                TxEvent::Create(act![0, 0]),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        // act1's access performs first; act0's earlier-timestamped access
+        // then arrives too late.
+        let s = to.apply(s, &TxEvent::Perform(act![1, 0], 1)).unwrap();
+        assert_eq!(
+            to.check_perform(&s, &act![0, 0], 1),
+            Err(Rejection::LateArrival)
+        );
+        // The late transaction aborts instead — no deadlock, no waiting.
+        assert!(to.apply(&s, &TxEvent::Abort(act![0, 0])).is_some());
+    }
+
+    #[test]
+    fn dead_late_datastep_does_not_block() {
+        let to = LevelTo::new(universe());
+        let states = replay(
+            &to,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![1]),
+                TxEvent::Create(act![1, 0]),
+                TxEvent::Perform(act![1, 0], 1),
+                TxEvent::Abort(act![1]), // the later access dies
+                TxEvent::Create(act![0, 0]),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert_eq!(to.check_perform(s, &act![0, 0], 1), Ok(()));
+        assert!(to.apply(s, &TxEvent::Perform(act![0, 0], 1)).is_some());
+    }
+
+    #[test]
+    fn earlier_invisible_rejected_until_commit() {
+        let to = LevelTo::new(universe());
+        let states = replay(
+            &to,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+                TxEvent::Create(act![1]),
+                TxEvent::Create(act![1, 0]),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert_eq!(
+            to.check_perform(s, &act![1, 0], 2),
+            Err(Rejection::EarlierNotVisible)
+        );
+        let s = to.apply(s, &TxEvent::Commit(act![0])).unwrap();
+        assert_eq!(to.check_perform(&s, &act![1, 0], 2), Ok(()));
+    }
+
+    #[test]
+    fn wrong_value_rejected() {
+        let to = LevelTo::new(universe());
+        let states = replay(
+            &to,
+            vec![TxEvent::Create(act![0]), TxEvent::Create(act![0, 0])],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert_eq!(to.check_perform(s, &act![0, 0], 7), Err(Rejection::WrongValue));
+    }
+
+    #[test]
+    fn exhaustive_perm_data_serializable() {
+        let u = universe();
+        let to = LevelTo::new(u.clone());
+        let report = explore(
+            &to,
+            &ExploreConfig { max_states: 400_000, max_depth: 0 },
+            |s: &TsState| {
+                if s.aat.perm().is_data_serializable(&u) {
+                    Ok(())
+                } else {
+                    Err("perm not data-serializable under timestamp ordering".into())
+                }
+            },
+        )
+        .unwrap_or_else(|ce| panic!("{ce}"));
+        assert!(!report.truncated);
+        assert!(report.states > 100);
+    }
+
+    #[test]
+    fn data_order_is_timestamp_sorted() {
+        let u = universe();
+        let to = LevelTo::new(u.clone());
+        // Drive to a state with both datasteps and check the order matches
+        // pseudo-time regardless of arrival order (here arrival == order).
+        let states = replay(
+            &to,
+            vec![
+                TxEvent::Create(act![0]),
+                TxEvent::Create(act![0, 0]),
+                TxEvent::Perform(act![0, 0], 1),
+                TxEvent::Commit(act![0]),
+                TxEvent::Create(act![1]),
+                TxEvent::Create(act![1, 0]),
+                TxEvent::Perform(act![1, 0], 2),
+            ],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        assert_eq!(s.aat.data_order(ObjectId(0)), &[act![0, 0], act![1, 0]]);
+        assert_eq!(s.ts_precedes(&act![0, 0], &act![1, 0]), Some(true));
+    }
+
+    #[test]
+    fn enabled_matches_apply() {
+        let to = LevelTo::new(universe());
+        let mut state = to.initial();
+        for _ in 0..10 {
+            let evs = to.enabled(&state);
+            for e in &evs {
+                assert!(to.apply(&state, e).is_some(), "enabled {e} rejected");
+            }
+            let Some(e) = evs.into_iter().next() else { break };
+            state = to.apply(&state, &e).unwrap();
+        }
+    }
+
+    #[test]
+    fn timestamps_are_creation_order() {
+        let to = LevelTo::new(universe());
+        let states = replay(
+            &to,
+            vec![TxEvent::Create(act![1]), TxEvent::Create(act![0])],
+        )
+        .unwrap();
+        let s = states.last().unwrap();
+        // act1 was created first: it precedes act0 in pseudo-time even
+        // though its name sorts later.
+        assert!(s.timestamp(&act![1]).unwrap() < s.timestamp(&act![0]).unwrap());
+    }
+}

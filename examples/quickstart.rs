@@ -1,0 +1,57 @@
+//! Quickstart: nested transactions in five minutes.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+//!
+//! Demonstrates the engine's core semantics from Lynch/Moss:
+//! subtransaction commit publishes *to the parent only*; subtransaction
+//! abort is contained (resilience); top-level commit publishes globally.
+
+use resilient_nt::core::{Db, TxnError};
+
+fn main() -> Result<(), TxnError> {
+    // An in-memory nested-transaction store. Keys and values are generic;
+    // here: &str -> i64.
+    let db: Db<&'static str, i64> = Db::new();
+    db.insert("checking", 1_000);
+    db.insert("savings", 5_000);
+
+    // A top-level transaction with two subtransactions.
+    let txn = db.begin();
+
+    // Subtransaction 1: move 300 checking -> savings.
+    let transfer = txn.child()?;
+    transfer.rmw(&"checking", |v| v - 300)?;
+    transfer.rmw(&"savings", |v| v + 300)?;
+    transfer.commit()?; // visible to `txn`, NOT to the world
+
+    println!("inside txn: checking = {}", txn.read(&"checking")?); // 700
+    println!("outside txn: checking = {:?}", db.committed_value(&"checking")); // 1000
+
+    // Subtransaction 2: a speculative operation that fails — aborting it
+    // rolls back ONLY its own writes. This is the "resilient" part: the
+    // parent tolerates the failure and carries on.
+    let speculative = txn.child()?;
+    speculative.rmw(&"checking", |v| v - 9_999)?;
+    println!("speculative saw checking = {}", speculative.read(&"checking")?);
+    speculative.abort(); // contained: transfer's effects survive
+
+    assert_eq!(txn.read(&"checking")?, 700, "abort rolled back only the subtransaction");
+
+    // Commit the top level: now the world sees it.
+    txn.commit()?;
+    assert_eq!(db.committed_value(&"checking"), Some(700));
+    assert_eq!(db.committed_value(&"savings"), Some(5_300));
+    println!("committed: checking = 700, savings = 5300");
+
+    // Dropping an unfinished transaction aborts it.
+    {
+        let t = db.begin();
+        t.write(&"checking", -1)?;
+    } // dropped here -> aborted
+    assert_eq!(db.committed_value(&"checking"), Some(700));
+    println!("dropped transaction rolled back automatically");
+
+    Ok(())
+}

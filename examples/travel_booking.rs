@@ -1,0 +1,109 @@
+//! Recovery-block programming with nested transactions — the style the
+//! paper generalizes from Randell's recovery blocks: try a primary
+//! provider inside a subtransaction; if it fails, the failure is contained
+//! and an alternative is tried, all inside one atomic trip booking.
+//!
+//! ```bash
+//! cargo run --example travel_booking
+//! ```
+
+use resilient_nt::core::{Db, Txn, TxnError};
+
+/// Inventory keys: `(provider, resource)` → seats/rooms left.
+type Key = (&'static str, &'static str);
+
+/// Why a booking attempt failed.
+#[derive(Debug)]
+enum BookErr {
+    /// The provider has no inventory left (business-level failure).
+    SoldOut,
+    /// A transactional error (unknown provider, contention, orphaning).
+    Txn(TxnError),
+}
+
+impl From<TxnError> for BookErr {
+    fn from(e: TxnError) -> Self {
+        BookErr::Txn(e)
+    }
+}
+
+fn main() -> Result<(), BookErr> {
+    let db: Db<Key, i64> = Db::new();
+    // Seed inventory: the cheap airline is sold out, forcing the fallback.
+    db.insert(("cheapo-air", "flight"), 0);
+    db.insert(("lux-air", "flight"), 3);
+    db.insert(("downtown", "hotel"), 1);
+    db.insert(("airport", "hotel"), 10);
+    db.insert(("hertz", "car"), 2);
+
+    // Book a whole trip atomically: flight AND hotel AND car, each with a
+    // primary and a fallback provider.
+    let trip = db.begin();
+    let flight = book_with_fallback(&trip, "flight", &["cheapo-air", "lux-air"])?;
+    let hotel = book_with_fallback(&trip, "hotel", &["downtown", "airport"])?;
+    let car = book_with_fallback(&trip, "car", &["hertz"])?;
+    println!("itinerary: {flight} flight, {hotel} hotel, {car} car");
+    trip.commit()?;
+
+    assert_eq!(db.committed_value(&("cheapo-air", "flight")), Some(0), "sold out, untouched");
+    assert_eq!(db.committed_value(&("lux-air", "flight")), Some(2), "fallback booked");
+    assert_eq!(db.committed_value(&("downtown", "hotel")), Some(0));
+    assert_eq!(db.committed_value(&("hertz", "car")), Some(1));
+    println!("trip committed atomically");
+
+    // A second trip cannot get the last downtown room — and when its car
+    // leg fails entirely, the *whole* trip aborts, releasing the flight it
+    // had reserved.
+    let trip2 = db.begin();
+    let f2 = book_with_fallback(&trip2, "flight", &["cheapo-air", "lux-air"])?;
+    println!("trip 2 reserved {f2} flight");
+    match book_with_fallback(&trip2, "car", &["no-such-rental"]) {
+        Err(BookErr::SoldOut) | Err(BookErr::Txn(TxnError::UnknownKey)) => {
+            println!("trip 2: no car available anywhere — aborting the whole trip");
+            trip2.abort();
+        }
+        other => panic!("expected total failure, got {other:?}"),
+    }
+    assert_eq!(
+        db.committed_value(&("lux-air", "flight")),
+        Some(2),
+        "trip 2's reservation rolled back with the trip"
+    );
+    println!("inventory restored after trip 2's abort — resilience in action");
+    Ok(())
+}
+
+/// The recovery block: each provider attempt is its own subtransaction.
+/// A failed attempt aborts *only itself*; the parent inspects the failure
+/// and tries the next alternative — exactly the programming style the
+/// paper's introduction describes.
+fn book_with_fallback(
+    trip: &Txn<Key, i64>,
+    resource: &'static str,
+    providers: &[&'static str],
+) -> Result<&'static str, BookErr> {
+    let mut last_err = BookErr::SoldOut;
+    for &provider in providers {
+        let attempt = trip.child().map_err(BookErr::Txn)?;
+        match try_book(&attempt, (provider, resource)) {
+            Ok(()) => {
+                attempt.commit().map_err(BookErr::Txn)?;
+                return Ok(provider);
+            }
+            Err(e) => {
+                attempt.abort(); // contained failure; trip is still healthy
+                last_err = e;
+            }
+        }
+    }
+    Err(last_err)
+}
+
+fn try_book(attempt: &Txn<Key, i64>, key: Key) -> Result<(), BookErr> {
+    let available = attempt.read(&key)?;
+    if available == 0 {
+        return Err(BookErr::SoldOut);
+    }
+    attempt.rmw(&key, |v| v - 1)?;
+    Ok(())
+}
