@@ -1,0 +1,516 @@
+//! The deterministic chaos driver: seeded logical workers running
+//! randomized nested-transaction workloads against [`rnt_core::Db`] on a
+//! single thread, with a fault schedule injected between steps.
+//!
+//! Determinism contract: the whole run — workload, interleaving, faults,
+//! audit log, verdict — is a pure function of [`ChaosConfig`] (and thus of
+//! its seed). The driver only uses non-blocking conflict policies
+//! ([`DeadlockPolicy::NoWait`] and [`DeadlockPolicy::Timeout`] with a zero
+//! bound), so no wall-clock waiting can reorder anything; every conflict
+//! resolves immediately into a deterministic victim kill or timeout —
+//! the single-threaded analogue of deadlock-policy victim selection.
+//! Thread-interleaving perturbation is modeled by the seeded scheduler
+//! choosing which logical worker advances at each step, plus injector
+//! faults that flip the winner of lock races on the sharded lock table.
+
+use crate::oracle;
+use crate::schedule::{FaultEvent, FaultKind, FaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnt_core::chaos::{AccessFault, Injector};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Txn, TxnError, TxnId};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of one chaos run. Everything is derived from `seed`; the
+/// remaining knobs size the workload.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// The seed: same seed ⇒ identical schedule, faults, log and verdict.
+    pub seed: u64,
+    /// Logical workers interleaved by the seeded scheduler.
+    pub workers: usize,
+    /// Top-level transactions each worker runs.
+    pub txns_per_worker: usize,
+    /// Maximum open-subtransaction depth below a top-level transaction.
+    pub max_depth: usize,
+    /// Operation budget per top-level transaction.
+    pub ops_per_txn: usize,
+    /// Keys seeded into the store.
+    pub keys: u64,
+    /// Fraction of operations that are reads (the rest are rmw).
+    pub read_ratio: f64,
+    /// Number of faults scheduled over the run.
+    pub faults: usize,
+    /// Safety bound on scheduler steps.
+    pub max_steps: usize,
+    /// Run the oracle after every applied fault (always at quiescence).
+    pub check_after_each_fault: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            workers: 3,
+            txns_per_worker: 2,
+            max_depth: 3,
+            ops_per_txn: 8,
+            keys: 4,
+            read_ratio: 0.5,
+            faults: 4,
+            max_steps: 10_000,
+            check_after_each_fault: true,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A config differing from default only in its seed.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosConfig { seed, ..ChaosConfig::default() }
+    }
+
+    /// The deadlock policy this seed runs under: both are non-blocking, so
+    /// the single-threaded driver stays deterministic.
+    pub fn policy(&self) -> DeadlockPolicy {
+        if self.seed % 2 == 0 {
+            DeadlockPolicy::NoWait
+        } else {
+            DeadlockPolicy::Timeout
+        }
+    }
+
+    /// The step horizon faults are spread over.
+    pub fn horizon(&self) -> usize {
+        self.workers * self.txns_per_worker * (self.ops_per_txn + self.max_depth + 4)
+    }
+}
+
+/// An oracle or invariant failure, with the step it was detected at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosFailure {
+    /// Scheduler step at which the failure was detected.
+    pub step: usize,
+    /// Human-readable description from the oracle.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}: {}", self.step, self.detail)
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The seed the run was derived from.
+    pub seed: u64,
+    /// Scheduler steps executed.
+    pub steps: usize,
+    /// Faults that actually fired (some scheduled faults are no-ops, e.g.
+    /// aborting a depth the worker never reached).
+    pub faults_applied: Vec<String>,
+    /// Committed / aborted top-level-or-nested transaction counts.
+    pub commits: u64,
+    /// Aborts (including orphan cleanup and fault-forced aborts).
+    pub aborts: u64,
+    /// Audit records produced.
+    pub audit_records: usize,
+    /// Order-sensitive hash of the audit log and fault trace: equal
+    /// fingerprints ⇔ identical schedules.
+    pub fingerprint: u64,
+    /// `Ok(())` iff every oracle check passed.
+    pub verdict: Result<(), ChaosFailure>,
+}
+
+/// The armable injector the driver installs into the engine: one-shot
+/// per-transaction fault triggers consumed at the next hook call.
+#[derive(Default)]
+pub struct ChaosInjector {
+    die: Mutex<HashSet<TxnId>>,
+    timeout: Mutex<HashSet<TxnId>>,
+    fail_child: Mutex<HashSet<TxnId>>,
+}
+
+impl ChaosInjector {
+    fn arm_die(&self, t: TxnId) {
+        self.die.lock().unwrap().insert(t);
+    }
+    fn arm_timeout(&self, t: TxnId) {
+        self.timeout.lock().unwrap().insert(t);
+    }
+    fn arm_fail_child(&self, t: TxnId) {
+        self.fail_child.lock().unwrap().insert(t);
+    }
+}
+
+impl Injector for ChaosInjector {
+    fn before_access(&self, t: TxnId, _shard: usize) -> AccessFault {
+        if self.die.lock().unwrap().remove(&t) {
+            return AccessFault::Die;
+        }
+        if self.timeout.lock().unwrap().remove(&t) {
+            return AccessFault::Timeout;
+        }
+        AccessFault::Proceed
+    }
+
+    fn fail_begin_child(&self, parent: TxnId) -> bool {
+        self.fail_child.lock().unwrap().remove(&parent)
+    }
+}
+
+/// One logical worker: a top-level transaction plus its stack of open
+/// subtransactions (innermost last), advanced one operation per step.
+struct Worker {
+    rng: StdRng,
+    top: Option<Txn<u64, i64>>,
+    stack: Vec<Txn<u64, i64>>,
+    remaining_txns: usize,
+    ops_left: usize,
+}
+
+impl Worker {
+    fn new(seed: u64, index: usize, txns: usize) -> Worker {
+        let mix = seed.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Worker {
+            rng: StdRng::seed_from_u64(mix),
+            top: None,
+            stack: Vec::new(),
+            remaining_txns: txns,
+            ops_left: 0,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.remaining_txns == 0 && self.top.is_none() && self.stack.is_empty()
+    }
+
+    /// The deepest open transaction's id (for arming injector faults).
+    fn deepest_id(&self) -> Option<TxnId> {
+        self.stack.last().or(self.top.as_ref()).map(|t| t.id())
+    }
+
+    /// Drop the deepest open handle (aborting it): the response to an
+    /// orphaned or killed subtransaction.
+    fn drop_deepest(&mut self) {
+        if self.stack.pop().is_none() {
+            self.top = None;
+        }
+    }
+
+    /// Advance this worker by one operation.
+    fn step(&mut self, db: &Db<u64, i64>, cfg: &ChaosConfig) {
+        let Some(_) = self.top.as_ref() else {
+            // Leftover stack handles under a gone top are orphans: poke one
+            // (exercising the orphan error path), then drop-abort it.
+            if let Some(orphan) = self.stack.pop() {
+                let key = self.rng.gen_range(0..cfg.keys.max(1));
+                let _ = orphan.read(&key);
+                drop(orphan);
+                return;
+            }
+            if self.remaining_txns > 0 {
+                self.remaining_txns -= 1;
+                self.ops_left = cfg.ops_per_txn;
+                self.top = Some(db.begin());
+            }
+            return;
+        };
+
+        if self.ops_left == 0 {
+            // Close phase: commit inside-out, then the top.
+            if let Some(child) = self.stack.pop() {
+                let _ = child.commit();
+            } else if let Some(top) = self.top.take() {
+                let _ = top.commit();
+            }
+            return;
+        }
+        self.ops_left -= 1;
+
+        let roll: f64 = self.rng.gen_range(0.0..1.0);
+        if roll < 0.25 && self.stack.len() < cfg.max_depth {
+            // Open a subtransaction under the deepest handle.
+            let parent = self.stack.last().unwrap_or_else(|| self.top.as_ref().expect("top set"));
+            match parent.child() {
+                Ok(child) => self.stack.push(child),
+                Err(e) => self.handle_error(e),
+            }
+            return;
+        }
+        if roll < 0.35 && !self.stack.is_empty() {
+            // Commit the deepest subtransaction.
+            let child = self.stack.pop().expect("non-empty");
+            if let Err(e) = child.commit() {
+                self.handle_error(e);
+            }
+            return;
+        }
+        if roll < 0.40 && !self.stack.is_empty() {
+            // Voluntarily abort the deepest subtransaction (the resilient
+            // path: siblings and ancestors are unaffected).
+            self.stack.pop().expect("non-empty").abort();
+            return;
+        }
+        // A data operation on the deepest handle.
+        let key = self.rng.gen_range(0..cfg.keys.max(1));
+        let read = self.rng.gen_range(0.0..1.0) < cfg.read_ratio;
+        let handle = self.stack.last().unwrap_or_else(|| self.top.as_ref().expect("top set"));
+        let result =
+            if read { handle.read(&key).map(|_| ()) } else { handle.rmw(&key, |v| v + 1).map(|_| ()) };
+        if let Err(e) = result {
+            self.handle_error(e);
+        }
+    }
+
+    fn handle_error(&mut self, e: TxnError) {
+        match e {
+            // Orphaned / dead handles: unwind the deepest one.
+            TxnError::Orphaned | TxnError::NotActive => self.drop_deepest(),
+            // Contention verdicts (victim kill, timeout): abort the deepest
+            // and let the enclosing transaction carry on — resilience.
+            e if e.is_retryable() => {
+                if let Some(child) = self.stack.pop() {
+                    child.abort();
+                } else if let Some(top) = self.top.take() {
+                    top.abort();
+                }
+            }
+            // Nothing else should surface from this workload.
+            other => panic!("unexpected engine error in chaos driver: {other}"),
+        }
+    }
+
+    /// Abort-and-drop everything still open (end-of-run cleanup).
+    fn teardown(&mut self) {
+        self.stack.clear();
+        self.top = None;
+        self.remaining_txns = 0;
+    }
+}
+
+/// Apply one fault. Returns a description if it actually fired.
+fn apply_fault(
+    fault: &FaultEvent,
+    db: &Db<u64, i64>,
+    injector: &ChaosInjector,
+    workers: &mut [Worker],
+) -> Option<String> {
+    let n = workers.len();
+    match &fault.kind {
+        FaultKind::ForcedAbort { worker, depth } => {
+            let w = &mut workers[*worker % n];
+            if *depth == 0 {
+                let top = w.top.take()?;
+                let id = top.id();
+                top.abort();
+                Some(format!("forced-abort top {id:?} ({} orphaned)", w.stack.len()))
+            } else if *depth <= w.stack.len() {
+                // Abort a mid-tree handle; deeper handles stay in the stack
+                // as live orphan handles the worker will trip over.
+                let victim = w.stack.remove(*depth - 1);
+                let id = victim.id();
+                victim.abort();
+                Some(format!("forced-abort depth {depth} {id:?}"))
+            } else {
+                None
+            }
+        }
+        FaultKind::OrphanParent { worker } => {
+            let w = &mut workers[*worker % n];
+            if w.stack.is_empty() {
+                return None;
+            }
+            let top = w.top.take()?;
+            let id = top.id();
+            let orphans = w.stack.len();
+            top.abort();
+            Some(format!("orphan-parent {id:?} ({orphans} live children orphaned)"))
+        }
+        FaultKind::LoseLock => {
+            db.chaos_reap_all();
+            Some("lose-lock (eager reap of all shards)".to_string())
+        }
+        FaultKind::VictimKill { worker } => {
+            let id = workers[*worker % n].deepest_id()?;
+            injector.arm_die(id);
+            Some(format!("victim-kill armed for {id:?}"))
+        }
+        FaultKind::ShardStall { worker } => {
+            let id = workers[*worker % n].deepest_id()?;
+            injector.arm_timeout(id);
+            Some(format!("shard-stall armed for {id:?}"))
+        }
+        FaultKind::BeginChildFail { worker } => {
+            let id = workers[*worker % n].deepest_id()?;
+            injector.arm_fail_child(id);
+            Some(format!("begin-child-fail armed for {id:?}"))
+        }
+    }
+}
+
+/// FNV-1a over the audit log and the applied-fault trace.
+fn fingerprint(db: &Db<u64, i64>, applied: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    if let Some(log) = db.audit_log() {
+        for record in log.records() {
+            eat(format!("{record:?}").as_bytes());
+        }
+    }
+    for line in applied {
+        eat(line.as_bytes());
+    }
+    h
+}
+
+/// Run a chaos schedule derived entirely from `config.seed`.
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    let plan = FaultPlan::generate(
+        config.seed,
+        config.faults,
+        config.horizon(),
+        config.workers,
+        config.max_depth + 1,
+    );
+    run_with_plan(config, &plan)
+}
+
+/// Run a chaos workload with an explicit fault plan (the shrinker's entry
+/// point; [`run`] is `run_with_plan` with the seed-derived plan).
+pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
+    let db: Db<u64, i64> = Db::with_config(DbConfig {
+        policy: config.policy(),
+        lock_timeout: Duration::ZERO,
+        audit: true,
+        ..DbConfig::default()
+    });
+    for k in 0..config.keys.max(1) {
+        db.insert(k, k as i64 * 100);
+    }
+    let injector = Arc::new(ChaosInjector::default());
+    db.chaos_set_injector(Some(injector.clone()));
+
+    let mut workers: Vec<Worker> = (0..config.workers.max(1))
+        .map(|i| Worker::new(config.seed, i, config.txns_per_worker))
+        .collect();
+    let mut sched = StdRng::seed_from_u64(config.seed ^ 0x5C4E_D);
+
+    let mut applied: Vec<String> = Vec::new();
+    let mut verdict: Result<(), ChaosFailure> = Ok(());
+    let mut next_fault = 0;
+    let mut step = 0;
+
+    'run: while step < config.max_steps {
+        while next_fault < plan.faults.len() && plan.faults[next_fault].at_step <= step {
+            let fault = &plan.faults[next_fault];
+            next_fault += 1;
+            if let Some(desc) = apply_fault(fault, &db, &injector, &mut workers) {
+                applied.push(format!("step {step}: {desc}"));
+                if config.check_after_each_fault {
+                    if let Err(detail) = oracle::check(&db) {
+                        verdict = Err(ChaosFailure { step, detail });
+                        break 'run;
+                    }
+                }
+            }
+        }
+        let live: Vec<usize> =
+            workers.iter().enumerate().filter(|(_, w)| !w.finished()).map(|(i, _)| i).collect();
+        if live.is_empty() {
+            break;
+        }
+        let w = live[sched.gen_range(0..live.len())];
+        workers[w].step(&db, config);
+        step += 1;
+    }
+
+    for w in &mut workers {
+        w.teardown();
+    }
+    if verdict.is_ok() {
+        // Quiescence: every handle is closed; the full oracle must pass and
+        // every lock table must have drained.
+        if let Err(detail) = oracle::check(&db) {
+            verdict = Err(ChaosFailure { step, detail });
+        }
+    }
+
+    let stats = db.stats();
+    ChaosReport {
+        seed: config.seed,
+        steps: step,
+        faults_applied: applied.clone(),
+        commits: stats.committed,
+        aborts: stats.aborted,
+        audit_records: db.audit_log().map(|l| l.len()).unwrap_or(0),
+        fingerprint: fingerprint(&db, &applied),
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_run_completes_and_passes() {
+        let report = run(&ChaosConfig::seeded(1));
+        assert!(report.verdict.is_ok(), "{:?}", report.verdict);
+        assert!(report.steps > 0);
+        assert!(report.audit_records > 0);
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        for seed in [0, 1, 7, 99, 12345] {
+            let a = run(&ChaosConfig::seeded(seed));
+            let b = run(&ChaosConfig::seeded(seed));
+            assert_eq!(a.fingerprint, b.fingerprint, "seed {seed} diverged");
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.faults_applied, b.faults_applied);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(&ChaosConfig::seeded(2));
+        let b = run(&ChaosConfig::seeded(3));
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn injector_faults_fire() {
+        // Over a modest seed sweep, every fault kind must fire at least
+        // once — the schedule space actually exercises all six.
+        let mut seen_kinds: HashSet<&'static str> = HashSet::new();
+        for seed in 0..60 {
+            let report = run(&ChaosConfig { faults: 6, ..ChaosConfig::seeded(seed) });
+            assert!(report.verdict.is_ok(), "seed {seed}: {:?}", report.verdict);
+            for line in &report.faults_applied {
+                for tag in [
+                    "forced-abort",
+                    "orphan-parent",
+                    "lose-lock",
+                    "victim-kill",
+                    "shard-stall",
+                    "begin-child-fail",
+                ] {
+                    if line.contains(tag) {
+                        seen_kinds.insert(tag);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_kinds.len(), 6, "only saw {seen_kinds:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # rnt-chaos
+//!
+//! A deterministic fault-injection harness for the resilient
+//! nested-transaction engine, with a serializability oracle.
+//!
+//! The driver runs seeded, randomized nested-transaction workloads
+//! against [`rnt_core::Db`] on a single thread and injects the faults the
+//! paper's model is built to survive:
+//!
+//! * **forced aborts** at arbitrary depths of the transaction tree;
+//! * **orphaned subtransactions** (a parent aborts under live children);
+//! * **lose-lock events** — eager reaping of dead holders' locks (the
+//!   paper's level-4 event, normally lazily performed);
+//! * **deadlock-policy victim kills** and lock-wait **timeouts**, both
+//!   natural (non-blocking conflict policies) and injector-forced;
+//! * **interleaving perturbation** — the seeded scheduler decides which
+//!   logical worker advances at every step.
+//!
+//! After every injected fault and at quiescence, the [`oracle`] replays
+//! the engine's audit log through the AAT checker and asserts the
+//! Theorem-9 condition (version compatibility, no nontrivial sibling-data
+//! cycles), orphan-view cleanliness, and the engine lock invariants (no
+//! lock held by a dead transaction, write stacks are ancestor chains,
+//! empty lock tables at quiescence).
+//!
+//! Every run — schedule, faults, verdict — is a pure function of a single
+//! `u64` seed ([`driver::run`]); failures shrink to a minimal fault
+//! schedule with [`shrink::shrink_failing_run`]. The [`dist`] module runs
+//! the same idea over the level-5 distributed state machine.
+//!
+//! Reproduce a failure:
+//!
+//! ```text
+//! cargo test -p rnt-chaos --test repro -- --seed <n>
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod driver;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+
+pub use dist::{run_dist_chaos, DistChaosConfig, DistChaosReport};
+pub use driver::{run, run_with_plan, ChaosConfig, ChaosFailure, ChaosInjector, ChaosReport};
+pub use schedule::{FaultEvent, FaultKind, FaultPlan};
+pub use shrink::{shrink_failing_run, shrink_plan};

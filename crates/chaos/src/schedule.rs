@@ -1,0 +1,118 @@
+//! Fault schedules: what to inject, into whom, and when.
+//!
+//! A [`FaultPlan`] is derived deterministically from a single `u64` seed
+//! *before* the run starts, so a failing schedule can be replayed exactly
+//! and shrunk by deleting events from the plan (see [`crate::shrink`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Forcibly abort the worker's transaction at the given tree depth
+    /// (0 = the top-level transaction, `d ≥ 1` = the `d`-th open
+    /// subtransaction). Aborting a non-leaf leaves its open descendants as
+    /// orphans.
+    ForcedAbort {
+        /// Target worker index (taken modulo the worker count).
+        worker: usize,
+        /// Depth in that worker's open-transaction stack.
+        depth: usize,
+    },
+    /// Abort the worker's top-level transaction while subtransactions are
+    /// still open, turning the entire open subtree into orphans.
+    OrphanParent {
+        /// Target worker index.
+        worker: usize,
+    },
+    /// Eagerly perform every pending `lose-lock` across all shards (the
+    /// paper's level-4 event, normally lazily performed).
+    LoseLock,
+    /// Arm the injector to kill the worker's deepest open transaction at
+    /// its next lock acquisition (a deadlock-policy victim kill).
+    VictimKill {
+        /// Target worker index.
+        worker: usize,
+    },
+    /// Arm the injector to time the worker's deepest open transaction out
+    /// at its next lock acquisition (a lock-wait expiry).
+    ShardStall {
+        /// Target worker index.
+        worker: usize,
+    },
+    /// Arm the injector to fail the worker's next subtransaction begin.
+    BeginChildFail {
+        /// Target worker index.
+        worker: usize,
+    },
+}
+
+/// A fault scheduled at a driver step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// The scheduler step at (or after) which the fault fires.
+    pub at_step: usize,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// The full fault schedule of one run, ordered by [`FaultEvent::at_step`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a seed: `count` faults spread uniformly over
+    /// `horizon` scheduler steps, targeting `workers` logical workers with
+    /// nesting depths below `max_depth`.
+    pub fn generate(
+        seed: u64,
+        count: usize,
+        horizon: usize,
+        workers: usize,
+        max_depth: usize,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA_07);
+        let mut faults: Vec<FaultEvent> = (0..count)
+            .map(|_| {
+                let at_step = rng.gen_range(0..horizon.max(1));
+                let worker = rng.gen_range(0..workers.max(1));
+                let kind = match rng.gen_range(0..6u32) {
+                    0 => FaultKind::ForcedAbort { worker, depth: rng.gen_range(0..max_depth.max(1)) },
+                    1 => FaultKind::OrphanParent { worker },
+                    2 => FaultKind::LoseLock,
+                    3 => FaultKind::VictimKill { worker },
+                    4 => FaultKind::ShardStall { worker },
+                    _ => FaultKind::BeginChildFail { worker },
+                };
+                FaultEvent { at_step, kind }
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_step);
+        FaultPlan { faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(42, 8, 100, 3, 3);
+        let b = FaultPlan::generate(42, 8, 100, 3, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        let c = FaultPlan::generate(43, 8, 100, 3, 3);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn plans_are_step_ordered() {
+        let p = FaultPlan::generate(7, 16, 50, 4, 2);
+        assert!(p.faults.windows(2).all(|w| w[0].at_step <= w[1].at_step));
+    }
+}

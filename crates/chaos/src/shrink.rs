@@ -1,0 +1,99 @@
+//! Schedule shrinking: bisect a failing fault schedule down to a minimal
+//! counterexample.
+//!
+//! Classic delta-debugging over the fault list: repeatedly try deleting
+//! chunks of halving size, keeping any deletion that preserves the
+//! failure. The result is 1-minimal — removing any single remaining fault
+//! makes the failure disappear — which is what a human wants to read.
+
+use crate::driver::{run_with_plan, ChaosConfig};
+use crate::schedule::FaultPlan;
+
+/// Minimize `plan` while `still_fails` keeps returning `true`. If the
+/// input does not fail, it is returned unchanged.
+pub fn shrink_plan(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut current = plan.clone();
+    if !still_fails(&current) {
+        return current;
+    }
+    let mut chunk = current.faults.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < current.faults.len() {
+            let mut candidate = current.clone();
+            let end = (i + chunk).min(candidate.faults.len());
+            candidate.faults.drain(i..end);
+            if still_fails(&candidate) {
+                current = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    current
+}
+
+/// Shrink a failing seeded run to its minimal fault schedule: re-runs the
+/// same workload (same config) under shrunken plans and keeps the failure.
+/// Returns `None` if the config does not actually fail.
+pub fn shrink_failing_run(config: &ChaosConfig) -> Option<FaultPlan> {
+    let plan = crate::schedule::FaultPlan::generate(
+        config.seed,
+        config.faults,
+        config.horizon(),
+        config.workers,
+        config.max_depth + 1,
+    );
+    let fails = |p: &FaultPlan| run_with_plan(config, p).verdict.is_err();
+    if !fails(&plan) {
+        return None;
+    }
+    Some(shrink_plan(&plan, fails))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultKind};
+
+    fn plan_with_noise() -> FaultPlan {
+        let mut faults = vec![
+            FaultEvent { at_step: 3, kind: FaultKind::LoseLock },
+            FaultEvent { at_step: 9, kind: FaultKind::ForcedAbort { worker: 1, depth: 1 } },
+        ];
+        for i in 0..10 {
+            faults.push(FaultEvent { at_step: 10 + i, kind: FaultKind::VictimKill { worker: i } });
+        }
+        faults.sort_by_key(|f| f.at_step);
+        FaultPlan { faults }
+    }
+
+    #[test]
+    fn shrinks_to_the_two_culprits() {
+        // Synthetic failure predicate: the bug needs a lose-lock AND a
+        // forced abort in the schedule.
+        let fails = |p: &FaultPlan| {
+            p.faults.iter().any(|f| matches!(f.kind, FaultKind::LoseLock))
+                && p.faults.iter().any(|f| matches!(f.kind, FaultKind::ForcedAbort { .. }))
+        };
+        let min = shrink_plan(&plan_with_noise(), fails);
+        assert_eq!(min.faults.len(), 2, "not minimal: {min:?}");
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn non_failing_plan_is_untouched() {
+        let plan = plan_with_noise();
+        let out = shrink_plan(&plan, |_| false);
+        assert_eq!(out, plan);
+    }
+
+    #[test]
+    fn healthy_engine_has_nothing_to_shrink() {
+        assert!(shrink_failing_run(&ChaosConfig::seeded(11)).is_none());
+    }
+}

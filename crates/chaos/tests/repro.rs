@@ -1,0 +1,101 @@
+//! Seed-replay entry point (no libtest harness, so it owns its CLI):
+//!
+//! ```text
+//! cargo test -p rnt-chaos --test repro -- --seed 42      # replay one seed
+//! cargo test -p rnt-chaos --test repro -- --count 500    # sweep seeds 0..500
+//! ```
+//!
+//! With no arguments, sweeps a default 100 seeds. On any failure the fault
+//! schedule is shrunk to a minimal counterexample, printed, and the
+//! process exits nonzero.
+
+use rnt_chaos::{run, run_with_plan, shrink_failing_run, ChaosConfig};
+
+fn replay(seed: u64, verbose: bool) -> bool {
+    let config = ChaosConfig::seeded(seed);
+    let report = run(&config);
+    if verbose {
+        println!(
+            "seed {seed}: policy {:?}, {} steps, {} commits, {} aborts, {} audit records, fingerprint {:016x}",
+            config.policy(),
+            report.steps,
+            report.commits,
+            report.aborts,
+            report.audit_records,
+            report.fingerprint,
+        );
+        for fault in &report.faults_applied {
+            println!("  fault {fault}");
+        }
+    }
+    match report.verdict {
+        Ok(()) => {
+            if verbose {
+                println!("seed {seed}: oracle PASSED");
+            }
+            true
+        }
+        Err(failure) => {
+            eprintln!("seed {seed}: oracle FAILED at {failure}");
+            match shrink_failing_run(&config) {
+                Some(minimal) => {
+                    eprintln!("minimal fault schedule ({} event(s)):", minimal.faults.len());
+                    for f in &minimal.faults {
+                        eprintln!("  step {}: {:?}", f.at_step, f.kind);
+                    }
+                    let rerun = run_with_plan(&config, &minimal);
+                    if let Err(f) = rerun.verdict {
+                        eprintln!("minimal schedule still fails: {f}");
+                    }
+                }
+                None => eprintln!("failure did not reproduce under shrinking (flaky oracle?)"),
+            }
+            eprintln!("reproduce with: cargo test -p rnt-chaos --test repro -- --seed {seed}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed: Option<u64> = None;
+    let mut count: u64 = 100;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok());
+                if seed.is_none() {
+                    eprintln!("--seed needs a u64 argument");
+                    std::process::exit(2);
+                }
+            }
+            "--count" => {
+                i += 1;
+                count = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--count needs a u64 argument");
+                    std::process::exit(2);
+                });
+            }
+            // Ignore libtest-style flags cargo may forward (e.g. -q).
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let ok = match seed {
+        Some(s) => replay(s, true),
+        None => {
+            let mut failures = 0u64;
+            for s in 0..count {
+                if !replay(s, false) {
+                    failures += 1;
+                }
+            }
+            println!("swept {count} seeds, {failures} failure(s)");
+            failures == 0
+        }
+    };
+    std::process::exit(if ok { 0 } else { 1 });
+}

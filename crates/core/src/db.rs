@@ -9,6 +9,8 @@
 //! lock inheritance.
 
 use crate::audit::{hash_value, AuditLog, AuditRecord};
+#[cfg(feature = "chaos-hooks")]
+use crate::chaos;
 use crate::deadlock::WaitForGraph;
 use crate::error::TxnError;
 use crate::lock::{Conflict, LockEnv, LockState};
@@ -82,6 +84,9 @@ struct DbInner<K, V> {
     wfg: WaitForGraph,
     config: DbConfig,
     audit: Option<AuditState<K>>,
+    /// The installed fault injector, if any (chaos harness only).
+    #[cfg(feature = "chaos-hooks")]
+    injector: parking_lot::RwLock<Option<Arc<dyn chaos::Injector>>>,
 }
 
 impl LockEnv for Registry {
@@ -132,6 +137,8 @@ where
                 wfg: WaitForGraph::new(),
                 config,
                 audit,
+                #[cfg(feature = "chaos-hooks")]
+                injector: parking_lot::RwLock::new(None),
             }),
         }
     }
@@ -188,6 +195,72 @@ where
     }
 }
 
+/// Chaos-harness entry points (compiled only with `chaos-hooks`). All of
+/// them are additive observers/perturbers: none is needed for, or changes,
+/// normal operation.
+#[cfg(feature = "chaos-hooks")]
+impl<K, V> Db<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + std::fmt::Debug + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// Install (or with `None`, remove) the fault injector consulted on
+    /// every lock acquisition and child begin.
+    pub fn chaos_set_injector(&self, injector: Option<Arc<dyn chaos::Injector>>) {
+        *self.inner.injector.write() = injector;
+    }
+
+    /// Eagerly perform every pending `lose-lock`: reap locks held by dead
+    /// transactions in all shards (normally done lazily at conflict-check
+    /// time). Semantically a no-op — it only advances work the engine is
+    /// allowed to defer — so the harness may call it at any point.
+    pub fn chaos_reap_all(&self) {
+        for shard in self.inner.shards.iter() {
+            let mut map = shard.map.lock();
+            let view = self.inner.registry.read_view();
+            for state in map.values_mut() {
+                state.reap(&view);
+            }
+            drop(view);
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Check every per-object lock state against the engine invariants
+    /// (see [`LockState::chaos_check`]); additionally, when no transaction
+    /// is active, every lock table must be empty (all versions either
+    /// published to base or restored). Returns human-readable violations,
+    /// sorted; empty means all invariants hold. Call [`Db::chaos_reap_all`]
+    /// first so lazily-reapable dead holders are not reported.
+    pub fn chaos_lock_violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let quiescent = self.inner.registry.chaos_active().is_empty();
+        for shard in self.inner.shards.iter() {
+            let map = shard.map.lock();
+            let view = self.inner.registry.read_view();
+            for (key, state) in map.iter() {
+                if let Err(violation) = state.chaos_check(&view) {
+                    out.push(format!("{key:?}: {violation}"));
+                }
+                if quiescent
+                    && (state.write_holders().next().is_some()
+                        || !state.read_holders().is_empty())
+                {
+                    out.push(format!("{key:?}: locks held at quiescence"));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Snapshot the transaction registry: `(id, parent, status, path)` per
+    /// known transaction, ordered by id.
+    pub fn chaos_txn_snapshot(&self) -> Vec<(TxnId, Option<TxnId>, TxnStatus, Vec<u32>)> {
+        self.inner.registry.snapshot()
+    }
+}
+
 impl<K, V> Default for Db<K, V>
 where
     K: Eq + Hash + Clone + Send + Sync + 'static,
@@ -230,7 +303,8 @@ where
         mut op: impl FnMut(&mut LockState<V>, &RegistryView<'_>) -> Result<(R, Option<AuditRecord>), Conflict>,
     ) -> Result<R, TxnError> {
         let start = Instant::now();
-        let shard = &self.shards[self.shard_of(key)];
+        let shard_idx = self.shard_of(key);
+        let shard = &self.shards[shard_idx];
         loop {
             let mut map = shard.map.lock();
             let view = self.registry.read_view();
@@ -240,6 +314,18 @@ where
             }
             if view.is_dead(t) {
                 return Err(TxnError::Orphaned);
+            }
+            #[cfg(feature = "chaos-hooks")]
+            match self.injector_decision(t, shard_idx) {
+                chaos::AccessFault::Proceed => {}
+                chaos::AccessFault::Die => {
+                    Stats::bump(&self.stats.dies);
+                    return Err(TxnError::Die { blocker: t });
+                }
+                chaos::AccessFault::Timeout => {
+                    Stats::bump(&self.stats.timeouts);
+                    return Err(TxnError::Timeout(self.config.lock_timeout));
+                }
             }
             let Some(state) = map.get_mut(key) else {
                 return Err(TxnError::UnknownKey);
@@ -312,6 +398,24 @@ where
         }
     }
 
+    /// Consult the installed injector before a lock acquisition.
+    #[cfg(feature = "chaos-hooks")]
+    fn injector_decision(&self, t: TxnId, shard: usize) -> chaos::AccessFault {
+        match &*self.injector.read() {
+            Some(injector) => injector.before_access(t, shard),
+            None => chaos::AccessFault::Proceed,
+        }
+    }
+
+    /// Consult the installed injector before a child begin.
+    #[cfg(feature = "chaos-hooks")]
+    fn injector_fails_child(&self, parent: TxnId) -> bool {
+        match &*self.injector.read() {
+            Some(injector) => injector.fail_begin_child(parent),
+            None => false,
+        }
+    }
+
     fn finish_locks(&self, t: TxnId, keys: &std::collections::HashSet<K>, commit: bool) {
         let parent = self.registry.parent(t);
         for key in keys {
@@ -365,6 +469,11 @@ where
 
     /// Begin a subtransaction.
     pub fn child(&self) -> Result<Txn<K, V>, TxnError> {
+        #[cfg(feature = "chaos-hooks")]
+        if self.inner.injector_fails_child(self.id) {
+            Stats::bump(&self.inner.stats.dies);
+            return Err(TxnError::Die { blocker: self.id });
+        }
         let id = self.inner.registry.begin_child(self.id).map_err(map_reg_err)?;
         Stats::bump(&self.inner.stats.begun);
         self.inner

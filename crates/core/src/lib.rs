@@ -32,6 +32,8 @@
 #![warn(missing_docs)]
 
 mod audit;
+#[cfg(feature = "chaos-hooks")]
+pub mod chaos;
 mod db;
 mod deadlock;
 mod error;

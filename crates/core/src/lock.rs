@@ -183,6 +183,49 @@ impl<V: Clone> LockState<V> {
             self.writes.truncate(pos);
         }
     }
+
+    /// Structural invariants of this lock state (chaos harness only):
+    ///
+    /// * the write stack is a duplicate-free ancestor chain, outermost
+    ///   first (the paper's value-map well-formedness);
+    /// * read holders are duplicate-free and disjoint from write holders
+    ///   (a write lock subsumes the holder's read lock);
+    /// * no holder is dead — valid after a [`LockState::reap`], since
+    ///   `lose-lock` is otherwise lazily performable.
+    #[cfg(feature = "chaos-hooks")]
+    pub fn chaos_check(&self, env: &impl LockEnv) -> Result<(), String> {
+        for pair in self.writes.windows(2) {
+            let (outer, inner) = (pair[0].0, pair[1].0);
+            if outer == inner {
+                return Err(format!("duplicate write holder {outer:?}"));
+            }
+            if !env.is_ancestor(outer, inner) {
+                return Err(format!(
+                    "write stack is not an ancestor chain: {outer:?} is not an ancestor of {inner:?}"
+                ));
+            }
+        }
+        for (i, &r) in self.readers.iter().enumerate() {
+            if self.readers[..i].contains(&r) {
+                return Err(format!("duplicate read holder {r:?}"));
+            }
+            if self.writes.iter().any(|&(w, _)| w == r) {
+                return Err(format!("{r:?} holds both a read and a write lock"));
+            }
+        }
+        let dead = self
+            .writes
+            .iter()
+            .map(|&(t, _)| t)
+            .chain(self.readers.iter().copied())
+            .find(|&t| env.is_dead(t));
+        if let Some(t) = dead {
+            return Err(format!(
+                "dead transaction {t:?} still holds a lock after reap (lose-lock not performed)"
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

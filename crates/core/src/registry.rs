@@ -313,6 +313,18 @@ impl Registry {
         self.finish(id, ST_ABORTED, false)
     }
 
+    /// Ids of transactions whose own status is still `Active`, in id order
+    /// (chaos harness only). Orphans count as active: their status only
+    /// changes when their handle aborts or drops.
+    #[cfg(feature = "chaos-hooks")]
+    pub fn chaos_active(&self) -> Vec<TxnId> {
+        self.snapshot()
+            .into_iter()
+            .filter(|(_, _, status, _)| *status == TxnStatus::Active)
+            .map(|(id, ..)| id)
+            .collect()
+    }
+
     /// Snapshot of all transactions: `(id, parent, status, path)`.
     pub fn snapshot(&self) -> Vec<(TxnId, Option<TxnId>, TxnStatus, Vec<u32>)> {
         let map = self.map.read();

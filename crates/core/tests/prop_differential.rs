@@ -53,3 +53,44 @@ proptest! {
         }
     }
 }
+
+// Deep sweep: the same properties at 16× the case count. Ignored by
+// default so `cargo test` stays fast; run with
+// `cargo test -p rnt-core --test prop_differential -- --ignored`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    #[ignore = "slow: 2048-case differential sweep; run with -- --ignored"]
+    fn engine_matches_reference_interpreter_slow(
+        keys in 1u64..5,
+        script in prop::collection::vec(op_strategy(4), 0..60),
+    ) {
+        if let Err(divergence) = run_differential(keys, &script) {
+            prop_assert!(false, "{divergence}");
+        }
+    }
+
+    #[test]
+    #[ignore = "slow: 2048-case deep-nesting sweep; run with -- --ignored"]
+    fn deep_nesting_scripts_slow(
+        depth in 1usize..10,
+        edits in prop::collection::vec((0u64..3, -5i64..6), 1..20),
+        abort_at in prop::option::of(0usize..10),
+    ) {
+        let mut script = vec![ScriptOp::Begin; depth];
+        for (i, (k, d)) in edits.iter().enumerate() {
+            script.insert(1 + (i % depth), ScriptOp::Add(*k, *d));
+        }
+        for level in (0..depth).rev() {
+            if abort_at == Some(level) {
+                script.push(ScriptOp::Abort);
+            } else {
+                script.push(ScriptOp::Commit);
+            }
+        }
+        if let Err(divergence) = run_differential(3, &script) {
+            prop_assert!(false, "{divergence}");
+        }
+    }
+}

@@ -205,6 +205,62 @@ impl Level5 {
     }
 }
 
+/// Chaos-harness hooks (compiled only with `chaos-hooks`): enumeration of
+/// the enabled *failure-path* events, and the node-local invariants a
+/// fault-biased random walk must preserve at every step.
+#[cfg(feature = "chaos-hooks")]
+impl Level5 {
+    /// The enabled events that drive the system down failure paths: aborts
+    /// and `lose-lock`s (the paper's level-4 event made distributed). A
+    /// chaos driver biases its walk toward these to exercise orphan
+    /// creation and lock loss under gossip.
+    pub fn chaos_enabled_faults(&self, s: &DistState) -> Vec<DistEvent> {
+        self.enabled(s)
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    DistEvent::Tx(_, TxEvent::Abort(_)) | DistEvent::Tx(_, TxEvent::LoseLock(..))
+                )
+            })
+            .collect()
+    }
+
+    /// Node-local invariants of a reachable state: every node knows only
+    /// declared actions, holds locks only on objects homed at it, knows
+    /// every non-root lock holder locally, and every inbox carries only
+    /// declared actions. Returns human-readable violations (empty = all
+    /// invariants hold).
+    pub fn chaos_node_violations(&self, s: &DistState) -> Vec<String> {
+        let u = &self.universe;
+        let t = &self.topology;
+        let mut out = Vec::new();
+        for (i, node) in s.nodes.iter().enumerate() {
+            for (a, _) in node.summary.entries() {
+                if !u.contains(a) {
+                    out.push(format!("node {i} knows undeclared action {a}"));
+                }
+            }
+            for (x, h, _) in node.vmap.entries() {
+                if t.home_of_object(x) != i {
+                    out.push(format!("node {i} holds foreign object {x}"));
+                }
+                if !h.is_root() && !node.summary.contains(h) {
+                    out.push(format!("node {i} lock holder {h} unknown locally"));
+                }
+            }
+        }
+        for (j, inbox) in s.inboxes.iter().enumerate() {
+            for (a, _) in inbox.entries() {
+                if !u.contains(a) {
+                    out.push(format!("inbox {j} carries undeclared action {a}"));
+                }
+            }
+        }
+        out
+    }
+}
+
 impl Algebra for Level5 {
     type State = DistState;
     type Event = DistEvent;

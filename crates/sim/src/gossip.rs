@@ -255,7 +255,7 @@ mod tests {
                 policy: GossipPolicy::EagerFull,
                 seed: 5,
                 max_steps: 200_000,
-                crash: Some((0, 5)),
+                crash: Some((0, 1)),
             },
         );
         assert!(crashed.crashed, "crash must fire");

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the API this workspace's benches use, backed by
+//! a plain timing loop: warm-up, then `sample_size` timed batches, reporting
+//! median time per iteration to stdout. No plotting, no statistics beyond
+//! the median, no baseline storage — enough to keep `cargo bench` useful and
+//! the bench sources compiling unmodified.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported like criterion's).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Throughput annotation; recorded and echoed, not graphed.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter display.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the closure being benchmarked.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time the routine and record the median sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: aim for ~1ms per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1);
+        self.iters_per_sample = per_sample.min(100_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    let ns = bencher.median_ns;
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 * 1_000.0 / ns)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<60} {time:>12}/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: Display, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { samples: self.sample_size, iters_per_sample: 1, median_ns: 0.0 };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), self.throughput, &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<N: Display, I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { samples: self.sample_size, iters_per_sample: 1, median_ns: 0.0 };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), self.throughput, &bencher);
+        self
+    }
+
+    /// End the group (no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.to_string(), _criterion: self, throughput: None, sample_size }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<N: Display, R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher =
+            Bencher { samples: self.sample_size, iters_per_sample: 1, median_ns: 0.0 };
+        routine(&mut bencher);
+        report(&name.to_string(), None, &bencher);
+        self
+    }
+}
+
+/// Declare a benchmark group (criterion's configured form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,630 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Generate-only property testing: each case draws values from a seeded
+//! [`TestRng`], so every failure is reproducible from a single `u64` seed.
+//! There is no integrated shrinker; instead the failing seed is appended to
+//! the test's `.proptest-regressions` file (same convention as upstream) and
+//! replayed before fresh cases on the next run. `PROPTEST_SEED` in the
+//! environment overrides the deterministic base seed.
+
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+// ------------------------------------------------------------------- rng
+
+/// Seeded generator behind every strategy draw (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Construct from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Derive the seed of case `index` from a run's base seed.
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    let mut rng = TestRng::new(base ^ index.wrapping_mul(0xa076_1d64_78bd_642f));
+    rng.next_u64()
+}
+
+// -------------------------------------------------------------- strategy
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                // span == 0 means the full u64 domain.
+                let off = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $n:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Weighted choice between boxed arms (output of [`prop_oneof!`]).
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Build from `(weight, draw)` arms.
+    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, draw) in &self.arms {
+            if pick < *w as u64 {
+                return draw(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked in OneOf::new")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A number-of-elements specification: an exact count or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec`: a vector of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + if span == 0 { 0 } else { rng.below(span) as usize };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` with a `Some` probability.
+    pub struct OptionStrategy<S> {
+        inner: S,
+        some_prob: f64,
+    }
+
+    /// `prop::option::of`: `Some` with probability one half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// `prop::option::weighted`: `Some` with the given probability.
+    pub fn weighted<S: Strategy>(some_prob: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner, some_prob }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_f64() < self.some_prob {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ test runner
+
+/// Runner configuration (`ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of novel cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` novel cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property: carries the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn regressions_path(source_file: &str) -> Option<std::path::PathBuf> {
+    // `file!()` is workspace-relative; at test runtime the reliable anchor is
+    // the crate dir, so rebuild `<crate>/tests/<stem>.proptest-regressions`.
+    let stem = std::path::Path::new(source_file).file_stem()?.to_str()?;
+    if !source_file.contains("tests/") && !source_file.contains("tests\\") {
+        return None;
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    Some(
+        std::path::Path::new(&manifest)
+            .join("tests")
+            .join(format!("{stem}.proptest-regressions")),
+    )
+}
+
+/// Parse regression seeds: `cc <hex>` lines. Exactly 16 hex digits is a
+/// shim-native `u64` seed; longer hashes (from upstream proptest) are folded
+/// to a `u64` so checked-in files still contribute deterministic extra cases.
+fn regression_seeds(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else { continue };
+        let hex: String =
+            rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        if hex.is_empty() {
+            continue;
+        }
+        let mut folded = 0u64;
+        for chunk in hex.as_bytes().chunks(16) {
+            let part = std::str::from_utf8(chunk)
+                .ok()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(0);
+            folded ^= part;
+        }
+        seeds.push(folded);
+    }
+    seeds
+}
+
+fn persist_seed(path: &std::path::Path, seed: u64, detail: &str) {
+    use std::io::Write;
+    let header = !path.exists();
+    let Ok(mut file) =
+        std::fs::OpenOptions::new().create(true).append(true).open(path)
+    else {
+        return;
+    };
+    if header {
+        let _ = writeln!(
+            file,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let detail = detail.replace('\n', " ");
+    let _ = writeln!(file, "cc {seed:016x} # {detail}");
+}
+
+fn base_seed(test_name: &str) -> u64 {
+    if let Ok(text) = std::env::var("PROPTEST_SEED") {
+        let text = text.trim();
+        let parsed = match text.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => text.parse::<u64>().ok(),
+        };
+        if let Some(seed) = parsed {
+            return seed;
+        }
+    }
+    // Deterministic per-test base: hash of the test name.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: replay persisted regressions, then run novel cases.
+/// Panics (failing the surrounding `#[test]`) on the first failing case,
+/// after persisting its seed.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    source_file: &str,
+    run: &dyn Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let regressions = regressions_path(source_file);
+
+    let run_one = |seed: u64| -> Option<String> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = TestRng::new(seed);
+            run(&mut rng)
+        }));
+        match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(TestCaseError(msg))) => Some(msg),
+            Err(payload) => Some(
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panicked".to_string()),
+            ),
+        }
+    };
+
+    let mut failure: Option<(u64, String, bool)> = None;
+    if let Some(path) = &regressions {
+        for seed in regression_seeds(path) {
+            if let Some(message) = run_one(seed) {
+                failure = Some((seed, message, true));
+                break;
+            }
+        }
+    }
+    if failure.is_none() {
+        let base = base_seed(test_name);
+        for index in 0..config.cases {
+            let seed = case_seed(base, index as u64);
+            if let Some(message) = run_one(seed) {
+                failure = Some((seed, message, false));
+                break;
+            }
+        }
+    }
+
+    if let Some((seed, message, replay)) = failure {
+        if !replay {
+            if let Some(path) = &regressions {
+                persist_seed(path, seed, &format!("{test_name}: {message}"));
+            }
+        }
+        panic!(
+            "proptest case failed: {test_name} (seed {seed:#018x}{}): {message}\n\
+             reproduce with PROPTEST_SEED={seed:#018x} and ProptestConfig::with_cases(1)",
+            if replay { ", replayed regression" } else { "" }
+        );
+    }
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Define property tests (upstream-compatible subset: optional
+/// `#![proptest_config(...)]` header, `pat in strategy` parameters).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_cases(&config, stringify!($name), file!(), &|__rng| {
+                $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $(($weight as u32, {
+                let __s = $strat;
+                let __f: ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _> =
+                    ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                        $crate::Strategy::generate(&__s, __rng)
+                    });
+                __f
+            })),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`, both `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right` ({}), both `{:?}`",
+            format!($($fmt)*), __l
+        );
+    }};
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace matching upstream's `prop::` paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_draws() {
+        let strat = prop::collection::vec((0u8..8, -4i64..5), 1..20);
+        let a = Strategy::generate(&strat, &mut TestRng::new(7));
+        let b = Strategy::generate(&strat, &mut TestRng::new(7));
+        let c = Strategy::generate(&strat, &mut TestRng::new(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(99);
+        for _ in 0..2000 {
+            let x = Strategy::generate(&(-9i64..10), &mut rng);
+            assert!((-9..10).contains(&x));
+            let y = Strategy::generate(&(0u32..=30), &mut rng);
+            assert!(y <= 30);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let strat = prop_oneof![
+            1 => Just(1u8),
+            1 => Just(2u8),
+        ];
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 1 || v == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_runs(x in 0u64..100, pair in (0u8..4, prop::option::of(0i64..5))) {
+            prop_assert!(x < 100);
+            let (a, b) = pair;
+            prop_assert!(a < 4);
+            if let Some(b) = b {
+                prop_assert!((0..5).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_256_bit_regression_lines() {
+        let dir = std::env::temp_dir().join("proptest_shim_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc ac5a1bfb2966018a1a6648f088b4952c42ec9cf6efb4ac57252b62bed19aa262 # shrinks to x\ncc 00000000000000ff\n",
+        )
+        .unwrap();
+        let seeds = super::regression_seeds(&path);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[1], 0xff);
+        let _ = std::fs::remove_file(&path);
+    }
+}

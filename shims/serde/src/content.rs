@@ -1,0 +1,39 @@
+//! The self-describing value tree both halves of the shim exchange.
+
+/// A serialized value. Maps carry `String` keys (the JSON restriction);
+/// non-string keys are stringified on the way in and parsed on the way out,
+/// matching what `serde_json` does for integer-keyed maps.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// `null` / `None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit in `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (also tuples and tuple variants).
+    Seq(Vec<Content>),
+    /// A map (also structs and struct variants), insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Deserialization half of the shim.
+
+use crate::Content;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error constraint for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can hand out a [`Content`] tree.
+///
+/// The lifetime parameter exists for signature compatibility with serde's
+/// `Deserializer<'de>`; the shim always produces owned content.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrender the content tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input (all shim
+/// deserialization is owned, so this is every `Deserialize` type).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserializer over an in-memory content tree, generic in its error type
+/// so derive-generated code can thread the outer `D::Error` through
+/// field-by-field deserialization.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wrap a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content, marker: PhantomData }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a `T` out of a content tree, with the caller's error type.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Take a required field out of a struct's content map (derive helper).
+pub fn take_field<E: Error>(
+    map: &mut Vec<(String, Content)>,
+    name: &'static str,
+) -> Result<Content, E> {
+    match map.iter().position(|(k, _)| k == name) {
+        Some(i) => Ok(map.remove(i).1),
+        None => Err(E::custom(format_args!("missing field `{name}`"))),
+    }
+}
+
+/// Expect map-shaped content (derive helper).
+pub fn expect_map<E: Error>(content: Content, ty: &'static str) -> Result<Vec<(String, Content)>, E> {
+    match content {
+        Content::Map(m) => Ok(m),
+        other => Err(E::custom(format_args!("expected map for {ty}, got {}", other.kind()))),
+    }
+}
+
+/// Expect sequence-shaped content of an exact length (derive helper).
+pub fn expect_seq<E: Error>(
+    content: Content,
+    len: usize,
+    ty: &'static str,
+) -> Result<Vec<Content>, E> {
+    match content {
+        Content::Seq(s) if s.len() == len => Ok(s),
+        Content::Seq(s) => {
+            Err(E::custom(format_args!("expected {len} elements for {ty}, got {}", s.len())))
+        }
+        other => Err(E::custom(format_args!("expected sequence for {ty}, got {}", other.kind()))),
+    }
+}
+
+/// Decompose enum content into `(variant-name, Option<payload>)`:
+/// a bare string is a unit variant, a single-entry map is a data variant
+/// (derive helper; serde's externally-tagged representation).
+pub fn enum_parts<E: Error>(content: Content, ty: &'static str) -> Result<(String, Option<Content>), E> {
+    match content {
+        Content::Str(name) => Ok((name, None)),
+        Content::Map(mut m) if m.len() == 1 => {
+            let (name, payload) = m.remove(0);
+            Ok((name, Some(payload)))
+        }
+        other => Err(E::custom(format_args!(
+            "expected externally-tagged enum for {ty}, got {}",
+            other.kind()
+        ))),
+    }
+}

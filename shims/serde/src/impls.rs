@@ -1,0 +1,372 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace's
+//! derived types contain.
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+use crate::Content;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if (*self as i128) >= i64::MIN as i128 && (*self as i128) <= i64::MAX as i128 {
+                    s.serialize_content(Content::I64(*self as i64))
+                } else {
+                    s.serialize_content(Content::U64(*self as u64))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                use de::Error;
+                match d.take_content()? {
+                    Content::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Content::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    // Map keys round-trip through strings.
+                    Content::Str(text) => text.parse::<$t>()
+                        .map_err(|_| D::Error::custom(concat!("invalid stringified ", stringify!($t)))),
+                    other => Err(D::Error::custom(format_args!(
+                        concat!("expected ", stringify!($t), ", got {}"), other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format_args!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::F64(x) => Ok(x),
+            Content::I64(n) => Ok(n as f64),
+            Content::U64(n) => Ok(n as f64),
+            other => Err(D::Error::custom(format_args!("expected float, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Str(text) => Ok(text),
+            other => Err(D::Error::custom(format_args!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        let text = String::deserialize(d)?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single character")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Null)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_content().map(|_| ())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        match self {
+            None => s.serialize_content(Content::Null),
+            Some(v) => {
+                let c = ser::to_content(v).map_err(S::Error::custom)?;
+                s.serialize_content(c)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            other => de::from_content::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+fn seq_content<S: Serializer, T: Serialize>(
+    items: impl Iterator<Item = T>,
+) -> Result<Content, S::Error> {
+    use ser::Error;
+    let mut out = Vec::new();
+    for item in items {
+        out.push(ser::to_content(&item).map_err(S::Error::custom)?);
+    }
+    Ok(Content::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<S, _>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<S, _>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Seq(items) => {
+                items.into_iter().map(de::from_content::<T, D::Error>).collect()
+            }
+            other => Err(D::Error::custom(format_args!("expected sequence, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let c = seq_content::<S, _>(self.iter())?;
+        s.serialize_content(c)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(VecDeque::from)
+    }
+}
+
+macro_rules! set_impls {
+    ($($name:ident<T $(: $bound1:ident $(+ $bound2:ident)*)?>),*) => {$(
+        impl<T: Serialize $($(+ $bound1 + $bound2)*)?> Serialize for $name<T>
+        where T: $($bound1 $(+ $bound2)*)? {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let c = seq_content::<S, _>(self.iter())?;
+                s.serialize_content(c)
+            }
+        }
+        impl<'de, T: Deserialize<'de> + $($bound1 $(+ $bound2)*)?> Deserialize<'de> for $name<T> {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+            }
+        }
+    )*};
+}
+
+set_impls!(BTreeSet<T: Ord>, HashSet<T: Eq + Hash>);
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = ser::to_key(k).map_err(S::Error::custom)?;
+            let value = ser::to_content(v).map_err(S::Error::custom)?;
+            out.push((key, value));
+        }
+        s.serialize_content(Content::Map(out))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = de::from_content::<K, D::Error>(Content::Str(k))?;
+                    let value = de::from_content::<V, D::Error>(v)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format_args!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::Error;
+        let mut out = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = ser::to_key(k).map_err(S::Error::custom)?;
+            let value = ser::to_content(v).map_err(S::Error::custom)?;
+            out.push((key, value));
+        }
+        // Deterministic order regardless of hasher state.
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        s.serialize_content(Content::Map(out))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>, H: BuildHasher + Default>
+    Deserialize<'de> for HashMap<K, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        use de::Error;
+        match d.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = de::from_content::<K, D::Error>(Content::Str(k))?;
+                    let value = de::from_content::<V, D::Error>(v)?;
+                    Ok((key, value))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format_args!("expected map, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+) => $len:expr;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                use ser::Error;
+                let items = vec![
+                    $(ser::to_content(&self.$n).map_err(S::Error::custom)?,)+
+                ];
+                s.serialize_content(Content::Seq(items))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let mut items = de::expect_seq::<D::Error>(d.take_content()?, $len, "tuple")?
+                    .into_iter();
+                Ok(($(
+                    {
+                        let _ = $n; // positional marker
+                        de::from_content::<$t, D::Error>(items.next().expect("length checked"))?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 T0) => 1;
+    (0 T0, 1 T1) => 2;
+    (0 T0, 1 T1, 2 T2) => 3;
+    (0 T0, 1 T1, 2 T2, 3 T3) => 4;
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4) => 5;
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5) => 6;
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_content()
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde visitor architecture is replaced by a small self-describing
+//! content tree ([`Content`]): serializers receive a fully-built `Content`
+//! and deserializers hand one out. This is dramatically simpler than serde's
+//! zero-copy design but API-compatible with every use in this workspace:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//!   (externally tagged, like serde's default representation);
+//! * hand-written impls of the shape
+//!   `fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`
+//!   using `collect_str`, and
+//!   `fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error>`
+//!   using `String::deserialize(d)` and `serde::de::Error::custom`;
+//! * generic bounds `T: Serialize + serde::de::DeserializeOwned`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod content;
+mod impls;
+
+pub mod de;
+pub mod ser;
+
+pub use content::Content;
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};

@@ -1,0 +1,82 @@
+//! Serialization half of the shim.
+
+use crate::Content;
+use std::fmt::{self, Display};
+
+/// Error constraint for serializers (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can consume a [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Output on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consume a fully-built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize the `Display` form of a value as a string (the hook the
+    /// workspace's hand-written impls use).
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(value.to_string()))
+    }
+}
+
+/// A value serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The error of the in-memory content serializer. Building a content tree
+/// cannot fail for any type in this workspace, but the type must be
+/// inhabited because `Error::custom` constructs one.
+#[derive(Debug)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer whose output *is* the content tree.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Build the content tree of any serializable value.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Build a map *key* from a serializable value: its content must be a
+/// string or an integer (stringified), the JSON map-key rule.
+pub fn to_key<T: Serialize + ?Sized>(value: &T) -> Result<String, ContentError> {
+    match to_content(value)? {
+        Content::Str(s) => Ok(s),
+        Content::I64(n) => Ok(n.to_string()),
+        Content::U64(n) => Ok(n.to_string()),
+        Content::Bool(b) => Ok(b.to_string()),
+        other => Err(ContentError(format!("map key must be string-like, got {}", other.kind()))),
+    }
+}

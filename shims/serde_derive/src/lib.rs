@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate parses with `syn` and emits with `quote`; neither is
+//! available offline, so this derive hand-parses the raw [`TokenStream`]
+//! (enough for non-generic structs and enums, which is everything this
+//! workspace derives on) and emits the impl as a source string targeting the
+//! sibling `serde` shim's content-tree API.
+//!
+//! Representation matches serde's defaults:
+//! * named struct -> map of field name to value;
+//! * newtype struct -> the inner value;
+//! * tuple struct -> sequence;
+//! * enum -> externally tagged (`"Variant"` / `{"Variant": payload}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a derived type.
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip any `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` visibility prefix starting at `*i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = next {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected {what}, found {other:?}"),
+    }
+}
+
+/// Split a group's token stream on top-level commas. Commas inside nested
+/// groups are invisible (groups are atomic trees), but commas inside
+/// angle-bracketed generic arguments are not, so `<`/`>` depth is tracked.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle = 0usize;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a `{ ... }` body (struct or struct variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            ident_at(&chunk, &mut i, "field name")
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, &mut i, "`struct` or `enum`");
+    let name = ident_at(&toks, &mut i, "type name");
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (`{name}`)");
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(split_top_level(g.stream()).len())
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => {
+            let group = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+            };
+            let variants = split_top_level(group.stream())
+                .into_iter()
+                .map(|chunk| {
+                    let mut j = 0;
+                    skip_attrs_and_vis(&chunk, &mut j);
+                    let vname = ident_at(&chunk, &mut j, "variant name");
+                    let kind = match chunk.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            VariantKind::Tuple(split_top_level(g.stream()).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantKind::Struct(parse_named_fields(g.stream()))
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    Variant { name: vname, kind }
+                })
+                .collect();
+            Body::Enum(variants)
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    (name, body)
+}
+
+/// `to_content(expr)` with the error threaded into the serializer's error.
+fn ser_field(expr: &str) -> String {
+    format!(
+        "serde::ser::to_content({expr}).map_err(|e| \
+         <S::Error as serde::ser::Error>::custom(e))?"
+    )
+}
+
+fn derive_serialize_impl(name: &str, body: &Body) -> String {
+    let content_expr = match body {
+        Body::UnitStruct => "serde::Content::Null".to_string(),
+        Body::TupleStruct(1) => ser_field("&self.0"),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| ser_field(&format!("&self.{k}"))).collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), {})", ser_field(&format!("&self.{f}"))))
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Content::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Content::Map(vec![(\"{vn}\".to_string(), {})]),",
+                            ser_field("f0")
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> =
+                                (0..*n).map(|k| ser_field(&format!("f{k}"))).collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), {})", ser_field(f))
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> Result<S::Ok, S::Error> {{\n\
+                 let content = {content_expr};\n\
+                 serializer.serialize_content(content)\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `from_content` with inferred target type and the deserializer's error.
+fn de_field(expr: &str) -> String {
+    format!("serde::de::from_content::<_, D::Error>({expr})?")
+}
+
+fn derive_deserialize_impl(name: &str, body: &Body) -> String {
+    let body_expr = match body {
+        Body::UnitStruct => {
+            format!("{{ deserializer.take_content()?; Ok({name}) }}")
+        }
+        Body::TupleStruct(1) => format!(
+            "Ok({name}({}))",
+            de_field("deserializer.take_content()?")
+        ),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|_| de_field("items.next().expect(\"length checked\")")).collect();
+            format!(
+                "{{ let mut items = serde::de::expect_seq::<D::Error>(\
+                 deserializer.take_content()?, {n}, \"{name}\")?.into_iter();\n\
+                 Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {}",
+                        de_field(&format!(
+                            "serde::de::take_field::<D::Error>(&mut map, \"{f}\")?"
+                        ))
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut map = serde::de::expect_map::<D::Error>(\
+                 deserializer.take_content()?, \"{name}\")?;\n\
+                 Ok({name} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let need_payload = format!(
+                "payload.ok_or_else(|| <D::Error as serde::de::Error>::custom(\
+                 \"missing data for enum variant\"))?"
+            );
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!("\"{vn}\" => Ok({name}::{vn}),"),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({name}::{vn}({})),",
+                            de_field(&need_payload)
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|_| de_field("items.next().expect(\"length checked\")"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let mut items = serde::de::expect_seq::<D::Error>(\
+                                 {need_payload}, {n}, \"{name}::{vn}\")?.into_iter();\n\
+                                 Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: {}",
+                                        de_field(&format!(
+                                            "serde::de::take_field::<D::Error>(&mut map, \"{f}\")?"
+                                        ))
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let mut map = serde::de::expect_map::<D::Error>(\
+                                 {need_payload}, \"{name}::{vn}\")?;\n\
+                                 Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let (variant, payload) = serde::de::enum_parts::<D::Error>(\
+                 deserializer.take_content()?, \"{name}\")?;\n\
+                 match variant.as_str() {{\n\
+                 {}\n\
+                 other => Err(<D::Error as serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }} }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> Result<Self, D::Error> {{\n\
+                 {body_expr}\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    derive_serialize_impl(&name, &body)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    derive_deserialize_impl(&name, &body)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

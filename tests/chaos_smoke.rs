@@ -1,0 +1,28 @@
+//! Chaos smoke: a small seeded fault-schedule sweep wired into the
+//! workspace-level test run, so any engine change is exercised against
+//! forced aborts, orphans, lose-locks and victim kills — with the
+//! Theorem-9 oracle — on every `cargo test`. The full 5,000-schedule
+//! sweep lives in `crates/chaos/tests/chaos_5k.rs`.
+
+use rnt_chaos::{run, ChaosConfig};
+
+#[test]
+fn chaos_smoke_sweep_is_oracle_clean() {
+    for seed in 0..50u64 {
+        let report = run(&ChaosConfig::seeded(seed));
+        assert!(
+            report.verdict.is_ok(),
+            "seed {seed} failed (reproduce: cargo test -p rnt-chaos --test repro -- --seed {seed}): {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn chaos_smoke_fixed_seed_is_reproducible() {
+    let a = run(&ChaosConfig::seeded(0xC0FFEE));
+    let b = run(&ChaosConfig::seeded(0xC0FFEE));
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.faults_applied, b.faults_applied);
+    assert!(a.verdict.is_ok(), "{:?}", a.verdict);
+}
