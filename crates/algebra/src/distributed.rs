@@ -28,7 +28,8 @@ pub trait DistributedAlgebra: Algebra {
     fn doer(&self, event: &Self::Event) -> Self::ComponentId;
 
     /// Project a global state onto one component.
-    fn component_state(&self, state: &Self::State, comp: Self::ComponentId) -> Self::ComponentState;
+    fn component_state(&self, state: &Self::State, comp: Self::ComponentId)
+        -> Self::ComponentState;
 }
 
 /// A violation of the Local Domain or Local Changes property.
@@ -130,12 +131,7 @@ pub trait LocalMapping<L: DistributedAlgebra, H: Algebra>: Interpretation<L, H> 
 /// The possibilities membership `high ∈ ⋂_i h_i(low)` derived from a local
 /// mapping — the construction of Lemma 4. Takes the algebra to enumerate
 /// the component index set.
-pub fn is_global_possibility<L, H, M>(
-    alg: &L,
-    mapping: &M,
-    low: &L::State,
-    high: &H::State,
-) -> bool
+pub fn is_global_possibility<L, H, M>(alg: &L, mapping: &M, low: &L::State, high: &H::State) -> bool
 where
     L: DistributedAlgebra,
     H: Algebra,

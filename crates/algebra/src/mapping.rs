@@ -67,7 +67,9 @@ impl std::fmt::Display for SimulationError {
             SimulationError::PossibilityLost { step, event } => {
                 write!(f, "possibility lost after low step #{step} ({event})")
             }
-            SimulationError::InitialNotPossible => write!(f, "initial high state not a possibility"),
+            SimulationError::InitialNotPossible => {
+                write!(f, "initial high state not a possibility")
+            }
         }
     }
 }

@@ -7,11 +7,14 @@ use rnt_sim::gossip::{run_gossip, GossipConfig, GossipPolicy};
 use std::sync::Arc;
 
 fn bench_gossip(c: &mut Criterion) {
-    let cfg = UniverseConfig { objects: 3, top_actions: 3, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
+    let cfg =
+        UniverseConfig { objects: 3, top_actions: 3, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
     let mut group = c.benchmark_group("distributed/gossip_to_quiescence");
     group.sample_size(10);
     for nodes in [2usize, 4] {
-        for policy in [GossipPolicy::EagerFull, GossipPolicy::DeltaOnChange, GossipPolicy::Periodic(8)] {
+        for policy in
+            [GossipPolicy::EagerFull, GossipPolicy::DeltaOnChange, GossipPolicy::Periodic(8)]
+        {
             group.bench_with_input(
                 BenchmarkId::new(format!("{nodes}nodes"), format!("{policy:?}")),
                 &policy,
@@ -20,7 +23,10 @@ fn bench_gossip(c: &mut Criterion) {
                         let u = Arc::new(random_universe(11, &cfg));
                         let topo = Arc::new(Topology::round_robin(&u, nodes));
                         let alg = Level5::new(u, topo);
-                        run_gossip(&alg, &GossipConfig { policy, seed: 5, max_steps: 200_000, crash: None })
+                        run_gossip(
+                            &alg,
+                            &GossipConfig { policy, seed: 5, max_steps: 200_000, crash: None },
+                        )
                     })
                 },
             );

@@ -75,11 +75,10 @@ fn bench_workloads(c: &mut Criterion) {
             abort_prob: 0.0,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed: 1,
         };
-        group.throughput(Throughput::Elements(
-            (w.threads as u64) * (w.txns_per_thread as u64),
-        ));
+        group.throughput(Throughput::Elements((w.threads as u64) * (w.txns_per_thread as u64)));
         group.bench_with_input(BenchmarkId::new("shape", name), &w, |b, w| {
             b.iter(|| {
                 let db = seeded_db(DbConfig::default(), w.keys);
@@ -99,6 +98,7 @@ fn bench_workloads(c: &mut Criterion) {
             abort_prob: 0.0,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed: 1,
         };
         group.bench_with_input(
@@ -106,7 +106,7 @@ fn bench_workloads(c: &mut Criterion) {
             &w,
             |b, w| {
                 b.iter(|| {
-                    let db = seeded_db(DbConfig { policy, ..DbConfig::default() }, w.keys);
+                    let db = seeded_db(DbConfig::builder().policy(policy).build(), w.keys);
                     run_workload(&db, w)
                 })
             },

@@ -7,7 +7,8 @@ use rnt_sim::aat_gen::random_aat;
 use rnt_sim::gen::{random_universe, UniverseConfig};
 
 fn bench_visibility(c: &mut Criterion) {
-    let cfg = UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
+    let cfg =
+        UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
     let u = random_universe(1, &cfg);
     let aat = random_aat(&u, 2, 0.0);
     let vs: Vec<_> = aat.tree.vertices().cloned().collect();
@@ -27,7 +28,8 @@ fn bench_visibility(c: &mut Criterion) {
 }
 
 fn bench_perm(c: &mut Criterion) {
-    let cfg = UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
+    let cfg =
+        UniverseConfig { objects: 4, top_actions: 8, max_fanout: 3, max_depth: 4, inner_prob: 0.6 };
     let u = random_universe(1, &cfg);
     let aat = random_aat(&u, 2, 0.0);
     c.bench_function("model/perm", |b| b.iter(|| aat.perm()));

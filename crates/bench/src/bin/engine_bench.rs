@@ -1,0 +1,51 @@
+//! Multi-threaded lock-manager throughput benchmark.
+//!
+//! Usage: `engine_bench [--smoke] [--out PATH]`
+//!
+//! Sweeps wakeup mode (targeted vs broadcast) × contention profile ×
+//! deadlock policy × thread count and writes the JSON report (default
+//! `BENCH_engine.json`). `--smoke` runs a reduced grid for CI; the
+//! committed baseline is produced by a full run.
+
+use rnt_bench::contention::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| wakeups | contention | policy | threads | txn/s | waits | spurious | productive |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {} | {} | {} |",
+            r.wakeups,
+            r.contention,
+            r.policy,
+            r.threads,
+            r.throughput,
+            r.waits,
+            r.wakeups_spurious,
+            r.wakeups_productive
+        );
+    }
+    println!();
+    for s in &report.speedups {
+        println!(
+            "speedup ({} / {} @ {} threads): {:.2}x",
+            s.contention, s.policy, s.threads, s.ratio
+        );
+    }
+    println!("headline (geomean, zipfian-high waiting policies): {:.2}x", report.headline_speedup);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} rows)", report.rows.len());
+}

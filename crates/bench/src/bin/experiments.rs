@@ -10,11 +10,8 @@ use rnt_bench::{dist_exp, engine_exp, theory};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let ids: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|a| a.to_lowercase()).collect();
     let want = |id: &str| ids.is_empty() || ids.iter().any(|w| w == &id.to_lowercase());
 
     type Job = Box<dyn Fn(bool) -> Table>;

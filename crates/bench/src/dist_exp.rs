@@ -25,18 +25,18 @@ pub fn e8_gossip(quick: bool) -> Table {
     let seeds: Vec<u64> = if quick { vec![3, 7] } else { (0..10).collect() };
     let mut all_quiescent = true;
     for nodes in [2usize, 4, 8] {
-        for policy in [
-            GossipPolicy::EagerFull,
-            GossipPolicy::DeltaOnChange,
-            GossipPolicy::Periodic(8),
-        ] {
+        for policy in
+            [GossipPolicy::EagerFull, GossipPolicy::DeltaOnChange, GossipPolicy::Periodic(8)]
+        {
             let (mut tx, mut sends, mut entries, mut quiescent) = (0, 0, 0, true);
             for &seed in &seeds {
                 let u = Arc::new(random_universe(seed, &cfg));
                 let topo = Arc::new(Topology::round_robin(&u, nodes));
                 let alg = Level5::new(u, topo);
-                let (rep, _) =
-                    run_gossip(&alg, &GossipConfig { policy, seed, max_steps: 200_000, crash: None });
+                let (rep, _) = run_gossip(
+                    &alg,
+                    &GossipConfig { policy, seed, max_steps: 200_000, crash: None },
+                );
                 tx += rep.tx_events;
                 sends += rep.sends;
                 entries += rep.entries_shipped;
@@ -47,7 +47,8 @@ pub fn e8_gossip(quick: bool) -> Table {
         }
     }
     t.verdict(if all_quiescent {
-        "expected shape: delta ships far fewer entries than eager; traffic grows with node count".to_string()
+        "expected shape: delta ships far fewer entries than eager; traffic grows with node count"
+            .to_string()
     } else {
         "MISMATCH: some run failed to quiesce".to_string()
     });
@@ -61,7 +62,13 @@ pub fn e8b_crash(quick: bool) -> Table {
     let mut t = Table::new(
         "E8b",
         "Fail-stop node crash: surviving progress and quiescence",
-        &["nodes", "crash after", "tx events (healthy)", "tx events (crashed)", "survivors quiesce"],
+        &[
+            "nodes",
+            "crash after",
+            "tx events (healthy)",
+            "tx events (crashed)",
+            "survivors quiesce",
+        ],
     );
     let cfg = UniverseConfig {
         objects: 4,
@@ -100,7 +107,8 @@ pub fn e8b_crash(quick: bool) -> Table {
         }
     }
     t.verdict(if all_ok {
-        "expected shape: survivors always quiesce; later crashes cost less unfinished work".to_string()
+        "expected shape: survivors always quiesce; later crashes cost less unfinished work"
+            .to_string()
     } else {
         "MISMATCH: survivors failed to quiesce after a crash".to_string()
     });

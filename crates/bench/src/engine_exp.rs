@@ -19,6 +19,7 @@ fn base_workload(quick: bool) -> Workload {
         abort_prob: 0.0,
         exclusive_reads: false,
         op_abort_prob: 0.0,
+        sorted_ops: false,
         seed: 42,
     }
 }
@@ -44,7 +45,7 @@ pub fn e4_audit(quick: bool) -> Table {
             w.abort_prob = abort_prob;
             w.txns_per_thread = if quick { 25 } else { 200 };
             w.keys = 32; // contended, so the audit is adversarial
-            let db = seeded_db(DbConfig { audit: true, policy, ..DbConfig::default() }, w.keys);
+            let db = seeded_db(DbConfig::builder().audit(true).policy(policy).build(), w.keys);
             let r = run_workload(&db, &w);
             let log = db.audit_log().expect("audit on");
             let (universe, aat) = log.reconstruct().expect("well-formed log");
@@ -134,14 +135,7 @@ pub fn e5_throughput(quick: bool) -> Table {
             w.ops_per_txn = *ops;
             w.threads = threads;
             let r = run(DbConfig::default(), &w);
-            t.row(cells![
-                name,
-                threads,
-                w.keys,
-                format!("{:.0}", r.throughput),
-                r.retries,
-                r.ops
-            ]);
+            t.row(cells![name, threads, w.keys, format!("{:.0}", r.throughput), r.retries, r.ops]);
         }
     }
     // Contention sweep at 4 threads, equal-work shapes.
@@ -230,14 +224,7 @@ pub fn e7_resilience(quick: bool) -> Table {
                     _ => {}
                 }
             }
-            t.row(cells![
-                name,
-                hazard_pct,
-                r.committed,
-                r.ops,
-                useful,
-                format!("{waste:.2}")
-            ]);
+            t.row(cells![name, hazard_pct, r.committed, r.ops, useful, format!("{waste:.2}")]);
         }
     }
     t.verdict(format!(
@@ -263,7 +250,7 @@ pub fn e5b_policies(quick: bool) -> Table {
         w.keys = 16;
         w.read_ratio = 0.2;
         w.txns_per_thread = if quick { 80 } else { 800 };
-        let db = seeded_db(DbConfig { policy, ..DbConfig::default() }, w.keys);
+        let db = seeded_db(DbConfig::builder().policy(policy).build(), w.keys);
         let r = run_workload(&db, &w);
         let s = db.stats();
         t.row(cells![

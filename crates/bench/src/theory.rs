@@ -2,8 +2,8 @@
 //! every claim the paper *proves* is re-established by exhaustive
 //! exploration and randomized checking.
 
-use crate::table::Table;
 use crate::cells;
+use crate::table::Table;
 use rnt_algebra::{
     check_local_mapping_on_run, check_possibilities_on_run, check_simulation_on_run, explore,
     Composed, ExploreConfig,
@@ -130,7 +130,8 @@ pub fn e2_theorem9(quick: bool) -> Table {
         &["corruption", "instances", "serializable", "violating", "disagreements"],
     );
     let n = if quick { 300 } else { 3000 };
-    let cfg = UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.4 };
+    let cfg =
+        UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.4 };
     let mut total_disagreements = 0;
     for corrupt in [0.0, 0.2, 0.5] {
         let (mut ser, mut not, mut dis) = (0, 0, 0);
@@ -169,7 +170,8 @@ pub fn e3_simulation_chain(quick: bool) -> Table {
         &["target level", "runs", "low events", "high events", "failures"],
     );
     let runs = if quick { 40 } else { 300 };
-    let cfg = UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
+    let cfg =
+        UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
     let mut totals = [(0usize, 0usize, 0usize); 4]; // (low, high, failures) per target
     for seed in 0..runs {
         let u = Arc::new(random_universe(seed as u64, &cfg));
@@ -223,7 +225,8 @@ pub fn figures_diagram_chase(quick: bool) -> Table {
         &["figure", "mapping", "runs", "steps checked", "failures"],
     );
     let runs = if quick { 30 } else { 200 };
-    let cfg = UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
+    let cfg =
+        UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 2, inner_prob: 0.5 };
     let mut rows: Vec<(String, String, usize, usize)> = vec![
         ("Fig.1".into(), "h  : A' -> A   (Lemma 15)".into(), 0, 0),
         ("Fig.1".into(), "h' : A'' -> A' (Lemma 17)".into(), 0, 0),
@@ -289,7 +292,8 @@ pub fn e9_orphan_views(quick: bool) -> Table {
         &["system", "performs", "orphan performs", "anomalies", "live anomalies"],
     );
     let runs = if quick { 100 } else { 600 };
-    let cfg = UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 3, inner_prob: 0.5 };
+    let cfg =
+        UniverseConfig { objects: 2, top_actions: 2, max_fanout: 2, max_depth: 3, inner_prob: 0.5 };
     let mut acc = [(0usize, 0usize, 0usize, 0usize); 3];
     for seed in 0..runs {
         let u = Arc::new(random_universe(seed as u64, &cfg));
@@ -306,14 +310,16 @@ pub fn e9_orphan_views(quick: bool) -> Table {
         let r = check_orphan_views(&l4, &u, &run, |st| &st.aat);
         acc[2] = add4(acc[2], (r.performs, r.orphan_performs, r.anomalies, r.live_anomalies));
     }
-    for (i, name) in [(0, "level 2 (spec)"), (1, "level 3 (version locks)"), (2, "level 4 (value locks)")] {
+    for (i, name) in
+        [(0, "level 2 (spec)"), (1, "level 3 (version locks)"), (2, "level 4 (value locks)")]
+    {
         t.row(cells![name, acc[i].0, acc[i].1, acc[i].2, acc[i].3]);
     }
     // The engine, via audit replay.
     {
         use rnt_core::DbConfig;
         use rnt_sim::engine::{run_workload, seeded_db, KeyDist, TxnShape, Workload};
-        let db = seeded_db(DbConfig { audit: true, ..DbConfig::default() }, 16);
+        let db = seeded_db(DbConfig::builder().audit(true).build(), 16);
         let w = Workload {
             threads: 4,
             txns_per_thread: if quick { 40 } else { 300 },
@@ -325,6 +331,7 @@ pub fn e9_orphan_views(quick: bool) -> Table {
             abort_prob: 0.2,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed: 5,
         };
         run_workload(&db, &w);
@@ -339,7 +346,10 @@ pub fn e9_orphan_views(quick: bool) -> Table {
     t
 }
 
-fn add4(a: (usize, usize, usize, usize), b: (usize, usize, usize, usize)) -> (usize, usize, usize, usize) {
+fn add4(
+    a: (usize, usize, usize, usize),
+    b: (usize, usize, usize, usize),
+) -> (usize, usize, usize, usize) {
     (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3)
 }
 
@@ -361,7 +371,8 @@ pub fn e10_schedulers(quick: bool) -> Table {
         }
         v
     };
-    let cfg_explore = ExploreConfig { max_states: if quick { 60_000 } else { 500_000 }, max_depth: 0 };
+    let cfg_explore =
+        ExploreConfig { max_states: if quick { 60_000 } else { 500_000 }, max_depth: 0 };
     let runs = if quick { 60 } else { 400 };
     let mut shrank = true;
     for (name, u) in &universes {

@@ -67,7 +67,13 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
 pub fn run_dist_chaos(cfg: &DistChaosConfig) -> Result<DistChaosReport, String> {
     let universe = Arc::new(random_universe(
         cfg.useed,
-        &UniverseConfig { objects: 3, top_actions: 3, max_fanout: 2, max_depth: 2, inner_prob: 0.5 },
+        &UniverseConfig {
+            objects: 3,
+            top_actions: 3,
+            max_fanout: 2,
+            max_depth: 2,
+            inner_prob: 0.5,
+        },
     ));
     let topology = Arc::new(Topology::round_robin(&universe, cfg.nodes.max(1)));
     let alg = Level5::new(universe, topology);
@@ -106,11 +112,8 @@ pub fn run_dist_chaos(cfg: &DistChaosConfig) -> Result<DistChaosReport, String> 
             }
             continue;
         }
-        let fault_events: Vec<DistEvent> = alg
-            .chaos_enabled_faults(&state)
-            .into_iter()
-            .filter(|e| alive(e, dead))
-            .collect();
+        let fault_events: Vec<DistEvent> =
+            alg.chaos_enabled_faults(&state).into_iter().filter(|e| alive(e, dead)).collect();
         let event = if !fault_events.is_empty() && rng.gen_bool(cfg.fault_bias) {
             faults += 1;
             fault_events[rng.gen_range(0..fault_events.len())].clone()

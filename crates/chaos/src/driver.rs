@@ -75,7 +75,7 @@ impl ChaosConfig {
     /// The deadlock policy this seed runs under: both are non-blocking, so
     /// the single-threaded driver stays deterministic.
     pub fn policy(&self) -> DeadlockPolicy {
-        if self.seed % 2 == 0 {
+        if self.seed.is_multiple_of(2) {
             DeadlockPolicy::NoWait
         } else {
             DeadlockPolicy::Timeout
@@ -260,8 +260,11 @@ impl Worker {
         let key = self.rng.gen_range(0..cfg.keys.max(1));
         let read = self.rng.gen_range(0.0..1.0) < cfg.read_ratio;
         let handle = self.stack.last().unwrap_or_else(|| self.top.as_ref().expect("top set"));
-        let result =
-            if read { handle.read(&key).map(|_| ()) } else { handle.rmw(&key, |v| v + 1).map(|_| ()) };
+        let result = if read {
+            handle.read(&key).map(|_| ())
+        } else {
+            handle.rmw(&key, |v| v + 1).map(|_| ())
+        };
         if let Err(e) = result {
             self.handle_error(e);
         }
@@ -388,12 +391,13 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
 /// Run a chaos workload with an explicit fault plan (the shrinker's entry
 /// point; [`run`] is `run_with_plan` with the seed-derived plan).
 pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
-    let db: Db<u64, i64> = Db::with_config(DbConfig {
-        policy: config.policy(),
-        lock_timeout: Duration::ZERO,
-        audit: true,
-        ..DbConfig::default()
-    });
+    let db: Db<u64, i64> = Db::with_config(
+        DbConfig::builder()
+            .policy(config.policy())
+            .lock_timeout(Duration::ZERO)
+            .audit(true)
+            .build(),
+    );
     for k in 0..config.keys.max(1) {
         db.insert(k, k as i64 * 100);
     }
@@ -403,7 +407,7 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     let mut workers: Vec<Worker> = (0..config.workers.max(1))
         .map(|i| Worker::new(config.seed, i, config.txns_per_worker))
         .collect();
-    let mut sched = StdRng::seed_from_u64(config.seed ^ 0x5C4E_D);
+    let mut sched = StdRng::seed_from_u64(config.seed ^ 0x5_C4ED);
 
     let mut applied: Vec<String> = Vec::new();
     let mut verdict: Result<(), ChaosFailure> = Ok(());

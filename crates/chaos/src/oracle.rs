@@ -28,15 +28,12 @@ pub fn check_log(log: &AuditLog) -> Result<(), String> {
     let (universe, aat) =
         log.reconstruct().map_err(|e| format!("audit log does not reconstruct: {e:?}"))?;
     if !aat.perm().is_rw_data_serializable(&universe) {
-        return Err(
-            "Theorem 9 violated: the committed permutation is not rw-data-serializable \
+        return Err("Theorem 9 violated: the committed permutation is not rw-data-serializable \
              (version incompatibility or a nontrivial sibling-data cycle)"
-                .to_string(),
-        );
+            .to_string());
     }
-    let (_performs, _orphans, _anomalies, live) = log
-        .orphan_view_anomalies()
-        .map_err(|e| format!("orphan-view replay failed: {e:?}"))?;
+    let (_performs, _orphans, _anomalies, live) =
+        log.orphan_view_anomalies().map_err(|e| format!("orphan-view replay failed: {e:?}"))?;
     if live != 0 {
         return Err(format!("{live} live access(es) saw an inconsistent value"));
     }
@@ -67,7 +64,7 @@ mod tests {
 
     #[test]
     fn clean_run_passes() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        let db: Db<u64, i64> = Db::with_config(DbConfig::builder().audit(true).build());
         db.insert(0, 10);
         let t = db.begin();
         let c = t.child().unwrap();
@@ -79,7 +76,7 @@ mod tests {
 
     #[test]
     fn mid_run_check_is_sound() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        let db: Db<u64, i64> = Db::with_config(DbConfig::builder().audit(true).build());
         db.insert(0, 10);
         let t = db.begin();
         t.write(&0, 99).unwrap();
@@ -91,7 +88,7 @@ mod tests {
 
     #[test]
     fn orphaned_subtree_is_tolerated() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        let db: Db<u64, i64> = Db::with_config(DbConfig::builder().audit(true).build());
         db.insert(0, 10);
         let t = db.begin();
         let c = t.child().unwrap();

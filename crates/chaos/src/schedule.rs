@@ -81,7 +81,9 @@ impl FaultPlan {
                 let at_step = rng.gen_range(0..horizon.max(1));
                 let worker = rng.gen_range(0..workers.max(1));
                 let kind = match rng.gen_range(0..6u32) {
-                    0 => FaultKind::ForcedAbort { worker, depth: rng.gen_range(0..max_depth.max(1)) },
+                    0 => {
+                        FaultKind::ForcedAbort { worker, depth: rng.gen_range(0..max_depth.max(1)) }
+                    }
                     1 => FaultKind::OrphanParent { worker },
                     2 => FaultKind::LoseLock,
                     3 => FaultKind::VictimKill { worker },

@@ -15,7 +15,9 @@
 //! access saw *exactly* the value its visible data-predecessor wrote.
 
 use parking_lot::Mutex;
-use rnt_model::{ActionId, Aat, AccessSpec, ObjectId, ObjectSpec, Universe, UniverseError, UpdateFn, Value};
+use rnt_model::{
+    Aat, AccessSpec, ActionId, ObjectId, ObjectSpec, Universe, UniverseError, UpdateFn, Value,
+};
 use std::hash::{Hash, Hasher};
 
 /// Fold an arbitrary hashable value into the model's value domain.

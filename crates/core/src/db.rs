@@ -7,6 +7,22 @@
 //! subtransaction; a subtransaction's failure aborts only its own subtree
 //! (resilience), while its commit publishes its work *to its parent* via
 //! lock inheritance.
+//!
+//! Configuration is built fluently ([`DbConfig::builder`]) and whole
+//! transactions run with automatic retry ([`Db::run`]), mirroring
+//! [`Txn::run_child`] one level up.
+//!
+//! # Wakeup protocol
+//!
+//! The paper's `release-lock`/`lose-lock` events are the engine's hot
+//! path. A transaction blocked on a lock parks on a **per-key gate**
+//! (condvar + generation counter, created on demand under the shard
+//! lock); every state change to a key — commit inheritance, abort
+//! restore, top-level publish — bumps that key's generation and notifies
+//! only the transactions blocked on *that key*. The generation counter
+//! doubles as the spurious/productive wakeup classifier feeding
+//! [`Stats`]. [`WakeupMode::Broadcast`] keeps the old shard-wide
+//! `notify_all` + poll-slice behavior as a measurable baseline.
 
 use crate::audit::{hash_value, AuditLog, AuditRecord};
 #[cfg(feature = "chaos-hooks")]
@@ -16,10 +32,11 @@ use crate::error::TxnError;
 use crate::lock::{Conflict, LockEnv, LockState};
 use crate::registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
 use crate::stats::{Stats, StatsSnapshot};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use rnt_model::UpdateFn;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +56,22 @@ pub enum DeadlockPolicy {
     NoWait,
 }
 
-/// Engine configuration.
+/// How blocked lock waiters are woken when a lock is released.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WakeupMode {
+    /// Per-key wait gates: a `release-lock`/`lose-lock` wakes only the
+    /// transactions blocked on keys whose lock state actually changed.
+    #[default]
+    Targeted,
+    /// Per-shard `notify_all` plus short poll slices — the pre-rewrite
+    /// engine, kept as a benchmark baseline.
+    Broadcast,
+}
+
+/// Engine configuration. Construct via [`DbConfig::builder`] (or start
+/// from [`DbConfig::default`] and adjust fields); the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking callers.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct DbConfig {
     /// Number of lock-table shards (power of two recommended).
@@ -48,10 +80,15 @@ pub struct DbConfig {
     pub policy: DeadlockPolicy,
     /// Overall lock-wait bound for [`DeadlockPolicy::Timeout`].
     pub lock_timeout: Duration,
-    /// Single condvar wait slice (guards against missed wakeups).
+    /// Fallback re-check bound for a single condvar wait. With
+    /// [`WakeupMode::Targeted`] notifications drive progress and this only
+    /// bounds pathological cases; with [`WakeupMode::Broadcast`] it is the
+    /// poll period.
     pub wait_slice: Duration,
     /// Record an audit log for serializability checking.
     pub audit: bool,
+    /// Wakeup protocol for blocked lock waiters.
+    pub wakeups: WakeupMode,
 }
 
 impl Default for DbConfig {
@@ -60,15 +97,114 @@ impl Default for DbConfig {
             shards: 16,
             policy: DeadlockPolicy::Detect,
             lock_timeout: Duration::from_millis(100),
-            wait_slice: Duration::from_micros(500),
+            wait_slice: Duration::from_millis(2),
             audit: false,
+            wakeups: WakeupMode::Targeted,
         }
     }
 }
 
-struct Shard<K, V> {
-    map: Mutex<HashMap<K, LockState<V>>>,
+impl DbConfig {
+    /// Start building a configuration from the defaults.
+    ///
+    /// ```
+    /// use rnt_core::{DbConfig, DeadlockPolicy};
+    /// let config = DbConfig::builder()
+    ///     .shards(64)
+    ///     .policy(DeadlockPolicy::Detect)
+    ///     .lock_timeout(std::time::Duration::from_millis(50))
+    ///     .audit(true)
+    ///     .build();
+    /// assert_eq!(config.shards, 64);
+    /// ```
+    pub fn builder() -> DbConfigBuilder {
+        DbConfigBuilder { config: DbConfig::default() }
+    }
+}
+
+/// Fluent builder for [`DbConfig`], returned by [`DbConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct DbConfigBuilder {
+    config: DbConfig,
+}
+
+impl DbConfigBuilder {
+    /// Number of lock-table shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Deadlock handling policy.
+    pub fn policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Overall lock-wait bound for [`DeadlockPolicy::Timeout`].
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.config.lock_timeout = timeout;
+        self
+    }
+
+    /// Fallback re-check bound for a single condvar wait.
+    pub fn wait_slice(mut self, slice: Duration) -> Self {
+        self.config.wait_slice = slice;
+        self
+    }
+
+    /// Record an audit log for serializability checking.
+    pub fn audit(mut self, audit: bool) -> Self {
+        self.config.audit = audit;
+        self
+    }
+
+    /// Wakeup protocol for blocked lock waiters.
+    pub fn wakeups(mut self, mode: WakeupMode) -> Self {
+        self.config.wakeups = mode;
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> DbConfig {
+        self.config
+    }
+}
+
+/// A per-key wait gate: the condvar transactions blocked on this key park
+/// on, plus a generation counter bumped (under the shard lock) whenever
+/// the key's lock state changes. Comparing generations across a sleep
+/// classifies the wakeup as productive (state changed) or spurious.
+///
+/// All fields are mutated only under the owning shard's lock; the atomics
+/// exist so the gate can be shared (`Arc`) across that boundary.
+#[derive(Default)]
+struct KeyGate {
     cv: Condvar,
+    generation: AtomicU64,
+    waiters: AtomicUsize,
+}
+
+/// Everything a shard's mutex protects: the lock table itself plus the
+/// wait gates of keys someone is currently blocked on.
+struct ShardState<K, V> {
+    objects: HashMap<K, LockState<V>>,
+    gates: HashMap<K, Arc<KeyGate>>,
+}
+
+struct Shard<K, V> {
+    state: Mutex<ShardState<K, V>>,
+    /// Shard-wide condvar used by [`WakeupMode::Broadcast`] only.
+    cv: Condvar,
+}
+
+/// A parked lock waiter, registered so aborts can wake transactions that
+/// just became orphans (their awaited key's state never changes, so the
+/// per-key gate alone would leave them sleeping a full wait slice).
+struct WaitEntry {
+    txn: TxnId,
+    shard: usize,
+    gate: Arc<KeyGate>,
 }
 
 struct AuditState<K> {
@@ -84,6 +220,10 @@ struct DbInner<K, V> {
     wfg: WaitForGraph,
     config: DbConfig,
     audit: Option<AuditState<K>>,
+    /// Currently parked lock waiters (see [`WaitEntry`]).
+    waiting: Mutex<Vec<WaitEntry>>,
+    /// Sequence for [`Db::run`]'s seeded backoff jitter.
+    run_seq: AtomicU64,
     /// The installed fault injector, if any (chaos harness only).
     #[cfg(feature = "chaos-hooks")]
     injector: parking_lot::RwLock<Option<Arc<dyn chaos::Injector>>>,
@@ -122,7 +262,10 @@ where
     /// Create a database with the given configuration.
     pub fn with_config(config: DbConfig) -> Self {
         let shards = (0..config.shards.max(1))
-            .map(|_| Shard { map: Mutex::new(HashMap::new()), cv: Condvar::new() })
+            .map(|_| Shard {
+                state: Mutex::new(ShardState { objects: HashMap::new(), gates: HashMap::new() }),
+                cv: Condvar::new(),
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let audit = config
@@ -137,6 +280,8 @@ where
                 wfg: WaitForGraph::new(),
                 config,
                 audit,
+                waiting: Mutex::new(Vec::new()),
+                run_seq: AtomicU64::new(0),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
             }),
@@ -148,8 +293,8 @@ where
     pub fn insert(&self, key: K, value: V) -> bool {
         let inner = &self.inner;
         let shard = inner.shard_of(&key);
-        let mut map = inner.shards[shard].map.lock();
-        if map.contains_key(&key) {
+        let mut guard = inner.shards[shard].state.lock();
+        if guard.objects.contains_key(&key) {
             return false;
         }
         if let Some(audit) = &inner.audit {
@@ -158,7 +303,7 @@ where
             keymap.entry(key.clone()).or_insert(id);
             audit.log.register_object(id, hash_value(&value));
         }
-        map.insert(key, LockState::new(value));
+        guard.objects.insert(key, LockState::new(value));
         true
     }
 
@@ -166,8 +311,8 @@ where
     pub fn committed_value(&self, key: &K) -> Option<V> {
         let inner = &self.inner;
         let shard = inner.shard_of(key);
-        let map = inner.shards[shard].map.lock();
-        map.get(key).map(|s| s.base_value().clone())
+        let guard = inner.shards[shard].state.lock();
+        guard.objects.get(key).map(|s| s.base_value().clone())
     }
 
     /// Begin a top-level transaction.
@@ -182,6 +327,74 @@ where
             touched: Arc::new(Mutex::new(std::collections::HashSet::new())),
             parent_touched: None,
         }
+    }
+
+    /// Run `body` in a top-level transaction with automatic retry:
+    /// commits on success; on a retryable error the transaction is
+    /// aborted and re-run after a short, seeded, capped backoff — the
+    /// top-level mirror of [`Txn::run_child`].
+    ///
+    /// Retryable errors are exactly those where aborting and re-running
+    /// can succeed (see [`TxnError::is_retryable`]): [`TxnError::Die`]
+    /// (wait-die / no-wait victims), [`TxnError::Deadlock`] (detection
+    /// victims), and [`TxnError::Timeout`] (the conflict may clear).
+    /// Anything else aborts the transaction and propagates.
+    pub fn run<R>(
+        &self,
+        body: impl FnMut(&Txn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_with_retries(u32::MAX, body)
+    }
+
+    /// [`Db::run`] with an explicit bound on re-runs (0 = try once).
+    pub fn run_with_retries<R>(
+        &self,
+        max_retries: u32,
+        mut body: impl FnMut(&Txn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut attempts: u32 = 0;
+        loop {
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(out) => match txn.commit() {
+                    Ok(()) => return Ok(out),
+                    Err(e) if e.is_retryable() && attempts < max_retries => {
+                        attempts += 1;
+                        self.backoff(attempts);
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() && attempts < max_retries => {
+                    txn.abort();
+                    attempts += 1;
+                    self.backoff(attempts);
+                }
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Capped, seeded backoff between [`Db::run`] attempts: yield for the
+    /// first couple of retries, then sleep a jittered duration growing to
+    /// at most ~128µs — enough to break retry lockstep without parking
+    /// anyone for a meaningful time.
+    fn backoff(&self, attempt: u32) {
+        if attempt <= 2 {
+            std::thread::yield_now();
+            return;
+        }
+        let seq = self.inner.run_seq.fetch_add(1, Ordering::Relaxed);
+        // xorshift over a golden-ratio-scrambled sequence: deterministic
+        // given arrival order, decorrelated across racing threads.
+        let mut x = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let cap = 1u64 << attempt.min(7); // 8..=128 µs
+        std::thread::sleep(Duration::from_micros(x % cap));
     }
 
     /// Engine counters.
@@ -216,12 +429,17 @@ where
     /// allowed to defer — so the harness may call it at any point.
     pub fn chaos_reap_all(&self) {
         for shard in self.inner.shards.iter() {
-            let mut map = shard.map.lock();
+            let mut guard = shard.state.lock();
             let view = self.inner.registry.read_view();
-            for state in map.values_mut() {
+            for state in guard.objects.values_mut() {
                 state.reap(&view);
             }
             drop(view);
+            // Every key's state may have changed: wake all gates.
+            for gate in guard.gates.values() {
+                gate.generation.fetch_add(1, Ordering::Relaxed);
+                gate.cv.notify_all();
+            }
             shard.cv.notify_all();
         }
     }
@@ -236,15 +454,14 @@ where
         let mut out = Vec::new();
         let quiescent = self.inner.registry.chaos_active().is_empty();
         for shard in self.inner.shards.iter() {
-            let map = shard.map.lock();
+            let guard = shard.state.lock();
             let view = self.inner.registry.read_view();
-            for (key, state) in map.iter() {
+            for (key, state) in guard.objects.iter() {
                 if let Err(violation) = state.chaos_check(&view) {
                     out.push(format!("{key:?}: {violation}"));
                 }
                 if quiescent
-                    && (state.write_holders().next().is_some()
-                        || !state.read_holders().is_empty())
+                    && (state.write_holders().next().is_some() || !state.read_holders().is_empty())
                 {
                     out.push(format!("{key:?}: locks held at quiescence"));
                 }
@@ -293,20 +510,27 @@ where
 
     /// Run one lock-acquiring operation with conflict resolution.
     ///
-    /// Lock order is always shard → registry-read; the registry view is
-    /// dropped before any condvar wait so registry writers (transaction
-    /// begins) are never blocked by a sleeping waiter.
+    /// Lock order is always shard → registry-read (→ waiting); the
+    /// registry view is dropped before any condvar wait so registry
+    /// writers (transaction begins) are never blocked by a sleeping
+    /// waiter. The shard guard itself is held from the conflict check
+    /// through the wait — the condvar releases it atomically — which is
+    /// what makes the release path's bump-then-notify under the same
+    /// lock free of lost-wakeup windows.
     fn with_locked_state<R>(
         &self,
         t: TxnId,
         key: &K,
-        mut op: impl FnMut(&mut LockState<V>, &RegistryView<'_>) -> Result<(R, Option<AuditRecord>), Conflict>,
+        mut op: impl FnMut(
+            &mut LockState<V>,
+            &RegistryView<'_>,
+        ) -> Result<(R, Option<AuditRecord>), Conflict>,
     ) -> Result<R, TxnError> {
         let start = Instant::now();
         let shard_idx = self.shard_of(key);
         let shard = &self.shards[shard_idx];
+        let mut guard = shard.state.lock();
         loop {
-            let mut map = shard.map.lock();
             let view = self.registry.read_view();
             match view.status(t) {
                 Some(TxnStatus::Active) => {}
@@ -327,7 +551,7 @@ where
                     return Err(TxnError::Timeout(self.config.lock_timeout));
                 }
             }
-            let Some(state) = map.get_mut(key) else {
+            let Some(state) = guard.objects.get_mut(key) else {
                 return Err(TxnError::UnknownKey);
             };
             let conflict = match op(state, &view) {
@@ -349,12 +573,13 @@ where
                 }
                 DeadlockPolicy::Timeout => {
                     drop(view);
-                    if start.elapsed() >= self.config.lock_timeout {
+                    let elapsed = start.elapsed();
+                    if elapsed >= self.config.lock_timeout {
                         Stats::bump(&self.stats.timeouts);
                         return Err(TxnError::Timeout(self.config.lock_timeout));
                     }
-                    Stats::bump(&self.stats.waits);
-                    shard.cv.wait_for(&mut map, self.config.wait_slice);
+                    let bound = (self.config.lock_timeout - elapsed).min(self.config.wait_slice);
+                    self.wait_for_key_change(&mut guard, shard, shard_idx, key, t, bound)?;
                 }
                 DeadlockPolicy::WaitDie => {
                     // Wait-die on (root, id): older requesters wait, younger
@@ -371,30 +596,113 @@ where
                         return Err(TxnError::Die { blocker: b });
                     }
                     drop(view);
-                    Stats::bump(&self.stats.waits);
-                    shard.cv.wait_for(&mut map, self.config.wait_slice);
+                    let bound = self.config.wait_slice;
+                    self.wait_for_key_change(&mut guard, shard, shard_idx, key, t, bound)?;
                 }
                 DeadlockPolicy::Detect => {
                     // Waiting on a holder means waiting on its whole active
                     // subtree: a parent's lock releases only after its
-                    // children's threads finish. Expand blockers so nested
-                    // deadlocks close cycles in the graph.
-                    let expanded: Vec<TxnId> = conflict
-                        .blockers
-                        .iter()
-                        .flat_map(|&b| view.active_subtree(b))
-                        .collect();
-                    drop(view);
-                    if let Some(cycle) = self.wfg.block(t, &expanded) {
+                    // children's threads finish. The graph stores the direct
+                    // blockers and expands them against the *current*
+                    // registry at every cycle check — a blocker's subtree
+                    // keeps growing while waiters are parked, and cycles
+                    // closed by later-begun children must still be found.
+                    if let Some(cycle) =
+                        self.wfg.block(t, &conflict.blockers, |b| view.active_subtree(b))
+                    {
                         Stats::bump(&self.stats.deadlocks);
                         return Err(TxnError::Deadlock { cycle });
                     }
-                    Stats::bump(&self.stats.waits);
-                    shard.cv.wait_for(&mut map, self.config.wait_slice);
-                    drop(map);
+                    drop(view);
+                    let bound = self.config.wait_slice;
+                    let woke =
+                        self.wait_for_key_change(&mut guard, shard, shard_idx, key, t, bound);
                     self.wfg.unblock(t);
+                    woke?;
                 }
             }
+        }
+    }
+
+    /// Park `t` until `key`'s lock state may have changed, for at most
+    /// `bound`. The caller holds the shard guard; this registers the wait,
+    /// re-checks liveness, sleeps on the key's gate (or the shard condvar
+    /// in broadcast mode), classifies the wakeup, and deregisters.
+    ///
+    /// Returns `Err(Orphaned)` if `t` died before sleeping. The liveness
+    /// re-check happens *after* registration: an abort first marks the
+    /// registry, then scans the wait registry — so either the abort
+    /// precedes our check (we see it and bail) or our registration
+    /// precedes the scan (the aborter locks this shard, which we hold
+    /// until parked, and its notify reaches us). No interleaving leaves
+    /// an orphan sleeping un-notified.
+    fn wait_for_key_change(
+        &self,
+        guard: &mut MutexGuard<'_, ShardState<K, V>>,
+        shard: &Shard<K, V>,
+        shard_idx: usize,
+        key: &K,
+        t: TxnId,
+        bound: Duration,
+    ) -> Result<(), TxnError> {
+        let gate = guard.gates.entry(key.clone()).or_default().clone();
+        let gen_before = gate.generation.load(Ordering::Relaxed);
+        gate.waiters.fetch_add(1, Ordering::Relaxed);
+        self.waiting.lock().push(WaitEntry { txn: t, shard: shard_idx, gate: gate.clone() });
+        let died = self.registry.read_view().is_dead(t);
+        if !died {
+            Stats::bump(&self.stats.waits);
+            let slept = Instant::now();
+            match self.config.wakeups {
+                WakeupMode::Targeted => gate.cv.wait_for(guard, bound),
+                WakeupMode::Broadcast => shard.cv.wait_for(guard, bound),
+            };
+            Stats::add(&self.stats.wait_nanos, slept.elapsed().as_nanos() as u64);
+            if gate.generation.load(Ordering::Relaxed) != gen_before {
+                Stats::bump(&self.stats.wakeups_productive);
+            } else {
+                Stats::bump(&self.stats.wakeups_spurious);
+            }
+        }
+        {
+            let mut waiting = self.waiting.lock();
+            if let Some(pos) =
+                waiting.iter().position(|e| e.txn == t && Arc::ptr_eq(&e.gate, &gate))
+            {
+                waiting.swap_remove(pos);
+            }
+        }
+        if gate.waiters.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // Last waiter out: drop the gate so the map stays bounded by
+            // the number of *currently contended* keys.
+            if guard
+                .gates
+                .get(key)
+                .is_some_and(|g| Arc::ptr_eq(g, &gate) && g.waiters.load(Ordering::Relaxed) == 0)
+            {
+                guard.gates.remove(key);
+            }
+        }
+        if died {
+            Err(TxnError::Orphaned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Wake the waiters of `key` after its lock state changed. Must be
+    /// called under the shard lock (so the generation bump is ordered
+    /// against every waiter's pre-sleep generation read).
+    fn notify_released(&self, state: &ShardState<K, V>, shard: &Shard<K, V>, key: &K) {
+        if let Some(gate) = state.gates.get(key) {
+            gate.generation.fetch_add(1, Ordering::Relaxed);
+            Stats::bump(&self.stats.notifies);
+            if self.config.wakeups == WakeupMode::Targeted {
+                gate.cv.notify_all();
+            }
+        }
+        if self.config.wakeups == WakeupMode::Broadcast {
+            shard.cv.notify_all();
         }
     }
 
@@ -420,8 +728,8 @@ where
         let parent = self.registry.parent(t);
         for key in keys {
             let shard = &self.shards[self.shard_of(key)];
-            let mut map = shard.map.lock();
-            if let Some(state) = map.get_mut(key) {
+            let mut guard = shard.state.lock();
+            if let Some(state) = guard.objects.get_mut(key) {
                 if commit {
                     // Shard → registry-read, the global lock order.
                     let view = self.registry.read_view();
@@ -430,6 +738,33 @@ where
                     state.abort_discard(t);
                 }
             }
+            self.notify_released(&guard, shard, key);
+        }
+    }
+
+    /// Wake parked waiters that became orphans: their awaited key's state
+    /// is never going to change on their account, so an abort must nudge
+    /// them to re-check liveness. Snapshot under the wait-registry lock,
+    /// then notify under each shard lock (never both at once — waiters
+    /// acquire shard → waiting).
+    fn wake_orphaned_waiters(&self) {
+        let doomed: Vec<(usize, Arc<KeyGate>)> = {
+            let waiting = self.waiting.lock();
+            if waiting.is_empty() {
+                return;
+            }
+            let view = self.registry.read_view();
+            waiting
+                .iter()
+                .filter(|e| view.is_dead(e.txn))
+                .map(|e| (e.shard, e.gate.clone()))
+                .collect()
+        };
+        for (shard_idx, gate) in doomed {
+            let shard = &self.shards[shard_idx];
+            let _guard = shard.state.lock();
+            gate.generation.fetch_add(1, Ordering::Relaxed);
+            gate.cv.notify_all();
             shard.cv.notify_all();
         }
     }
@@ -610,6 +945,10 @@ where
         if self.inner.registry.abort(self.id).is_ok() {
             let keys = std::mem::take(&mut *self.touched.lock());
             self.inner.finish_locks(self.id, &keys, false);
+            // Descendants just became orphans; wake any that are parked
+            // so they observe their death instead of sleeping out a
+            // full wait slice.
+            self.inner.wake_orphaned_waiters();
             Stats::bump(&self.inner.stats.aborted);
         }
         self.done = true;
@@ -750,11 +1089,27 @@ mod tests {
     }
 
     #[test]
+    fn builder_sets_all_knobs() {
+        let config = DbConfig::builder()
+            .shards(64)
+            .policy(DeadlockPolicy::WaitDie)
+            .lock_timeout(Duration::from_millis(7))
+            .wait_slice(Duration::from_micros(300))
+            .audit(true)
+            .wakeups(WakeupMode::Broadcast)
+            .build();
+        assert_eq!(config.shards, 64);
+        assert_eq!(config.policy, DeadlockPolicy::WaitDie);
+        assert_eq!(config.lock_timeout, Duration::from_millis(7));
+        assert_eq!(config.wait_slice, Duration::from_micros(300));
+        assert!(config.audit);
+        assert_eq!(config.wakeups, WakeupMode::Broadcast);
+    }
+
+    #[test]
     fn sibling_isolation_nowait() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig {
-            policy: DeadlockPolicy::NoWait,
-            ..DbConfig::default()
-        });
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::NoWait).build());
         db.insert(0, 0);
         let t = db.begin();
         let a = t.child().unwrap();
@@ -805,28 +1160,15 @@ mod tests {
 
     #[test]
     fn concurrent_contended_counter() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig {
-            policy: DeadlockPolicy::Detect,
-            ..DbConfig::default()
-        });
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::Detect).build());
         db.insert(0, 0);
         let mut handles = Vec::new();
         for _ in 0..4 {
             let db = db.clone();
             handles.push(std::thread::spawn(move || {
-                let mut done = 0;
-                while done < 100 {
-                    let t = db.begin();
-                    match t.rmw(&0, |v| v + 1) {
-                        Ok(_) => {
-                            t.commit().unwrap();
-                            done += 1;
-                        }
-                        Err(e) if e.is_retryable() => {
-                            t.abort();
-                        }
-                        Err(e) => panic!("unexpected {e}"),
-                    }
+                for _ in 0..100 {
+                    db.run(|t| t.rmw(&0, |v| v + 1)).unwrap();
                 }
             }));
         }
@@ -838,13 +1180,13 @@ mod tests {
 
     #[test]
     fn deadlock_detected_and_resolved() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig {
-            policy: DeadlockPolicy::Detect,
-            ..DbConfig::default()
-        });
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::Detect).build());
         db.insert(0, 0);
         db.insert(1, 0);
         let barrier = Arc::new(std::sync::Barrier::new(2));
+        // Not a plain retry loop: the barrier forces the lock acquisitions
+        // to overlap so the wait-for cycle actually forms.
         let mk = |first: u64, second: u64, db: Db<u64, i64>, barrier: Arc<std::sync::Barrier>| {
             std::thread::spawn(move || loop {
                 let t = db.begin();
@@ -878,27 +1220,22 @@ mod tests {
 
     #[test]
     fn wait_die_never_hangs() {
-        let db: Db<u64, i64> = Db::with_config(DbConfig {
-            policy: DeadlockPolicy::WaitDie,
-            ..DbConfig::default()
-        });
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::WaitDie).build());
         db.insert(0, 0);
         db.insert(1, 0);
         let mut handles = Vec::new();
         for i in 0..4u64 {
             let db = db.clone();
             handles.push(std::thread::spawn(move || {
-                let mut committed = 0;
-                while committed < 25 {
-                    let t = db.begin();
+                for _ in 0..25 {
                     let (a, b) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
-                    let ok = t.rmw(&a, |v| v + 1).is_ok() && t.rmw(&b, |v| v + 1).is_ok();
-                    if ok {
-                        t.commit().unwrap();
-                        committed += 1;
-                    } else {
-                        t.abort();
-                    }
+                    db.run(|t| {
+                        t.rmw(&a, |v| v + 1)?;
+                        t.rmw(&b, |v| v + 1)?;
+                        Ok(())
+                    })
+                    .unwrap();
                 }
             }));
         }
@@ -911,8 +1248,7 @@ mod tests {
 
     #[test]
     fn audited_run_is_data_serializable() {
-        let db: Db<u64, i64> =
-            Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+        let db: Db<u64, i64> = Db::with_config(DbConfig::builder().audit(true).build());
         for k in 0..4 {
             db.insert(k, 0);
         }
@@ -979,10 +1315,8 @@ mod tests {
     fn run_child_retries_contention() {
         // A NoWait db: the first attempt conflicts with a holder thread,
         // later ones succeed after the holder finishes.
-        let db: Db<u64, i64> = Db::with_config(DbConfig {
-            policy: DeadlockPolicy::NoWait,
-            ..DbConfig::default()
-        });
+        let db: Db<u64, i64> =
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::NoWait).build());
         db.insert(0, 0);
         let holder = db.begin();
         holder.write(&0, 5).unwrap();
@@ -1006,9 +1340,45 @@ mod tests {
     }
 
     #[test]
-    fn orphan_view_anomalies_zero_on_clean_run() {
+    fn db_run_retries_to_success() {
         let db: Db<u64, i64> =
-            Db::with_config(DbConfig { audit: true, ..DbConfig::default() });
+            Db::with_config(DbConfig::builder().policy(DeadlockPolicy::NoWait).build());
+        db.insert(0, 0);
+        let holder = db.begin();
+        holder.write(&0, 5).unwrap();
+        // Bounded attempts while the lock is held: the Die surfaces.
+        let mut attempts = 0;
+        let err = db
+            .run_with_retries(2, |t| {
+                attempts += 1;
+                t.read(&0)
+            })
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Die { .. }));
+        assert_eq!(attempts, 3);
+        holder.commit().unwrap();
+        // Unbounded run succeeds once the holder is gone.
+        assert_eq!(db.run(|t| t.read(&0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn db_run_propagates_fatal_errors() {
+        let db = db();
+        let mut attempts = 0;
+        let err = db
+            .run(|t| {
+                attempts += 1;
+                t.read(&999)
+            })
+            .unwrap_err();
+        assert_eq!(err, TxnError::UnknownKey);
+        assert_eq!(attempts, 1, "fatal errors are not retried");
+        assert_eq!(db.stats().aborted, 1, "failed attempt aborted");
+    }
+
+    #[test]
+    fn orphan_view_anomalies_zero_on_clean_run() {
+        let db: Db<u64, i64> = Db::with_config(DbConfig::builder().audit(true).build());
         db.insert(0, 1);
         let t = db.begin();
         t.run_child(0, |c| c.rmw(&0, |v| v * 10)).unwrap();

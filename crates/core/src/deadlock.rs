@@ -4,6 +4,15 @@
 //! `waiter → blockers` edges before sleeping; if the new edges close a
 //! cycle, the requester is chosen as the victim and the edges are rolled
 //! back.
+//!
+//! Edges store the *direct* lock holders only. Waiting on a holder means
+//! waiting on its whole active subtree (a parent's lock releases only when
+//! its children finish), and that subtree keeps growing while a waiter is
+//! parked — so the expansion happens at *query* time, through the `expand`
+//! callback, against the registry's current state. Storing expanded
+//! snapshots instead (the previous design) missed every cycle closed by a
+//! child begun after the waiter parked, leaving real deadlocks undetected
+//! until a wait-slice expired and the waiter re-registered.
 
 use crate::registry::TxnId;
 use parking_lot::Mutex;
@@ -21,14 +30,22 @@ impl WaitForGraph {
         Self::default()
     }
 
-    /// Register that `waiter` is blocked on `blockers`. Returns the cycle
-    /// (starting and ending at `waiter`) if adding the edges would create
-    /// one; in that case the edges are *not* added.
-    pub fn block(&self, waiter: TxnId, blockers: &[TxnId]) -> Option<Vec<TxnId>> {
+    /// Register that `waiter` is blocked on the direct holders `blockers`.
+    /// `expand` maps a blocker to every transaction whose completion its
+    /// lock release awaits (its current active subtree, including itself).
+    ///
+    /// Returns the cycle (starting and ending at `waiter`) if adding the
+    /// edges would create one; in that case the edges are *not* added.
+    pub fn block(
+        &self,
+        waiter: TxnId,
+        blockers: &[TxnId],
+        expand: impl Fn(TxnId) -> Vec<TxnId>,
+    ) -> Option<Vec<TxnId>> {
         let mut edges = self.edges.lock();
-        // Check: can any blocker reach the waiter already?
+        // Check: can any blocker's subtree reach the waiter already?
         for &b in blockers {
-            if let Some(mut path) = reach(&edges, b, waiter) {
+            if let Some(mut path) = reach(&edges, b, waiter, &expand) {
                 let mut cycle = vec![waiter];
                 cycle.append(&mut path);
                 return Some(cycle);
@@ -49,10 +66,17 @@ impl WaitForGraph {
     }
 }
 
-/// DFS: a path from `from` to `to` through the wait-for edges, if any.
-fn reach(edges: &HashMap<TxnId, Vec<TxnId>>, from: TxnId, to: TxnId) -> Option<Vec<TxnId>> {
+/// DFS: a path from `from`'s expansion to `to` through the wait-for edges,
+/// expanding every hop through the blockers' current subtrees.
+fn reach(
+    edges: &HashMap<TxnId, Vec<TxnId>>,
+    from: TxnId,
+    to: TxnId,
+    expand: &impl Fn(TxnId) -> Vec<TxnId>,
+) -> Option<Vec<TxnId>> {
     let mut visited: HashSet<TxnId> = HashSet::new();
-    let mut stack = vec![(from, vec![from])];
+    let mut stack: Vec<(TxnId, Vec<TxnId>)> =
+        expand(from).into_iter().map(|m| (m, vec![m])).collect();
     while let Some((node, path)) = stack.pop() {
         if node == to {
             return Some(path);
@@ -60,10 +84,12 @@ fn reach(edges: &HashMap<TxnId, Vec<TxnId>>, from: TxnId, to: TxnId) -> Option<V
         if !visited.insert(node) {
             continue;
         }
-        for &next in edges.get(&node).into_iter().flatten() {
-            let mut p = path.clone();
-            p.push(next);
-            stack.push((next, p));
+        for &b in edges.get(&node).into_iter().flatten() {
+            for next in expand(b) {
+                let mut p = path.clone();
+                p.push(next);
+                stack.push((next, p));
+            }
         }
     }
     None
@@ -77,19 +103,24 @@ mod tests {
     const B: TxnId = TxnId(2);
     const C: TxnId = TxnId(3);
 
+    /// A blocker stands for itself alone — the flat-transaction case.
+    fn flat(t: TxnId) -> Vec<TxnId> {
+        vec![t]
+    }
+
     #[test]
     fn no_cycle_on_chain() {
         let g = WaitForGraph::new();
-        assert_eq!(g.block(A, &[B]), None);
-        assert_eq!(g.block(B, &[C]), None);
+        assert_eq!(g.block(A, &[B], flat), None);
+        assert_eq!(g.block(B, &[C], flat), None);
         assert_eq!(g.blocked_count(), 2);
     }
 
     #[test]
     fn direct_cycle_detected() {
         let g = WaitForGraph::new();
-        assert_eq!(g.block(A, &[B]), None);
-        let cycle = g.block(B, &[A]).expect("cycle");
+        assert_eq!(g.block(A, &[B], flat), None);
+        let cycle = g.block(B, &[A], flat).expect("cycle");
         assert_eq!(cycle.first(), Some(&B));
         assert_eq!(cycle.last(), Some(&B));
     }
@@ -97,30 +128,47 @@ mod tests {
     #[test]
     fn transitive_cycle_detected() {
         let g = WaitForGraph::new();
-        g.block(A, &[B]);
-        g.block(B, &[C]);
-        let cycle = g.block(C, &[A]).expect("cycle via two hops");
+        g.block(A, &[B], flat);
+        g.block(B, &[C], flat);
+        let cycle = g.block(C, &[A], flat).expect("cycle via two hops");
         assert!(cycle.len() >= 3);
     }
 
     #[test]
     fn rejected_edges_not_added() {
         let g = WaitForGraph::new();
-        g.block(A, &[B]);
-        assert!(g.block(B, &[A]).is_some());
+        g.block(A, &[B], flat);
+        assert!(g.block(B, &[A], flat).is_some());
         // B's edge was rolled back, so A→B alone remains.
         assert_eq!(g.blocked_count(), 1);
         // And B can block on C fine.
-        assert_eq!(g.block(B, &[C]), None);
+        assert_eq!(g.block(B, &[C], flat), None);
     }
 
     #[test]
     fn unblock_clears_edges() {
         let g = WaitForGraph::new();
-        g.block(A, &[B]);
+        g.block(A, &[B], flat);
         g.unblock(A);
         assert_eq!(g.blocked_count(), 0);
         // Former cycle no longer detected.
-        assert_eq!(g.block(B, &[A]), None);
+        assert_eq!(g.block(B, &[A], flat), None);
+    }
+
+    /// The regression the query-time expansion exists for: A parks blocked
+    /// on B; B then begins a child C (so B's subtree grows *after* A's
+    /// edge was recorded); C requests a lock held by A. With snapshot
+    /// expansion the graph knows nothing of C and misses the cycle; with
+    /// query-time expansion C's request resolves A's blocker B to the
+    /// current subtree {B, C} and finds the cycle through itself.
+    #[test]
+    fn cycle_through_child_begun_after_parking() {
+        let g = WaitForGraph::new();
+        assert_eq!(g.block(A, &[B], flat), None);
+        // C now exists under B: expansion reports it at query time.
+        let subtree = |t: TxnId| if t == B { vec![B, C] } else { vec![t] };
+        let cycle = g.block(C, &[A], subtree).expect("cycle via grown subtree");
+        assert_eq!(cycle.first(), Some(&C));
+        assert_eq!(cycle.last(), Some(&C));
     }
 }

@@ -42,7 +42,7 @@ mod registry;
 mod stats;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
-pub use db::{Db, DbConfig, DeadlockPolicy, Txn};
+pub use db::{Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Txn, WakeupMode};
 pub use deadlock::WaitForGraph;
 pub use error::TxnError;
 pub use lock::{Conflict, LockEnv, LockState};

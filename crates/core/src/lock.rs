@@ -83,18 +83,39 @@ impl<V: Clone> LockState<V> {
 
     /// Try to acquire (or re-affirm) a read lock for `t` and return the
     /// visible value. Grants iff every *write* holder is an ancestor of `t`.
+    ///
+    /// Fast path: the write stack is an ancestor chain, so if the innermost
+    /// holder is live and an ancestor of `t`, every holder is — the grant
+    /// needs one ancestry test, no stack scan and no reap.
     pub fn try_read(&mut self, t: TxnId, env: &impl LockEnv) -> Result<&V, Conflict> {
+        match self.writes.last() {
+            Some(&(top, _)) => {
+                if top == t {
+                    // A write holder needs no separate read lock.
+                    return Ok(self.current_value());
+                }
+                if env.is_ancestor(top, t) && !env.is_dead(top) {
+                    if !self.readers.contains(&t) {
+                        self.readers.push(t);
+                    }
+                    return Ok(self.current_value());
+                }
+            }
+            None => {
+                // No write holders at all: reads always share.
+                if !self.readers.contains(&t) {
+                    self.readers.push(t);
+                }
+                return Ok(self.current_value());
+            }
+        }
+        // Slow path: reap dead holders, then scan for live blockers.
         self.reap(env);
-        let blockers: Vec<TxnId> = self
-            .writes
-            .iter()
-            .map(|&(h, _)| h)
-            .filter(|&h| !env.is_ancestor(h, t))
-            .collect();
+        let blockers: Vec<TxnId> =
+            self.writes.iter().map(|&(h, _)| h).filter(|&h| !env.is_ancestor(h, t)).collect();
         if !blockers.is_empty() {
             return Err(Conflict { blockers });
         }
-        // A write holder needs no separate read lock.
         if self.writes.last().map(|&(h, _)| h) != Some(t) && !self.readers.contains(&t) {
             self.readers.push(t);
         }
@@ -110,6 +131,19 @@ impl<V: Clone> LockState<V> {
         env: &impl LockEnv,
         new_value: impl FnOnce(&V) -> V,
     ) -> Result<V, Conflict> {
+        // Fast path: `t` already holds the innermost write lock and no
+        // reader exists that could block a re-write — update in place
+        // without scanning or reaping. (Callers guarantee `t` is live,
+        // which makes the ancestor chain below it live too.)
+        if self.readers.is_empty() {
+            if let Some((h, slot)) = self.writes.last_mut() {
+                if *h == t {
+                    let seen = slot.clone();
+                    *slot = new_value(&seen);
+                    return Ok(seen);
+                }
+            }
+        }
         self.reap(env);
         let blockers: Vec<TxnId> = self
             .writes
@@ -143,20 +177,24 @@ impl<V: Clone> LockState<V> {
     pub fn commit_to_parent(&mut self, t: TxnId, parent: Option<TxnId>, env: &impl LockEnv) {
         self.reap(env);
         if let Some(pos) = self.writes.iter().position(|&(h, _)| h == t) {
-            let (_, v) = self.writes.remove(pos);
             match parent {
                 None => {
+                    let (_, v) = self.writes.remove(pos);
                     debug_assert!(self.writes.is_empty(), "top-level commit under other holders");
                     self.base = v;
                 }
                 Some(p) => {
-                    if let Some(entry) = self.writes.iter_mut().find(|(h, _)| *h == p) {
-                        entry.1 = v;
+                    if let Some(ppos) = self.writes.iter().position(|&(h, _)| h == p) {
+                        // The parent already holds an (older) version:
+                        // the child's version replaces it.
+                        let (_, v) = self.writes.remove(pos);
+                        self.writes[ppos].1 = v;
                     } else {
-                        // `p` lies strictly between the removed entry's
-                        // ancestors and `t`, so inserting at `pos` keeps the
-                        // chain ordered.
-                        self.writes.insert(pos, (p, v));
+                        // Hand the version over in place: `p` lies strictly
+                        // between the entry's ancestors and `t`, so retagging
+                        // the holder keeps the chain ordered — no element
+                        // shifting, no version move.
+                        self.writes[pos].0 = p;
                     }
                     // The parent's write subsumes any read lock it held.
                     self.readers.retain(|&r| r != p);

@@ -111,15 +111,20 @@ impl<'a> RegistryView<'a> {
     }
 
     /// True iff `a` is an ancestor of `b` (reflexively).
+    ///
+    /// Paths are immutable child-index sequences from the action-tree root,
+    /// so ancestry is a prefix test — one comparison instead of a parent
+    /// walk, which matters because this runs inside every lock grant.
     pub fn is_ancestor(&self, a: TxnId, b: TxnId) -> bool {
-        let mut cur = Some(b);
-        while let Some(c) = cur {
-            if c == a {
-                return true;
-            }
-            cur = self.meta(c).and_then(|m| m.parent);
+        if a == b {
+            return true;
         }
-        false
+        match (self.meta(a), self.meta(b)) {
+            (Some(ma), Some(mb)) => {
+                ma.path.len() < mb.path.len() && mb.path[..ma.path.len()] == ma.path[..]
+            }
+            _ => false,
+        }
     }
 
     /// True iff `id` or any ancestor has aborted (the paper's "dead").

@@ -25,6 +25,17 @@ pub struct Stats {
     pub deadlocks: AtomicU64,
     /// Lock-wait timeouts.
     pub timeouts: AtomicU64,
+    /// Wakeups after which the awaited key's lock state had changed
+    /// (a targeted `release-lock` notification did its job).
+    pub wakeups_productive: AtomicU64,
+    /// Wakeups with the awaited key's lock state unchanged — fallback-slice
+    /// expiries or broadcast wakeups for unrelated keys. Near zero when
+    /// targeted notifications, not polling, drive progress.
+    pub wakeups_spurious: AtomicU64,
+    /// Release-path notifications issued to waiters.
+    pub notifies: AtomicU64,
+    /// Total time spent blocked on lock waits, in nanoseconds.
+    pub wait_nanos: AtomicU64,
 }
 
 /// A plain snapshot of [`Stats`].
@@ -50,6 +61,15 @@ pub struct StatsSnapshot {
     pub deadlocks: u64,
     /// Lock-wait timeouts.
     pub timeouts: u64,
+    /// Wakeups that observed a changed lock state on the awaited key.
+    pub wakeups_productive: u64,
+    /// Wakeups that observed an unchanged lock state (poll expiry or
+    /// broadcast overreach).
+    pub wakeups_spurious: u64,
+    /// Release-path notifications issued.
+    pub notifies: u64,
+    /// Total lock-wait time in nanoseconds.
+    pub wait_nanos: u64,
 }
 
 impl Stats {
@@ -66,11 +86,19 @@ impl Stats {
             dies: self.dies.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            wakeups_productive: self.wakeups_productive.load(Ordering::Relaxed),
+            wakeups_spurious: self.wakeups_spurious.load(Ordering::Relaxed),
+            notifies: self.notifies.load(Ordering::Relaxed),
+            wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -78,6 +106,15 @@ impl StatsSnapshot {
     /// Net committed transactions.
     pub fn commits_minus_aborts(&self) -> i64 {
         self.committed as i64 - self.aborted as i64
+    }
+
+    /// Mean blocked time per wait episode, in microseconds (0 if none).
+    pub fn avg_wait_micros(&self) -> f64 {
+        if self.waits == 0 {
+            0.0
+        } else {
+            self.wait_nanos as f64 / 1_000.0 / self.waits as f64
+        }
     }
 }
 

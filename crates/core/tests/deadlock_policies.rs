@@ -7,7 +7,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 fn db_with(policy: DeadlockPolicy, lock_timeout: Duration) -> Db<u64, i64> {
-    let db = Db::with_config(DbConfig { policy, lock_timeout, ..DbConfig::default() });
+    let db = Db::with_config(DbConfig::builder().policy(policy).lock_timeout(lock_timeout).build());
     db.insert(0, 0);
     db.insert(1, 0);
     db

@@ -26,7 +26,7 @@ proptest! {
             1 => DeadlockPolicy::WaitDie,
             _ => DeadlockPolicy::NoWait,
         };
-        let db = seeded_db(DbConfig { audit: true, policy, ..DbConfig::default() }, keys);
+        let db = seeded_db(DbConfig::builder().audit(true).policy(policy).build(), keys);
         let w = Workload {
             threads,
             txns_per_thread: 8,
@@ -38,6 +38,7 @@ proptest! {
             abort_prob: abort_pct as f64 / 100.0,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed,
         };
         run_workload(&db, &w);
@@ -60,7 +61,7 @@ proptest! {
             1 => DeadlockPolicy::WaitDie,
             _ => DeadlockPolicy::NoWait,
         };
-        let db = seeded_db(DbConfig { policy, ..DbConfig::default() }, keys);
+        let db = seeded_db(DbConfig::builder().policy(policy).build(), keys);
         let w = Workload {
             threads,
             txns_per_thread: 10,
@@ -72,6 +73,7 @@ proptest! {
             abort_prob: 0.1,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed,
         };
         let r = run_workload(&db, &w);

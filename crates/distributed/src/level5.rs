@@ -474,8 +474,11 @@ mod tests {
         let alg = Level5::new(u, t);
         let run = cross_node_run(&alg);
         // Without the gossip steps the perform is rejected.
-        let short: Vec<_> =
-            run.iter().filter(|e| !matches!(e, DistEvent::Send { .. } | DistEvent::Receive { .. })).cloned().collect();
+        let short: Vec<_> = run
+            .iter()
+            .filter(|e| !matches!(e, DistEvent::Send { .. } | DistEvent::Receive { .. }))
+            .cloned()
+            .collect();
         assert!(!is_valid(&alg, short));
     }
 
@@ -579,19 +582,15 @@ mod tests {
         let u = universe();
         let t = Arc::new(Topology::round_robin(&u, 2));
         let alg = Level5::new(u.clone(), t.clone());
-        let report = explore(
-            &alg,
-            &ExploreConfig { max_states: 150_000, max_depth: 0 },
-            |s: &DistState| {
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 150_000, max_depth: 0 }, |s: &DistState| {
                 for (i, node) in s.nodes.iter().enumerate() {
                     for (a, _) in node.summary.entries() {
                         if !u.contains(a) {
                             return Err(format!("node {i} knows undeclared {a}"));
                         }
                     }
-                    for (x, h, _) in
-                        node.vmap.entries().collect::<Vec<_>>().iter()
-                    {
+                    for (x, h, _) in node.vmap.entries().collect::<Vec<_>>().iter() {
                         if t.home_of_object(*x) != i {
                             return Err(format!("node {i} holds foreign object {x}"));
                         }
@@ -608,9 +607,8 @@ mod tests {
                     }
                 }
                 Ok(())
-            },
-        )
-        .unwrap_or_else(|ce| panic!("{ce}"));
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
         assert!(report.states > 1_000, "{report:?}");
     }
 

@@ -78,11 +78,8 @@ impl HDist {
         }
         // i.V is the restriction of V to objects homed at i.
         let node_entries: Vec<(_, &ActionId, _)> = node.vmap.entries().collect();
-        let global_restricted: Vec<(_, &ActionId, _)> = high
-            .vmap
-            .entries()
-            .filter(|(x, _, _)| self.topology.home_of_object(*x) == i)
-            .collect();
+        let global_restricted: Vec<(_, &ActionId, _)> =
+            high.vmap.entries().filter(|(x, _, _)| self.topology.home_of_object(*x) == i).collect();
         node_entries == global_restricted
     }
 }
@@ -100,9 +97,7 @@ impl LocalMapping<Level5, Level4> for HDist {
     fn is_locally_consistent(&self, low: &DistState, comp: Component, high: &L4State) -> bool {
         match comp {
             Component::Node(i) => self.node_consistent(low, i, high),
-            Component::Buffer => {
-                low.inboxes.iter().all(|m| summary_le_tree(m, &high.aat.tree))
-            }
+            Component::Buffer => low.inboxes.iter().all(|m| summary_le_tree(m, &high.aat.tree)),
         }
     }
 }
@@ -111,8 +106,7 @@ impl LocalMapping<Level5, Level4> for HDist {
 mod tests {
     use super::*;
     use rnt_algebra::{
-        check_local_mapping_on_run, check_simulation_on_run, Algebra, Composed,
-        SimulationError,
+        check_local_mapping_on_run, check_simulation_on_run, Algebra, Composed, SimulationError,
     };
     use rnt_locking::{HDoublePrime, HPrime, Level3};
     use rnt_model::{act, ObjectId, UniverseBuilder, UpdateFn};
@@ -147,8 +141,9 @@ mod tests {
     fn rich_run(t: &Topology) -> Vec<DistEvent> {
         let n0 = t.home_of_action(&act![0]);
         let n1 = t.home_of_object(ObjectId(1));
-        let full =
-            |entries: &[(&ActionId, Status)]| ActionSummary::from_entries(entries.iter().map(|(a, s)| ((*a).clone(), *s)));
+        let full = |entries: &[(&ActionId, Status)]| {
+            ActionSummary::from_entries(entries.iter().map(|(a, s)| ((*a).clone(), *s)))
+        };
         vec![
             DistEvent::Tx(n0, TxEvent::Create(act![0])),
             DistEvent::Tx(n0, TxEvent::Create(act![0, 0])),
@@ -174,11 +169,7 @@ mod tests {
             },
             DistEvent::Receive { to: n0, summary: full(&[(&act![0, 1], Status::Committed)]) },
             DistEvent::Tx(n0, TxEvent::Commit(act![0])),
-            DistEvent::Send {
-                from: n0,
-                to: n1,
-                summary: full(&[(&act![0], Status::Committed)]),
-            },
+            DistEvent::Send { from: n0, to: n1, summary: full(&[(&act![0], Status::Committed)]) },
             DistEvent::Receive { to: n1, summary: full(&[(&act![0], Status::Committed)]) },
             DistEvent::Tx(n1, TxEvent::ReleaseLock(act![0, 1], ObjectId(1))),
             // A second top-level action that aborts. Its home (and so its

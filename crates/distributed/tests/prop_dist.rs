@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use rnt_algebra::{
-    check_local_changes, check_local_domain, check_local_mapping_on_run,
-    check_simulation_on_run, replay, Algebra, Composed, Interpretation,
+    check_local_changes, check_local_domain, check_local_mapping_on_run, check_simulation_on_run,
+    replay, Algebra, Composed, Interpretation,
 };
 use rnt_distributed::{summary_le_tree, DistEvent, HDist, Level5, Topology};
 use rnt_locking::{HDoublePrime, HPrime, Level3, Level4};

@@ -41,7 +41,10 @@ impl RwLockMap {
         let map = universe
             .objects()
             .map(|o| {
-                (o.id, RwObjectLocks { writes: vec![(ActionId::root(), o.init)], readers: Vec::new() })
+                (
+                    o.id,
+                    RwObjectLocks { writes: vec![(ActionId::root(), o.init)], readers: Vec::new() },
+                )
             })
             .collect();
         RwLockMap { map }
@@ -299,12 +302,8 @@ impl Algebra for LevelRw {
                 out.push(TxEvent::Abort(a.clone()));
             }
         }
-        let lock_holders: Vec<(ObjectId, ActionId)> = s
-            .locks
-            .holders()
-            .filter(|(_, h)| !h.is_root())
-            .map(|(x, h)| (x, h.clone()))
-            .collect();
+        let lock_holders: Vec<(ObjectId, ActionId)> =
+            s.locks.holders().filter(|(_, h)| !h.is_root()).map(|(x, h)| (x, h.clone())).collect();
         for (x, h) in lock_holders {
             if s.aat.tree.is_committed(&h) {
                 out.push(TxEvent::ReleaseLock(h.clone(), x));
@@ -430,10 +429,8 @@ mod tests {
         // definition, and the lock table stays well-formed.
         let u = universe();
         let alg = LevelRw::new(u.clone());
-        let report = explore(
-            &alg,
-            &ExploreConfig { max_states: 500_000, max_depth: 0 },
-            |s: &RwState| {
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 500_000, max_depth: 0 }, |s: &RwState| {
                 s.locks.well_formed(&u)?;
                 if !s.aat.perm().is_rw_data_serializable(&u) {
                     return Err("perm not rw-data-serializable".into());
@@ -442,9 +439,8 @@ mod tests {
                     return Err("perm not serializable (brute force)".into());
                 }
                 Ok(())
-            },
-        )
-        .unwrap_or_else(|ce| panic!("{ce}"));
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
         assert!(!report.truncated, "raise bounds: {report:?}");
         assert!(report.states > 300, "read sharing should enlarge the space: {report:?}");
     }
@@ -473,11 +469,6 @@ mod tests {
         let r4 = explore(&l4, &cfg, |_| Ok(())).unwrap();
         let lrw = LevelRw::new(u);
         let rrw = explore(&lrw, &cfg, |_| Ok(())).unwrap();
-        assert!(
-            rrw.states > r4.states,
-            "rw {} should exceed exclusive {}",
-            rrw.states,
-            r4.states
-        );
+        assert!(rrw.states > r4.states, "rw {} should exceed exclusive {}", rrw.states, r4.states);
     }
 }

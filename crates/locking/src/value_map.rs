@@ -87,7 +87,8 @@ impl ValueMap {
         if let Some(entry) = stack.iter_mut().find(|(h, _)| *h == parent) {
             entry.1 = value;
         } else {
-            let at = stack.iter().position(|(h, _)| h.depth() > parent.depth()).unwrap_or(stack.len());
+            let at =
+                stack.iter().position(|(h, _)| h.depth() > parent.depth()).unwrap_or(stack.len());
             stack.insert(at, (parent, value));
         }
     }
@@ -193,10 +194,7 @@ mod tests {
         w.acquire(ObjectId(0), act![0, 1]);
         let v = eval(&w, &u);
         assert_eq!(v.principal(ObjectId(0)), w.principal(ObjectId(0)));
-        assert_eq!(
-            v.principal_value(ObjectId(0)),
-            w.principal_value(ObjectId(0), &u)
-        );
+        assert_eq!(v.principal_value(ObjectId(0)), w.principal_value(ObjectId(0), &u));
         // (5+1)*2 = 12.
         assert_eq!(v.principal_value(ObjectId(0)), Some(12));
         v.well_formed(&u).unwrap();

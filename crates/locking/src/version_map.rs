@@ -25,20 +25,14 @@ impl VersionMap {
     /// The initial map: `V(x, U)` = empty sequence for every declared
     /// object, undefined otherwise.
     pub fn initial(universe: &Universe) -> Self {
-        let map = universe
-            .objects()
-            .map(|o| (o.id, vec![(ActionId::root(), Vec::new())]))
-            .collect();
+        let map =
+            universe.objects().map(|o| (o.id, vec![(ActionId::root(), Vec::new())])).collect();
         VersionMap { map }
     }
 
     /// `V(x, A)`, if defined.
     pub fn get(&self, x: ObjectId, a: &ActionId) -> Option<&[ActionId]> {
-        self.map
-            .get(&x)?
-            .iter()
-            .find(|(h, _)| h == a)
-            .map(|(_, seq)| seq.as_slice())
+        self.map.get(&x)?.iter().find(|(h, _)| h == a).map(|(_, seq)| seq.as_slice())
     }
 
     /// True iff `V(x, A)` is defined.
@@ -53,9 +47,7 @@ impl VersionMap {
 
     /// All `(object, holder)` pairs with a defined entry.
     pub fn entries(&self) -> impl Iterator<Item = (ObjectId, &ActionId, &[ActionId])> + '_ {
-        self.map
-            .iter()
-            .flat_map(|(&x, v)| v.iter().map(move |(h, seq)| (x, h, seq.as_slice())))
+        self.map.iter().flat_map(|(&x, v)| v.iter().map(move |(h, seq)| (x, h, seq.as_slice())))
     }
 
     /// The *principal action* for `x`: the least (deepest) holder.
@@ -243,10 +235,7 @@ mod tests {
         // must extend it.
         v.release_to_parent(ObjectId(0), &act![0, 0]);
         v.acquire(ObjectId(0), act![0, 1]);
-        assert_eq!(
-            v.get(ObjectId(0), &act![0, 1]),
-            Some(&[act![0, 0, 0], act![0, 1]] as &[_])
-        );
+        assert_eq!(v.get(ObjectId(0), &act![0, 1]), Some(&[act![0, 0, 0], act![0, 1]] as &[_]));
         // (5 + 1) * 2.
         assert_eq!(v.principal_value(ObjectId(0), &u), Some(12));
         v.well_formed(&u).unwrap();

@@ -85,11 +85,7 @@ impl Aat {
         let Some(pos) = order.iter().position(|b| b == a) else {
             return Vec::new();
         };
-        order[..pos]
-            .iter()
-            .filter(|b| self.tree.is_visible_to(b, a))
-            .cloned()
-            .collect()
+        order[..pos].iter().filter(|b| self.tree.is_visible_to(b, a)).cloned().collect()
     }
 
     /// True iff the AAT is *version-compatible*: every datastep's label is
@@ -185,7 +181,8 @@ impl Aat {
             Gray,
             Black,
         }
-        let mut color: BTreeMap<&ActionId, Color> = adj.keys().map(|&k| (k, Color::White)).collect();
+        let mut color: BTreeMap<&ActionId, Color> =
+            adj.keys().map(|&k| (k, Color::White)).collect();
         let nodes: Vec<&ActionId> = adj.keys().copied().collect();
         for start in nodes {
             if color[start] != Color::White {
@@ -252,8 +249,7 @@ impl Aat {
         // B is live-in-T' iff every aborted ancestor of B is an ancestor
         // of A (those are the ones the counterfactual un-aborts).
         let live_counterfactually = |b: &ActionId| {
-            b.ancestors()
-                .all(|anc| !self.tree.is_aborted(&anc) || anc.is_ancestor_of(a))
+            b.ancestors().all(|anc| !self.tree.is_aborted(&anc) || anc.is_ancestor_of(a))
         };
         fold_updates(
             init,

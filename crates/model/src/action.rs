@@ -113,17 +113,14 @@ impl ActionId {
     /// Following the paper's definition of the `siblings` relation this is
     /// reflexive for non-root actions: `(A, A) ∈ siblings`.
     pub fn is_sibling_of(&self, other: &ActionId) -> bool {
-        !self.is_root() && !other.is_root() && self.0[..self.0.len() - 1] == other.0[..other.0.len() - 1]
+        !self.is_root()
+            && !other.is_root()
+            && self.0[..self.0.len() - 1] == other.0[..other.0.len() - 1]
     }
 
     /// `lca(A, B)`: the least common ancestor of `self` and `other`.
     pub fn lca(&self, other: &ActionId) -> ActionId {
-        let common = self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common = self.0.iter().zip(other.0.iter()).take_while(|(a, b)| a == b).count();
         ActionId(self.0[..common].to_vec())
     }
 

@@ -95,9 +95,6 @@ mod tests {
     fn display_forms() {
         assert_eq!(TxEvent::Create(act![0]).to_string(), "create(U.0)");
         assert_eq!(TxEvent::Perform(act![0, 1], 3).to_string(), "perform(U.0.1, 3)");
-        assert_eq!(
-            TxEvent::ReleaseLock(act![0], ObjectId(2)).to_string(),
-            "release-lock(U.0, x2)"
-        );
+        assert_eq!(TxEvent::ReleaseLock(act![0], ObjectId(2)).to_string(), "release-lock(U.0, x2)");
     }
 }

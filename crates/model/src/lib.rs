@@ -51,8 +51,8 @@
 
 #![warn(missing_docs)]
 
-mod action;
 mod aat;
+mod action;
 mod event;
 mod object;
 pub mod render;
@@ -61,8 +61,8 @@ mod summary;
 mod tree;
 mod universe;
 
-pub use action::ActionId;
 pub use aat::Aat;
+pub use action::ActionId;
 pub use event::TxEvent;
 pub use object::{fold_updates, ObjectId, ObjectSpec, UpdateFn, Value};
 pub use summary::ActionSummary;

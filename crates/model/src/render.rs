@@ -61,9 +61,9 @@ pub fn render_aat(aat: &Aat, universe: Option<&Universe>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::act;
     use crate::object::{ObjectId, UpdateFn};
     use crate::universe::UniverseBuilder;
-    use crate::act;
 
     #[test]
     fn renders_statuses_and_labels() {

@@ -147,10 +147,8 @@ mod tests {
     #[test]
     fn le_is_componentwise() {
         let small = ActionSummary::from_entries([(act![0], Status::Active)]);
-        let big = ActionSummary::from_entries([
-            (act![0], Status::Committed),
-            (act![1], Status::Aborted),
-        ]);
+        let big =
+            ActionSummary::from_entries([(act![0], Status::Committed), (act![1], Status::Aborted)]);
         assert!(small.le(&big));
         assert!(!big.le(&small));
         assert!(ActionSummary::trivial().le(&small));
@@ -173,8 +171,10 @@ mod tests {
 
     #[test]
     fn union_upper_bound_law() {
-        let a = ActionSummary::from_entries([(act![0], Status::Active), (act![2], Status::Aborted)]);
-        let b = ActionSummary::from_entries([(act![0], Status::Committed), (act![1], Status::Active)]);
+        let a =
+            ActionSummary::from_entries([(act![0], Status::Active), (act![2], Status::Aborted)]);
+        let b =
+            ActionSummary::from_entries([(act![0], Status::Committed), (act![1], Status::Active)]);
         let u = a.union(&b);
         assert!(a.le(&u));
         assert!(b.le(&u));

@@ -109,17 +109,20 @@ impl ActionTree {
     ///
     /// Uses the path-prefix ordering of [`ActionId`] to range-scan the
     /// vertex map rather than scanning all vertices.
-    pub fn children_in_tree<'a>(&'a self, a: &'a ActionId) -> impl Iterator<Item = &'a ActionId> + 'a {
+    pub fn children_in_tree<'a>(
+        &'a self,
+        a: &'a ActionId,
+    ) -> impl Iterator<Item = &'a ActionId> + 'a {
         let target_depth = a.depth() + 1;
         self.descendants_in_tree(a).filter(move |b| b.depth() == target_depth)
     }
 
     /// Activated descendants of `A` (including `A` itself if activated).
-    pub fn descendants_in_tree<'a>(&'a self, a: &'a ActionId) -> impl Iterator<Item = &'a ActionId> + 'a {
-        self.status
-            .range(a.clone()..)
-            .map(|(b, _)| b)
-            .take_while(move |b| a.is_ancestor_of(b))
+    pub fn descendants_in_tree<'a>(
+        &'a self,
+        a: &'a ActionId,
+    ) -> impl Iterator<Item = &'a ActionId> + 'a {
+        self.status.range(a.clone()..).map(|(b, _)| b).take_while(move |b| a.is_ancestor_of(b))
     }
 
     // ---- mutation (raw effects; preconditions live in the algebras) ----
@@ -179,7 +182,12 @@ impl ActionTree {
     }
 
     /// `visible_T(A, x)`: datasteps on `x` visible to `A`, in name order.
-    pub fn visible_datasteps(&self, a: &ActionId, x: ObjectId, universe: &Universe) -> Vec<ActionId> {
+    pub fn visible_datasteps(
+        &self,
+        a: &ActionId,
+        x: ObjectId,
+        universe: &Universe,
+    ) -> Vec<ActionId> {
         self.datasteps(universe)
             .filter(|b| universe.object_of(b) == Some(x) && self.is_visible_to(b, a))
             .collect()

@@ -46,7 +46,9 @@ impl std::fmt::Display for UniverseError {
             UniverseError::MissingParent(a) => write!(f, "action {a} declared without its parent"),
             UniverseError::RootIsAccess => write!(f, "the root U may not be an access"),
             UniverseError::AccessHasChildren(a) => write!(f, "access {a} has declared children"),
-            UniverseError::UnknownObject(a, x) => write!(f, "access {a} refers to undeclared object {x}"),
+            UniverseError::UnknownObject(a, x) => {
+                write!(f, "access {a} refers to undeclared object {x}")
+            }
             UniverseError::DuplicateAction(a) => write!(f, "action {a} declared twice"),
             UniverseError::DuplicateObject(x) => write!(f, "object {x} declared twice"),
         }

@@ -2,8 +2,10 @@
 //! and AATs are exchanged between the experiment harness and its JSON
 //! output, so shape stability matters.
 
-use rnt_model::{act, Aat, ActionId, ActionSummary, ObjectId, Status, TxEvent, Universe,
-    UniverseBuilder, UpdateFn};
+use rnt_model::{
+    act, Aat, ActionId, ActionSummary, ObjectId, Status, TxEvent, Universe, UniverseBuilder,
+    UpdateFn,
+};
 
 fn universe() -> Universe {
     UniverseBuilder::new()

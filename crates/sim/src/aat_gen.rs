@@ -38,10 +38,7 @@ pub fn random_aat(universe: &Universe, seed: u64, corrupt_prob: f64) -> Aat {
     }
     // Random data order per object over the committed accesses.
     for obj in universe.objects() {
-        let mut steps: Vec<ActionId> = aat
-            .tree
-            .datasteps_of(obj.id, universe)
-            .collect();
+        let mut steps: Vec<ActionId> = aat.tree.datasteps_of(obj.id, universe).collect();
         steps.shuffle(&mut rng);
         for a in steps {
             aat.append_datastep(obj.id, a);
@@ -56,16 +53,17 @@ pub fn random_aat(universe: &Universe, seed: u64, corrupt_prob: f64) -> Aat {
             let init = universe.init_of(x).expect("declared");
             let correct = rnt_model::fold_updates(
                 init,
-                aat.v_data(&a, universe)
-                    .iter()
-                    .map(|b| universe.update_of(b).expect("datastep")),
+                aat.v_data(&a, universe).iter().map(|b| universe.update_of(b).expect("datastep")),
             );
             (a, correct)
         })
         .collect();
     for (a, correct) in labelled {
-        let label =
-            if rng.gen_bool(corrupt_prob) { correct.wrapping_add(rng.gen_range(1..=5)) } else { correct };
+        let label = if rng.gen_bool(corrupt_prob) {
+            correct.wrapping_add(rng.gen_range(1..=5))
+        } else {
+            correct
+        };
         aat.tree.set_label(a, label);
     }
     aat
@@ -100,10 +98,7 @@ mod tests {
             let aat = random_aat(&u, seed.wrapping_mul(31), 0.3);
             let characterized = aat.is_data_serializable(&u);
             let brute = is_data_serializable_bruteforce(&aat, &u);
-            assert_eq!(
-                characterized, brute,
-                "Theorem 9 disagreement at seed {seed}: {aat:?}"
-            );
+            assert_eq!(characterized, brute, "Theorem 9 disagreement at seed {seed}: {aat:?}");
             if brute {
                 agree_ser += 1;
             } else {

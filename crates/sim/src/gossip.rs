@@ -123,10 +123,8 @@ pub fn run_gossip(alg: &Level5, config: &GossipConfig) -> (GossipReport, DistSta
                 let summary = state.nodes[i].summary.clone();
                 broadcast(&mut state, i, summary, &mut report);
             }
-            let still_stuck = !alg
-                .enabled(&state)
-                .iter()
-                .any(|e| matches!(e, DistEvent::Tx(..)) && alive(e));
+            let still_stuck =
+                !alg.enabled(&state).iter().any(|e| matches!(e, DistEvent::Tx(..)) && alive(e));
             if still_stuck {
                 report.quiescent = true;
                 return (report, state);
@@ -201,14 +199,14 @@ mod tests {
 
     #[test]
     fn all_policies_reach_quiescence() {
-        for policy in [
-            GossipPolicy::EagerFull,
-            GossipPolicy::DeltaOnChange,
-            GossipPolicy::Periodic(4),
-        ] {
+        for policy in
+            [GossipPolicy::EagerFull, GossipPolicy::DeltaOnChange, GossipPolicy::Periodic(4)]
+        {
             let alg = setup(3);
-            let (report, _) =
-                run_gossip(&alg, &GossipConfig { policy, seed: 5, max_steps: 100_000, crash: None });
+            let (report, _) = run_gossip(
+                &alg,
+                &GossipConfig { policy, seed: 5, max_steps: 100_000, crash: None },
+            );
             assert!(report.quiescent, "{policy:?} did not quiesce: {report:?}");
             assert!(report.tx_events > 0);
         }
@@ -219,12 +217,22 @@ mod tests {
         let alg = setup(3);
         let (eager, _) = run_gossip(
             &alg,
-            &GossipConfig { policy: GossipPolicy::EagerFull, seed: 5, max_steps: 100_000, crash: None },
+            &GossipConfig {
+                policy: GossipPolicy::EagerFull,
+                seed: 5,
+                max_steps: 100_000,
+                crash: None,
+            },
         );
         let alg = setup(3);
         let (delta, _) = run_gossip(
             &alg,
-            &GossipConfig { policy: GossipPolicy::DeltaOnChange, seed: 5, max_steps: 100_000, crash: None },
+            &GossipConfig {
+                policy: GossipPolicy::DeltaOnChange,
+                seed: 5,
+                max_steps: 100_000,
+                crash: None,
+            },
         );
         assert!(
             delta.entries_shipped < eager.entries_shipped,
@@ -237,7 +245,12 @@ mod tests {
         let alg = setup(1);
         let (report, _) = run_gossip(
             &alg,
-            &GossipConfig { policy: GossipPolicy::EagerFull, seed: 1, max_steps: 100_000, crash: None },
+            &GossipConfig {
+                policy: GossipPolicy::EagerFull,
+                seed: 1,
+                max_steps: 100_000,
+                crash: None,
+            },
         );
         assert_eq!(report.sends, 0);
         assert!(report.quiescent);
@@ -246,8 +259,7 @@ mod tests {
     #[test]
     fn crash_still_quiesces_and_reduces_progress() {
         let alg = setup(3);
-        let (healthy, _) =
-            run_gossip(&alg, &GossipConfig::new(GossipPolicy::EagerFull, 5));
+        let (healthy, _) = run_gossip(&alg, &GossipConfig::new(GossipPolicy::EagerFull, 5));
         let alg = setup(3);
         let (crashed, state) = run_gossip(
             &alg,
@@ -279,7 +291,12 @@ mod tests {
         let alg = setup(2);
         let (report, _) = run_gossip(
             &alg,
-            &GossipConfig { policy: GossipPolicy::EagerFull, seed: 2, max_steps: 100_000, crash: None },
+            &GossipConfig {
+                policy: GossipPolicy::EagerFull,
+                seed: 2,
+                max_steps: 100_000,
+                crash: None,
+            },
         );
         assert_eq!(report.sends, report.receives, "eager delivery is synchronous");
     }

@@ -64,9 +64,14 @@ pub struct InterleaveResult {
 enum Phase {
     Idle,
     /// In a top-level txn, about to start child `c`.
-    StartChild { c: u32 },
+    StartChild {
+        c: u32,
+    },
     /// Inside child `c`, `done` ops completed.
-    InChild { c: u32, done: u32 },
+    InChild {
+        c: u32,
+        done: u32,
+    },
     /// Finished all children, top-level commit pending.
     Finishing,
     Done,
@@ -83,11 +88,8 @@ struct Worker {
 /// Drive a full interleaved run against a fresh audited database; returns
 /// the database (for audit inspection) and counters.
 pub fn run_interleaved(config: &InterleaveConfig) -> (Db<u64, i64>, InterleaveResult) {
-    let db: Db<u64, i64> = Db::with_config(DbConfig {
-        policy: DeadlockPolicy::NoWait,
-        audit: true,
-        ..DbConfig::default()
-    });
+    let db: Db<u64, i64> =
+        Db::with_config(DbConfig::builder().policy(DeadlockPolicy::NoWait).audit(true).build());
     for k in 0..config.keys {
         db.insert(k, 0);
     }
@@ -122,7 +124,12 @@ pub fn run_interleaved(config: &InterleaveConfig) -> (Db<u64, i64>, InterleaveRe
 }
 
 /// Advance one worker by (at most) one engine operation.
-fn step(db: &Db<u64, i64>, config: &InterleaveConfig, w: &mut Worker, result: &mut InterleaveResult) {
+fn step(
+    db: &Db<u64, i64>,
+    config: &InterleaveConfig,
+    w: &mut Worker,
+    result: &mut InterleaveResult,
+) {
     match w.phase {
         Phase::Idle => {
             w.top = Some(db.begin());
@@ -187,8 +194,7 @@ fn step(db: &Db<u64, i64>, config: &InterleaveConfig, w: &mut Worker, result: &m
             if top.commit().is_ok() {
                 w.committed += 1;
             }
-            w.phase =
-                if w.committed >= config.txns_per_worker { Phase::Done } else { Phase::Idle };
+            w.phase = if w.committed >= config.txns_per_worker { Phase::Done } else { Phase::Idle };
         }
         Phase::Done => {}
     }
@@ -243,9 +249,7 @@ mod tests {
             };
             let (db, r) = run_interleaved(&cfg);
             let total: i64 = (0..cfg.keys).map(|k| db.committed_value(&k).unwrap()).sum();
-            let expected = r.committed as i64
-                * (cfg.children as i64)
-                * (cfg.ops_per_child as i64);
+            let expected = r.committed as i64 * (cfg.children as i64) * (cfg.ops_per_child as i64);
             assert_eq!(total, expected, "seed {seed}: lost or phantom increments");
         }
     }

@@ -116,10 +116,7 @@ pub enum ScriptOp {
 ///
 /// The script is normalized on the fly: ops at depth 0 other than `Begin`
 /// are skipped, and unclosed transactions are committed at the end.
-pub fn run_differential(
-    keys: u64,
-    script: &[ScriptOp],
-) -> Result<usize, String> {
+pub fn run_differential(keys: u64, script: &[ScriptOp]) -> Result<usize, String> {
     use rnt_core::Db;
     let db: Db<u64, i64> = Db::new();
     let mut reference = RefStore::new((0..keys).map(|k| (k, k as i64 * 10)));

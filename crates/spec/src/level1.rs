@@ -211,18 +211,15 @@ mod tests {
     #[test]
     fn exploration_preserves_c_by_construction() {
         let alg = Level1::new(universe());
-        let report = explore(
-            &alg,
-            &ExploreConfig { max_states: 30_000, max_depth: 0 },
-            |t: &ActionTree| {
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 30_000, max_depth: 0 }, |t: &ActionTree| {
                 if is_serializable_bruteforce(&t.perm(), &universe()) {
                     Ok(())
                 } else {
                     Err("C violated".into())
                 }
-            },
-        )
-        .unwrap_or_else(|ce| panic!("{ce}"));
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
         assert!(report.states > 100, "level 1 should branch: got {}", report.states);
     }
 

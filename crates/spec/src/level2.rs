@@ -11,7 +11,7 @@
 use crate::common;
 use crate::values::ValuePool;
 use rnt_algebra::Algebra;
-use rnt_model::{fold_updates, ActionId, Aat, TxEvent, Universe, Value};
+use rnt_model::{fold_updates, Aat, ActionId, TxEvent, Universe, Value};
 use std::sync::Arc;
 
 /// The level-2 abstract-locking algebra.
@@ -314,18 +314,15 @@ mod tests {
     fn theorem14_exhaustive_small() {
         let alg = Level2::new(universe());
         let u = universe();
-        let report = explore(
-            &alg,
-            &ExploreConfig { max_states: 200_000, max_depth: 0 },
-            |aat: &Aat| {
+        let report =
+            explore(&alg, &ExploreConfig { max_states: 200_000, max_depth: 0 }, |aat: &Aat| {
                 if aat.perm().is_data_serializable(&u) {
                     Ok(())
                 } else {
                     Err("theorem 14 violated: perm(T) not data-serializable".into())
                 }
-            },
-        )
-        .unwrap_or_else(|ce| panic!("{ce}"));
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
         assert!(!report.truncated, "universe too large for exhaustive check");
         assert!(report.states > 500, "expected a nontrivial state space");
     }

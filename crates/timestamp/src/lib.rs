@@ -136,9 +136,7 @@ impl LevelTo {
             s.aat
                 .data_order(x)
                 .iter()
-                .filter(|b| {
-                    s.ts_precedes(b, a) == Some(true) && s.aat.tree.is_visible_to(b, a)
-                })
+                .filter(|b| s.ts_precedes(b, a) == Some(true) && s.aat.tree.is_visible_to(b, a))
                 .map(|b| self.universe.update_of(b).expect("datastep is access")),
         )
     }
@@ -307,10 +305,7 @@ mod tests {
         // act1's access performs first; act0's earlier-timestamped access
         // then arrives too late.
         let s = to.apply(s, &TxEvent::Perform(act![1, 0], 1)).unwrap();
-        assert_eq!(
-            to.check_perform(&s, &act![0, 0], 1),
-            Err(Rejection::LateArrival)
-        );
+        assert_eq!(to.check_perform(&s, &act![0, 0], 1), Err(Rejection::LateArrival));
         // The late transaction aborts instead — no deadlock, no waiting.
         assert!(to.apply(&s, &TxEvent::Abort(act![0, 0])).is_some());
     }
@@ -350,10 +345,7 @@ mod tests {
         )
         .unwrap();
         let s = states.last().unwrap();
-        assert_eq!(
-            to.check_perform(s, &act![1, 0], 2),
-            Err(Rejection::EarlierNotVisible)
-        );
+        assert_eq!(to.check_perform(s, &act![1, 0], 2), Err(Rejection::EarlierNotVisible));
         let s = to.apply(s, &TxEvent::Commit(act![0])).unwrap();
         assert_eq!(to.check_perform(&s, &act![1, 0], 2), Ok(()));
     }
@@ -361,11 +353,8 @@ mod tests {
     #[test]
     fn wrong_value_rejected() {
         let to = LevelTo::new(universe());
-        let states = replay(
-            &to,
-            vec![TxEvent::Create(act![0]), TxEvent::Create(act![0, 0])],
-        )
-        .unwrap();
+        let states =
+            replay(&to, vec![TxEvent::Create(act![0]), TxEvent::Create(act![0, 0])]).unwrap();
         let s = states.last().unwrap();
         assert_eq!(to.check_perform(s, &act![0, 0], 7), Err(Rejection::WrongValue));
     }
@@ -374,18 +363,15 @@ mod tests {
     fn exhaustive_perm_data_serializable() {
         let u = universe();
         let to = LevelTo::new(u.clone());
-        let report = explore(
-            &to,
-            &ExploreConfig { max_states: 400_000, max_depth: 0 },
-            |s: &TsState| {
+        let report =
+            explore(&to, &ExploreConfig { max_states: 400_000, max_depth: 0 }, |s: &TsState| {
                 if s.aat.perm().is_data_serializable(&u) {
                     Ok(())
                 } else {
                     Err("perm not data-serializable under timestamp ordering".into())
                 }
-            },
-        )
-        .unwrap_or_else(|ce| panic!("{ce}"));
+            })
+            .unwrap_or_else(|ce| panic!("{ce}"));
         assert!(!report.truncated);
         assert!(report.states > 100);
     }
@@ -431,11 +417,7 @@ mod tests {
     #[test]
     fn timestamps_are_creation_order() {
         let to = LevelTo::new(universe());
-        let states = replay(
-            &to,
-            vec![TxEvent::Create(act![1]), TxEvent::Create(act![0])],
-        )
-        .unwrap();
+        let states = replay(&to, vec![TxEvent::Create(act![1]), TxEvent::Create(act![0])]).unwrap();
         let s = states.last().unwrap();
         // act1 was created first: it precedes act0 in pseudo-time even
         // though its name sorts later.

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use resilient_nt::core::{Db, DbConfig, DeadlockPolicy, TxnError};
+use resilient_nt::core::{Db, DbConfig, DeadlockPolicy, Txn, TxnError};
 
 const ACCOUNTS: u64 = 64;
 const INITIAL: i64 = 1_000;
@@ -21,11 +21,8 @@ const CLIENTS: usize = 8;
 const TRANSFERS_PER_CLIENT: u32 = 250;
 
 fn main() {
-    let db: Db<u64, i64> = Db::with_config(DbConfig {
-        policy: DeadlockPolicy::WaitDie,
-        audit: true,
-        ..DbConfig::default()
-    });
+    let db: Db<u64, i64> =
+        Db::with_config(DbConfig::builder().policy(DeadlockPolicy::WaitDie).audit(true).build());
     for account in 0..ACCOUNTS {
         db.insert(account, INITIAL);
     }
@@ -35,17 +32,18 @@ fn main() {
             let db = db.clone();
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(client as u64);
-                let mut done = 0;
-                while done < TRANSFERS_PER_CLIENT {
+                for _ in 0..TRANSFERS_PER_CLIENT {
                     let from = rng.gen_range(0..ACCOUNTS);
                     let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
                     let amount = rng.gen_range(1..50);
-                    let flaky = rng.gen_bool(0.15);
-                    match transfer(&db, from, to, amount, flaky) {
-                        Ok(()) => done += 1,
-                        Err(e) if e.is_retryable() => {} // retry whole transfer
-                        Err(e) => panic!("unexpected error: {e}"),
-                    }
+                    // `Db::run` owns the retry loop: wait-die victims and
+                    // simulated mid-transfer crashes abort the whole
+                    // subtree (undoing the committed debit!) and re-run.
+                    db.run(|txn| {
+                        let flaky = rng.gen_bool(0.15);
+                        transfer(txn, from, to, amount, flaky)
+                    })
+                    .expect("transfer retried to completion");
                 }
             });
         }
@@ -61,10 +59,7 @@ fn main() {
 
     // Invariant 2: the execution is serializable per the formal model.
     let (universe, aat) = db.audit_log().expect("audit on").reconstruct().expect("log ok");
-    assert!(
-        aat.perm().is_rw_data_serializable(&universe),
-        "execution not serializable!"
-    );
+    assert!(aat.perm().is_rw_data_serializable(&universe), "execution not serializable!");
     println!(
         "audited {} events; perm(T) passes the Theorem 9 serializability check",
         db.audit_log().unwrap().len()
@@ -76,33 +71,36 @@ fn main() {
     );
 }
 
-/// One transfer: debit and credit run as *separate subtransactions*; an
-/// injected fault after the debit aborts only the enclosing transaction's
-/// subtree, never corrupting the store.
-fn transfer(db: &Db<u64, i64>, from: u64, to: u64, amount: i64, flaky: bool) -> Result<(), TxnError> {
-    let txn = db.begin();
-
+/// One transfer attempt inside a [`Db::run`] transaction: debit and
+/// credit run as *separate subtransactions*; an injected fault after the
+/// debit surfaces as a retryable error, so `Db::run` aborts the whole
+/// subtree — undoing the already-committed debit — and re-runs, never
+/// corrupting the store.
+fn transfer(
+    txn: &Txn<u64, i64>,
+    from: u64,
+    to: u64,
+    amount: i64,
+    flaky: bool,
+) -> Result<(), TxnError> {
     let debit = txn.child()?;
     let balance = debit.read(&from)?;
     if balance < amount {
-        // Business-level failure: give up cleanly.
+        // Business-level failure: give up cleanly, writing nothing.
         debit.abort();
-        txn.abort();
-        return Ok(()); // counted as done; nothing changed
+        return Ok(());
     }
     debit.rmw(&from, |v| v - amount)?;
     debit.commit()?;
 
     if flaky {
-        // Simulated crash of the middle of the transfer: the top-level
-        // abort undoes the already-committed debit subtransaction.
-        txn.abort();
-        return Ok(());
+        // Simulated crash in the middle of the transfer: reported as
+        // retryable, so the engine rolls the debit back and retries.
+        return Err(TxnError::Die { blocker: txn.id() });
     }
 
     let credit = txn.child()?;
     credit.rmw(&to, |v| v + amount)?;
     credit.commit()?;
-
-    txn.commit()
+    Ok(())
 }

@@ -53,5 +53,14 @@ fn main() -> Result<(), TxnError> {
     assert_eq!(db.committed_value(&"checking"), Some(700));
     println!("dropped transaction rolled back automatically");
 
+    // Under contention, prefer `Db::run`: it retries the closure on
+    // retryable conflicts (deadlock victim, wait-die death, timeout)
+    // with capped seeded backoff, and commits on success. See
+    // examples/banking.rs for it under real multi-threaded contention.
+    let bonus = db.run(|txn| txn.rmw(&"savings", |v| v + 100))?;
+    assert_eq!(bonus, 5_300);
+    assert_eq!(db.committed_value(&"savings"), Some(5_400));
+    println!("db.run committed the bonus: savings = 5400");
+
     Ok(())
 }

@@ -148,15 +148,18 @@ tuple_strategies! {
     (A 0, B 1, C 2, D 3, E 4, F 5);
 }
 
+/// A weighted `(weight, draw)` arm of a [`OneOf`].
+pub type WeightedArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
 /// Weighted choice between boxed arms (output of [`prop_oneof!`]).
 pub struct OneOf<V> {
-    arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>,
+    arms: Vec<WeightedArm<V>>,
     total: u64,
 }
 
 impl<V> OneOf<V> {
     /// Build from `(weight, draw)` arms.
-    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut TestRng) -> V>)>) -> Self {
+    pub fn new(arms: Vec<WeightedArm<V>>) -> Self {
         let total = arms.iter().map(|(w, _)| *w as u64).sum();
         assert!(total > 0, "prop_oneof! requires positive total weight");
         OneOf { arms, total }
@@ -298,11 +301,7 @@ fn regressions_path(source_file: &str) -> Option<std::path::PathBuf> {
         return None;
     }
     let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
-    Some(
-        std::path::Path::new(&manifest)
-            .join("tests")
-            .join(format!("{stem}.proptest-regressions")),
-    )
+    Some(std::path::Path::new(&manifest).join("tests").join(format!("{stem}.proptest-regressions")))
 }
 
 /// Parse regression seeds: `cc <hex>` lines. Exactly 16 hex digits is a
@@ -314,8 +313,7 @@ fn regression_seeds(path: &std::path::Path) -> Vec<u64> {
     for line in text.lines() {
         let line = line.trim();
         let Some(rest) = line.strip_prefix("cc ") else { continue };
-        let hex: String =
-            rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
         if hex.is_empty() {
             continue;
         }
@@ -335,9 +333,7 @@ fn regression_seeds(path: &std::path::Path) -> Vec<u64> {
 fn persist_seed(path: &std::path::Path, seed: u64, detail: &str) {
     use std::io::Write;
     let header = !path.exists();
-    let Ok(mut file) =
-        std::fs::OpenOptions::new().create(true).append(true).open(path)
-    else {
+    let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
         return;
     };
     if header {
@@ -549,8 +545,8 @@ macro_rules! prop_assert_ne {
 /// The glob-import surface (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
-        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
     };
 
     /// Namespace matching upstream's `prop::` paths.

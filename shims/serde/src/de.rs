@@ -74,7 +74,10 @@ pub fn take_field<E: Error>(
 }
 
 /// Expect map-shaped content (derive helper).
-pub fn expect_map<E: Error>(content: Content, ty: &'static str) -> Result<Vec<(String, Content)>, E> {
+pub fn expect_map<E: Error>(
+    content: Content,
+    ty: &'static str,
+) -> Result<Vec<(String, Content)>, E> {
     match content {
         Content::Map(m) => Ok(m),
         other => Err(E::custom(format_args!("expected map for {ty}, got {}", other.kind()))),
@@ -99,7 +102,10 @@ pub fn expect_seq<E: Error>(
 /// Decompose enum content into `(variant-name, Option<payload>)`:
 /// a bare string is a unit variant, a single-entry map is a data variant
 /// (derive helper; serde's externally-tagged representation).
-pub fn enum_parts<E: Error>(content: Content, ty: &'static str) -> Result<(String, Option<Content>), E> {
+pub fn enum_parts<E: Error>(
+    content: Content,
+    ty: &'static str,
+) -> Result<(String, Option<Content>), E> {
     match content {
         Content::Str(name) => Ok((name, None)),
         Content::Map(mut m) if m.len() == 1 => {

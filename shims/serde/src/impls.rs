@@ -220,9 +220,7 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         use de::Error;
         match d.take_content()? {
-            Content::Seq(items) => {
-                items.into_iter().map(de::from_content::<T, D::Error>).collect()
-            }
+            Content::Seq(items) => items.into_iter().map(de::from_content::<T, D::Error>).collect(),
             other => Err(D::Error::custom(format_args!("expected sequence, got {}", other.kind()))),
         }
     }

@@ -166,8 +166,7 @@ fn derive_serialize_impl(name: &str, body: &Body) -> String {
         Body::UnitStruct => "serde::Content::Null".to_string(),
         Body::TupleStruct(1) => ser_field("&self.0"),
         Body::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|k| ser_field(&format!("&self.{k}"))).collect();
+            let items: Vec<String> = (0..*n).map(|k| ser_field(&format!("&self.{k}"))).collect();
             format!("serde::Content::Seq(vec![{}])", items.join(", "))
         }
         Body::NamedStruct(fields) => {
@@ -242,10 +241,7 @@ fn derive_deserialize_impl(name: &str, body: &Body) -> String {
         Body::UnitStruct => {
             format!("{{ deserializer.take_content()?; Ok({name}) }}")
         }
-        Body::TupleStruct(1) => format!(
-            "Ok({name}({}))",
-            de_field("deserializer.take_content()?")
-        ),
+        Body::TupleStruct(1) => format!("Ok({name}({}))", de_field("deserializer.take_content()?")),
         Body::TupleStruct(n) => {
             let items: Vec<String> =
                 (0..*n).map(|_| de_field("items.next().expect(\"length checked\")")).collect();
@@ -262,9 +258,7 @@ fn derive_deserialize_impl(name: &str, body: &Body) -> String {
                 .map(|f| {
                     format!(
                         "{f}: {}",
-                        de_field(&format!(
-                            "serde::de::take_field::<D::Error>(&mut map, \"{f}\")?"
-                        ))
+                        de_field(&format!("serde::de::take_field::<D::Error>(&mut map, \"{f}\")?"))
                     )
                 })
                 .collect();
@@ -276,20 +270,18 @@ fn derive_deserialize_impl(name: &str, body: &Body) -> String {
             )
         }
         Body::Enum(variants) => {
-            let need_payload = format!(
-                "payload.ok_or_else(|| <D::Error as serde::de::Error>::custom(\
+            let need_payload = "payload.ok_or_else(|| <D::Error as serde::de::Error>::custom(\
                  \"missing data for enum variant\"))?"
-            );
+                .to_string();
             let arms: Vec<String> = variants
                 .iter()
                 .map(|v| {
                     let vn = &v.name;
                     match &v.kind {
                         VariantKind::Unit => format!("\"{vn}\" => Ok({name}::{vn}),"),
-                        VariantKind::Tuple(1) => format!(
-                            "\"{vn}\" => Ok({name}::{vn}({})),",
-                            de_field(&need_payload)
-                        ),
+                        VariantKind::Tuple(1) => {
+                            format!("\"{vn}\" => Ok({name}::{vn}({})),", de_field(&need_payload))
+                        }
                         VariantKind::Tuple(n) => {
                             let items: Vec<String> = (0..*n)
                                 .map(|_| de_field("items.next().expect(\"length checked\")"))

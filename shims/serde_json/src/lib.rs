@@ -201,8 +201,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -341,7 +340,7 @@ mod tests {
         assert_eq!(to_string(&42i64).unwrap(), "42");
         assert_eq!(from_str::<i64>("42").unwrap(), 42);
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
         assert_eq!(from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
     }

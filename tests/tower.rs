@@ -84,7 +84,7 @@ fn engine_executions_satisfy_the_formal_condition() {
     // The headline integration: a concurrent run of the production engine,
     // reconstructed as an AAT, passes the model's serializability check.
     for policy in [DeadlockPolicy::Detect, DeadlockPolicy::WaitDie, DeadlockPolicy::NoWait] {
-        let db = seeded_db(DbConfig { audit: true, policy, ..DbConfig::default() }, 24);
+        let db = seeded_db(DbConfig::builder().audit(true).policy(policy).build(), 24);
         let w = Workload {
             threads: 6,
             txns_per_thread: 30,
@@ -96,6 +96,7 @@ fn engine_executions_satisfy_the_formal_condition() {
             abort_prob: 0.15,
             exclusive_reads: false,
             op_abort_prob: 0.0,
+            sorted_ops: false,
             seed: 7,
         };
         run_workload(&db, &w);
