@@ -1,0 +1,63 @@
+//! Durability and crash-recovery benchmark.
+//!
+//! Usage: `recovery_bench [--smoke] [--out PATH]`
+//!
+//! Measures commit latency across durability modes (none / wal /
+//! wal-fsync) on real files and recovery time against log size with and
+//! without checkpoint truncation, then writes the JSON report (default
+//! `BENCH_recovery.json`). `--smoke` runs a reduced grid for CI; the
+//! committed baseline is produced by a full run.
+
+use rnt_bench::recovery_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| mode | txns | mean commit µs | p99 µs | commits/s | appends | fsyncs |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.commit_latency {
+        println!(
+            "| {} | {} | {:.1} | {:.1} | {:.0} | {} | {} |",
+            r.mode,
+            r.txns,
+            r.mean_commit_micros,
+            r.p99_commit_micros,
+            r.commits_per_sec,
+            r.wal_appends,
+            r.wal_fsyncs
+        );
+    }
+    println!();
+    println!("| txns | checkpointed | records | bytes | recover ms | actions |");
+    println!("|---|---|---|---|---|---|");
+    for r in &report.recovery {
+        println!(
+            "| {} | {} | {} | {} | {:.2} | {} |",
+            r.txns,
+            r.checkpointed,
+            r.log_records,
+            r.log_bytes,
+            r.recover_millis,
+            r.recovered_actions
+        );
+    }
+    println!();
+    println!("fsync cost (mean commit, wal-fsync / none): {:.1}x", report.fsync_cost_ratio);
+    println!(
+        "checkpoint recovery speedup at largest history: {:.1}x",
+        report.checkpoint_recovery_speedup
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.commit_latency.len() + report.recovery.len());
+}

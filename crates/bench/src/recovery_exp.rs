@@ -1,0 +1,197 @@
+//! E12: durability cost and recovery speed.
+//!
+//! Two questions the WAL must answer with numbers:
+//!
+//! 1. **What does durability cost at commit time?** Commit latency across
+//!    [`Durability::None`] / [`Durability::Wal`] / [`Durability::WalFsync`]
+//!    on real files — the fsync-per-top-level-commit mode is the paper's
+//!    Lemma-7 durability point made literal, and its latency is the price
+//!    of acking only after the commit record is on disk.
+//! 2. **How fast is recovery, and what does checkpointing buy?** Replay
+//!    time as the log grows, with and without periodic checkpoint
+//!    truncation.
+//!
+//! The `recovery_bench` binary renders the result as
+//! `BENCH_recovery.json`, the committed baseline for the recovery path.
+
+use rnt_core::{Db, DbConfig, Durability};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One commit-latency cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct CommitLatencyRow {
+    /// Durability mode: "none", "wal", or "wal-fsync".
+    pub mode: String,
+    /// Top-level transactions committed.
+    pub txns: u64,
+    /// Mean commit latency in microseconds.
+    pub mean_commit_micros: f64,
+    /// 99th-percentile commit latency in microseconds.
+    pub p99_commit_micros: f64,
+    /// Committed top-level transactions per second (whole run).
+    pub commits_per_sec: f64,
+    /// WAL records appended over the run.
+    pub wal_appends: u64,
+    /// Fsyncs issued (one per top-level commit in wal-fsync mode, else 0).
+    pub wal_fsyncs: u64,
+}
+
+/// One recovery-time cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryRow {
+    /// Top-level transactions in the logged history.
+    pub txns: u64,
+    /// Whether periodic checkpoint truncation ran during the history.
+    pub checkpointed: bool,
+    /// Whole records in the log at crash time.
+    pub log_records: usize,
+    /// Log size in bytes at crash time.
+    pub log_bytes: usize,
+    /// Wall-clock recovery time in milliseconds.
+    pub recover_millis: f64,
+    /// Actions the engine reconstructed (replayed `Begin` records).
+    pub recovered_actions: u64,
+}
+
+/// The full recovery benchmark report (`BENCH_recovery.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryBenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// Commit-latency sweep across durability modes.
+    pub commit_latency: Vec<CommitLatencyRow>,
+    /// Recovery-time sweep across log sizes.
+    pub recovery: Vec<RecoveryRow>,
+    /// fsync-mode mean commit latency over no-log mean commit latency.
+    pub fsync_cost_ratio: f64,
+    /// Largest unchkpointed log's recovery time over its checkpointed
+    /// twin's — what truncation buys at the biggest measured history.
+    pub checkpoint_recovery_speedup: f64,
+}
+
+const KEYS: u64 = 256;
+
+fn tmp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rnt-recovery-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench tmp dir");
+    dir.join(format!("{tag}.wal")).to_str().expect("utf8 path").to_string()
+}
+
+fn config(durability: Durability, checkpoint_every: u64) -> DbConfig {
+    DbConfig::builder().durability(durability).checkpoint_every(checkpoint_every).build()
+}
+
+/// One top-level transaction: a committed child rmw plus a top rmw, so
+/// every commit exercises lock inheritance and logs 4 records.
+fn one_txn(db: &Db<u64, i64>, i: u64) -> Duration {
+    let t = db.begin();
+    let c = t.child().expect("child");
+    c.rmw(&(i % KEYS), |v| v + 1).expect("rmw");
+    c.commit().expect("child commit");
+    t.rmw(&((i + 7) % KEYS), |v| v + 1).expect("rmw");
+    let start = Instant::now();
+    t.commit().expect("top commit");
+    start.elapsed()
+}
+
+fn commit_latency(mode: Durability, label: &str, txns: u64) -> CommitLatencyRow {
+    let path = tmp_path(label);
+    let _ = std::fs::remove_file(&path);
+    let db: Db<u64, i64> = Db::open(&path, config(mode, 0)).expect("open");
+    for k in 0..KEYS {
+        db.insert(k, 0);
+    }
+    let mut commit_times: Vec<Duration> = Vec::with_capacity(txns as usize);
+    let run_start = Instant::now();
+    for i in 0..txns {
+        commit_times.push(one_txn(&db, i));
+    }
+    let total = run_start.elapsed();
+    commit_times.sort();
+    let mean =
+        commit_times.iter().map(|d| d.as_secs_f64()).sum::<f64>() / commit_times.len() as f64;
+    let p99 = commit_times[(commit_times.len() * 99 / 100).min(commit_times.len() - 1)];
+    let stats = db.stats();
+    let _ = std::fs::remove_file(&path);
+    CommitLatencyRow {
+        mode: label.to_string(),
+        txns,
+        mean_commit_micros: mean * 1e6,
+        p99_commit_micros: p99.as_secs_f64() * 1e6,
+        commits_per_sec: txns as f64 / total.as_secs_f64(),
+        wal_appends: stats.wal_appends,
+        wal_fsyncs: stats.wal_fsyncs,
+    }
+}
+
+fn recovery_time(txns: u64, checkpoint_every: u64) -> RecoveryRow {
+    let tag = format!("recover-{txns}-{checkpoint_every}");
+    let path = tmp_path(&tag);
+    let _ = std::fs::remove_file(&path);
+    {
+        let db: Db<u64, i64> =
+            Db::open(&path, config(Durability::Wal, checkpoint_every)).expect("open");
+        for k in 0..KEYS {
+            db.insert(k, 0);
+        }
+        for i in 0..txns {
+            one_txn(&db, i);
+        }
+        // The db is dropped without fanfare: the log is the crash image.
+    }
+    let bytes = std::fs::read(&path).expect("log exists");
+    let log_records = rnt_wal::faults::record_count(&bytes);
+    let start = Instant::now();
+    let recovered: Db<u64, i64> =
+        Db::recover(&path, config(Durability::Wal, checkpoint_every)).expect("recover");
+    let recover_millis = start.elapsed().as_secs_f64() * 1e3;
+    let recovered_actions = recovered.stats().recovered_actions;
+    let _ = std::fs::remove_file(&path);
+    RecoveryRow {
+        txns,
+        checkpointed: checkpoint_every != 0,
+        log_records,
+        log_bytes: bytes.len(),
+        recover_millis,
+        recovered_actions,
+    }
+}
+
+/// Run the full (or `--smoke`) recovery benchmark grid.
+pub fn run_bench(smoke: bool) -> RecoveryBenchReport {
+    let latency_txns: u64 = if smoke { 300 } else { 3000 };
+    let commit_latency: Vec<CommitLatencyRow> = vec![
+        commit_latency(Durability::None, "none", latency_txns),
+        commit_latency(Durability::Wal, "wal", latency_txns),
+        commit_latency(Durability::WalFsync, "wal-fsync", latency_txns),
+    ];
+
+    let sizes: &[u64] = if smoke { &[100, 500] } else { &[500, 2500, 10_000] };
+    let mut recovery = Vec::new();
+    for &txns in sizes {
+        recovery.push(recovery_time(txns, 0));
+        // Checkpoint every ~5% of the history. The +3 keeps the cadence
+        // off the history length's divisors so the log ends mid-interval
+        // with a realistic suffix, not freshly truncated.
+        recovery.push(recovery_time(txns, txns / 20 + 3));
+    }
+
+    let none_mean = commit_latency[0].mean_commit_micros;
+    let fsync_mean = commit_latency[2].mean_commit_micros;
+    let last_pair = &recovery[recovery.len() - 2..];
+    RecoveryBenchReport {
+        schema: "rnt-bench/recovery/v1".to_string(),
+        smoke,
+        fsync_cost_ratio: if none_mean > 0.0 { fsync_mean / none_mean } else { 0.0 },
+        checkpoint_recovery_speedup: if last_pair[1].recover_millis > 0.0 {
+            last_pair[0].recover_millis / last_pair[1].recover_millis
+        } else {
+            0.0
+        },
+        commit_latency,
+        recovery,
+    }
+}

@@ -14,11 +14,14 @@
 //! faults that flip the winner of lock races on the sharded lock table.
 
 use crate::oracle;
+use crate::recovery;
 use crate::schedule::{FaultEvent, FaultKind, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnt_core::chaos::{AccessFault, Injector};
-use rnt_core::{Db, DbConfig, DeadlockPolicy, Txn, TxnError, TxnId};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability, Txn, TxnError, TxnId};
+use rnt_wal::faults::record_count;
+use rnt_wal::MemVfs;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -47,6 +50,12 @@ pub struct ChaosConfig {
     pub max_steps: usize,
     /// Run the oracle after every applied fault (always at quiescence).
     pub check_after_each_fault: bool,
+    /// Run against a write-ahead-logged database (an in-memory [`MemVfs`]
+    /// file at [`recovery::WAL_PATH`]). Enables
+    /// [`FaultKind::CrashAfterRecord`] and adds the post-run recovery
+    /// oracle: whatever bytes the (possibly crashed) log holds at the end
+    /// must recover to the reference interpreter's committed state.
+    pub wal: bool,
 }
 
 impl Default for ChaosConfig {
@@ -62,6 +71,7 @@ impl Default for ChaosConfig {
             faults: 4,
             max_steps: 10_000,
             check_after_each_fault: true,
+            wal: false,
         }
     }
 }
@@ -70,6 +80,12 @@ impl ChaosConfig {
     /// A config differing from default only in its seed.
     pub fn seeded(seed: u64) -> Self {
         ChaosConfig { seed, ..ChaosConfig::default() }
+    }
+
+    /// [`ChaosConfig::seeded`] with the write-ahead log and the post-run
+    /// recovery oracle enabled.
+    pub fn seeded_wal(seed: u64) -> Self {
+        ChaosConfig { wal: true, ..ChaosConfig::seeded(seed) }
     }
 
     /// The deadlock policy this seed runs under: both are non-blocking, so
@@ -122,6 +138,9 @@ pub struct ChaosReport {
     /// Order-sensitive hash of the audit log and fault trace: equal
     /// fingerprints ⇔ identical schedules.
     pub fingerprint: u64,
+    /// Whole WAL records on (simulated) disk at the end of a WAL-backed
+    /// run — after any injected crash cut (0 for in-memory runs).
+    pub wal_records: usize,
     /// `Ok(())` iff every oracle check passed.
     pub verdict: Result<(), ChaosFailure>,
 }
@@ -302,6 +321,7 @@ fn apply_fault(
     db: &Db<u64, i64>,
     injector: &ChaosInjector,
     workers: &mut [Worker],
+    vfs: Option<&Arc<MemVfs>>,
 ) -> Option<String> {
     let n = workers.len();
     match &fault.kind {
@@ -353,6 +373,15 @@ fn apply_fault(
             injector.arm_fail_child(id);
             Some(format!("begin-child-fail armed for {id:?}"))
         }
+        FaultKind::CrashAfterRecord { record } => {
+            let vfs = vfs?;
+            if vfs.crashed() {
+                return None; // the machine only dies once
+            }
+            let on_disk = record_count(&vfs.snapshot(recovery::WAL_PATH)) as u64;
+            vfs.arm_crash(record.saturating_sub(on_disk), 0);
+            Some(format!("crash-after-record {record} armed ({on_disk} already on disk)"))
+        }
     }
 }
 
@@ -391,13 +420,20 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
 /// Run a chaos workload with an explicit fault plan (the shrinker's entry
 /// point; [`run`] is `run_with_plan` with the seed-derived plan).
 pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
-    let db: Db<u64, i64> = Db::with_config(
-        DbConfig::builder()
-            .policy(config.policy())
-            .lock_timeout(Duration::ZERO)
-            .audit(true)
-            .build(),
-    );
+    let db_config = DbConfig::builder()
+        .policy(config.policy())
+        .lock_timeout(Duration::ZERO)
+        .audit(true)
+        .durability(if config.wal { Durability::Wal } else { Durability::None })
+        .build();
+    let (vfs, db): (Option<Arc<MemVfs>>, Db<u64, i64>) = if config.wal {
+        let vfs = Arc::new(MemVfs::new());
+        let db = Db::open_with_vfs(vfs.clone(), recovery::WAL_PATH, db_config)
+            .expect("a fresh MemVfs log cannot fail to open");
+        (Some(vfs), db)
+    } else {
+        (None, Db::with_config(db_config))
+    };
     for k in 0..config.keys.max(1) {
         db.insert(k, k as i64 * 100);
     }
@@ -418,7 +454,7 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         while next_fault < plan.faults.len() && plan.faults[next_fault].at_step <= step {
             let fault = &plan.faults[next_fault];
             next_fault += 1;
-            if let Some(desc) = apply_fault(fault, &db, &injector, &mut workers) {
+            if let Some(desc) = apply_fault(fault, &db, &injector, &mut workers, vfs.as_ref()) {
                 applied.push(format!("step {step}: {desc}"));
                 if config.check_after_each_fault {
                     if let Err(detail) = oracle::check(&db) {
@@ -448,6 +484,18 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
             verdict = Err(ChaosFailure { step, detail });
         }
     }
+    let mut wal_records = 0;
+    if let Some(vfs) = &vfs {
+        let bytes = vfs.snapshot(recovery::WAL_PATH);
+        wal_records = record_count(&bytes);
+        if verdict.is_ok() {
+            // Whatever reached the (possibly crash-cut) disk must recover
+            // to the reference interpreter's committed state.
+            if let Err(detail) = recovery::check_crash_recovery(&bytes) {
+                verdict = Err(ChaosFailure { step, detail: format!("recovery oracle: {detail}") });
+            }
+        }
+    }
 
     let stats = db.stats();
     ChaosReport {
@@ -458,6 +506,7 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         aborts: stats.aborted,
         audit_records: db.audit_log().map(|l| l.len()).unwrap_or(0),
         fingerprint: fingerprint(&db, &applied),
+        wal_records,
         verdict,
     }
 }

@@ -28,6 +28,14 @@
 //! schedule with [`shrink::shrink_failing_run`]. The [`dist`] module runs
 //! the same idea over the level-5 distributed state machine.
 //!
+//! WAL-backed runs ([`ChaosConfig::wal`]) add machine crashes to the fault
+//! model: [`FaultKind::CrashAfterRecord`] tears the write-ahead log at a
+//! chosen record boundary, and the [`recovery`] module's oracle then
+//! demands that recovering the surviving prefix reproduces exactly the
+//! committed state an independent reference interpreter computes from the
+//! same records — with in-flight and uncommitted effects absent, lock
+//! invariants intact, and `recover ∘ recover ≡ recover`.
+//!
 //! Reproduce a failure:
 //!
 //! ```text
@@ -39,10 +47,12 @@
 pub mod dist;
 pub mod driver;
 pub mod oracle;
+pub mod recovery;
 pub mod schedule;
 pub mod shrink;
 
 pub use dist::{run_dist_chaos, DistChaosConfig, DistChaosReport};
 pub use driver::{run, run_with_plan, ChaosConfig, ChaosFailure, ChaosInjector, ChaosReport};
+pub use recovery::{check_crash_recovery, reference_committed, RecoveryReport};
 pub use schedule::{FaultEvent, FaultKind, FaultPlan};
 pub use shrink::{shrink_failing_run, shrink_plan};

@@ -1,0 +1,252 @@
+//! The crash-recovery oracle: an independent reference interpreter over
+//! raw WAL records, plus the end-to-end checks every crash point must
+//! pass.
+//!
+//! The engine's own replay ([`rnt_core::Db::recover`]) reuses the engine's
+//! lock and registry machinery, so a bug shared by the forward path and
+//! replay would cancel out there. This module interprets the *raw record
+//! stream* with none of that machinery — a dozen lines of
+//! merge-on-commit / discard-on-abort over plain maps — and demands the
+//! recovered database agree with it. [`check_crash_recovery`] bundles the
+//! full post-crash obligation:
+//!
+//! 1. **Differential**: the recovered committed state equals the reference
+//!    interpreter's, key by key;
+//! 2. **Prefix soundness**: uncommitted and in-flight writes are absent
+//!    (the reference only applies effects whose top-level `Commit` record
+//!    survived the cut — Lemma 7's `perm` boundary);
+//! 3. **Lock invariants**: the recovered engine passes the chaos lock
+//!    oracle (no dead holders, write stacks are ancestor chains, lock
+//!    tables drain at quiescence);
+//! 4. **Accounting**: `recovered_actions` equals the `Begin` records in
+//!    the surviving prefix;
+//! 5. **Idempotence**: recovering the recovered log changes nothing —
+//!    `recover ∘ recover ≡ recover`, byte-for-byte.
+
+use crate::oracle;
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability};
+use rnt_wal::{scan, MemVfs, Record, Tail, WalCodec, INIT_ACTION};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The log path WAL-backed chaos runs write to (inside a [`MemVfs`]).
+pub const WAL_PATH: &str = "chaos.wal";
+
+/// What a successful [`check_crash_recovery`] saw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whole records in the surviving prefix.
+    pub records: usize,
+    /// Whether the prefix ended in a torn (partially written) record.
+    pub torn: bool,
+    /// Actions the engine reconstructed (`Begin` records replayed).
+    pub recovered_actions: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RefStatus {
+    Active,
+    Committed,
+    Aborted,
+}
+
+fn dec_u64(bytes: &[u8], what: &str) -> Result<u64, String> {
+    <u64 as WalCodec>::decode(bytes).ok_or_else(|| format!("undecodable {what}"))
+}
+
+fn dec_i64(bytes: &[u8], what: &str) -> Result<i64, String> {
+    <i64 as WalCodec>::decode(bytes).ok_or_else(|| format!("undecodable {what}"))
+}
+
+/// Interpret a record stream with plain maps: per-action pending write
+/// sets, merged into the parent on commit, discarded on abort, applied to
+/// the base only by a *top-level* commit. Returns the committed state —
+/// what a crash immediately after the last record must preserve, and
+/// nothing more.
+pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, String> {
+    let mut base: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut parent: HashMap<u64, Option<u64>> = HashMap::new();
+    let mut status: HashMap<u64, RefStatus> = HashMap::new();
+    let mut pending: HashMap<u64, BTreeMap<u64, i64>> = HashMap::new();
+    for (i, record) in records.iter().enumerate() {
+        match record {
+            Record::Checkpoint { snapshot } => {
+                if i != 0 {
+                    return Err(format!("checkpoint at record {i}, not at log start"));
+                }
+                for (kb, vb) in snapshot {
+                    base.insert(dec_u64(kb, "checkpoint key")?, dec_i64(vb, "checkpoint value")?);
+                }
+            }
+            Record::Write { action, key, version } if *action == INIT_ACTION => {
+                base.insert(dec_u64(key, "init key")?, dec_i64(version, "init value")?);
+            }
+            Record::Begin { action, parent: p } => {
+                parent.insert(*action, *p);
+                status.insert(*action, RefStatus::Active);
+                pending.insert(*action, BTreeMap::new());
+            }
+            Record::Write { action, key, version } => {
+                if status.get(action) != Some(&RefStatus::Active) {
+                    return Err(format!("record {i}: write by a non-active action {action}"));
+                }
+                pending
+                    .entry(*action)
+                    .or_default()
+                    .insert(dec_u64(key, "key")?, dec_i64(version, "value")?);
+            }
+            Record::Commit { action } => {
+                match status.get(action) {
+                    None => continue, // pruned by a checkpoint: no effect left
+                    Some(RefStatus::Active) => {}
+                    Some(_) => return Err(format!("record {i}: double finish of {action}")),
+                }
+                status.insert(*action, RefStatus::Committed);
+                let effects = pending.remove(action).unwrap_or_default();
+                match parent.get(action).copied().flatten() {
+                    // A subtransaction's effects move up one level; if that
+                    // parent is already dead this is a dead-end entry that
+                    // can never commit again — exactly an orphan's fate.
+                    Some(p) => pending.entry(p).or_default().extend(effects),
+                    // Only a top-level commit reaches the permanent base.
+                    None => base.extend(effects),
+                }
+            }
+            Record::Abort { action } => {
+                match status.get(action) {
+                    None => continue, // pruned by a checkpoint
+                    Some(RefStatus::Active) => {}
+                    Some(_) => return Err(format!("record {i}: double finish of {action}")),
+                }
+                status.insert(*action, RefStatus::Aborted);
+                pending.remove(action);
+            }
+        }
+    }
+    // End of stream: every still-pending write set belonged to an action
+    // in flight at the crash and simply never happened.
+    Ok(base)
+}
+
+fn recovery_config() -> DbConfig {
+    DbConfig::builder()
+        .policy(DeadlockPolicy::NoWait)
+        .audit(true)
+        .durability(Durability::Wal)
+        .build()
+}
+
+fn recover_from(bytes: &[u8]) -> Result<(Arc<MemVfs>, Db<u64, i64>), String> {
+    let vfs = Arc::new(MemVfs::new());
+    vfs.install(WAL_PATH, bytes.to_vec());
+    let db = Db::recover_with_vfs(vfs.clone(), WAL_PATH, recovery_config())
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    Ok((vfs, db))
+}
+
+/// Run the full recovery oracle against the raw bytes a crash left behind
+/// (any prefix of a live log, torn or clean). See the module docs for the
+/// five obligations checked.
+pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
+    let (records, tail) = scan(bytes).map_err(|e| format!("scan: {e}"))?;
+    let expected = reference_committed(&records)?;
+    let begins = records.iter().filter(|r| matches!(r, Record::Begin { .. })).count() as u64;
+
+    let (vfs, db) = recover_from(bytes)?;
+    for (k, v) in &expected {
+        let got = db.committed_value(k);
+        if got != Some(*v) {
+            return Err(format!(
+                "recovered state diverges from reference at key {k}: engine {got:?}, \
+                 reference {v}"
+            ));
+        }
+    }
+    oracle::check(&db).map_err(|e| format!("post-recovery oracle: {e}"))?;
+    let recovered_actions = db.stats().recovered_actions;
+    if recovered_actions != begins {
+        return Err(format!(
+            "recovered_actions miscounts: stat {recovered_actions}, {begins} begin record(s)"
+        ));
+    }
+
+    // recover ∘ recover ≡ recover: the checkpointed log recovers to the
+    // same state and rewrites to the same bytes.
+    let after_first = vfs.snapshot(WAL_PATH);
+    let (vfs2, db2) = recover_from(&after_first)?;
+    for (k, v) in &expected {
+        if db2.committed_value(k) != Some(*v) {
+            return Err(format!("second recovery diverges at key {k}"));
+        }
+    }
+    if vfs2.snapshot(WAL_PATH) != after_first {
+        return Err("second recovery rewrote a different log: recovery is not idempotent".into());
+    }
+
+    Ok(RecoveryReport {
+        records: records.len(),
+        torn: matches!(tail, Tail::Torn(_)),
+        recovered_actions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_applies_only_top_level_commits() {
+        let records = vec![
+            Record::Write { action: INIT_ACTION, key: enc(0), version: enc_v(10) },
+            Record::Begin { action: 1, parent: None },
+            Record::Begin { action: 2, parent: Some(1) },
+            Record::Write { action: 2, key: enc(0), version: enc_v(99) },
+            Record::Commit { action: 2 },
+        ];
+        // Child committed but the top level is in flight: base unchanged.
+        let base = reference_committed(&records).unwrap();
+        assert_eq!(base.get(&0), Some(&10));
+        let mut done = records.clone();
+        done.push(Record::Commit { action: 1 });
+        let base = reference_committed(&done).unwrap();
+        assert_eq!(base.get(&0), Some(&99));
+    }
+
+    #[test]
+    fn reference_discards_aborted_subtrees() {
+        let records = vec![
+            Record::Write { action: INIT_ACTION, key: enc(0), version: enc_v(10) },
+            Record::Begin { action: 1, parent: None },
+            Record::Begin { action: 2, parent: Some(1) },
+            Record::Write { action: 2, key: enc(0), version: enc_v(99) },
+            Record::Abort { action: 2 },
+            Record::Commit { action: 1 },
+        ];
+        let base = reference_committed(&records).unwrap();
+        assert_eq!(base.get(&0), Some(&10));
+    }
+
+    #[test]
+    fn oracle_passes_on_a_live_log() {
+        let vfs = Arc::new(MemVfs::new());
+        let db: Db<u64, i64> = Db::open_with_vfs(vfs.clone(), WAL_PATH, recovery_config()).unwrap();
+        db.insert(0, 5);
+        let t = db.begin();
+        t.rmw(&0, |v| v * 2).unwrap();
+        t.commit().unwrap();
+        let hang = db.begin();
+        hang.rmw(&0, |v| v + 1).unwrap(); // in flight at the "crash"
+        let report = check_crash_recovery(&vfs.snapshot(WAL_PATH)).unwrap();
+        assert_eq!(report.recovered_actions, 2);
+        assert!(!report.torn);
+        drop(hang);
+    }
+
+    fn enc(k: u64) -> Vec<u8> {
+        rnt_wal::encode_to_vec(&k)
+    }
+
+    fn enc_v(v: i64) -> Vec<u8> {
+        rnt_wal::encode_to_vec(&v)
+    }
+}

@@ -46,6 +46,18 @@ pub enum FaultKind {
         /// Target worker index.
         worker: usize,
     },
+    /// Simulated machine crash at a write-ahead-log record boundary: once
+    /// `record` whole records have reached the (simulated) disk, the next
+    /// append tears and every later write is lost, while the in-memory run
+    /// continues oblivious. Only fires in WAL-backed runs
+    /// ([`crate::ChaosConfig::wal`]); the post-run recovery oracle then
+    /// recovers from the surviving prefix and checks it against the
+    /// reference interpreter. Not produced by [`FaultPlan::generate`] —
+    /// crash points are swept or sampled explicitly by the recovery suites.
+    CrashAfterRecord {
+        /// Number of whole records that survive on disk.
+        record: u64,
+    },
 }
 
 /// A fault scheduled at a driver step.

@@ -1,0 +1,180 @@
+//! The crash-point matrix: a scripted 3-deep nested workload is run
+//! against a WAL-backed engine, then the log is cut at *every* record
+//! boundary — and, separately, at every byte offset — and each prefix
+//! must pass the full recovery oracle (differential vs the reference
+//! interpreter, lock invariants, accounting, idempotence).
+//!
+//! The record-boundary sweep models a clean crash between two writes; the
+//! byte-offset sweep models a torn write anywhere, including inside the
+//! file magic. There is no crash point the engine is allowed to lose
+//! committed top-level work at, and none where uncommitted work may leak.
+
+use rnt_chaos::recovery::{check_crash_recovery, WAL_PATH};
+use rnt_chaos::{run_with_plan, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability};
+use rnt_wal::faults::{cut_at_record, record_count};
+use rnt_wal::MemVfs;
+use std::sync::Arc;
+
+fn wal_db() -> (Arc<MemVfs>, Db<u64, i64>) {
+    let vfs = Arc::new(MemVfs::new());
+    let config = DbConfig::builder()
+        .policy(DeadlockPolicy::NoWait)
+        .audit(true)
+        .durability(Durability::Wal)
+        .build();
+    let db = Db::open_with_vfs(vfs.clone(), WAL_PATH, config).expect("open");
+    (vfs, db)
+}
+
+/// A deterministic workload exercising every record type and transition
+/// the recovery path must handle: 3-deep nesting, sibling aborts, an
+/// orphaned subtree, interleaved top-level transactions, and an in-flight
+/// transaction left open at the end (the crash's casualty).
+fn scripted_log() -> Vec<u8> {
+    let (vfs, db) = wal_db();
+    for k in 0..4u64 {
+        db.insert(k, k as i64 * 10);
+    }
+
+    // t1: full 3-deep chain, everything commits.
+    let t1 = db.begin();
+    let c1 = t1.child().unwrap();
+    let g1 = c1.child().unwrap();
+    g1.rmw(&0, |v| v + 1).unwrap();
+    g1.commit().unwrap();
+    c1.rmw(&0, |v| v * 2).unwrap();
+    c1.commit().unwrap();
+    t1.rmw(&1, |v| v + 5).unwrap();
+    t1.commit().unwrap();
+
+    // t2: a committed child and an aborted sibling, then top commit.
+    let t2 = db.begin();
+    let keep = t2.child().unwrap();
+    keep.rmw(&2, |v| v + 100).unwrap();
+    keep.commit().unwrap();
+    let lose = t2.child().unwrap();
+    lose.rmw(&3, |v| v + 100).unwrap();
+    lose.abort();
+    t2.commit().unwrap();
+
+    // t3: the parent aborts under a live grandchild — an orphaned subtree.
+    let t3 = db.begin();
+    let c3 = t3.child().unwrap();
+    let g3 = c3.child().unwrap();
+    g3.rmw(&1, |v| v - 1).unwrap();
+    t3.abort(); // c3 and g3 are now orphans
+    drop(g3);
+    drop(c3);
+
+    // t4: committed work...
+    let t4 = db.begin();
+    t4.rmw(&2, |v| v - 7).unwrap();
+    t4.commit().unwrap();
+
+    // ...and t5 still in flight when the machine dies.
+    let t5 = db.begin();
+    let c5 = t5.child().unwrap();
+    c5.rmw(&3, |v| v + 1).unwrap();
+    c5.commit().unwrap();
+    std::mem::forget(t5); // in flight: no Commit/Abort record ever lands
+
+    vfs.snapshot(WAL_PATH)
+}
+
+#[test]
+fn every_record_boundary_recovers() {
+    let bytes = scripted_log();
+    let total = record_count(&bytes);
+    assert!(total >= 25, "workload too small to be interesting: {total} records");
+    for cut in 0..=total {
+        let prefix = cut_at_record(&bytes, cut);
+        if let Err(e) = check_crash_recovery(&prefix) {
+            panic!("crash after record {cut}/{total}: {e}");
+        }
+    }
+}
+
+#[test]
+fn every_byte_offset_recovers() {
+    let bytes = scripted_log();
+    for len in 0..=bytes.len() {
+        if let Err(e) = check_crash_recovery(&bytes[..len]) {
+            panic!("crash after byte {len}/{}: {e}", bytes.len());
+        }
+    }
+}
+
+#[test]
+fn post_checkpoint_crash_points_recover() {
+    // Same sweep, but with a checkpoint in the middle of the history: cuts
+    // landing after the rewrite must replay snapshot + suffix correctly.
+    let (vfs, db) = wal_db();
+    for k in 0..4u64 {
+        db.insert(k, k as i64 * 10);
+    }
+    let t = db.begin();
+    t.rmw(&0, |v| v + 1).unwrap();
+    t.commit().unwrap();
+    let live = db.begin();
+    live.rmw(&1, |v| v + 1).unwrap();
+    db.checkpoint().unwrap(); // re-logs `live`'s Begin + Write
+    live.rmw(&2, |v| v + 1).unwrap();
+    live.commit().unwrap();
+    let t = db.begin();
+    t.rmw(&3, |v| v + 1).unwrap();
+    t.commit().unwrap();
+
+    let bytes = vfs.snapshot(WAL_PATH);
+    let total = record_count(&bytes);
+    for cut in 0..=total {
+        let prefix = cut_at_record(&bytes, cut);
+        if let Err(e) = check_crash_recovery(&prefix) {
+            panic!("crash after record {cut}/{total}: {e}");
+        }
+    }
+}
+
+#[test]
+fn driver_crash_faults_pass_the_recovery_oracle() {
+    // Inject machine crashes into seeded chaos runs at varied record
+    // counts: every run must still pass its oracle chain, which now ends
+    // with recovery of the crash-cut log.
+    let mut crashed_runs = 0;
+    for seed in 0..12u64 {
+        let config = ChaosConfig::seeded_wal(seed);
+        let mut plan = FaultPlan::generate(
+            seed,
+            config.faults,
+            config.horizon(),
+            config.workers,
+            config.max_depth + 1,
+        );
+        let at_step = 5 + (seed as usize % 20);
+        let record = 10 + seed * 7;
+        plan.faults.push(FaultEvent { at_step, kind: FaultKind::CrashAfterRecord { record } });
+        plan.faults.sort_by_key(|f| f.at_step);
+        let report = run_with_plan(&config, &plan);
+        assert!(report.verdict.is_ok(), "seed {seed}: {:?}", report.verdict);
+        if report.faults_applied.iter().any(|f| f.contains("crash-after-record")) {
+            crashed_runs += 1;
+            assert!(
+                report.wal_records as u64 <= record + 1,
+                "seed {seed}: {} records on disk after crash armed at {record}",
+                report.wal_records
+            );
+        }
+    }
+    assert!(crashed_runs >= 6, "only {crashed_runs}/12 runs actually crashed");
+}
+
+#[test]
+fn wal_mode_seed_sweep_passes() {
+    // WAL-backed runs with the ordinary fault mix (no crash): the post-run
+    // recovery oracle rides along on every run.
+    for seed in 0..20u64 {
+        let report = rnt_chaos::run(&ChaosConfig::seeded_wal(seed));
+        assert!(report.verdict.is_ok(), "seed {seed}: {:?}", report.verdict);
+        assert!(report.wal_records > 0, "seed {seed} logged nothing");
+    }
+}

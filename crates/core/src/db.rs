@@ -32,8 +32,9 @@ use crate::error::TxnError;
 use crate::lock::{Conflict, LockEnv, LockState};
 use crate::registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
 use crate::stats::{Stats, StatsSnapshot};
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use rnt_model::UpdateFn;
+use rnt_wal::{Record, Wal, WalError, INIT_ACTION};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -54,6 +55,27 @@ pub enum DeadlockPolicy {
     /// Never wait: any conflict is returned as [`TxnError::Die`]
     /// immediately (optimistic-style callers that retry).
     NoWait,
+}
+
+/// When and how transaction events reach stable storage.
+///
+/// The paper's resilience model (`perm(T)`, Lemma 7) makes *top-level*
+/// commits the only durability points: a subtransaction's commit is
+/// revocable until every ancestor commits, so subtransaction events never
+/// need to be forced to disk — they only need to be *ordered* in the log
+/// so recovery can reconstruct the action tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// In-memory only: no write-ahead log, nothing survives a crash.
+    #[default]
+    None,
+    /// Append every event to the write-ahead log but let the OS schedule
+    /// flushes: recovery sees every record the kernel retired, but a
+    /// crash may lose a suffix of acked commits.
+    Wal,
+    /// Like [`Durability::Wal`], plus an fsync before acking each
+    /// top-level commit: an acked commit survives any crash.
+    WalFsync,
 }
 
 /// How blocked lock waiters are woken when a lock is released.
@@ -89,6 +111,14 @@ pub struct DbConfig {
     pub audit: bool,
     /// Wakeup protocol for blocked lock waiters.
     pub wakeups: WakeupMode,
+    /// Write-ahead logging mode. Takes effect only when the database is
+    /// created with [`Db::open`] or [`Db::recover`] (which supply the log
+    /// file); [`Db::new`]/[`Db::with_config`] are always in-memory.
+    pub durability: Durability,
+    /// Automatically checkpoint (rewrite the log as a snapshot) after
+    /// every this many top-level commits; 0 disables auto-checkpointing.
+    /// [`Db::checkpoint`] can always be called explicitly.
+    pub checkpoint_every: u64,
 }
 
 impl Default for DbConfig {
@@ -100,6 +130,8 @@ impl Default for DbConfig {
             wait_slice: Duration::from_millis(2),
             audit: false,
             wakeups: WakeupMode::Targeted,
+            durability: Durability::None,
+            checkpoint_every: 0,
         }
     }
 }
@@ -165,6 +197,18 @@ impl DbConfigBuilder {
         self
     }
 
+    /// Write-ahead logging mode (effective with [`Db::open`]/[`Db::recover`]).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.config.durability = durability;
+        self
+    }
+
+    /// Auto-checkpoint after every `n` top-level commits (0 = never).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.config.checkpoint_every = n;
+        self
+    }
+
     /// Finish, yielding the configuration.
     pub fn build(self) -> DbConfig {
         self.config
@@ -212,6 +256,35 @@ struct AuditState<K> {
     keymap: Mutex<HashMap<K, u32>>,
 }
 
+/// The attached write-ahead log plus everything needed to feed it.
+///
+/// The key/value encoders are monomorphic `fn` pointers captured where the
+/// `WalCodec` bounds exist ([`Db::open`]/[`Db::recover`]), so the base
+/// `Db` impl — and every existing caller — keeps compiling without those
+/// bounds.
+struct WalState<K, V> {
+    log: Mutex<Wal>,
+    /// Fsync before acking top-level commits ([`Durability::WalFsync`]).
+    fsync_commits: bool,
+    /// Auto-checkpoint cadence in top-level commits (0 = never).
+    checkpoint_every: u64,
+    commits_since_ckpt: AtomicU64,
+    /// First append/fsync failure, if any: once set, top-level commits
+    /// report [`TxnError::Wal`] instead of acking unlogged durability.
+    broken: Mutex<Option<String>>,
+    enc_key: fn(&K, &mut Vec<u8>),
+    enc_val: fn(&V, &mut Vec<u8>),
+}
+
+impl<K, V> WalState<K, V> {
+    fn mark_broken(&self, e: &WalError) {
+        let mut broken = self.broken.lock();
+        if broken.is_none() {
+            *broken = Some(e.to_string());
+        }
+    }
+}
+
 struct DbInner<K, V> {
     registry: Registry,
     shards: Box<[Shard<K, V>]>,
@@ -224,6 +297,14 @@ struct DbInner<K, V> {
     waiting: Mutex<Vec<WaitEntry>>,
     /// Sequence for [`Db::run`]'s seeded backoff jitter.
     run_seq: AtomicU64,
+    /// The attached write-ahead log (set once by [`Db::open`]/[`Db::recover`];
+    /// never set for purely in-memory databases).
+    wal: std::sync::OnceLock<WalState<K, V>>,
+    /// Checkpoint latch: transaction lifecycle transitions (begin, commit,
+    /// abort) hold it shared so a checkpoint (exclusive) can never observe —
+    /// or worse, rewrite away — a half-logged transition. Lock order:
+    /// latch → shard → { registry-read, wal }.
+    ckpt: RwLock<()>,
     /// The installed fault injector, if any (chaos harness only).
     #[cfg(feature = "chaos-hooks")]
     injector: parking_lot::RwLock<Option<Arc<dyn chaos::Injector>>>,
@@ -282,6 +363,8 @@ where
                 audit,
                 waiting: Mutex::new(Vec::new()),
                 run_seq: AtomicU64::new(0),
+                wal: std::sync::OnceLock::new(),
+                ckpt: RwLock::new(()),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
             }),
@@ -303,6 +386,9 @@ where
             keymap.entry(key.clone()).or_insert(id);
             audit.log.register_object(id, hash_value(&value));
         }
+        // Logged under the shard guard, like transactional writes, so the
+        // per-key log order is the true lock-table mutation order.
+        inner.wal_log_init(&key, &value);
         guard.objects.insert(key, LockState::new(value));
         true
     }
@@ -317,9 +403,11 @@ where
 
     /// Begin a top-level transaction.
     pub fn begin(&self) -> Txn<K, V> {
+        let _latch = self.inner.wal_latch();
         let id = self.inner.registry.begin_top();
         Stats::bump(&self.inner.stats.begun);
         self.inner.audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh") });
+        self.inner.wal_append(&Record::Begin { action: id.0, parent: None });
         Txn {
             inner: self.inner.clone(),
             id,
@@ -405,6 +493,94 @@ where
     /// The audit log, if auditing is enabled.
     pub fn audit_log(&self) -> Option<&AuditLog> {
         self.inner.audit.as_ref().map(|a| &a.log)
+    }
+
+    /// Checkpoint the write-ahead log now: rewrite it as a snapshot of the
+    /// committed key space plus re-logged records for in-flight
+    /// transactions, truncating all earlier history. A no-op without an
+    /// attached log.
+    pub fn checkpoint(&self) -> Result<(), TxnError> {
+        self.inner.do_checkpoint().map_err(|e| TxnError::Wal { detail: e.to_string() })
+    }
+
+    /// Seed a key during replay: no audit registration, no WAL append.
+    pub(crate) fn raw_insert(&self, key: K, value: V) -> bool {
+        let inner = &self.inner;
+        let shard = inner.shard_of(&key);
+        let mut guard = inner.shards[shard].state.lock();
+        if guard.objects.contains_key(&key) {
+            return false;
+        }
+        guard.objects.insert(key, LockState::new(value));
+        true
+    }
+
+    /// Run `f` on a key's lock state with a registry view (replay only).
+    pub(crate) fn raw_with_state<R>(
+        &self,
+        key: &K,
+        f: impl FnOnce(&mut LockState<V>, &RegistryView<'_>) -> R,
+    ) -> Option<R> {
+        let inner = &self.inner;
+        let shard = inner.shard_of(key);
+        let mut guard = inner.shards[shard].state.lock();
+        let state = guard.objects.get_mut(key)?;
+        let view = inner.registry.read_view();
+        Some(f(state, &view))
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    pub(crate) fn stats_raw(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Register every seeded key with the audit log at its *current* base
+    /// value. Recovery calls this after replay (not during) so the audit's
+    /// initial object values are the recovered bases, matching what
+    /// post-recovery transactions will actually observe.
+    pub(crate) fn audit_register_all(&self) {
+        let Some(audit) = &self.inner.audit else { return };
+        let mut keymap = audit.keymap.lock();
+        for shard in self.inner.shards.iter() {
+            let guard = shard.state.lock();
+            for (key, state) in guard.objects.iter() {
+                let id = keymap.len() as u32;
+                keymap.entry(key.clone()).or_insert(id);
+                audit.log.register_object(id, hash_value(state.base_value()));
+            }
+        }
+    }
+
+    /// Attach a write-ahead log (at most once, by [`Db::open`]/[`Db::recover`]).
+    pub(crate) fn install_wal(
+        &self,
+        log: Wal,
+        enc_key: fn(&K, &mut Vec<u8>),
+        enc_val: fn(&V, &mut Vec<u8>),
+    ) -> Result<(), WalError> {
+        let config = &self.inner.config;
+        let state = WalState {
+            log: Mutex::new(log),
+            fsync_commits: config.durability == Durability::WalFsync,
+            checkpoint_every: config.checkpoint_every,
+            commits_since_ckpt: AtomicU64::new(0),
+            broken: Mutex::new(None),
+            enc_key,
+            enc_val,
+        };
+        self.inner.wal.set(state).map_err(|_| WalError::Io {
+            op: "install",
+            detail: "write-ahead log already attached".to_string(),
+        })
+    }
+
+    /// Rewrite the attached log now, if any (recovery's post-replay
+    /// truncation).
+    pub(crate) fn checkpoint_wal(&self) -> Result<(), WalError> {
+        self.inner.do_checkpoint()
     }
 }
 
@@ -506,6 +682,151 @@ where
     /// The audited object id of a key (auditing enabled and key seeded).
     fn audit_object(&self, key: &K) -> Option<u32> {
         self.audit.as_ref().and_then(|a| a.keymap.lock().get(key).copied())
+    }
+
+    /// Hold the checkpoint latch shared for one lifecycle transition
+    /// (no-op `None` when no log is attached).
+    fn wal_latch(&self) -> Option<RwLockReadGuard<'_, ()>> {
+        self.wal.get().is_some().then(|| self.ckpt.read())
+    }
+
+    /// Append one record to the attached log, if any. Failures don't
+    /// interrupt the in-memory operation; they poison the log so the next
+    /// top-level commit reports [`TxnError::Wal`] instead of falsely
+    /// acking durability.
+    fn wal_append(&self, record: &Record) {
+        if let Some(w) = self.wal.get() {
+            match w.log.lock().append(record) {
+                Ok(()) => Stats::bump(&self.stats.wal_appends),
+                Err(e) => w.mark_broken(&e),
+            }
+        }
+    }
+
+    /// Log a non-transactional base-value seed (the paper's `init(x)`).
+    fn wal_log_init(&self, key: &K, value: &V) {
+        if let Some(w) = self.wal.get() {
+            let mut kb = Vec::new();
+            (w.enc_key)(key, &mut kb);
+            let mut vb = Vec::new();
+            (w.enc_val)(value, &mut vb);
+            self.wal_append(&Record::Write { action: INIT_ACTION, key: kb, version: vb });
+        }
+    }
+
+    /// Log a granted transactional write. Called under the owning shard's
+    /// guard, so per-key log order equals lock-grant order — the property
+    /// that makes replay conflict-free.
+    fn wal_log_write(&self, t: TxnId, key: &K, value: &V) {
+        if let Some(w) = self.wal.get() {
+            let mut kb = Vec::new();
+            (w.enc_key)(key, &mut kb);
+            let mut vb = Vec::new();
+            (w.enc_val)(value, &mut vb);
+            self.wal_append(&Record::Write { action: t.0, key: kb, version: vb });
+        }
+    }
+
+    /// Log a commit; for a top-level commit under [`Durability::WalFsync`],
+    /// force it to disk before the caller acks. Returns the durability
+    /// verdict the commit must report.
+    fn wal_log_commit(&self, t: TxnId, top_level: bool) -> Result<(), TxnError> {
+        let Some(w) = self.wal.get() else { return Ok(()) };
+        self.wal_append(&Record::Commit { action: t.0 });
+        if top_level && w.fsync_commits {
+            match w.log.lock().fsync() {
+                Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
+                Err(e) => w.mark_broken(&e),
+            }
+        }
+        match top_level.then(|| w.broken.lock().clone()).flatten() {
+            Some(detail) => Err(TxnError::Wal { detail }),
+            None => Ok(()),
+        }
+    }
+
+    /// Checkpoint after a top-level commit if the configured cadence says
+    /// so. Must be called *after* the commit's latch guard is dropped (the
+    /// latch is not reentrant).
+    fn maybe_auto_checkpoint(&self, top_level: bool) {
+        let Some(w) = self.wal.get() else { return };
+        if !top_level || w.checkpoint_every == 0 {
+            return;
+        }
+        let n = w.commits_since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % w.checkpoint_every == 0 {
+            let _ = self.do_checkpoint(); // failure poisons the log
+        }
+    }
+
+    /// Rewrite the log as `Checkpoint{bases}` followed by re-logged
+    /// `Begin`/`Write` records for every still-live active transaction, so
+    /// recovery cost is bounded by the snapshot plus post-checkpoint
+    /// traffic instead of the whole history.
+    ///
+    /// Holding the latch exclusively plus every shard guard freezes the
+    /// engine in a transition-free state: no half-appended commit can be
+    /// rewritten away, and no begin can land twice (once re-logged, once
+    /// self-appended). Dead (orphaned) subtrees are reaped, not re-logged —
+    /// their versions are doomed and `perm` never sees them; their stray
+    /// post-checkpoint `Commit`/`Abort` records are tolerated by replay.
+    fn do_checkpoint(&self) -> Result<(), WalError> {
+        let Some(w) = self.wal.get() else { return Ok(()) };
+        let _latch = self.ckpt.write();
+        let mut guards: Vec<MutexGuard<'_, ShardState<K, V>>> =
+            self.shards.iter().map(|s| s.state.lock()).collect();
+        {
+            let view = self.registry.read_view();
+            for guard in guards.iter_mut() {
+                for state in guard.objects.values_mut() {
+                    state.reap(&view);
+                }
+            }
+        }
+        let mut snapshot = Vec::new();
+        for guard in guards.iter() {
+            for (key, state) in guard.objects.iter() {
+                let mut kb = Vec::new();
+                (w.enc_key)(key, &mut kb);
+                let mut vb = Vec::new();
+                (w.enc_val)(state.base_value(), &mut vb);
+                snapshot.push((kb, vb));
+            }
+        }
+        snapshot.sort();
+        let mut records = vec![Record::Checkpoint { snapshot }];
+        // Live active transactions, ascending id: every parent precedes
+        // its children (child ids are allocated after the parent exists),
+        // and the live-active set is ancestor-closed (an active child
+        // keeps its ancestors active; an aborted ancestor makes it dead).
+        let reg = self.registry.snapshot();
+        let by_id: HashMap<TxnId, (Option<TxnId>, TxnStatus)> =
+            reg.iter().map(|&(id, parent, status, _)| (id, (parent, status))).collect();
+        let is_dead = |mut id: TxnId| loop {
+            match by_id.get(&id) {
+                None => return true,
+                Some((_, TxnStatus::Aborted)) => return true,
+                Some((None, _)) => return false,
+                Some((Some(parent), _)) => id = *parent,
+            }
+        };
+        for &(id, parent, status, _) in reg.iter() {
+            if status == TxnStatus::Active && !is_dead(id) {
+                records.push(Record::Begin { action: id.0, parent: parent.map(|p| p.0) });
+            }
+        }
+        for guard in guards.iter() {
+            for (key, state) in guard.objects.iter() {
+                for (holder, value) in state.write_entries() {
+                    let mut kb = Vec::new();
+                    (w.enc_key)(key, &mut kb);
+                    let mut vb = Vec::new();
+                    (w.enc_val)(value, &mut vb);
+                    records.push(Record::Write { action: holder.0, key: kb, version: vb });
+                }
+            }
+        }
+        w.log.lock().rewrite(&records).inspect_err(|e| w.mark_broken(e))
     }
 
     /// Run one lock-acquiring operation with conflict resolution.
@@ -809,10 +1130,12 @@ where
             Stats::bump(&self.inner.stats.dies);
             return Err(TxnError::Die { blocker: self.id });
         }
+        let _latch = self.inner.wal_latch();
         let id = self.inner.registry.begin_child(self.id).map_err(map_reg_err)?;
         Stats::bump(&self.inner.stats.begun);
         self.inner
             .audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh child") });
+        self.inner.wal_append(&Record::Begin { action: id.0, parent: Some(self.id.0) });
         Ok(Txn {
             inner: self.inner.clone(),
             id,
@@ -864,6 +1187,8 @@ where
                 update: UpdateFn::Write(hash_value(written.as_ref().expect("written set"))),
                 seen: hash_value(&seen),
             });
+            // Still under the shard guard: per-key log order = grant order.
+            inner.wal_log_write(self.id, key, written.as_ref().expect("written set"));
             Ok((seen, record))
         })?;
         self.touched.lock().insert(key.clone());
@@ -909,12 +1234,17 @@ where
     /// Fails with [`TxnError::ChildrenActive`] if subtransactions are still
     /// running; in that case the transaction stays active.
     pub fn commit(mut self) -> Result<(), TxnError> {
+        let latch = self.inner.wal_latch();
         self.inner.registry.commit(self.id).map_err(map_reg_err)?;
         // The Commit record must land before the locks move: once
         // finish_locks runs, other threads can acquire them and log
-        // accesses whose prefix-visibility depends on this commit.
+        // accesses whose prefix-visibility depends on this commit. The
+        // WAL Commit record follows the same rule, and a top-level fsync
+        // happens here — before release, before the ack.
         let id = self.id;
+        let top_level = self.parent_touched.is_none();
         self.inner.audit_record(|reg| AuditRecord::Commit { path: reg.path(id).expect("known") });
+        let durable = self.inner.wal_log_commit(id, top_level);
         let keys = std::mem::take(&mut *self.touched.lock());
         self.inner.finish_locks(self.id, &keys, true);
         if let Some(parent) = &self.parent_touched {
@@ -923,7 +1253,11 @@ where
         }
         Stats::bump(&self.inner.stats.committed);
         self.done = true;
-        Ok(())
+        drop(latch);
+        self.inner.maybe_auto_checkpoint(top_level);
+        // A WAL failure surfaces only after the locks are cleanly
+        // released: in-memory state stays consistent, durability doesn't.
+        durable
     }
 
     /// Abort this transaction: every version it wrote is discarded and the
@@ -939,9 +1273,12 @@ where
         // The Abort record must land before the registry transition: the
         // moment the registry marks us dead, any conflicting thread may
         // lazily reap our locks, read the restored value, and log its
-        // access — which must sort *after* this abort in the log.
+        // access — which must sort *after* this abort in the log. The WAL
+        // Abort record obeys the same ordering for the same reason.
+        let _latch = self.inner.wal_latch();
         let id = self.id;
         self.inner.audit_record(|reg| AuditRecord::Abort { path: reg.path(id).expect("known") });
+        self.inner.wal_append(&Record::Abort { action: id.0 });
         if self.inner.registry.abort(self.id).is_ok() {
             let keys = std::mem::take(&mut *self.touched.lock());
             self.inner.finish_locks(self.id, &keys, false);
@@ -976,7 +1313,9 @@ where
 
 fn map_reg_err(e: RegistryError) -> TxnError {
     match e {
-        RegistryError::Unknown(_) | RegistryError::NotActive(_) => TxnError::NotActive,
+        RegistryError::Unknown(_) | RegistryError::NotActive(_) | RegistryError::Duplicate(_) => {
+            TxnError::NotActive
+        }
         RegistryError::ChildrenActive(_, n) => TxnError::ChildrenActive(n),
     }
 }

@@ -29,6 +29,14 @@ pub enum TxnError {
     ChildrenActive(u32),
     /// The transaction already committed or aborted.
     NotActive,
+    /// The write-ahead log failed; the commit's durability cannot be
+    /// guaranteed. In-memory state is still consistent (locks were
+    /// released normally) but the caller must not treat the transaction
+    /// as durably committed.
+    Wal {
+        /// The underlying log failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for TxnError {
@@ -41,6 +49,7 @@ impl std::fmt::Display for TxnError {
             TxnError::Deadlock { cycle } => write!(f, "deadlock detected: {cycle:?}"),
             TxnError::ChildrenActive(n) => write!(f, "{n} children still active"),
             TxnError::NotActive => write!(f, "transaction not active"),
+            TxnError::Wal { detail } => write!(f, "write-ahead log failure: {detail}"),
         }
     }
 }
@@ -67,6 +76,7 @@ mod tests {
         assert!(!TxnError::Orphaned.is_retryable());
         assert!(!TxnError::UnknownKey.is_retryable());
         assert!(!TxnError::NotActive.is_retryable());
+        assert!(!TxnError::Wal { detail: "disk full".into() }.is_retryable());
     }
 
     #[test]

@@ -38,11 +38,12 @@ mod db;
 mod deadlock;
 mod error;
 mod lock;
+mod recover;
 mod registry;
 mod stats;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
-pub use db::{Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Txn, WakeupMode};
+pub use db::{Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Txn, WakeupMode};
 pub use deadlock::WaitForGraph;
 pub use error::TxnError;
 pub use lock::{Conflict, LockEnv, LockState};

@@ -71,6 +71,13 @@ impl<V: Clone> LockState<V> {
         &self.readers
     }
 
+    /// Write-lock holders with their pending versions, outermost first
+    /// (checkpointing re-logs these so a later crash can still resolve
+    /// post-checkpoint commit/abort records).
+    pub fn write_entries(&self) -> impl Iterator<Item = (TxnId, &V)> {
+        self.writes.iter().map(|(t, v)| (*t, v))
+    }
+
     /// Reap locks held by dead transactions (`lose-lock`): dead readers are
     /// dropped; the write stack is truncated at the first dead holder
     /// (everything above a dead holder is a descendant of it, hence dead).

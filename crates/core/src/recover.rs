@@ -1,0 +1,228 @@
+//! Crash recovery: replay a write-ahead log into a fresh [`Db`].
+//!
+//! Replay reconstructs the action tree (registry), the per-key version
+//! stacks (lock states), and the committed bases so that `perm(T)` — the
+//! set of effects the paper's Lemma 7 calls permanent — is identical
+//! before and after the crash:
+//!
+//! * records replay **in log order**, which the engine guarantees is a
+//!   legal grant order (writes are logged under their shard guard, commit
+//!   and abort records are ordered before any acquisition they enable);
+//! * actions still active at end-of-log are the crash's in-flight
+//!   casualties: they are aborted deepest-first, exactly as if every
+//!   outstanding handle had been dropped — `perm` never contained them;
+//! * recovery ends with a checkpoint rewrite, so the implicit aborts
+//!   become physical and a recovered log never replays a stale suffix.
+//!
+//! Torn tails (see [`rnt_wal::scan`]) are the expected crash artifact and
+//! are silently discarded; corruption anywhere earlier is a typed
+//! [`WalError`] — a recovered database is never built on a log whose
+//! middle is unreadable.
+
+use crate::db::{Db, DbConfig, Durability};
+use crate::registry::{TxnId, TxnStatus};
+use crate::stats::Stats;
+use rnt_wal::{scan, Record, StdVfs, Vfs, Wal, WalCodec, WalError, INIT_ACTION};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+fn encode_of<T: WalCodec>(value: &T, out: &mut Vec<u8>) {
+    value.encode(out);
+}
+
+fn replay_err(detail: impl Into<String>) -> WalError {
+    WalError::Replay { detail: detail.into() }
+}
+
+impl<K, V> Db<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    V: Clone + Hash + Send + Sync + WalCodec + 'static,
+{
+    /// Create a fresh database writing a **new** write-ahead log at
+    /// `path` (any existing file there is truncated — use
+    /// [`Db::recover`] to resume from one). With
+    /// [`Durability::None`] the path is ignored and the database is
+    /// purely in-memory.
+    pub fn open(path: &str, config: DbConfig) -> Result<Self, WalError> {
+        Self::open_with_vfs(Arc::new(StdVfs::new()), path, config)
+    }
+
+    /// [`Db::open`] through an explicit [`Vfs`] (fault-injection harnesses
+    /// use [`rnt_wal::MemVfs`]).
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &str,
+        config: DbConfig,
+    ) -> Result<Self, WalError> {
+        let db = Db::with_config(config.clone());
+        if config.durability != Durability::None {
+            if vfs.exists(path) {
+                vfs.replace(path, rnt_wal::MAGIC)?;
+            }
+            let log = Wal::open(vfs, path)?;
+            db.install_wal(log, encode_of::<K>, encode_of::<V>)?;
+        }
+        Ok(db)
+    }
+
+    /// Recover a database from the write-ahead log at `path`: replay every
+    /// intact record, abort the crash's in-flight transactions, checkpoint
+    /// the log, and continue appending to it. A missing file is an empty
+    /// database (first boot).
+    pub fn recover(path: &str, config: DbConfig) -> Result<Self, WalError> {
+        Self::recover_with_vfs(Arc::new(StdVfs::new()), path, config)
+    }
+
+    /// [`Db::recover`] through an explicit [`Vfs`].
+    pub fn recover_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &str,
+        config: DbConfig,
+    ) -> Result<Self, WalError> {
+        let db = Db::with_config(config.clone());
+        let bytes = if vfs.exists(path) { vfs.read(path)? } else { Vec::new() };
+        let (records, _tail) = scan(&bytes)?;
+        let recovered = replay(&db, &records)?;
+        Stats::add(&db.stats_raw().recovered_actions, recovered);
+        db.audit_register_all();
+        if config.durability != Durability::None {
+            let log = Wal::open(vfs, path)?;
+            db.install_wal(log, encode_of::<K>, encode_of::<V>)?;
+            // Make the implicit in-flight aborts physical and drop any
+            // torn tail from the file: the recovered log is born clean.
+            db.checkpoint_wal()?;
+        }
+        Ok(db)
+    }
+}
+
+/// Replay `records` into the (fresh, log-less) `db`. Returns the number of
+/// actions reconstructed (`Begin` records processed).
+fn replay<K, V>(db: &Db<K, V>, records: &[Record]) -> Result<u64, WalError>
+where
+    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    V: Clone + Hash + Send + Sync + WalCodec + 'static,
+{
+    let registry = db.registry();
+    // Keys each action holds write versions on, for commit inheritance
+    // and abort restore (the engine's `touched` sets, rebuilt).
+    let mut touched: HashMap<TxnId, HashSet<K>> = HashMap::new();
+    let mut seen_checkpoint = false;
+    let mut recovered = 0u64;
+    for (i, record) in records.iter().enumerate() {
+        match record {
+            Record::Checkpoint { snapshot } => {
+                if i != 0 {
+                    return Err(replay_err(format!("checkpoint at record {i}, not at log start")));
+                }
+                seen_checkpoint = true;
+                for (kb, vb) in snapshot {
+                    let key =
+                        K::decode(kb).ok_or_else(|| replay_err("undecodable checkpoint key"))?;
+                    let value =
+                        V::decode(vb).ok_or_else(|| replay_err("undecodable checkpoint value"))?;
+                    if !db.raw_insert(key, value) {
+                        return Err(replay_err("duplicate key in checkpoint snapshot"));
+                    }
+                }
+            }
+            Record::Write { action, key, version } if *action == INIT_ACTION => {
+                let key = K::decode(key).ok_or_else(|| replay_err("undecodable init key"))?;
+                let value =
+                    V::decode(version).ok_or_else(|| replay_err("undecodable init value"))?;
+                if !db.raw_insert(key, value) {
+                    return Err(replay_err("duplicate init for an existing key"));
+                }
+            }
+            Record::Begin { action, parent } => {
+                if *action == INIT_ACTION {
+                    return Err(replay_err("begin record with the reserved init action id"));
+                }
+                let id = TxnId(*action);
+                match parent {
+                    None => registry.replay_top(id),
+                    Some(p) => registry.replay_child(id, TxnId(*p)),
+                }
+                .map_err(|e| replay_err(format!("record {i}: {e}")))?;
+                touched.insert(id, HashSet::new());
+                recovered += 1;
+            }
+            Record::Write { action, key, version } => {
+                let id = TxnId(*action);
+                if registry.status(id).is_none() {
+                    return Err(replay_err(format!("record {i}: write by unknown action {id:?}")));
+                }
+                let key = K::decode(key).ok_or_else(|| replay_err("undecodable key"))?;
+                let value = V::decode(version).ok_or_else(|| replay_err("undecodable version"))?;
+                let granted = db
+                    .raw_with_state(&key, |state, view| {
+                        state.try_write(id, view, |_| value.clone()).is_ok()
+                    })
+                    .ok_or_else(|| replay_err(format!("record {i}: write to unseeded key")))?;
+                if !granted {
+                    // Log order is grant order; a conflict here means the
+                    // log is not one the engine produced.
+                    return Err(replay_err(format!(
+                        "record {i}: write by {id:?} conflicts at replay"
+                    )));
+                }
+                touched.entry(id).or_default().insert(key);
+            }
+            Record::Commit { action } => {
+                let id = TxnId(*action);
+                if registry.status(id).is_none() {
+                    if seen_checkpoint {
+                        // A checkpoint prunes dead (orphaned) subtrees; a
+                        // pruned orphan's handle may still have logged its
+                        // no-effect commit afterwards. Harmless.
+                        continue;
+                    }
+                    return Err(replay_err(format!("record {i}: commit of unknown action {id:?}")));
+                }
+                registry.commit(id).map_err(|e| replay_err(format!("record {i}: {e}")))?;
+                let parent = registry.parent(id);
+                let keys = touched.remove(&id).unwrap_or_default();
+                for key in &keys {
+                    db.raw_with_state(key, |state, view| {
+                        state.commit_to_parent(id, parent, view);
+                    });
+                }
+                if let Some(p) = parent {
+                    touched.entry(p).or_default().extend(keys);
+                }
+            }
+            Record::Abort { action } => {
+                let id = TxnId(*action);
+                if registry.status(id).is_none() {
+                    if seen_checkpoint {
+                        continue; // pruned orphan's abort — see Commit arm
+                    }
+                    return Err(replay_err(format!("record {i}: abort of unknown action {id:?}")));
+                }
+                registry.abort(id).map_err(|e| replay_err(format!("record {i}: {e}")))?;
+                for key in touched.remove(&id).unwrap_or_default() {
+                    db.raw_with_state(&key, |state, _| state.abort_discard(id));
+                }
+            }
+        }
+    }
+    // End of log: everything still active was in flight at the crash.
+    // Abort deepest-first so children discard their versions before their
+    // parents do (restoring each enclosing version in turn).
+    let mut in_flight: Vec<(TxnId, usize)> = registry
+        .snapshot()
+        .into_iter()
+        .filter(|(_, _, status, _)| *status == TxnStatus::Active)
+        .map(|(id, _, _, path)| (id, path.len()))
+        .collect();
+    in_flight.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+    for (id, _) in in_flight {
+        registry.abort(id).map_err(|e| replay_err(format!("in-flight abort: {e}")))?;
+        for key in touched.remove(&id).unwrap_or_default() {
+            db.raw_with_state(&key, |state, _| state.abort_discard(id));
+        }
+    }
+    Ok(recovered)
+}

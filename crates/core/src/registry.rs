@@ -318,6 +318,61 @@ impl Registry {
         self.finish(id, ST_ABORTED, false)
     }
 
+    /// Re-register a top-level transaction under its *logged* id (crash
+    /// recovery only). Advances the id allocator past `id` so transactions
+    /// begun after recovery can never collide with replayed ones.
+    pub fn replay_top(&self, id: TxnId) -> Result<(), RegistryError> {
+        self.next.fetch_max(id.0.saturating_add(1), Ordering::Relaxed);
+        let mut map = self.map.write();
+        if map.contains_key(&id) {
+            return Err(RegistryError::Duplicate(id));
+        }
+        let top = self.top_count.fetch_add(1, Ordering::Relaxed) as u32;
+        let meta = Arc::new(TxnMeta {
+            parent: None,
+            root: id,
+            path: vec![top],
+            status: AtomicU8::new(ST_ACTIVE),
+            children: AtomicU32::new(0),
+            active_children: AtomicU32::new(0),
+            child_ids: RwLock::new(Vec::new()),
+        });
+        map.insert(id, meta);
+        Ok(())
+    }
+
+    /// Re-register a child transaction under its logged id (crash recovery
+    /// only); the parent must already be replayed and active.
+    pub fn replay_child(&self, id: TxnId, parent: TxnId) -> Result<(), RegistryError> {
+        self.next.fetch_max(id.0.saturating_add(1), Ordering::Relaxed);
+        let map = self.map.read();
+        if map.contains_key(&id) {
+            return Err(RegistryError::Duplicate(id));
+        }
+        let pm = map.get(&parent).ok_or(RegistryError::Unknown(parent))?;
+        if pm.status.load(Ordering::Acquire) != ST_ACTIVE {
+            return Err(RegistryError::NotActive(parent));
+        }
+        let idx = pm.children.fetch_add(1, Ordering::Relaxed);
+        pm.active_children.fetch_add(1, Ordering::AcqRel);
+        let mut path = pm.path.clone();
+        path.push(idx);
+        let root = pm.root;
+        pm.child_ids.write().push(id);
+        drop(map);
+        let meta = Arc::new(TxnMeta {
+            parent: Some(parent),
+            root,
+            path,
+            status: AtomicU8::new(ST_ACTIVE),
+            children: AtomicU32::new(0),
+            active_children: AtomicU32::new(0),
+            child_ids: RwLock::new(Vec::new()),
+        });
+        self.map.write().insert(id, meta);
+        Ok(())
+    }
+
     /// Ids of transactions whose own status is still `Active`, in id order
     /// (chaos harness only). Orphans count as active: their status only
     /// changes when their handle aborts or drops.
@@ -353,6 +408,8 @@ pub enum RegistryError {
     NotActive(TxnId),
     /// Commit attempted with active children.
     ChildrenActive(TxnId, u32),
+    /// A replay tried to register an id that is already registered.
+    Duplicate(TxnId),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -362,6 +419,9 @@ impl std::fmt::Display for RegistryError {
             RegistryError::NotActive(id) => write!(f, "transaction {id:?} not active"),
             RegistryError::ChildrenActive(id, n) => {
                 write!(f, "transaction {id:?} has {n} active children")
+            }
+            RegistryError::Duplicate(id) => {
+                write!(f, "transaction {id:?} already registered")
             }
         }
     }
@@ -497,6 +557,26 @@ mod tests {
         assert!(!view.is_dead(c));
         assert_eq!(view.root(c), Some(t));
         assert_eq!(view.parent(c), Some(t));
+    }
+
+    #[test]
+    fn replay_preserves_ids_and_advances_allocator() {
+        let r = Registry::new();
+        r.replay_top(TxnId(0)).unwrap();
+        r.replay_child(TxnId(1), TxnId(0)).unwrap();
+        r.replay_child(TxnId(5), TxnId(1)).unwrap();
+        assert!(r.is_ancestor(TxnId(0), TxnId(5)));
+        assert_eq!(r.root(TxnId(5)), Some(TxnId(0)));
+        assert_eq!(r.active_children(TxnId(0)), 1);
+        // Fresh ids allocated after replay never collide with logged ones.
+        let fresh = r.begin_top();
+        assert!(fresh > TxnId(5), "allocator past replayed ids, got {fresh:?}");
+        // Duplicate and orphan replays are rejected.
+        assert_eq!(r.replay_top(TxnId(0)), Err(RegistryError::Duplicate(TxnId(0))));
+        assert_eq!(r.replay_child(TxnId(9), TxnId(99)), Err(RegistryError::Unknown(TxnId(99))));
+        r.commit(TxnId(5)).unwrap();
+        r.commit(TxnId(1)).unwrap();
+        assert_eq!(r.replay_child(TxnId(9), TxnId(1)), Err(RegistryError::NotActive(TxnId(1))));
     }
 
     #[test]

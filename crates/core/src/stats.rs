@@ -36,6 +36,13 @@ pub struct Stats {
     pub notifies: AtomicU64,
     /// Total time spent blocked on lock waits, in nanoseconds.
     pub wait_nanos: AtomicU64,
+    /// Records appended to the write-ahead log (excludes checkpoint
+    /// rewrites, which replace records rather than add them).
+    pub wal_appends: AtomicU64,
+    /// Fsyncs issued for top-level commit durability.
+    pub wal_fsyncs: AtomicU64,
+    /// Transactions reconstructed by crash recovery (replayed `Begin`s).
+    pub recovered_actions: AtomicU64,
 }
 
 /// A plain snapshot of [`Stats`].
@@ -70,6 +77,12 @@ pub struct StatsSnapshot {
     pub notifies: u64,
     /// Total lock-wait time in nanoseconds.
     pub wait_nanos: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Fsyncs issued for top-level commit durability.
+    pub wal_fsyncs: u64,
+    /// Transactions reconstructed by crash recovery.
+    pub recovered_actions: u64,
 }
 
 impl Stats {
@@ -90,6 +103,9 @@ impl Stats {
             wakeups_spurious: self.wakeups_spurious.load(Ordering::Relaxed),
             notifies: self.notifies.load(Ordering::Relaxed),
             wait_nanos: self.wait_nanos.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            recovered_actions: self.recovered_actions.load(Ordering::Relaxed),
         }
     }
 
@@ -106,6 +122,14 @@ impl StatsSnapshot {
     /// Net committed transactions.
     pub fn commits_minus_aborts(&self) -> i64 {
         self.committed as i64 - self.aborted as i64
+    }
+
+    /// The WAL append-conservation total: in a log-enabled run with no
+    /// checkpoint rewrites, every begin, write/rmw, commit, and abort
+    /// appends exactly one record, and every seeded key appends one init
+    /// record — so `wal_appends` must equal this sum for `inserts` keys.
+    pub fn wal_appends_expected(&self, inserts: u64) -> u64 {
+        self.begun + self.writes + self.committed + self.aborted + inserts
     }
 
     /// Mean blocked time per wait episode, in microseconds (0 if none).
@@ -132,5 +156,25 @@ mod tests {
         assert_eq!(snap.begun, 2);
         assert_eq!(snap.deadlocks, 1);
         assert_eq!(snap.commits_minus_aborts(), 0);
+    }
+
+    #[test]
+    fn wal_counters_snapshot_and_conservation() {
+        let s = Stats::default();
+        Stats::bump(&s.begun);
+        Stats::bump(&s.writes);
+        Stats::bump(&s.writes);
+        Stats::bump(&s.committed);
+        // begin + 2 writes + commit + 3 init records.
+        for _ in 0..7 {
+            Stats::bump(&s.wal_appends);
+        }
+        Stats::bump(&s.wal_fsyncs);
+        Stats::add(&s.recovered_actions, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.wal_appends, 7);
+        assert_eq!(snap.wal_fsyncs, 1);
+        assert_eq!(snap.recovered_actions, 4);
+        assert_eq!(snap.wal_appends_expected(3), snap.wal_appends);
     }
 }

@@ -1,0 +1,342 @@
+//! Durability and crash-recovery integration tests for the WAL-backed
+//! engine: committed top-level effects survive a crash, uncommitted and
+//! in-flight effects do not, and recovery is idempotent.
+
+use rnt_core::{Db, DbConfig, Durability};
+use rnt_wal::faults::record_count;
+use rnt_wal::{MemVfs, Vfs};
+use std::sync::Arc;
+
+const LOG: &str = "db.wal";
+
+fn wal_config() -> DbConfig {
+    DbConfig::builder().durability(Durability::Wal).build()
+}
+
+fn fsync_config() -> DbConfig {
+    DbConfig::builder().durability(Durability::WalFsync).build()
+}
+
+/// Open a WAL-backed db on a fresh in-memory filesystem.
+fn open_mem(config: DbConfig) -> (Arc<MemVfs>, Db<String, i64>) {
+    let vfs = Arc::new(MemVfs::new());
+    let db = Db::open_with_vfs(vfs.clone(), LOG, config).expect("open");
+    (vfs, db)
+}
+
+/// Simulate a crash: recover a new db from the current bytes of `vfs`.
+fn crash_recover(vfs: &Arc<MemVfs>, config: DbConfig) -> Db<String, i64> {
+    // Snapshot-and-install models the kernel's view surviving the process:
+    // the recovered db sees exactly what reached the (mem) filesystem.
+    let bytes = vfs.snapshot(LOG);
+    let fresh = Arc::new(MemVfs::new());
+    fresh.install(LOG, bytes);
+    Db::recover_with_vfs(fresh.clone(), LOG, config).expect("recover")
+}
+
+#[test]
+fn committed_top_level_writes_survive_recovery() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    db.insert("b".to_string(), 2);
+
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 10).unwrap();
+    t.commit().unwrap();
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(11));
+    assert_eq!(r.committed_value(&"b".to_string()), Some(2));
+}
+
+#[test]
+fn uncommitted_writes_are_absent_after_recovery() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 100).unwrap();
+    // No commit: t is in flight at the "crash".
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(1));
+    drop(t);
+}
+
+#[test]
+fn child_commit_without_top_level_commit_is_not_durable() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+
+    let t = db.begin();
+    let c = t.child().unwrap();
+    c.rmw(&"a".to_string(), |v| v + 5).unwrap();
+    c.commit().unwrap(); // visible to the parent only (Lemma 7)
+    assert_eq!(t.read(&"a".to_string()).unwrap(), 6);
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(1));
+    drop(t);
+}
+
+#[test]
+fn aborted_subtree_stays_aborted_after_recovery() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    db.insert("b".to_string(), 2);
+
+    let t = db.begin();
+    let keep = t.child().unwrap();
+    keep.rmw(&"a".to_string(), |v| v + 10).unwrap();
+    keep.commit().unwrap();
+    let lose = t.child().unwrap();
+    lose.rmw(&"b".to_string(), |v| v + 10).unwrap();
+    lose.abort();
+    t.commit().unwrap();
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(11));
+    assert_eq!(r.committed_value(&"b".to_string()), Some(2));
+}
+
+#[test]
+fn deep_nesting_recovers_exact_values() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("x".to_string(), 0);
+
+    let t = db.begin();
+    let c1 = t.child().unwrap();
+    let c2 = c1.child().unwrap();
+    c2.rmw(&"x".to_string(), |v| v + 1).unwrap();
+    c2.commit().unwrap();
+    c1.rmw(&"x".to_string(), |v| v * 10).unwrap();
+    c1.commit().unwrap();
+    t.rmw(&"x".to_string(), |v| v + 7).unwrap();
+    t.commit().unwrap();
+    assert_eq!(db.committed_value(&"x".to_string()), Some(17));
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"x".to_string()), Some(17));
+    assert!(r.stats().recovered_actions >= 3);
+}
+
+#[test]
+fn fsync_mode_syncs_once_per_top_level_commit() {
+    let (_vfs, db) = open_mem(fsync_config());
+    db.insert("a".to_string(), 0);
+
+    for _ in 0..3 {
+        let t = db.begin();
+        let c = t.child().unwrap();
+        c.rmw(&"a".to_string(), |v| v + 1).unwrap();
+        c.commit().unwrap(); // subtxn commit: revocable, must not fsync
+        t.commit().unwrap();
+    }
+    assert_eq!(db.stats().wal_fsyncs, 3);
+
+    let (_vfs2, db2) = open_mem(wal_config());
+    db2.insert("a".to_string(), 0);
+    let t = db2.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t.commit().unwrap();
+    assert_eq!(db2.stats().wal_fsyncs, 0, "Durability::Wal never fsyncs");
+}
+
+#[test]
+fn wal_append_conservation_holds() {
+    let (_vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 0);
+    db.insert("b".to_string(), 0);
+
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    let c = t.child().unwrap();
+    c.rmw(&"b".to_string(), |v| v + 1).unwrap();
+    c.commit().unwrap();
+    let dead = t.child().unwrap();
+    dead.abort();
+    t.commit().unwrap();
+
+    let s = db.stats();
+    assert_eq!(s.wal_appends, s.wal_appends_expected(2));
+}
+
+#[test]
+fn recover_of_recover_is_identity() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    db.insert("b".to_string(), 2);
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v * 3).unwrap();
+    t.commit().unwrap();
+    let hang = db.begin();
+    hang.rmw(&"b".to_string(), |v| v * 3).unwrap(); // in flight at crash
+
+    let bytes = vfs.snapshot(LOG);
+    let v1 = Arc::new(MemVfs::new());
+    v1.install(LOG, bytes);
+    let r1 = Db::<String, i64>::recover_with_vfs(v1.clone(), LOG, wal_config()).unwrap();
+    let after_first = v1.snapshot(LOG);
+
+    let v2 = Arc::new(MemVfs::new());
+    v2.install(LOG, after_first.clone());
+    let r2 = Db::<String, i64>::recover_with_vfs(v2.clone(), LOG, wal_config()).unwrap();
+
+    for k in ["a", "b"] {
+        assert_eq!(r1.committed_value(&k.to_string()), r2.committed_value(&k.to_string()));
+    }
+    assert_eq!(r1.committed_value(&"a".to_string()), Some(3));
+    assert_eq!(r1.committed_value(&"b".to_string()), Some(2));
+    // The second recovery replays a checkpoint-only log and rewrites an
+    // equivalent one: byte-identical modulo nothing (same snapshot order).
+    assert_eq!(after_first, v2.snapshot(LOG));
+    drop(hang);
+}
+
+#[test]
+fn checkpoint_truncates_the_log() {
+    let (vfs, db) = open_mem(wal_config());
+    for i in 0..8 {
+        db.insert(format!("k{i}"), i);
+    }
+    for _ in 0..5 {
+        let t = db.begin();
+        t.rmw(&"k0".to_string(), |v| v + 1).unwrap();
+        t.commit().unwrap();
+    }
+    let before = record_count(&vfs.snapshot(LOG));
+    db.checkpoint().unwrap();
+    let after = record_count(&vfs.snapshot(LOG));
+    assert!(after < before, "checkpoint must shrink the log ({before} -> {after})");
+    assert_eq!(after, 1, "idle checkpoint is a single snapshot record");
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"k0".to_string()), Some(5));
+    assert_eq!(r.committed_value(&"k7".to_string()), Some(7));
+}
+
+#[test]
+fn auto_checkpoint_triggers_on_commit_cadence() {
+    let config = DbConfig::builder().durability(Durability::Wal).checkpoint_every(2).build();
+    let (vfs, db) = open_mem(config);
+    db.insert("a".to_string(), 0);
+    for _ in 0..4 {
+        let t = db.begin();
+        t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+        t.commit().unwrap();
+    }
+    // Two auto-checkpoints fired; the log holds one snapshot record.
+    assert_eq!(record_count(&vfs.snapshot(LOG)), 1);
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(4));
+}
+
+#[test]
+fn checkpoint_preserves_live_transactions() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    db.insert("b".to_string(), 2);
+
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 100).unwrap();
+    db.checkpoint().unwrap(); // t is live: its Begin+Write must be re-logged
+    t.rmw(&"b".to_string(), |v| v + 100).unwrap();
+    t.commit().unwrap();
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(101));
+    assert_eq!(r.committed_value(&"b".to_string()), Some(102));
+}
+
+#[test]
+fn torn_tail_recovers_to_last_intact_record() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t.commit().unwrap();
+
+    // Tear the tail mid-record: everything after the last intact frame is
+    // a crash artifact and must be discarded, not rejected.
+    let bytes = vfs.snapshot(LOG);
+    let torn = bytes[..bytes.len() - 3].to_vec();
+    let fresh = Arc::new(MemVfs::new());
+    fresh.install(LOG, torn);
+    let r = Db::<String, i64>::recover_with_vfs(fresh, LOG, wal_config()).unwrap();
+    // The final Commit record was torn: the transaction is in flight and
+    // rolls back; the seed survives.
+    assert_eq!(r.committed_value(&"a".to_string()), Some(1));
+}
+
+#[test]
+fn armed_crash_during_commit_append_loses_only_that_commit() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+
+    let t0 = db.begin();
+    t0.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t0.commit().unwrap(); // durable: appended before the crash arms
+
+    // Crash mid-append of the *next* transaction's commit record.
+    let t1 = db.begin();
+    t1.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    vfs.arm_crash(0, 5); // next append: keep 5 bytes, then drop everything
+    let _ = t1.commit();
+    assert!(vfs.crashed());
+
+    let r = crash_recover(&vfs, wal_config());
+    assert_eq!(r.committed_value(&"a".to_string()), Some(2), "t0 durable, t1 rolled back");
+}
+
+#[test]
+fn open_truncates_an_existing_log() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 7);
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t.commit().unwrap();
+    drop(db);
+
+    // open() = fresh database: the old log must not leak into it.
+    let db2: Db<String, i64> = Db::open_with_vfs(vfs.clone(), LOG, wal_config()).unwrap();
+    assert_eq!(db2.committed_value(&"a".to_string()), None);
+    assert_eq!(record_count(&vfs.snapshot(LOG)), 0);
+}
+
+#[test]
+fn durability_none_writes_no_log() {
+    let vfs = Arc::new(MemVfs::new());
+    let db: Db<String, i64> = Db::open_with_vfs(vfs.clone(), LOG, DbConfig::default()).unwrap();
+    db.insert("a".to_string(), 1);
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t.commit().unwrap();
+    assert!(!vfs.exists(LOG));
+    assert_eq!(db.stats().wal_appends, 0);
+}
+
+#[test]
+fn recovered_db_accepts_new_transactions_and_stays_durable() {
+    let (vfs, db) = open_mem(wal_config());
+    db.insert("a".to_string(), 1);
+    let t = db.begin();
+    t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+    t.commit().unwrap();
+
+    let bytes = vfs.snapshot(LOG);
+    let v1 = Arc::new(MemVfs::new());
+    v1.install(LOG, bytes);
+    let r = Db::<String, i64>::recover_with_vfs(v1.clone(), LOG, wal_config()).unwrap();
+
+    // Life goes on: new work on the recovered db is durable in turn.
+    let t = r.begin();
+    let c = t.child().unwrap();
+    c.rmw(&"a".to_string(), |v| v * 10).unwrap();
+    c.commit().unwrap();
+    t.commit().unwrap();
+
+    let bytes = v1.snapshot(LOG);
+    let v2 = Arc::new(MemVfs::new());
+    v2.install(LOG, bytes);
+    let r2 = Db::<String, i64>::recover_with_vfs(v2, LOG, wal_config()).unwrap();
+    assert_eq!(r2.committed_value(&"a".to_string()), Some(20));
+}

@@ -1,0 +1,88 @@
+//! # rnt-wal
+//!
+//! The durable write-ahead log behind the resilient nested-transaction
+//! engine: an append-only, CRC-checksummed, length-prefixed record log
+//! plus the machinery to replay it after a crash.
+//!
+//! The paper's resilience model says a top-level action's effects are
+//! permanent exactly when its commit event happens (`perm(T)`, Lemma 7);
+//! everything below the top level is conditional and may be discarded.
+//! The log records mirror that: every action-tree transition is appended
+//! ([`Record::Begin`], [`Record::Write`], [`Record::Commit`],
+//! [`Record::Abort`]), but only *top-level* commits are durability
+//! points — they are the only records a caller may need fsynced before
+//! acking, because a subtransaction's commit is revocable until its
+//! ancestors all commit.
+//!
+//! Layout of a log file:
+//!
+//! ```text
+//! [8-byte magic "RNTWAL01"]
+//! [frame]*            frame = [len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! Reading is two-mode:
+//!
+//! * [`decode_strict`] — every byte must parse; any anomaly is a typed
+//!   [`WalError`] (format tests, fixtures);
+//! * [`scan`] — crash-recovery semantics: a *torn tail* (truncated length
+//!   prefix, incomplete payload, or a bad CRC on the final frame) ends the
+//!   log cleanly at the last good record, while corruption *before* the
+//!   tail is a hard error.
+//!
+//! I/O goes through the [`Vfs`] trait so the chaos harness can drive
+//! crash points deterministically: [`StdVfs`] is the real-file impl,
+//! [`MemVfs`] the in-memory fault-injecting one (armed torn appends,
+//! byte-level snapshots for prefix-cut crash simulation).
+
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod log;
+mod record;
+mod vfs;
+
+pub mod faults;
+
+pub use codec::{encode_to_vec, WalCodec};
+pub use error::WalError;
+pub use log::{decode_strict, frame, scan, Tail, Wal, MAGIC};
+pub use record::{Record, INIT_ACTION};
+pub use vfs::{MemVfs, StdVfs, Vfs};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"resilient nested transactions".to_vec();
+        let clean = crc32(&data);
+        for bit in 0..data.len() * 8 {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&flipped), clean, "bit {bit} undetected");
+        }
+    }
+}

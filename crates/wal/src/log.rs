@@ -1,0 +1,337 @@
+//! Framing, the two readers (strict and crash-tolerant), and the
+//! append/checkpoint writer.
+
+use crate::crc32;
+use crate::error::WalError;
+use crate::record::Record;
+use crate::vfs::Vfs;
+use std::sync::Arc;
+
+/// The 8-byte file header every log starts with.
+pub const MAGIC: &[u8; 8] = b"RNTWAL01";
+
+/// Wrap a record payload in a `[len][crc][payload]` frame.
+pub fn frame(record: &Record) -> Vec<u8> {
+    let payload = record.encode();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// How a [`scan`] ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tail {
+    /// The last frame ended exactly at end-of-file.
+    Clean,
+    /// The file ends in a torn record — the crash artifact recovery
+    /// discards. Carries the typed error describing the tear.
+    Torn(WalError),
+}
+
+/// Parse one frame starting at `offset`. Returns the record and the next
+/// offset. An error here is *positional*: the caller decides whether it is
+/// a tolerable tail tear or mid-log corruption.
+fn parse_frame(bytes: &[u8], offset: usize) -> Result<(Record, usize), WalError> {
+    let remaining = bytes.len() - offset;
+    if remaining < 8 {
+        return Err(WalError::TruncatedLength { offset });
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4")) as usize;
+    let stored = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4"));
+    if remaining - 8 < len {
+        return Err(WalError::TornRecord { offset, promised: len, present: remaining - 8 });
+    }
+    let payload = &bytes[offset + 8..offset + 8 + len];
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(WalError::BadCrc { offset, stored, computed });
+    }
+    let record = Record::decode(payload, offset)?;
+    Ok((record, offset + 8 + len))
+}
+
+fn check_magic(bytes: &[u8]) -> Result<(), WalError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(WalError::TruncatedMagic);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    Ok(())
+}
+
+/// Whether a positional frame error can be a crash artifact: every tear
+/// class reaches end-of-file, and a CRC mismatch counts only when the
+/// frame is the file's last (a torn buffered write), never mid-log.
+fn is_tail_tear(e: &WalError, bytes: &[u8]) -> bool {
+    match *e {
+        WalError::TruncatedLength { .. } | WalError::TornRecord { .. } => true,
+        WalError::BadCrc { offset, .. } => {
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4")) as usize;
+            offset + 8 + len == bytes.len()
+        }
+        _ => false,
+    }
+}
+
+/// Crash-recovery read: every intact record plus how the file ended.
+///
+/// A torn tail (see [`Tail::Torn`]) ends the log at the last good record;
+/// corruption before the tail — a bad CRC or malformed record with valid
+/// frames after it — is a hard error, as is a bad or truncated magic on a
+/// non-empty file. An entirely empty byte string is a valid empty log.
+pub fn scan(bytes: &[u8]) -> Result<(Vec<Record>, Tail), WalError> {
+    if bytes.is_empty() {
+        return Ok((Vec::new(), Tail::Clean));
+    }
+    if let Err(e) = check_magic(bytes) {
+        // A file shorter than the magic is itself a torn creation.
+        return match e {
+            WalError::TruncatedMagic => Ok((Vec::new(), Tail::Torn(e))),
+            other => Err(other),
+        };
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    while offset < bytes.len() {
+        match parse_frame(bytes, offset) {
+            Ok((record, next)) => {
+                records.push(record);
+                offset = next;
+            }
+            Err(e) if is_tail_tear(&e, bytes) => return Ok((records, Tail::Torn(e))),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((records, Tail::Clean))
+}
+
+/// Strict read: magic plus every frame must parse to end-of-file; any
+/// anomaly — including a torn tail — is the typed [`WalError`] for its
+/// corruption class. Format tests and fixtures use this mode.
+pub fn decode_strict(bytes: &[u8]) -> Result<Vec<Record>, WalError> {
+    check_magic(bytes)?;
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    while offset < bytes.len() {
+        let (record, next) = parse_frame(bytes, offset)?;
+        records.push(record);
+        offset = next;
+    }
+    Ok(records)
+}
+
+/// The append handle on one log file: frames records onto the Vfs and
+/// counts appends/fsyncs for the engine's stats.
+pub struct Wal {
+    vfs: Arc<dyn Vfs>,
+    path: String,
+    appends: u64,
+    fsyncs: u64,
+}
+
+impl Wal {
+    /// Open `path` for appending, writing the magic header if the file is
+    /// new. Existing contents are *not* validated here — recovery does
+    /// that with [`scan`] before constructing a `Wal`.
+    pub fn open(vfs: Arc<dyn Vfs>, path: &str) -> Result<Wal, WalError> {
+        if !vfs.exists(path) {
+            vfs.append(path, MAGIC)?;
+        }
+        Ok(Wal { vfs, path: path.to_string(), appends: 0, fsyncs: 0 })
+    }
+
+    /// Append one framed record.
+    pub fn append(&mut self, record: &Record) -> Result<(), WalError> {
+        self.vfs.append(&self.path, &frame(record))?;
+        self.appends += 1;
+        Ok(())
+    }
+
+    /// Durably flush all prior appends.
+    pub fn fsync(&mut self) -> Result<(), WalError> {
+        self.vfs.fsync(&self.path)?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Atomically rewrite the log as `records` (checkpoint truncation):
+    /// the new contents are fsynced into place before this returns.
+    pub fn rewrite(&mut self, records: &[Record]) -> Result<(), WalError> {
+        let mut bytes = MAGIC.to_vec();
+        for r in records {
+            bytes.extend_from_slice(&frame(r));
+        }
+        self.vfs.replace(&self.path, &bytes)?;
+        self.vfs.fsync(&self.path)?;
+        self.appends += records.len() as u64;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Records appended through this handle (including rewrites).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Fsyncs issued through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The Vfs this log writes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::Begin { action: 0, parent: None },
+            Record::Write { action: 0, key: vec![1], version: vec![10] },
+            Record::Begin { action: 1, parent: Some(0) },
+            Record::Write { action: 1, key: vec![1], version: vec![20] },
+            Record::Commit { action: 1 },
+            Record::Commit { action: 0 },
+        ]
+    }
+
+    fn bytes_of(records: &[Record]) -> Vec<u8> {
+        let mut bytes = MAGIC.to_vec();
+        for r in records {
+            bytes.extend_from_slice(&frame(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let vfs = Arc::new(MemVfs::new());
+        let mut wal = Wal::open(vfs.clone(), "t.wal").unwrap();
+        for r in sample() {
+            wal.append(&r).unwrap();
+        }
+        wal.fsync().unwrap();
+        assert_eq!(wal.appends(), 6);
+        assert_eq!(wal.fsyncs(), 1);
+        let (records, tail) = scan(&vfs.snapshot("t.wal")).unwrap();
+        assert_eq!(records, sample());
+        assert_eq!(tail, Tail::Clean);
+        assert_eq!(decode_strict(&vfs.snapshot("t.wal")).unwrap(), sample());
+    }
+
+    #[test]
+    fn reopen_appends_after_existing() {
+        let vfs = Arc::new(MemVfs::new());
+        let mut wal = Wal::open(vfs.clone(), "t.wal").unwrap();
+        wal.append(&Record::Begin { action: 0, parent: None }).unwrap();
+        drop(wal);
+        let mut wal = Wal::open(vfs.clone(), "t.wal").unwrap();
+        wal.append(&Record::Abort { action: 0 }).unwrap();
+        let (records, tail) = scan(&vfs.snapshot("t.wal")).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(tail, Tail::Clean);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_by_scan_only() {
+        let full = bytes_of(&sample());
+        // Every strict prefix that cuts into the last frame scans to the
+        // first 5 records with a Torn tail.
+        let last_frame = frame(&Record::Commit { action: 0 });
+        for cut in (full.len() - last_frame.len() + 1)..full.len() {
+            let prefix = &full[..cut];
+            let (records, tail) = scan(prefix).unwrap();
+            assert_eq!(records.len(), 5, "cut {cut}");
+            assert!(matches!(tail, Tail::Torn(_)), "cut {cut}");
+            assert!(decode_strict(prefix).is_err(), "strict must reject cut {cut}");
+        }
+    }
+
+    #[test]
+    fn every_byte_prefix_scans_or_fails_typed() {
+        let full = bytes_of(&sample());
+        for cut in 0..=full.len() {
+            let prefix = &full[..cut];
+            match scan(prefix) {
+                Ok((records, _)) => assert!(records.len() <= 6),
+                Err(e) => panic!("prefix cut {cut} must scan (got {e})"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_log_bitflip_is_a_hard_error() {
+        let full = bytes_of(&sample());
+        // Flip a payload byte of the FIRST record: scan must fail (valid
+        // frames follow, so this cannot be a torn tail).
+        let mut corrupt = full.clone();
+        corrupt[MAGIC.len() + 8] ^= 0x40;
+        match scan(&corrupt) {
+            Err(WalError::BadCrc { offset, .. }) => assert_eq!(offset, MAGIC.len()),
+            other => panic!("expected mid-log BadCrc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tail_bitflip_is_a_torn_tail() {
+        let full = bytes_of(&sample());
+        let mut corrupt = full.clone();
+        let last = full.len() - 1;
+        corrupt[last] ^= 0x01;
+        let (records, tail) = scan(&corrupt).unwrap();
+        assert_eq!(records.len(), 5, "last record discarded");
+        assert!(matches!(tail, Tail::Torn(WalError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = bytes_of(&sample());
+        bytes[0] = b'X';
+        assert_eq!(scan(&bytes), Err(WalError::BadMagic));
+        assert_eq!(decode_strict(&bytes), Err(WalError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_magic_is_torn_for_scan() {
+        let (records, tail) = scan(b"RNTW").unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tail, Tail::Torn(WalError::TruncatedMagic));
+        assert_eq!(decode_strict(b"RNTW"), Err(WalError::TruncatedMagic));
+    }
+
+    #[test]
+    fn empty_bytes_are_an_empty_log() {
+        assert_eq!(scan(b"").unwrap(), (Vec::new(), Tail::Clean));
+    }
+
+    #[test]
+    fn rewrite_truncates() {
+        let vfs = Arc::new(MemVfs::new());
+        let mut wal = Wal::open(vfs.clone(), "t.wal").unwrap();
+        for r in sample() {
+            wal.append(&r).unwrap();
+        }
+        let checkpoint = Record::Checkpoint { snapshot: vec![(vec![1], vec![20])] };
+        wal.rewrite(std::slice::from_ref(&checkpoint)).unwrap();
+        let (records, tail) = scan(&vfs.snapshot("t.wal")).unwrap();
+        assert_eq!(records, vec![checkpoint]);
+        assert_eq!(tail, Tail::Clean);
+        // Appends continue after the rewritten contents.
+        wal.append(&Record::Begin { action: 9, parent: None }).unwrap();
+        let (records, _) = scan(&vfs.snapshot("t.wal")).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! The virtual filesystem the log talks through: a real-file impl and an
+//! in-memory fault-injecting impl the chaos harness drives.
+
+use crate::error::WalError;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// The I/O surface a write-ahead log needs. Deliberately tiny: append,
+/// fsync, whole-file read, and an atomic replace for checkpoint rewrites.
+pub trait Vfs: Send + Sync {
+    /// Append `data` to the file at `path`, creating it if absent.
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), WalError>;
+    /// Durably flush previous appends to `path`.
+    fn fsync(&self, path: &str) -> Result<(), WalError>;
+    /// Read the entire file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, WalError>;
+    /// Atomically replace the file's contents (checkpoint rewrite): after
+    /// a crash the file holds either the old bytes or the new, never a mix.
+    fn replace(&self, path: &str, data: &[u8]) -> Result<(), WalError>;
+    /// True iff the file exists.
+    fn exists(&self, path: &str) -> bool;
+}
+
+fn io_err(op: &'static str) -> impl FnOnce(std::io::Error) -> WalError {
+    move |e| WalError::Io { op, detail: e.to_string() }
+}
+
+/// The real-file [`Vfs`]: appends through a cached `File` handle, fsync is
+/// `sync_data`, replace is write-temp + rename (atomic on POSIX).
+#[derive(Default)]
+pub struct StdVfs {
+    handles: Mutex<HashMap<String, std::fs::File>>,
+}
+
+impl StdVfs {
+    /// A fresh real-file Vfs.
+    pub fn new() -> Self {
+        StdVfs::default()
+    }
+
+    fn with_handle<R>(
+        &self,
+        path: &str,
+        op: &'static str,
+        f: impl FnOnce(&mut std::fs::File) -> std::io::Result<R>,
+    ) -> Result<R, WalError> {
+        let mut handles = self.handles.lock().expect("vfs lock");
+        if !handles.contains_key(path) {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(io_err(op))?;
+            handles.insert(path.to_string(), file);
+        }
+        f(handles.get_mut(path).expect("just inserted")).map_err(io_err(op))
+    }
+}
+
+impl Vfs for StdVfs {
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), WalError> {
+        self.with_handle(path, "append", |f| f.write_all(data))
+    }
+
+    fn fsync(&self, path: &str) -> Result<(), WalError> {
+        self.with_handle(path, "fsync", |f| f.sync_data())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, WalError> {
+        std::fs::read(path).map_err(io_err("read"))
+    }
+
+    fn replace(&self, path: &str, data: &[u8]) -> Result<(), WalError> {
+        let tmp = format!("{path}.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io_err("replace-create"))?;
+            f.write_all(data).map_err(io_err("replace-write"))?;
+            f.sync_data().map_err(io_err("replace-sync"))?;
+        }
+        // Drop the stale append handle before the rename so later appends
+        // reopen the new file rather than writing to the unlinked inode.
+        self.handles.lock().expect("vfs lock").remove(path);
+        std::fs::rename(&tmp, path).map_err(io_err("rename"))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        std::path::Path::new(path).exists()
+    }
+}
+
+/// The in-memory fault-injecting [`Vfs`].
+///
+/// Besides behaving as a plain RAM filesystem, it models the crash the
+/// recovery path exists for: [`MemVfs::arm_crash`] makes the `n`-th
+/// subsequent append *tear* — only a prefix of its bytes lands — and
+/// silently swallows everything after it, exactly what a power cut during
+/// a buffered write leaves behind. [`MemVfs::snapshot`] exposes the raw
+/// bytes so harnesses can also cut, flip, or truncate them explicitly
+/// (see [`crate::faults`]) and hand them to recovery.
+#[derive(Default)]
+pub struct MemVfs {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+    /// `Some((appends_left, keep_bytes))`: after `appends_left` more whole
+    /// appends, the next one keeps only `keep_bytes` bytes and the file
+    /// stops accepting writes.
+    crash: Mutex<Option<(u64, usize)>>,
+    crashed: Mutex<bool>,
+}
+
+impl MemVfs {
+    /// A fresh, empty, fault-free in-memory Vfs.
+    pub fn new() -> Self {
+        MemVfs::default()
+    }
+
+    /// Arm a torn-write crash: the next `whole_appends` appends land
+    /// intact, the one after lands only its first `keep_bytes` bytes, and
+    /// every append past that is silently dropped (the process is "dead").
+    pub fn arm_crash(&self, whole_appends: u64, keep_bytes: usize) {
+        *self.crash.lock().expect("vfs lock") = Some((whole_appends, keep_bytes));
+    }
+
+    /// True once an armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        *self.crashed.lock().expect("vfs lock")
+    }
+
+    /// The file's current raw bytes (empty if absent).
+    pub fn snapshot(&self, path: &str) -> Vec<u8> {
+        self.files.lock().expect("vfs lock").get(path).cloned().unwrap_or_default()
+    }
+
+    /// Overwrite the file's raw bytes (installing a corrupted or cut log).
+    pub fn install(&self, path: &str, bytes: Vec<u8>) {
+        self.files.lock().expect("vfs lock").insert(path.to_string(), bytes);
+    }
+}
+
+impl Vfs for MemVfs {
+    fn append(&self, path: &str, data: &[u8]) -> Result<(), WalError> {
+        if *self.crashed.lock().expect("vfs lock") {
+            return Ok(()); // post-crash writes vanish
+        }
+        let mut keep = data.len();
+        {
+            let mut crash = self.crash.lock().expect("vfs lock");
+            if let Some((left, keep_bytes)) = crash.as_mut() {
+                if *left == 0 {
+                    keep = (*keep_bytes).min(data.len());
+                    *crash = None;
+                    *self.crashed.lock().expect("vfs lock") = true;
+                } else {
+                    *left -= 1;
+                }
+            }
+        }
+        let mut files = self.files.lock().expect("vfs lock");
+        files.entry(path.to_string()).or_default().extend_from_slice(&data[..keep]);
+        Ok(())
+    }
+
+    fn fsync(&self, _path: &str) -> Result<(), WalError> {
+        Ok(())
+    }
+
+    fn read(&self, path: &str) -> Result<Vec<u8>, WalError> {
+        self.files
+            .lock()
+            .expect("vfs lock")
+            .get(path)
+            .cloned()
+            .ok_or(WalError::Io { op: "read", detail: format!("{path}: not found") })
+    }
+
+    fn replace(&self, path: &str, data: &[u8]) -> Result<(), WalError> {
+        if *self.crashed.lock().expect("vfs lock") {
+            return Ok(());
+        }
+        self.files.lock().expect("vfs lock").insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.lock().expect("vfs lock").contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_appends_and_reads() {
+        let vfs = MemVfs::new();
+        vfs.append("a.wal", b"abc").unwrap();
+        vfs.append("a.wal", b"def").unwrap();
+        assert_eq!(vfs.read("a.wal").unwrap(), b"abcdef");
+        assert!(vfs.exists("a.wal"));
+        assert!(!vfs.exists("b.wal"));
+    }
+
+    #[test]
+    fn mem_vfs_torn_crash() {
+        let vfs = MemVfs::new();
+        vfs.arm_crash(1, 2);
+        vfs.append("a.wal", b"first").unwrap(); // intact
+        vfs.append("a.wal", b"second").unwrap(); // torn: only "se"
+        vfs.append("a.wal", b"third").unwrap(); // dropped
+        assert!(vfs.crashed());
+        assert_eq!(vfs.read("a.wal").unwrap(), b"firstse");
+    }
+
+    #[test]
+    fn mem_vfs_replace_is_whole() {
+        let vfs = MemVfs::new();
+        vfs.append("a.wal", b"old").unwrap();
+        vfs.replace("a.wal", b"new-contents").unwrap();
+        assert_eq!(vfs.read("a.wal").unwrap(), b"new-contents");
+    }
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rnt-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        let vfs = StdVfs::new();
+        vfs.append(path, b"abc").unwrap();
+        vfs.fsync(path).unwrap();
+        vfs.append(path, b"def").unwrap();
+        assert_eq!(vfs.read(path).unwrap(), b"abcdef");
+        vfs.replace(path, b"xyz").unwrap();
+        assert_eq!(vfs.read(path).unwrap(), b"xyz");
+        vfs.append(path, b"!").unwrap();
+        assert_eq!(vfs.read(path).unwrap(), b"xyz!");
+        let _ = std::fs::remove_file(path);
+    }
+}
