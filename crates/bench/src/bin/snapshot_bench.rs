@@ -1,0 +1,49 @@
+//! Snapshot-read vs locked-read benchmark.
+//!
+//! Usage: `snapshot_bench [--smoke] [--out PATH]`
+//!
+//! Runs N writers against M readers on a hot Zipf key space, comparing
+//! lock-free `Db::snapshot` reads against read-locked transactions, then
+//! writes the JSON report (default `BENCH_snapshot.json`). `--smoke` runs
+//! a reduced grid for CI; the committed baseline is produced by a full
+//! run.
+
+use rnt_bench::snapshot_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_snapshot.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| mode | threads | W/R | reads/s | writer commits/s | conflicts | reclaimed |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {}/{} | {:.0} | {:.0} | {} | {} |",
+            r.mode,
+            r.threads,
+            r.writers,
+            r.readers,
+            r.reads_per_sec,
+            r.writer_commits_per_sec,
+            r.conflicts,
+            r.versions_reclaimed
+        );
+    }
+    println!();
+    for s in &report.speedups {
+        println!("snapshot/locked read throughput at {} threads: {:.2}x", s.threads, s.ratio);
+    }
+    println!("headline (max threads): {:.2}x", report.headline_speedup);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.rows.len());
+}

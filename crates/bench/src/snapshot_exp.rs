@@ -1,0 +1,263 @@
+//! Snapshot-read benchmark: lock-free MVCC snapshot reads vs locked
+//! transactional reads under a write-heavy contending workload.
+//!
+//! N writer threads hammer a small Zipf-skewed key space with `rmw`
+//! transactions while M reader threads scan batches of keys — either
+//! through the lock manager (a read-only transaction per batch, taking a
+//! read lock per key and colliding with the writers' write locks) or
+//! through [`rnt_core::Db::snapshot`] (one pin per batch, zero locks).
+//! Both arms read the same seeded key sequence; each rep runs them
+//! back-to-back with the same seed and the pair with the median
+//! throughput ratio is reported, cancelling host-load drift out of the
+//! comparison (same protocol as the contention benchmark). The
+//! `snapshot_bench` binary renders the result as `BENCH_snapshot.json`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rnt_core::{Db, DbConfig, DeadlockPolicy};
+use rnt_sim::engine::ZipfSampler;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Keys each reader touches per batch (one transaction or one pin).
+const BATCH: usize = 16;
+/// The key-space size: small enough that the Zipf head is genuinely hot.
+const KEYS: u64 = 128;
+/// Zipf exponent for both writers and readers.
+const ZIPF_S: f64 = 1.1;
+
+/// How a reader arm performs its reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// A read-only transaction per batch: read locks through the lock
+    /// manager, conflicting with writer-held write locks.
+    Locked,
+    /// A pinned snapshot per batch: no lock-manager interaction at all.
+    Snapshot,
+}
+
+impl ReadMode {
+    fn label(self) -> &'static str {
+        match self {
+            ReadMode::Locked => "locked",
+            ReadMode::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    /// Read mode: "locked" or "snapshot".
+    pub mode: String,
+    /// Total threads (writers + readers).
+    pub threads: usize,
+    /// Writer threads.
+    pub writers: usize,
+    /// Reader threads.
+    pub readers: usize,
+    /// Reads completed across all readers.
+    pub reads: u64,
+    /// Reads per second (the headline quantity).
+    pub reads_per_sec: f64,
+    /// Writer transactions committed during the read window.
+    pub writer_commits: u64,
+    /// Writer commits per second over the read window.
+    pub writer_commits_per_sec: f64,
+    /// Lock conflicts observed engine-wide over the window.
+    pub conflicts: u64,
+    /// Snapshot reads counted by the engine (0 for the locked arm).
+    pub snapshot_reads: u64,
+    /// Versions reclaimed by epoch GC during the window.
+    pub versions_reclaimed: u64,
+}
+
+/// Snapshot/locked read-throughput ratio at one thread count.
+#[derive(Clone, Debug, Serialize)]
+pub struct Speedup {
+    /// Total threads.
+    pub threads: usize,
+    /// snapshot reads/s divided by locked reads/s.
+    pub ratio: f64,
+}
+
+/// The full benchmark report serialized to `BENCH_snapshot.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// Host core count (context for absolute numbers).
+    pub host_cores: usize,
+    /// Every measured cell.
+    pub rows: Vec<BenchRow>,
+    /// Per-thread-count snapshot/locked ratios.
+    pub speedups: Vec<Speedup>,
+    /// The ratio at the highest thread count — the acceptance headline:
+    /// snapshot reads must beat locked reads write-heavy at 8 threads.
+    pub headline_speedup: f64,
+}
+
+fn db_for(threads: usize) -> Db<u64, i64> {
+    // NoWait + Db::run retry: a locked read that collides with a writer
+    // aborts and retries rather than parking, which is the strongest
+    // version of the locked arm on a small host (no 10 ms timeout cliffs
+    // inflating the snapshot side's win).
+    let config = DbConfig::builder().policy(DeadlockPolicy::NoWait).shards(threads.max(1)).build();
+    let db = Db::with_config(config);
+    for k in 0..KEYS {
+        db.insert(k, k as i64);
+    }
+    db
+}
+
+/// Run one cell: writers spin until the readers finish their quota.
+fn measure_once(mode: ReadMode, threads: usize, smoke: bool, seed: u64) -> BenchRow {
+    let writers = (threads / 2).max(1);
+    let readers = (threads - writers).max(1);
+    let batches_per_reader: usize = if smoke { 150 } else { 1500 };
+
+    let db = db_for(threads);
+    let stop = Arc::new(AtomicBool::new(false));
+    let commits_before = db.stats().committed;
+
+    let mut writer_handles = Vec::new();
+    for w in 0..writers {
+        let db = db.clone();
+        let stop = stop.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ (w as u64 + 1) << 8);
+        writer_handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(KEYS, ZIPF_S);
+            while !stop.load(Ordering::Relaxed) {
+                let key = zipf.sample(&mut rng);
+                let _ = db.run_with_retries(64, |t| t.rmw(&key, |v| v + 1));
+            }
+        }));
+    }
+
+    let start = Instant::now();
+    let mut reader_handles = Vec::new();
+    for r in 0..readers {
+        let db = db.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ (r as u64 + 1) << 24);
+        reader_handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(KEYS, ZIPF_S);
+            let mut sum = 0i64;
+            let mut reads = 0u64;
+            for _ in 0..batches_per_reader {
+                let keys: Vec<u64> = (0..BATCH).map(|_| zipf.sample(&mut rng)).collect();
+                match mode {
+                    ReadMode::Locked => {
+                        sum += db
+                            .run(|t| {
+                                let mut s = 0i64;
+                                for key in &keys {
+                                    s += t.read(key)?;
+                                }
+                                Ok(s)
+                            })
+                            .unwrap_or(0);
+                    }
+                    ReadMode::Snapshot => {
+                        let snap = db.snapshot();
+                        for key in &keys {
+                            sum += snap.read(key).unwrap_or(0);
+                        }
+                    }
+                }
+                reads += BATCH as u64;
+            }
+            std::hint::black_box(sum);
+            reads
+        }));
+    }
+
+    let reads: u64 = reader_handles.into_iter().map(|h| h.join().expect("reader")).sum();
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for h in writer_handles {
+        h.join().expect("writer");
+    }
+
+    let stats = db.stats();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let writer_commits = stats.committed - commits_before;
+    BenchRow {
+        mode: mode.label().into(),
+        threads,
+        writers,
+        readers,
+        reads,
+        reads_per_sec: reads as f64 / secs,
+        writer_commits,
+        writer_commits_per_sec: writer_commits as f64 / secs,
+        conflicts: stats.conflicts,
+        snapshot_reads: stats.snapshot_reads,
+        versions_reclaimed: stats.versions_reclaimed,
+    }
+}
+
+/// Measure one thread count as a paired locked/snapshot comparison and
+/// report the median-ratio pair (see the module docs).
+fn measure_pair(threads: usize, smoke: bool) -> (BenchRow, BenchRow) {
+    let reps = if smoke { 1 } else { 5 };
+    let mut pairs: Vec<(BenchRow, BenchRow)> = (0..reps)
+        .map(|rep| {
+            let seed = 0x5AA9 ^ threads as u64 ^ (rep as u64) << 16;
+            let l = measure_once(ReadMode::Locked, threads, smoke, seed);
+            let s = measure_once(ReadMode::Snapshot, threads, smoke, seed);
+            (l, s)
+        })
+        .collect();
+    let ratio = |p: &(BenchRow, BenchRow)| p.1.reads_per_sec / p.0.reads_per_sec.max(1e-9);
+    pairs.sort_by(|x, y| ratio(x).total_cmp(&ratio(y)));
+    pairs.swap_remove(pairs.len() / 2)
+}
+
+/// Run the full sweep and assemble the report.
+pub fn run_bench(smoke: bool) -> BenchReport {
+    let thread_counts: &[usize] = if smoke { &[2, 8] } else { &[2, 4, 8] };
+    let max_threads = *thread_counts.last().unwrap();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &threads in thread_counts {
+        eprintln!("snapshot bench: {threads} threads...");
+        let (l, s) = measure_pair(threads, smoke);
+        speedups.push(Speedup { threads, ratio: s.reads_per_sec / l.reads_per_sec.max(1e-9) });
+        rows.push(l);
+        rows.push(s);
+    }
+    let headline_speedup =
+        speedups.iter().find(|s| s.threads == max_threads).map(|s| s.ratio).unwrap_or(0.0);
+    BenchReport {
+        schema: "rnt-bench/snapshot-read/v1".into(),
+        smoke,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+        speedups,
+        headline_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_cell() {
+        let report = run_bench(true);
+        // 2 modes x 2 thread counts.
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.speedups.len(), 2);
+        assert!(report.rows.iter().all(|r| r.reads > 0));
+        let snapshot_rows: Vec<_> = report.rows.iter().filter(|r| r.mode == "snapshot").collect();
+        assert!(snapshot_rows.iter().all(|r| r.snapshot_reads >= r.reads));
+        assert!(report.rows.iter().filter(|r| r.mode == "locked").all(|r| r.snapshot_reads == 0));
+        assert!(report.headline_speedup.is_finite() && report.headline_speedup > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("snapshot-read"));
+    }
+}

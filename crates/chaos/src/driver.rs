@@ -19,10 +19,10 @@ use crate::schedule::{FaultEvent, FaultKind, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnt_core::chaos::{AccessFault, Injector};
-use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability, Txn, TxnError, TxnId};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability, Snapshot, Txn, TxnError, TxnId};
 use rnt_wal::faults::record_count;
 use rnt_wal::MemVfs;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -56,6 +56,13 @@ pub struct ChaosConfig {
     /// oracle: whatever bytes the (possibly crashed) log holds at the end
     /// must recover to the reference interpreter's committed state.
     pub wal: bool,
+    /// Interleave lock-free snapshot readers with the workers: the seeded
+    /// schedule opens/reads/drops [`rnt_core::Snapshot`]s between steps and
+    /// asserts every pinned view stays frozen at the state captured when it
+    /// was opened (for WAL runs, additionally cross-checked against the
+    /// reference trace's state at the pinned epoch). Off by default so
+    /// pre-existing seed fingerprints stay comparable.
+    pub snapshots: bool,
 }
 
 impl Default for ChaosConfig {
@@ -72,6 +79,7 @@ impl Default for ChaosConfig {
             max_steps: 10_000,
             check_after_each_fault: true,
             wal: false,
+            snapshots: false,
         }
     }
 }
@@ -86,6 +94,17 @@ impl ChaosConfig {
     /// recovery oracle enabled.
     pub fn seeded_wal(seed: u64) -> Self {
         ChaosConfig { wal: true, ..ChaosConfig::seeded(seed) }
+    }
+
+    /// [`ChaosConfig::seeded`] with interleaved snapshot readers.
+    pub fn seeded_snapshots(seed: u64) -> Self {
+        ChaosConfig { snapshots: true, ..ChaosConfig::seeded(seed) }
+    }
+
+    /// [`ChaosConfig::seeded_wal`] with interleaved snapshot readers (the
+    /// full oracle: faulty writers, crash points, epoch cross-checks).
+    pub fn seeded_wal_snapshots(seed: u64) -> Self {
+        ChaosConfig { snapshots: true, ..ChaosConfig::seeded_wal(seed) }
     }
 
     /// The deadlock policy this seed runs under: both are non-blocking, so
@@ -385,6 +404,115 @@ fn apply_fault(
     }
 }
 
+/// An open snapshot pin paired with the committed state captured when it
+/// was opened — the state it must keep answering with until dropped.
+type PinnedSnap = (Snapshot<u64, i64>, BTreeMap<u64, i64>);
+
+/// The committed state, key by key — what a snapshot opened *now* must
+/// keep returning forever (the driver is single-threaded, so no commit
+/// can land between the pin and this capture).
+fn committed_state(db: &Db<u64, i64>, keys: u64) -> BTreeMap<u64, i64> {
+    (0..keys.max(1)).filter_map(|k| db.committed_value(&k).map(|v| (k, v))).collect()
+}
+
+/// One seeded snapshot-schedule step: sometimes open a snapshot (capturing
+/// the state it must stay frozen at, and for live WAL runs cross-checking
+/// that state against the reference trace at the pinned epoch), sometimes
+/// re-read a pinned snapshot against its capture, sometimes drop one.
+fn step_snapshots(
+    config: &ChaosConfig,
+    db: &Db<u64, i64>,
+    vfs: Option<&Arc<MemVfs>>,
+    rng: &mut StdRng,
+    snaps: &mut Vec<PinnedSnap>,
+) -> Result<(), String> {
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    if roll < 0.15 && snaps.len() < 3 {
+        let snap = db.snapshot();
+        let expected = committed_state(db, config.keys);
+        if let Some(vfs) = vfs {
+            // Cross-check against the independent interpreter: the state
+            // the log proves was committed at the pinned epoch must be
+            // exactly what the engine pinned. Skipped once the simulated
+            // disk has died — the in-memory engine keeps running, so the
+            // log is legitimately behind.
+            if !vfs.crashed() {
+                let (records, _) = rnt_wal::scan(&vfs.snapshot(recovery::WAL_PATH))
+                    .map_err(|e| format!("snapshot cross-check scan: {e}"))?;
+                let trace = recovery::reference_trace(&records)
+                    .map_err(|e| format!("snapshot cross-check trace: {e}"))?;
+                let at_epoch = trace.state_at(snap.epoch());
+                if at_epoch != expected {
+                    return Err(format!(
+                        "snapshot at epoch {} disagrees with the reference trace: \
+                         engine {expected:?}, trace {at_epoch:?}",
+                        snap.epoch()
+                    ));
+                }
+            }
+        }
+        snaps.push((snap, expected));
+    } else if roll < 0.50 && !snaps.is_empty() {
+        let (snap, expected) = &snaps[rng.gen_range(0..snaps.len())];
+        let key = rng.gen_range(0..config.keys.max(1));
+        let got = snap.read(&key);
+        if got != expected.get(&key).copied() {
+            return Err(format!(
+                "pinned snapshot (epoch {}) moved at key {key}: read {got:?}, pinned {:?}",
+                snap.epoch(),
+                expected.get(&key)
+            ));
+        }
+    } else if roll < 0.65 && !snaps.is_empty() {
+        let i = rng.gen_range(0..snaps.len());
+        snaps.swap_remove(i);
+    }
+    Ok(())
+}
+
+/// Teardown obligations of the snapshot schedule: every still-open
+/// snapshot re-verifies in full, and once all pins drop, epoch GC must
+/// collapse every chain back to length 1 with counters conserving.
+fn finish_snapshots(
+    config: &ChaosConfig,
+    db: &Db<u64, i64>,
+    snaps: Vec<PinnedSnap>,
+) -> Result<(), String> {
+    for (snap, expected) in &snaps {
+        for k in 0..config.keys.max(1) {
+            let got = snap.read(&k);
+            if got != expected.get(&k).copied() {
+                return Err(format!(
+                    "snapshot (epoch {}) diverged by teardown at key {k}: read {got:?}, \
+                     pinned {:?}",
+                    snap.epoch(),
+                    expected.get(&k)
+                ));
+            }
+        }
+    }
+    drop(snaps);
+    let stats = db.stats();
+    if stats.snapshot_pins_live != 0 {
+        return Err(format!("{} pins still live after teardown", stats.snapshot_pins_live));
+    }
+    let mut held = 0u64;
+    for k in 0..config.keys.max(1) {
+        let chain = db.version_chain(&k);
+        held += chain.len() as u64;
+        if chain.len() != 1 {
+            return Err(format!("chain for key {k} not reclaimed after all snapshots dropped"));
+        }
+    }
+    if stats.versions_created - stats.versions_reclaimed != held {
+        return Err(format!(
+            "version conservation violated: created {} - reclaimed {} != held {held}",
+            stats.versions_created, stats.versions_reclaimed
+        ));
+    }
+    Ok(())
+}
+
 /// FNV-1a over the audit log and the applied-fault trace.
 fn fingerprint(db: &Db<u64, i64>, applied: &[String]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -450,6 +578,11 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     let mut next_fault = 0;
     let mut step = 0;
 
+    // Open snapshot pins, each with the committed state captured at pin
+    // time — the state it must keep answering with until dropped.
+    let mut snaps: Vec<PinnedSnap> = Vec::new();
+    let mut snap_rng = StdRng::seed_from_u64(config.seed ^ 0x5AAB_5EED);
+
     'run: while step < config.max_steps {
         while next_fault < plan.faults.len() && plan.faults[next_fault].at_step <= step {
             let fault = &plan.faults[next_fault];
@@ -462,6 +595,14 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
                         break 'run;
                     }
                 }
+            }
+        }
+        if config.snapshots {
+            if let Err(detail) =
+                step_snapshots(config, &db, vfs.as_ref(), &mut snap_rng, &mut snaps)
+            {
+                verdict = Err(ChaosFailure { step, detail });
+                break 'run;
             }
         }
         let live: Vec<usize> =
@@ -477,6 +618,12 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     for w in &mut workers {
         w.teardown();
     }
+    if verdict.is_ok() && config.snapshots {
+        if let Err(detail) = finish_snapshots(config, &db, std::mem::take(&mut snaps)) {
+            verdict = Err(ChaosFailure { step, detail });
+        }
+    }
+    drop(snaps);
     if verdict.is_ok() {
         // Quiescence: every handle is closed; the full oracle must pass and
         // every lock table must have drained.

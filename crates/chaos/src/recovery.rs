@@ -58,28 +58,73 @@ fn dec_i64(bytes: &[u8], what: &str) -> Result<i64, String> {
     <i64 as WalCodec>::decode(bytes).ok_or_else(|| format!("undecodable {what}"))
 }
 
+/// The reference interpreter's full output: the committed state *indexed
+/// by commit epoch*, so the snapshot oracle can ask "what was the
+/// committed state at epoch `e`?" and compare it against a pinned
+/// [`rnt_core::Snapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceTrace {
+    /// Genesis state: checkpoint snapshot entries plus init writes. These
+    /// are epoch-0 (or pre-checkpoint) values, visible at every epoch.
+    base: BTreeMap<u64, i64>,
+    /// Per-epoch committed effect batches, one per effective top-level
+    /// commit, keyed by the epoch its `Commit` record carries.
+    batches: BTreeMap<u64, BTreeMap<u64, i64>>,
+}
+
+impl ReferenceTrace {
+    /// The committed state as of `epoch`: base plus every batch ≤ it.
+    pub fn state_at(&self, epoch: u64) -> BTreeMap<u64, i64> {
+        let mut state = self.base.clone();
+        for batch in self.batches.range(..=epoch).map(|(_, b)| b) {
+            state.extend(batch.iter().map(|(&k, &v)| (k, v)));
+        }
+        state
+    }
+
+    /// The final committed state (every epoch applied).
+    pub fn committed(&self) -> BTreeMap<u64, i64> {
+        self.state_at(u64::MAX)
+    }
+
+    /// The highest commit epoch in the trace (0 if none).
+    pub fn max_epoch(&self) -> u64 {
+        self.batches.keys().next_back().copied().unwrap_or(0)
+    }
+}
+
 /// Interpret a record stream with plain maps: per-action pending write
 /// sets, merged into the parent on commit, discarded on abort, applied to
-/// the base only by a *top-level* commit. Returns the committed state —
-/// what a crash immediately after the last record must preserve, and
-/// nothing more.
-pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, String> {
-    let mut base: BTreeMap<u64, i64> = BTreeMap::new();
+/// the base only by a *top-level* commit — at the commit epoch the record
+/// carries. Returns the full epoch-indexed trace; the committed state is
+/// [`ReferenceTrace::committed`] — what a crash immediately after the last
+/// record must preserve, and nothing more.
+pub fn reference_trace(records: &[Record]) -> Result<ReferenceTrace, String> {
+    let mut trace = ReferenceTrace::default();
+    let mut last_epoch = 0u64;
     let mut parent: HashMap<u64, Option<u64>> = HashMap::new();
     let mut status: HashMap<u64, RefStatus> = HashMap::new();
     let mut pending: HashMap<u64, BTreeMap<u64, i64>> = HashMap::new();
     for (i, record) in records.iter().enumerate() {
         match record {
-            Record::Checkpoint { snapshot } => {
+            Record::Checkpoint { epoch, snapshot } => {
                 if i != 0 {
                     return Err(format!("checkpoint at record {i}, not at log start"));
                 }
-                for (kb, vb) in snapshot {
-                    base.insert(dec_u64(kb, "checkpoint key")?, dec_i64(vb, "checkpoint value")?);
+                last_epoch = *epoch;
+                for (kb, e, vb) in snapshot {
+                    if *e > *epoch {
+                        return Err(format!(
+                            "checkpoint entry epoch {e} above the checkpoint watermark {epoch}"
+                        ));
+                    }
+                    trace
+                        .base
+                        .insert(dec_u64(kb, "checkpoint key")?, dec_i64(vb, "checkpoint value")?);
                 }
             }
             Record::Write { action, key, version } if *action == INIT_ACTION => {
-                base.insert(dec_u64(key, "init key")?, dec_i64(version, "init value")?);
+                trace.base.insert(dec_u64(key, "init key")?, dec_i64(version, "init value")?);
             }
             Record::Begin { action, parent: p } => {
                 parent.insert(*action, *p);
@@ -95,7 +140,7 @@ pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, Str
                     .or_default()
                     .insert(dec_u64(key, "key")?, dec_i64(version, "value")?);
             }
-            Record::Commit { action } => {
+            Record::Commit { action, epoch } => {
                 match status.get(action) {
                     None => continue, // pruned by a checkpoint: no effect left
                     Some(RefStatus::Active) => {}
@@ -107,9 +152,30 @@ pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, Str
                     // A subtransaction's effects move up one level; if that
                     // parent is already dead this is a dead-end entry that
                     // can never commit again — exactly an orphan's fate.
-                    Some(p) => pending.entry(p).or_default().extend(effects),
-                    // Only a top-level commit reaches the permanent base.
-                    None => base.extend(effects),
+                    Some(p) => {
+                        if epoch.is_some() {
+                            return Err(format!(
+                                "record {i}: nested commit of {action} carries a commit epoch"
+                            ));
+                        }
+                        pending.entry(p).or_default().extend(effects)
+                    }
+                    // Only a top-level commit reaches the permanent base,
+                    // and every top-level commit must carry a fresh,
+                    // strictly increasing epoch — the engine serializes
+                    // publication, so the log must prove it did.
+                    None => {
+                        let e = epoch.ok_or_else(|| {
+                            format!("record {i}: top-level commit of {action} without an epoch")
+                        })?;
+                        if e <= last_epoch {
+                            return Err(format!(
+                                "record {i}: commit epoch {e} not above the last ({last_epoch})"
+                            ));
+                        }
+                        last_epoch = e;
+                        trace.batches.insert(e, effects);
+                    }
                 }
             }
             Record::Abort { action } => {
@@ -125,7 +191,12 @@ pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, Str
     }
     // End of stream: every still-pending write set belonged to an action
     // in flight at the crash and simply never happened.
-    Ok(base)
+    Ok(trace)
+}
+
+/// The final committed state of a record stream (see [`reference_trace`]).
+pub fn reference_committed(records: &[Record]) -> Result<BTreeMap<u64, i64>, String> {
+    reference_trace(records).map(|t| t.committed())
 }
 
 fn recovery_config() -> DbConfig {
@@ -149,7 +220,8 @@ fn recover_from(bytes: &[u8]) -> Result<(Arc<MemVfs>, Db<u64, i64>), String> {
 /// five obligations checked.
 pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
     let (records, tail) = scan(bytes).map_err(|e| format!("scan: {e}"))?;
-    let expected = reference_committed(&records)?;
+    let trace = reference_trace(&records)?;
+    let expected = trace.committed();
     let begins = records.iter().filter(|r| matches!(r, Record::Begin { .. })).count() as u64;
 
     let (vfs, db) = recover_from(bytes)?;
@@ -163,6 +235,51 @@ pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
         }
     }
     oracle::check(&db).map_err(|e| format!("post-recovery oracle: {e}"))?;
+
+    // MVCC obligations. A fresh snapshot of the recovered database must
+    // equal the reference's committed state — no crashed snapshot pin
+    // survives recovery, so nothing may block it or resurrect aborted
+    // data.
+    let snap = db.snapshot();
+    for (k, v) in &expected {
+        let got = snap.read(k);
+        if got != Some(*v) {
+            return Err(format!(
+                "post-recovery snapshot diverges at key {k}: snapshot {got:?}, reference {v}"
+            ));
+        }
+    }
+    drop(snap);
+    // With no pins, every recovered chain must have collapsed to exactly
+    // its committed value, and the version counters must conserve.
+    let mut held = 0u64;
+    for (k, v) in &expected {
+        let chain = db.version_chain(k);
+        held += chain.len() as u64;
+        if chain.len() != 1 {
+            return Err(format!("recovered chain for key {k} not reclaimed: {chain:?}"));
+        }
+        if chain[0].1 != *v {
+            return Err(format!(
+                "recovered chain head for key {k} is {}, reference {v}",
+                chain[0].1
+            ));
+        }
+    }
+    let stats = db.stats();
+    if stats.versions_created - stats.versions_reclaimed != held {
+        return Err(format!(
+            "version conservation violated after recovery: created {} - reclaimed {} != held {held}",
+            stats.versions_created, stats.versions_reclaimed
+        ));
+    }
+    if db.current_epoch() < trace.max_epoch() {
+        return Err(format!(
+            "recovered epoch watermark {} below the log's max commit epoch {}",
+            db.current_epoch(),
+            trace.max_epoch()
+        ));
+    }
     let recovered_actions = db.stats().recovered_actions;
     if recovered_actions != begins {
         return Err(format!(
@@ -178,6 +295,12 @@ pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
         if db2.committed_value(k) != Some(*v) {
             return Err(format!("second recovery diverges at key {k}"));
         }
+        if db2.version_chain(k) != db.version_chain(k) {
+            return Err(format!("second recovery rebuilds a different chain for key {k}"));
+        }
+    }
+    if db2.current_epoch() != db.current_epoch() {
+        return Err("second recovery lands on a different epoch watermark".into());
     }
     if vfs2.snapshot(WAL_PATH) != after_first {
         return Err("second recovery rewrote a different log: recovery is not idempotent".into());
@@ -201,15 +324,19 @@ mod tests {
             Record::Begin { action: 1, parent: None },
             Record::Begin { action: 2, parent: Some(1) },
             Record::Write { action: 2, key: enc(0), version: enc_v(99) },
-            Record::Commit { action: 2 },
+            Record::Commit { action: 2, epoch: None },
         ];
         // Child committed but the top level is in flight: base unchanged.
         let base = reference_committed(&records).unwrap();
         assert_eq!(base.get(&0), Some(&10));
         let mut done = records.clone();
-        done.push(Record::Commit { action: 1 });
-        let base = reference_committed(&done).unwrap();
-        assert_eq!(base.get(&0), Some(&99));
+        done.push(Record::Commit { action: 1, epoch: Some(1) });
+        let trace = reference_trace(&done).unwrap();
+        assert_eq!(trace.committed().get(&0), Some(&99));
+        // The epoch index resolves per-epoch states.
+        assert_eq!(trace.state_at(0).get(&0), Some(&10));
+        assert_eq!(trace.state_at(1).get(&0), Some(&99));
+        assert_eq!(trace.max_epoch(), 1);
     }
 
     #[test]
@@ -220,7 +347,7 @@ mod tests {
             Record::Begin { action: 2, parent: Some(1) },
             Record::Write { action: 2, key: enc(0), version: enc_v(99) },
             Record::Abort { action: 2 },
-            Record::Commit { action: 1 },
+            Record::Commit { action: 1, epoch: Some(1) },
         ];
         let base = reference_committed(&records).unwrap();
         assert_eq!(base.get(&0), Some(&10));

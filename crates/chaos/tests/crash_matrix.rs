@@ -136,6 +136,61 @@ fn post_checkpoint_crash_points_recover() {
 }
 
 #[test]
+fn open_snapshots_at_crash_time_never_block_recovery() {
+    // Snapshot pins are pure RAM: a crash with snapshots open must recover
+    // exactly like one without. The pinned (superseded) versions they were
+    // holding must NOT resurface in the recovered instance — its chains
+    // collapse to length 1 — while the survivor process's pins stay frozen
+    // and readable throughout every recovery of its log.
+    let (vfs, db) = wal_db();
+    for k in 0..4u64 {
+        db.insert(k, k as i64 * 10);
+    }
+    let s0 = db.snapshot(); // pins the pre-history state
+    let mut mid = None;
+    for i in 0..6 {
+        let t = db.begin();
+        t.rmw(&(i % 4), |v| v + 1).unwrap();
+        t.commit().unwrap();
+        if i == 2 {
+            mid = Some(db.snapshot()); // pins a mid-history epoch
+        }
+    }
+    let mid = mid.unwrap();
+    assert!(
+        (0..4u64).map(|k| db.version_chain(&k).len()).sum::<usize>() > 4,
+        "the pins must be holding superseded versions for this test to bite"
+    );
+
+    let bytes = vfs.snapshot(WAL_PATH);
+    let total = record_count(&bytes);
+    for cut in 0..=total {
+        let prefix = cut_at_record(&bytes, cut);
+        if let Err(e) = check_crash_recovery(&prefix) {
+            panic!("crash after record {cut}/{total} with open snapshots: {e}");
+        }
+        // Full-log cut: the recovered peer must agree with the survivor's
+        // present, and must hold no memory of the pinned old versions.
+        if cut == total {
+            let fresh = Arc::new(MemVfs::new());
+            fresh.install(WAL_PATH, prefix.clone());
+            let config = DbConfig::builder().durability(Durability::Wal).build();
+            let r = Db::<u64, i64>::recover_with_vfs(fresh, WAL_PATH, config).expect("recover");
+            for k in 0..4u64 {
+                assert_eq!(r.committed_value(&k), db.committed_value(&k));
+                assert_eq!(r.version_chain(&k).len(), 1, "pins must not survive a crash");
+            }
+            assert_eq!(r.stats().snapshot_pins_live, 0);
+        }
+    }
+    // The survivor's pins never moved while its log was being recovered.
+    assert_eq!(s0.read(&0), Some(0));
+    assert_eq!(s0.read(&3), Some(30));
+    assert_eq!(mid.read(&0), Some(1));
+    assert_eq!(mid.read(&2), Some(21));
+}
+
+#[test]
 fn driver_crash_faults_pass_the_recovery_oracle() {
     // Inject machine crashes into seeded chaos runs at varied record
     // counts: every run must still pass its oracle chain, which now ends

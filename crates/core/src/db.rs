@@ -34,6 +34,7 @@ use crate::registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
 use crate::stats::{Stats, StatsSnapshot};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use rnt_model::UpdateFn;
+use rnt_mvcc::{MvccStore, GENESIS_EPOCH};
 use rnt_wal::{Record, Wal, WalError, INIT_ACTION};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
@@ -305,6 +306,12 @@ struct DbInner<K, V> {
     /// or worse, rewrite away — a half-logged transition. Lock order:
     /// latch → shard → { registry-read, wal }.
     ckpt: RwLock<()>,
+    /// Committed version chains for lock-free snapshot reads. Top-level
+    /// commits publish here (under the publish lock, then per-key under
+    /// the owning shard guard — so chain order = grant order = log order);
+    /// [`Db::snapshot`] pins an epoch and reads without ever touching the
+    /// lock tables. Lock order: publish → shard → mvcc-shard.
+    mvcc: MvccStore<K, V>,
     /// The installed fault injector, if any (chaos harness only).
     #[cfg(feature = "chaos-hooks")]
     injector: parking_lot::RwLock<Option<Arc<dyn chaos::Injector>>>,
@@ -342,7 +349,8 @@ where
 
     /// Create a database with the given configuration.
     pub fn with_config(config: DbConfig) -> Self {
-        let shards = (0..config.shards.max(1))
+        let config_shards = config.shards.max(1);
+        let shards = (0..config_shards)
             .map(|_| Shard {
                 state: Mutex::new(ShardState { objects: HashMap::new(), gates: HashMap::new() }),
                 cv: Condvar::new(),
@@ -365,6 +373,7 @@ where
                 run_seq: AtomicU64::new(0),
                 wal: std::sync::OnceLock::new(),
                 ckpt: RwLock::new(()),
+                mvcc: MvccStore::new(config_shards),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
             }),
@@ -389,6 +398,10 @@ where
         // Logged under the shard guard, like transactional writes, so the
         // per-key log order is the true lock-table mutation order.
         inner.wal_log_init(&key, &value);
+        // Seeds enter the version chain at the genesis epoch: seeding is
+        // not a transaction, so the value is visible to every snapshot
+        // regardless of when the key was inserted.
+        inner.mvcc.append(&key, GENESIS_EPOCH, value.clone());
         guard.objects.insert(key, LockState::new(value));
         true
     }
@@ -399,6 +412,32 @@ where
         let shard = inner.shard_of(key);
         let guard = inner.shards[shard].state.lock();
         guard.objects.get(key).map(|s| s.base_value().clone())
+    }
+
+    /// Open a lock-free read-only snapshot of the committed state.
+    ///
+    /// The snapshot pins the current commit epoch; every
+    /// [`Snapshot::read`] returns the committed value as of that epoch, no
+    /// matter what writers commit afterwards. Reads never touch the lock
+    /// manager — no lock acquisitions, no conflicts, no waits — because
+    /// only top-level commits create versions: everything a snapshot can
+    /// see is in `perm(T)` (Lemma 7), a prefix-closed data-serializable
+    /// view (Theorem 9). The pinned versions are protected from
+    /// reclamation until the snapshot drops.
+    pub fn snapshot(&self) -> Snapshot<K, V> {
+        Snapshot { epoch: self.inner.mvcc.pin(), inner: self.inner.clone() }
+    }
+
+    /// The committed version chain of a key, oldest first, as
+    /// `(commit_epoch, value)` pairs. Introspection for tests and the
+    /// chaos oracle; with no snapshots open every chain has length 1.
+    pub fn version_chain(&self, key: &K) -> Vec<(u64, V)> {
+        self.inner.mvcc.chain(key)
+    }
+
+    /// The current commit epoch (the highest fully published one).
+    pub fn current_epoch(&self) -> u64 {
+        self.inner.mvcc.watermark()
     }
 
     /// Begin a top-level transaction.
@@ -485,9 +524,15 @@ where
         std::thread::sleep(Duration::from_micros(x % cap));
     }
 
-    /// Engine counters.
+    /// Engine counters (the atomics in [`Stats`] merged with the MVCC
+    /// store's version/pin counters).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        let mvcc = self.inner.mvcc.counters();
+        snap.versions_created = mvcc.created;
+        snap.versions_reclaimed = mvcc.reclaimed;
+        snap.snapshot_pins_live = mvcc.pins_live;
+        snap
     }
 
     /// The audit log, if auditing is enabled.
@@ -504,15 +549,29 @@ where
     }
 
     /// Seed a key during replay: no audit registration, no WAL append.
-    pub(crate) fn raw_insert(&self, key: K, value: V) -> bool {
+    /// `epoch` is the version-chain epoch of the seeded value — genesis
+    /// for init writes, the checkpointed last-commit epoch for
+    /// checkpoint-snapshot entries.
+    pub(crate) fn raw_insert(&self, key: K, value: V, epoch: u64) -> bool {
         let inner = &self.inner;
         let shard = inner.shard_of(&key);
         let mut guard = inner.shards[shard].state.lock();
         if guard.objects.contains_key(&key) {
             return false;
         }
+        inner.mvcc.append(&key, epoch, value.clone());
         guard.objects.insert(key, LockState::new(value));
         true
+    }
+
+    /// Replay-only MVCC hooks: append a recovered committed version /
+    /// advance the epoch watermark to what the log proves was published.
+    pub(crate) fn raw_mvcc_append(&self, key: &K, epoch: u64, value: V) {
+        self.inner.mvcc.append(key, epoch, value);
+    }
+
+    pub(crate) fn raw_mvcc_advance(&self, epoch: u64) {
+        self.inner.mvcc.advance_watermark(epoch);
     }
 
     /// Run `f` on a key's lock state with a registry view (replay only).
@@ -728,11 +787,19 @@ where
     }
 
     /// Log a commit; for a top-level commit under [`Durability::WalFsync`],
-    /// force it to disk before the caller acks. Returns the durability
-    /// verdict the commit must report.
-    fn wal_log_commit(&self, t: TxnId, top_level: bool) -> Result<(), TxnError> {
+    /// force it to disk before the caller acks. `epoch` is the commit
+    /// epoch for top-level commits (`None` for nested ones); the caller
+    /// holds the MVCC publish lock while logging it, so commit-record log
+    /// order equals epoch order. Returns the durability verdict the
+    /// commit must report.
+    fn wal_log_commit(
+        &self,
+        t: TxnId,
+        top_level: bool,
+        epoch: Option<u64>,
+    ) -> Result<(), TxnError> {
         let Some(w) = self.wal.get() else { return Ok(()) };
-        self.wal_append(&Record::Commit { action: t.0 });
+        self.wal_append(&Record::Commit { action: t.0, epoch });
         if top_level && w.fsync_commits {
             match w.log.lock().fsync() {
                 Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
@@ -790,11 +857,14 @@ where
                 (w.enc_key)(key, &mut kb);
                 let mut vb = Vec::new();
                 (w.enc_val)(state.base_value(), &mut vb);
-                snapshot.push((kb, vb));
+                // Each entry carries the epoch of the key's newest
+                // committed version so recovery rebuilds chains identical
+                // to the pre-crash store (not merely value-equal).
+                snapshot.push((kb, self.mvcc.last_epoch(key).unwrap_or(GENESIS_EPOCH), vb));
             }
         }
         snapshot.sort();
-        let mut records = vec![Record::Checkpoint { snapshot }];
+        let mut records = vec![Record::Checkpoint { epoch: self.mvcc.watermark(), snapshot }];
         // Live active transactions, ascending id: every parent precedes
         // its children (child ids are allocated after the parent exists),
         // and the live-active set is ancestor-closed (an active child
@@ -1045,7 +1115,19 @@ where
         }
     }
 
-    fn finish_locks(&self, t: TxnId, keys: &std::collections::HashSet<K>, commit: bool) {
+    /// Release/publish `t`'s locks on `keys`. For a committing top-level
+    /// transaction, `publish_epoch` carries the commit epoch (the caller
+    /// holds the MVCC publish lock): each key `t` wrote gains a version in
+    /// its committed chain, appended under the same shard guard that
+    /// publishes the base value — so per-key chain order equals lock-grant
+    /// order. Nested commits and all aborts pass `None`.
+    fn finish_locks(
+        &self,
+        t: TxnId,
+        keys: &std::collections::HashSet<K>,
+        commit: bool,
+        publish_epoch: Option<u64>,
+    ) {
         let parent = self.registry.parent(t);
         for key in keys {
             let shard = &self.shards[self.shard_of(key)];
@@ -1054,7 +1136,17 @@ where
                 if commit {
                     // Shard → registry-read, the global lock order.
                     let view = self.registry.read_view();
+                    // Only keys `t` actually wrote (own writes plus
+                    // versions inherited from committed children) change
+                    // the committed state; read-locked keys publish no
+                    // version.
+                    let wrote = publish_epoch.is_some() && state.write_holders().any(|h| h == t);
                     state.commit_to_parent(t, parent, &view);
+                    drop(view);
+                    if wrote {
+                        let epoch = publish_epoch.expect("checked above");
+                        self.mvcc.append(key, epoch, state.base_value().clone());
+                    }
                 } else {
                     state.abort_discard(t);
                 }
@@ -1244,9 +1336,18 @@ where
         let id = self.id;
         let top_level = self.parent_touched.is_none();
         self.inner.audit_record(|reg| AuditRecord::Commit { path: reg.path(id).expect("known") });
-        let durable = self.inner.wal_log_commit(id, top_level);
+        // A top-level commit publishes to the committed version chains:
+        // enter the MVCC publish critical section to get the next commit
+        // epoch. Holding it across the WAL append makes commit-record log
+        // order equal epoch order; holding it across finish_locks means no
+        // snapshot can pin this epoch until every chain append landed (the
+        // watermark advances when `publish` drops).
+        let publish = top_level.then(|| self.inner.mvcc.begin_publish());
+        let epoch = publish.as_ref().map(|p| p.epoch());
+        let durable = self.inner.wal_log_commit(id, top_level, epoch);
         let keys = std::mem::take(&mut *self.touched.lock());
-        self.inner.finish_locks(self.id, &keys, true);
+        self.inner.finish_locks(self.id, &keys, true, epoch);
+        drop(publish);
         if let Some(parent) = &self.parent_touched {
             // Inherited locks become the parent's responsibility.
             parent.lock().extend(keys);
@@ -1281,7 +1382,7 @@ where
         self.inner.wal_append(&Record::Abort { action: id.0 });
         if self.inner.registry.abort(self.id).is_ok() {
             let keys = std::mem::take(&mut *self.touched.lock());
-            self.inner.finish_locks(self.id, &keys, false);
+            self.inner.finish_locks(self.id, &keys, false, None);
             // Descendants just became orphans; wake any that are parked
             // so they observe their death instead of sleeping out a
             // full wait slice.
@@ -1308,6 +1409,48 @@ where
         if !self.done {
             self.do_abort();
         }
+    }
+}
+
+/// A lock-free read-only view of the committed state at one commit epoch,
+/// opened by [`Db::snapshot`]. Reads are served from the MVCC version
+/// chains and never touch the lock manager. Dropping the snapshot
+/// releases its epoch pin, letting GC reclaim the versions it held.
+pub struct Snapshot<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    inner: Arc<DbInner<K, V>>,
+    epoch: u64,
+}
+
+impl<K, V> Snapshot<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// The commit epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The committed value of `key` as of the pinned epoch (`None` if the
+    /// key did not exist yet). Lock-free: reads the version chain under a
+    /// sharded read lock, never the lock manager.
+    pub fn read(&self, key: &K) -> Option<V> {
+        Stats::bump(&self.inner.stats.snapshot_reads);
+        self.inner.mvcc.read_at(key, self.epoch)
+    }
+}
+
+impl<K, V> Drop for Snapshot<K, V>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        self.inner.mvcc.unpin(self.epoch);
     }
 }
 

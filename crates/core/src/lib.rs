@@ -43,7 +43,9 @@ mod registry;
 mod stats;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
-pub use db::{Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Txn, WakeupMode};
+pub use db::{
+    Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Snapshot, Txn, WakeupMode,
+};
 pub use deadlock::WaitForGraph;
 pub use error::TxnError;
 pub use lock::{Conflict, LockEnv, LockState};

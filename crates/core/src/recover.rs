@@ -113,26 +113,32 @@ where
     let mut recovered = 0u64;
     for (i, record) in records.iter().enumerate() {
         match record {
-            Record::Checkpoint { snapshot } => {
+            Record::Checkpoint { epoch, snapshot } => {
                 if i != 0 {
                     return Err(replay_err(format!("checkpoint at record {i}, not at log start")));
                 }
                 seen_checkpoint = true;
-                for (kb, vb) in snapshot {
+                for (kb, e, vb) in snapshot {
                     let key =
                         K::decode(kb).ok_or_else(|| replay_err("undecodable checkpoint key"))?;
                     let value =
                         V::decode(vb).ok_or_else(|| replay_err("undecodable checkpoint value"))?;
-                    if !db.raw_insert(key, value) {
+                    // Seed the chain at the key's checkpointed last-commit
+                    // epoch, so recovered chains match pre-crash ones.
+                    if !db.raw_insert(key, value, *e) {
                         return Err(replay_err("duplicate key in checkpoint snapshot"));
                     }
                 }
+                // Epoch numbering resumes at the checkpointed watermark,
+                // not at the max per-key epoch: keys whose latest commits
+                // were reclaimed must not see their epochs reissued.
+                db.raw_mvcc_advance(*epoch);
             }
             Record::Write { action, key, version } if *action == INIT_ACTION => {
                 let key = K::decode(key).ok_or_else(|| replay_err("undecodable init key"))?;
                 let value =
                     V::decode(version).ok_or_else(|| replay_err("undecodable init value"))?;
-                if !db.raw_insert(key, value) {
+                if !db.raw_insert(key, value, rnt_mvcc::GENESIS_EPOCH) {
                     return Err(replay_err("duplicate init for an existing key"));
                 }
             }
@@ -170,7 +176,7 @@ where
                 }
                 touched.entry(id).or_default().insert(key);
             }
-            Record::Commit { action } => {
+            Record::Commit { action, epoch } => {
                 let id = TxnId(*action);
                 if registry.status(id).is_none() {
                     if seen_checkpoint {
@@ -183,11 +189,30 @@ where
                 }
                 registry.commit(id).map_err(|e| replay_err(format!("record {i}: {e}")))?;
                 let parent = registry.parent(id);
+                if parent.is_none() && epoch.is_none() {
+                    return Err(replay_err(format!(
+                        "record {i}: top-level commit of {id:?} without a commit epoch"
+                    )));
+                }
+                let publish_epoch = if parent.is_none() { *epoch } else { None };
                 let keys = touched.remove(&id).unwrap_or_default();
                 for key in &keys {
-                    db.raw_with_state(key, |state, view| {
+                    let published = db.raw_with_state(key, |state, view| {
+                        // Mirror the live engine's publication rule: a
+                        // top-level commit appends a chain version for
+                        // exactly the keys the committer holds a write
+                        // lock on (its own writes plus inherited ones).
+                        let wrote =
+                            publish_epoch.is_some() && state.write_holders().any(|h| h == id);
                         state.commit_to_parent(id, parent, view);
+                        wrote.then(|| state.base_value().clone())
                     });
+                    if let Some(Some(value)) = published {
+                        db.raw_mvcc_append(key, publish_epoch.expect("wrote implies epoch"), value);
+                    }
+                }
+                if let Some(e) = publish_epoch {
+                    db.raw_mvcc_advance(e);
                 }
                 if let Some(p) = parent {
                     touched.entry(p).or_default().extend(keys);

@@ -43,6 +43,9 @@ pub struct Stats {
     pub wal_fsyncs: AtomicU64,
     /// Transactions reconstructed by crash recovery (replayed `Begin`s).
     pub recovered_actions: AtomicU64,
+    /// Reads served from a pinned snapshot (lock-free: these never touch
+    /// the lock tables, so they add nothing to `reads`/`conflicts`/`waits`).
+    pub snapshot_reads: AtomicU64,
 }
 
 /// A plain snapshot of [`Stats`].
@@ -83,6 +86,17 @@ pub struct StatsSnapshot {
     pub wal_fsyncs: u64,
     /// Transactions reconstructed by crash recovery.
     pub recovered_actions: u64,
+    /// Reads served from a pinned snapshot (lock-free).
+    pub snapshot_reads: u64,
+    /// Committed versions ever appended to the MVCC chains (top-level
+    /// commit publications plus seeds).
+    pub versions_created: u64,
+    /// Superseded versions reclaimed by epoch-based GC. Conservation:
+    /// `versions_created - versions_reclaimed` equals the number of
+    /// versions currently held across all chains.
+    pub versions_reclaimed: u64,
+    /// Snapshots currently holding an epoch pin (a gauge, not monotonic).
+    pub snapshot_pins_live: u64,
 }
 
 impl Stats {
@@ -106,6 +120,12 @@ impl Stats {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             recovered_actions: self.recovered_actions.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            // Filled in by `Db::stats` from the MVCC store's own counters;
+            // a bare `Stats` has no version chains to report on.
+            versions_created: 0,
+            versions_reclaimed: 0,
+            snapshot_pins_live: 0,
         }
     }
 

@@ -1,0 +1,380 @@
+//! The sharded version-chain store, the publish critical section, and
+//! epoch-based reclamation.
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The epoch of non-transactional base seeds (the paper's `init(x)`).
+///
+/// Seeds enter every chain at the genesis epoch, so they are visible to
+/// *every* snapshot regardless of when the key was inserted — seeding is
+/// not a transaction and takes no place in the commit order.
+pub const GENESIS_EPOCH: u64 = 0;
+
+/// A committed version chain: `(epoch, value)` pairs in strictly
+/// ascending epoch order. The last entry is the current committed value.
+type Chain<V> = Vec<(u64, V)>;
+
+/// One shard of the store: keys → version chains under a single lock.
+type Shard<K, V> = RwLock<HashMap<K, Chain<V>>>;
+
+/// Monotonic counters the store maintains (see [`MvccStore::counters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MvccCounters {
+    /// Versions ever appended to a chain (commits + seeds).
+    pub created: u64,
+    /// Versions reclaimed by epoch-based GC.
+    pub reclaimed: u64,
+    /// Snapshots currently pinning an epoch.
+    pub pins_live: u64,
+}
+
+/// The multi-version object store.
+///
+/// Keys map to [version chains](Chain) sharded like the engine's lock
+/// table. Three pieces of epoch state tie the chains to the commit order:
+///
+/// * `watermark` — the highest *fully published* epoch: every commit with
+///   epoch ≤ watermark has all its versions appended. Snapshots pin the
+///   watermark, so a pin never dangles over a half-published commit.
+/// * the **publish lock** — serializes top-level publication (epoch
+///   assignment → chain appends → watermark advance) *and* pin creation.
+///   Without it, a commit at epoch `w+1` could garbage-collect the
+///   version a snapshot racing to pin `w` is about to need; with it, a
+///   pin either lands before the publisher reads the pin set (and is
+///   respected) or after the watermark advanced (and pins `w+1`).
+/// * `min_pin` — cached minimum live pin (`u64::MAX` when none), read on
+///   the append path so reclamation needs no pin-table lock.
+///
+/// **Reclamation rule**: a version may be dropped iff it has a successor
+/// and the successor's epoch is ≤ the minimum live pin. (A pin `P` reads
+/// the latest version with epoch ≤ `P`; a version whose successor is
+/// already ≤ every pin can win that race for no pin — pins only grow, as
+/// they always pin the current watermark.) With no pins this prunes every
+/// chain to length 1 — liveness — and it never drops a version some live
+/// pin still resolves to — safety. Both are property-tested.
+pub struct MvccStore<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    hasher: RandomState,
+    /// Highest fully published epoch.
+    watermark: AtomicU64,
+    /// See the struct docs; held by [`MvccStore::begin_publish`] guards
+    /// and briefly by [`MvccStore::pin`].
+    publish: Mutex<()>,
+    /// Live pins: epoch → snapshot count.
+    pins: Mutex<BTreeMap<u64, u64>>,
+    /// Cached minimum of `pins` (`u64::MAX` when empty).
+    min_pin: AtomicU64,
+    created: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+/// An exclusive publication ticket for one top-level commit, returned by
+/// [`MvccStore::begin_publish`]. Holds the publish lock; the commit
+/// appends its versions at [`Publish::epoch`] and drops the ticket, which
+/// advances the watermark — the instant the commit becomes visible to new
+/// snapshots.
+pub struct Publish<'a> {
+    watermark: &'a AtomicU64,
+    _guard: MutexGuard<'a, ()>,
+    epoch: u64,
+}
+
+impl Publish<'_> {
+    /// The commit epoch assigned to this publication.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for Publish<'_> {
+    fn drop(&mut self) {
+        // Publication is serialized, so this is always watermark + 1.
+        self.watermark.store(self.epoch, Ordering::Release);
+    }
+}
+
+/// Drop every superseded version whose successor is ≤ `min_pin`.
+/// Successor epochs ascend along the chain, so the droppable set is a
+/// prefix. Returns how many versions were dropped.
+fn prune<V>(chain: &mut Chain<V>, min_pin: u64) -> u64 {
+    let mut cut = 0;
+    while cut + 1 < chain.len() && chain[cut + 1].0 <= min_pin {
+        cut += 1;
+    }
+    chain.drain(..cut);
+    cut as u64
+}
+
+impl<K, V> MvccStore<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// An empty store with `shards` chain shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        MvccStore {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            watermark: AtomicU64::new(GENESIS_EPOCH),
+            publish: Mutex::new(()),
+            pins: Mutex::new(BTreeMap::new()),
+            min_pin: AtomicU64::new(u64::MAX),
+            created: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) as usize) % self.shards.len()
+    }
+
+    /// Enter the publish critical section for one top-level commit,
+    /// assigning it the next epoch. Append the commit's versions with
+    /// [`MvccStore::append`] at [`Publish::epoch`], then drop the ticket
+    /// to advance the watermark.
+    pub fn begin_publish(&self) -> Publish<'_> {
+        let guard = self.publish.lock();
+        let epoch = self.watermark.load(Ordering::Acquire) + 1;
+        Publish { watermark: &self.watermark, _guard: guard, epoch }
+    }
+
+    /// Append a version to `key`'s chain. `epoch` must be strictly above
+    /// the chain's last (per-key publications are serialized by the lock
+    /// manager, so callers get this for free). Reclaims any versions the
+    /// append just made droppable.
+    pub fn append(&self, key: &K, epoch: u64, value: V) {
+        let mut shard = self.shards[self.shard_of(key)].write();
+        let chain = shard.entry(key.clone()).or_default();
+        debug_assert!(chain.last().is_none_or(|&(e, _)| e < epoch), "chain epochs must ascend");
+        chain.push((epoch, value));
+        self.created.fetch_add(1, Ordering::Relaxed);
+        let dropped = prune(chain, self.min_pin.load(Ordering::Acquire));
+        self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Pin the current watermark for a snapshot. Serialized against
+    /// publishers (see the struct docs for why). Balance with
+    /// [`MvccStore::unpin`].
+    pub fn pin(&self) -> u64 {
+        let _publish = self.publish.lock();
+        let epoch = self.watermark.load(Ordering::Acquire);
+        let mut pins = self.pins.lock();
+        *pins.entry(epoch).or_insert(0) += 1;
+        let min = *pins.keys().next().expect("just inserted");
+        self.min_pin.store(min, Ordering::Release);
+        epoch
+    }
+
+    /// Release a pin taken by [`MvccStore::pin`]. If the minimum live pin
+    /// rose, sweep every chain — the liveness half of reclamation: once
+    /// all snapshots drop, chains shrink back to length 1.
+    pub fn unpin(&self, epoch: u64) {
+        let min = {
+            let mut pins = self.pins.lock();
+            match pins.get_mut(&epoch) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    pins.remove(&epoch);
+                }
+                None => debug_assert!(false, "unpin of an epoch never pinned"),
+            }
+            let min = pins.keys().next().copied().unwrap_or(u64::MAX);
+            self.min_pin.store(min, Ordering::Release);
+            min
+        };
+        // New pins land at the current watermark ≥ every successor epoch
+        // already in a chain, so sweeping with this min cannot race a
+        // concurrent pin into unsafety (only a publisher can introduce a
+        // higher successor, and it prunes with its own min_pin read).
+        self.sweep(min);
+    }
+
+    /// Drop every version reclaimable under `min_pin`, store-wide.
+    fn sweep(&self, min_pin: u64) {
+        let mut dropped = 0;
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            for chain in shard.values_mut() {
+                dropped += prune(chain, min_pin);
+            }
+        }
+        self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// The latest version of `key` with epoch ≤ `epoch`, if any. Chains
+    /// are short (reclamation keeps only pinned spans), so this is a
+    /// reverse linear scan under the shard's read lock.
+    pub fn read_at(&self, key: &K, epoch: u64) -> Option<V> {
+        let shard = self.shards[self.shard_of(key)].read();
+        let chain = shard.get(key)?;
+        chain.iter().rev().find(|&&(e, _)| e <= epoch).map(|(_, v)| v.clone())
+    }
+
+    /// The highest fully published epoch.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Raise the watermark to at least `epoch` (replay only: recovery
+    /// learns epochs from the log instead of allocating them).
+    pub fn advance_watermark(&self, epoch: u64) {
+        self.watermark.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The epoch of `key`'s newest version (`None` for unknown keys).
+    pub fn last_epoch(&self, key: &K) -> Option<u64> {
+        let shard = self.shards[self.shard_of(key)].read();
+        shard.get(key).and_then(|c| c.last()).map(|&(e, _)| e)
+    }
+
+    /// `key`'s full committed version chain, oldest first.
+    pub fn chain(&self, key: &K) -> Vec<(u64, V)> {
+        let shard = self.shards[self.shard_of(key)].read();
+        shard.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Every key's chain (unordered; callers sort as needed).
+    pub fn chains(&self) -> Vec<(K, Vec<(u64, V)>)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            out.extend(shard.iter().map(|(k, c)| (k.clone(), c.clone())));
+        }
+        out
+    }
+
+    /// Total versions currently held across all chains. Conservation:
+    /// always equals `created - reclaimed` (property-tested).
+    pub fn total_versions(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().values().map(|c| c.len() as u64).sum::<u64>()).sum()
+    }
+
+    /// The store's monotonic counters plus the live-pin gauge.
+    pub fn counters(&self) -> MvccCounters {
+        MvccCounters {
+            created: self.created.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            pins_live: self.pins.lock().values().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MvccStore<u64, i64> {
+        MvccStore::new(4)
+    }
+
+    /// Publish one single-key commit, returning its epoch.
+    fn commit(s: &MvccStore<u64, i64>, key: u64, value: i64) -> u64 {
+        let publish = s.begin_publish();
+        let epoch = publish.epoch();
+        s.append(&key, epoch, value);
+        epoch
+    }
+
+    #[test]
+    fn read_at_resolves_the_pinned_epoch() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 10);
+        let pin = s.pin(); // pins genesis
+        assert_eq!(commit(&s, 1, 20), 1);
+        assert_eq!(commit(&s, 1, 30), 2);
+        assert_eq!(s.read_at(&1, pin), Some(10), "snapshot sees its epoch, not the present");
+        assert_eq!(s.read_at(&1, s.watermark()), Some(30));
+        assert_eq!(s.read_at(&2, pin), None);
+        s.unpin(pin);
+    }
+
+    #[test]
+    fn unpinned_chains_collapse_to_length_one() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        for i in 1..=5 {
+            commit(&s, 1, i);
+        }
+        // No pins: every superseded version reclaimed at append time.
+        assert_eq!(s.chain(&1), vec![(5, 5)]);
+        let c = s.counters();
+        assert_eq!(c.created, 6);
+        assert_eq!(c.reclaimed, 5);
+        assert_eq!(s.total_versions(), 1);
+    }
+
+    #[test]
+    fn pins_hold_versions_and_release_sweeps() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        commit(&s, 1, 1);
+        let pin = s.pin(); // pin epoch 1
+        commit(&s, 1, 2);
+        commit(&s, 1, 3);
+        // Version (1,1) is held by the pin; (2,2) superseded at 3 > pin so
+        // it is held too (the pin rule is per-successor, and 3 > 1)… no:
+        // successor epochs 2,3 vs min pin 1 — (1,1)'s successor is 2 > 1,
+        // kept; (2,2)'s successor is 3 > 1, kept. Chain is full.
+        assert_eq!(s.chain(&1), vec![(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(s.read_at(&1, pin), Some(1));
+        assert_eq!(s.counters().pins_live, 1);
+        s.unpin(pin);
+        assert_eq!(s.chain(&1), vec![(3, 3)], "release sweeps the chain down");
+        assert_eq!(s.counters().pins_live, 0);
+        assert_eq!(s.total_versions(), 1);
+    }
+
+    #[test]
+    fn pin_then_publish_is_ordered() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let pin = s.pin();
+        assert_eq!(pin, GENESIS_EPOCH);
+        let publish = s.begin_publish();
+        assert_eq!(publish.epoch(), 1);
+        s.append(&1, publish.epoch(), 7);
+        // Not yet published: the watermark (and any new pin) is still 0.
+        assert_eq!(s.watermark(), GENESIS_EPOCH);
+        drop(publish);
+        assert_eq!(s.watermark(), 1);
+        assert_eq!(s.pin(), 1);
+        s.unpin(pin);
+        s.unpin(1);
+    }
+
+    #[test]
+    fn conservation_created_minus_reclaimed_is_live() {
+        let s = store();
+        for k in 0..8 {
+            s.append(&k, GENESIS_EPOCH, 0);
+        }
+        let pin = s.pin();
+        for i in 0..20 {
+            commit(&s, i % 8, i as i64);
+        }
+        let c = s.counters();
+        assert_eq!(c.created - c.reclaimed, s.total_versions());
+        s.unpin(pin);
+        let c = s.counters();
+        assert_eq!(c.created - c.reclaimed, s.total_versions());
+        assert_eq!(s.total_versions(), 8);
+    }
+
+    #[test]
+    fn shared_pin_epoch_refcounts() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let a = s.pin();
+        let b = s.pin();
+        assert_eq!(a, b);
+        assert_eq!(s.counters().pins_live, 2);
+        commit(&s, 1, 1);
+        s.unpin(a);
+        assert_eq!(s.read_at(&1, b), Some(0), "second pin still holds the version");
+        s.unpin(b);
+        assert_eq!(s.chain(&1), vec![(1, 1)]);
+    }
+}

@@ -66,7 +66,7 @@ mod tests {
         for r in [
             Record::Begin { action: 0, parent: None },
             Record::Write { action: 0, key: vec![1, 2, 3], version: vec![9] },
-            Record::Commit { action: 0 },
+            Record::Commit { action: 0, epoch: Some(1) },
         ] {
             bytes.extend_from_slice(&frame(&r));
         }

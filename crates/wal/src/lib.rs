@@ -17,9 +17,14 @@
 //! Layout of a log file:
 //!
 //! ```text
-//! [8-byte magic "RNTWAL01"]
+//! [8-byte magic "RNTWAL02"]
 //! [frame]*            frame = [len: u32 LE][crc32(payload): u32 LE][payload]
 //! ```
+//!
+//! Format `02` carries the MVCC **commit epoch**: top-level `Commit`
+//! records stamp the epoch their versions publish at, and `Checkpoint`
+//! records store the watermark plus each object's last commit epoch, so
+//! recovery rebuilds version chains identical to the pre-crash store.
 //!
 //! Reading is two-mode:
 //!

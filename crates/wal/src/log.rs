@@ -7,8 +7,9 @@ use crate::record::Record;
 use crate::vfs::Vfs;
 use std::sync::Arc;
 
-/// The 8-byte file header every log starts with.
-pub const MAGIC: &[u8; 8] = b"RNTWAL01";
+/// The 8-byte file header every log starts with. `02` added the commit
+/// epoch to `Commit`/`Checkpoint` records; `01` logs are not readable.
+pub const MAGIC: &[u8; 8] = b"RNTWAL02";
 
 /// Wrap a record payload in a `[len][crc][payload]` frame.
 pub fn frame(record: &Record) -> Vec<u8> {
@@ -203,8 +204,8 @@ mod tests {
             Record::Write { action: 0, key: vec![1], version: vec![10] },
             Record::Begin { action: 1, parent: Some(0) },
             Record::Write { action: 1, key: vec![1], version: vec![20] },
-            Record::Commit { action: 1 },
-            Record::Commit { action: 0 },
+            Record::Commit { action: 1, epoch: None },
+            Record::Commit { action: 0, epoch: Some(1) },
         ]
     }
 
@@ -250,7 +251,7 @@ mod tests {
         let full = bytes_of(&sample());
         // Every strict prefix that cuts into the last frame scans to the
         // first 5 records with a Torn tail.
-        let last_frame = frame(&Record::Commit { action: 0 });
+        let last_frame = frame(&Record::Commit { action: 0, epoch: Some(1) });
         for cut in (full.len() - last_frame.len() + 1)..full.len() {
             let prefix = &full[..cut];
             let (records, tail) = scan(prefix).unwrap();
@@ -324,7 +325,7 @@ mod tests {
         for r in sample() {
             wal.append(&r).unwrap();
         }
-        let checkpoint = Record::Checkpoint { snapshot: vec![(vec![1], vec![20])] };
+        let checkpoint = Record::Checkpoint { epoch: 1, snapshot: vec![(vec![1], 1, vec![20])] };
         wal.rewrite(std::slice::from_ref(&checkpoint)).unwrap();
         let (records, tail) = scan(&vfs.snapshot("t.wal")).unwrap();
         assert_eq!(records, vec![checkpoint]);

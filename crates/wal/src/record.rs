@@ -44,6 +44,11 @@ pub enum Record {
     Commit {
         /// The committing action.
         action: u64,
+        /// The commit epoch, present iff this is a top-level commit: the
+        /// monotonically increasing counter the MVCC store stamps on the
+        /// versions this commit publishes. Nested commits carry `None` —
+        /// they publish to their parent, not to the committed state.
+        epoch: Option<u64>,
     },
     /// The action aborted; its subtree's versions are discarded.
     Abort {
@@ -53,8 +58,14 @@ pub enum Record {
     /// A full snapshot of the committed key space, written as the first
     /// record of a rewritten log so recovery cost stays bounded.
     Checkpoint {
-        /// `(key, value)` pairs of every committed object.
-        snapshot: Vec<(Vec<u8>, Vec<u8>)>,
+        /// The MVCC watermark (highest published commit epoch) at the
+        /// moment of the checkpoint; replay resumes epoch numbering here.
+        epoch: u64,
+        /// `(key, last_epoch, value)` triples of every committed object,
+        /// where `last_epoch` is the commit epoch of the object's newest
+        /// version — so recovery rebuilds chains identical to the
+        /// pre-crash store, not merely value-equal.
+        snapshot: Vec<(Vec<u8>, u64, Vec<u8>)>,
     },
 }
 
@@ -126,19 +137,28 @@ impl Record {
                 put_bytes(&mut out, key);
                 put_bytes(&mut out, version);
             }
-            Record::Commit { action } => {
+            Record::Commit { action, epoch } => {
                 out.push(TAG_COMMIT);
                 put_u64(&mut out, *action);
+                match epoch {
+                    None => out.push(0),
+                    Some(e) => {
+                        out.push(1);
+                        put_u64(&mut out, *e);
+                    }
+                }
             }
             Record::Abort { action } => {
                 out.push(TAG_ABORT);
                 put_u64(&mut out, *action);
             }
-            Record::Checkpoint { snapshot } => {
+            Record::Checkpoint { epoch, snapshot } => {
                 out.push(TAG_CHECKPOINT);
+                put_u64(&mut out, *epoch);
                 out.extend_from_slice(&(snapshot.len() as u32).to_le_bytes());
-                for (k, v) in snapshot {
+                for (k, e, v) in snapshot {
                     put_bytes(&mut out, k);
+                    put_u64(&mut out, *e);
                     put_bytes(&mut out, v);
                 }
             }
@@ -169,17 +189,27 @@ impl Record {
                     let version = c.bytes()?;
                     Record::Write { action, key, version }
                 }
-                TAG_COMMIT => Record::Commit { action: c.u64()? },
+                TAG_COMMIT => {
+                    let action = c.u64()?;
+                    let epoch = match c.u8()? {
+                        0 => None,
+                        1 => Some(c.u64()?),
+                        other => return Err(format!("bad epoch flag {other}")),
+                    };
+                    Record::Commit { action, epoch }
+                }
                 TAG_ABORT => Record::Abort { action: c.u64()? },
                 TAG_CHECKPOINT => {
+                    let epoch = c.u64()?;
                     let n = c.u32()? as usize;
                     let mut snapshot = Vec::with_capacity(n.min(1 << 16));
                     for _ in 0..n {
                         let k = c.bytes()?;
+                        let e = c.u64()?;
                         let v = c.bytes()?;
-                        snapshot.push((k, v));
+                        snapshot.push((k, e, v));
                     }
-                    Record::Checkpoint { snapshot }
+                    Record::Checkpoint { epoch, snapshot }
                 }
                 other => return Err(format!("unknown record tag {other}")),
             };
@@ -197,7 +227,7 @@ impl Record {
         match self {
             Record::Begin { action, .. }
             | Record::Write { action, .. }
-            | Record::Commit { action }
+            | Record::Commit { action, .. }
             | Record::Abort { action } => Some(*action),
             Record::Checkpoint { .. } => None,
         }
@@ -219,11 +249,13 @@ mod tests {
         roundtrip(Record::Begin { action: 8, parent: Some(7) });
         roundtrip(Record::Write { action: 8, key: vec![1, 2], version: vec![] });
         roundtrip(Record::Write { action: INIT_ACTION, key: vec![0; 300], version: vec![9] });
-        roundtrip(Record::Commit { action: 8 });
+        roundtrip(Record::Commit { action: 8, epoch: None });
+        roundtrip(Record::Commit { action: 8, epoch: Some(3) });
         roundtrip(Record::Abort { action: 7 });
-        roundtrip(Record::Checkpoint { snapshot: vec![] });
+        roundtrip(Record::Checkpoint { epoch: 0, snapshot: vec![] });
         roundtrip(Record::Checkpoint {
-            snapshot: vec![(vec![1], vec![2, 3]), (vec![4, 5], vec![])],
+            epoch: 9,
+            snapshot: vec![(vec![1], 4, vec![2, 3]), (vec![4, 5], 9, vec![])],
         });
     }
 
@@ -235,7 +267,7 @@ mod tests {
 
     #[test]
     fn short_payload_rejected() {
-        let mut payload = Record::Commit { action: 5 }.encode();
+        let mut payload = Record::Commit { action: 5, epoch: None }.encode();
         payload.truncate(4);
         assert!(matches!(Record::decode(&payload, 0), Err(WalError::BadRecord { .. })));
     }

@@ -5,6 +5,14 @@
 //! bytes bit-for-bit, and (b) decoding the committed bytes reproduces the
 //! records — so any accidental format change fails loudly. Regenerate
 //! fixtures intentionally with `REGEN_GOLDEN=1 cargo test -p rnt-wal`.
+//!
+//! The committed fixtures are format **02** (`RNTWAL02`): top-level
+//! `Commit` records carry their MVCC commit epoch behind a flag byte
+//! (nested commits a `0` flag, matching `Begin`'s optional-parent
+//! encoding), and `Checkpoint` snapshot entries are `(key, epoch,
+//! value)` triples plus the watermark the log was truncated at. Format
+//! 01 logs have no epoch fields and are rejected by the magic check —
+//! there is no cross-format migration path.
 
 use rnt_wal::{decode_strict, faults, frame, scan, Record, Tail, WalError, INIT_ACTION, MAGIC};
 
@@ -59,7 +67,7 @@ fn golden_single_commit() {
             },
             Record::Begin { action: 0, parent: None },
             Record::Write { action: 0, key: b"k0".to_vec(), version: 7u64.to_le_bytes().to_vec() },
-            Record::Commit { action: 0 },
+            Record::Commit { action: 0, epoch: Some(1) },
         ],
     );
 }
@@ -72,12 +80,12 @@ fn nested_records() -> Vec<Record> {
         Record::Begin { action: 1, parent: Some(0) },
         Record::Begin { action: 2, parent: Some(1) },
         Record::Write { action: 2, key: b"x".to_vec(), version: vec![10] },
-        Record::Commit { action: 2 },
+        Record::Commit { action: 2, epoch: None },
         Record::Begin { action: 3, parent: Some(1) },
         Record::Write { action: 3, key: b"y".to_vec(), version: vec![20] },
         Record::Abort { action: 3 },
-        Record::Commit { action: 1 },
-        Record::Commit { action: 0 },
+        Record::Commit { action: 1, epoch: None },
+        Record::Commit { action: 0, epoch: Some(1) },
     ]
 }
 
@@ -95,11 +103,12 @@ fn golden_checkpoint() {
         "checkpoint.wal",
         &[
             Record::Checkpoint {
-                snapshot: vec![(b"a".to_vec(), vec![1]), (b"b".to_vec(), vec![2, 0, 2])],
+                epoch: 3,
+                snapshot: vec![(b"a".to_vec(), 2, vec![1]), (b"b".to_vec(), 3, vec![2, 0, 2])],
             },
             Record::Begin { action: 5, parent: None },
             Record::Write { action: 5, key: b"a".to_vec(), version: vec![9] },
-            Record::Commit { action: 5 },
+            Record::Commit { action: 5, epoch: Some(4) },
         ],
     );
 }
