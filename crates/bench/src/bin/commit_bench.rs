@@ -1,0 +1,46 @@
+//! Group-commit throughput benchmark.
+//!
+//! Usage: `commit_bench [--smoke] [--out PATH]`
+//!
+//! Measures durable commits/sec on real files across a thread ×
+//! `group_commit` grid with the fsync path on, then writes the JSON
+//! report (default `BENCH_commit.json`). `--smoke` runs a reduced window
+//! for CI; the committed baseline is produced by a full run.
+
+use rnt_bench::commit_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_commit.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| threads | group | commits | commits/s | fsyncs | batches | amortization |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.grid {
+        println!(
+            "| {} | {} | {} | {:.0} | {} | {} | {:.1} |",
+            r.threads,
+            r.group_commit,
+            r.commits,
+            r.commits_per_sec,
+            r.wal_fsyncs,
+            r.commit_batches,
+            r.batch_amortization
+        );
+    }
+    println!();
+    for (threads, speedup) in &report.speedup_by_threads {
+        println!("group-commit speedup at {threads} thread(s): {speedup:.1}x");
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.grid.len());
+}

@@ -1,0 +1,147 @@
+//! E14: what group commit buys at the durable-commit bottleneck.
+//!
+//! Lemma 7 requires the log be *forced* before a top-level commit is
+//! acked — it does not require one force per commit. Without the
+//! pipeline, N committing threads serialize on N fsyncs and N publish-
+//! mutex acquisitions; with it, a batch of commits shares one fsync and
+//! one contiguous epoch run. This experiment measures durable commits/sec
+//! on real files across a thread × `group_commit` grid, fsync path on
+//! ([`Durability::WalFsync`]), and reports the speedup per thread count.
+//!
+//! The `commit_bench` binary renders the result as `BENCH_commit.json`,
+//! the committed baseline for the group-commit path.
+
+use rnt_core::{Db, DbConfig, Durability};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One cell of the thread × mode grid.
+#[derive(Clone, Debug, Serialize)]
+pub struct CommitThroughputRow {
+    /// Committing threads.
+    pub threads: usize,
+    /// Whether the group-commit pipeline was on.
+    pub group_commit: bool,
+    /// Top-level transactions durably committed over the window.
+    pub commits: u64,
+    /// Durable commits per second (whole run, all threads).
+    pub commits_per_sec: f64,
+    /// Fsyncs issued — one per commit without the pipeline, one per
+    /// *batch* with it.
+    pub wal_fsyncs: u64,
+    /// Batches retired (0 with the pipeline off).
+    pub commit_batches: u64,
+    /// Mean commits per retired batch (1.0 with the pipeline off).
+    pub batch_amortization: f64,
+}
+
+/// The full group-commit benchmark report (`BENCH_commit.json`).
+#[derive(Clone, Debug, Serialize)]
+pub struct CommitBenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// The thread × group_commit grid, fsync path on.
+    pub grid: Vec<CommitThroughputRow>,
+    /// commits/sec with the pipeline on over off, per thread count.
+    pub speedup_by_threads: Vec<(usize, f64)>,
+}
+
+const KEYS: u64 = 256;
+
+fn tmp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("rnt-commit-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench tmp dir");
+    dir.join(format!("{tag}.wal")).to_str().expect("utf8 path").to_string()
+}
+
+/// Run `threads` committers for `window`, each looping disjoint-key
+/// top-level rmw+commit transactions against a real on-disk log with the
+/// fsync path on, and count durable commits.
+fn throughput(threads: usize, group_commit: bool, window: Duration) -> CommitThroughputRow {
+    let path = tmp_path(&format!("grid-{threads}-{group_commit}"));
+    let _ = std::fs::remove_file(&path);
+    // max_batch = committer count: a full batch drains the moment the
+    // last committer stages (the window is never waited out), and a
+    // 50 µs straggler window keeps one descheduled thread from forcing
+    // a short batch. With max_batch = 1 the window never applies, so
+    // the single-thread cell pays no batching latency at all.
+    let config = DbConfig::builder()
+        .durability(Durability::WalFsync)
+        .group_commit(group_commit)
+        .max_batch(threads.max(1))
+        .max_batch_wait(Duration::from_micros(50))
+        .build();
+    let db: Arc<Db<u64, i64>> = Arc::new(Db::open(&path, config).expect("open"));
+    for k in 0..KEYS {
+        db.insert(k, 0);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let start_line = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let stop = stop.clone();
+            let start_line = start_line.clone();
+            std::thread::spawn(move || {
+                start_line.wait();
+                let mut i = 0u64;
+                let mut committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Disjoint key stripes: the grid measures the commit
+                    // pipeline, not lock contention.
+                    let key =
+                        (t as u64 * KEYS / threads as u64 + i % (KEYS / threads as u64)) % KEYS;
+                    let txn = db.begin();
+                    txn.rmw(&key, |v| v + 1).expect("rmw");
+                    txn.commit().expect("commit");
+                    committed += 1;
+                    i += 1;
+                }
+                committed
+            })
+        })
+        .collect();
+    start_line.wait();
+    let run_start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let commits: u64 = handles.into_iter().map(|h| h.join().expect("committer")).sum();
+    let elapsed = run_start.elapsed();
+    let stats = db.stats();
+    let _ = std::fs::remove_file(&path);
+    CommitThroughputRow {
+        threads,
+        group_commit,
+        commits,
+        commits_per_sec: commits as f64 / elapsed.as_secs_f64(),
+        wal_fsyncs: stats.wal_fsyncs,
+        commit_batches: stats.commit_batches,
+        batch_amortization: if stats.commit_batches > 0 {
+            stats.commits_batched as f64 / stats.commit_batches as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Run the full (or `--smoke`) group-commit benchmark grid.
+pub fn run_bench(smoke: bool) -> CommitBenchReport {
+    let window = Duration::from_millis(if smoke { 300 } else { 2_000 });
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let mut grid = Vec::new();
+    let mut speedup_by_threads = Vec::new();
+    for &threads in thread_counts {
+        let off = throughput(threads, false, window);
+        let on = throughput(threads, true, window);
+        let speedup =
+            if off.commits_per_sec > 0.0 { on.commits_per_sec / off.commits_per_sec } else { 0.0 };
+        speedup_by_threads.push((threads, speedup));
+        grid.push(off);
+        grid.push(on);
+    }
+    CommitBenchReport { schema: "rnt-bench/commit/v1".to_string(), smoke, grid, speedup_by_threads }
+}

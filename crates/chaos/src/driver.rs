@@ -63,6 +63,13 @@ pub struct ChaosConfig {
     /// reference trace's state at the pinned epoch). Off by default so
     /// pre-existing seed fingerprints stay comparable.
     pub snapshots: bool,
+    /// Route top-level commits through the group-commit pipeline. The
+    /// driver is single-threaded, so every batch is a singleton and —
+    /// because singleton batches log a plain `Commit` record — the WAL
+    /// bytes, audit log and verdict must be *identical* to the same seed
+    /// run without the pipeline. The differential suite asserts exactly
+    /// that.
+    pub group_commit: bool,
 }
 
 impl Default for ChaosConfig {
@@ -80,6 +87,7 @@ impl Default for ChaosConfig {
             check_after_each_fault: true,
             wal: false,
             snapshots: false,
+            group_commit: false,
         }
     }
 }
@@ -105,6 +113,12 @@ impl ChaosConfig {
     /// full oracle: faulty writers, crash points, epoch cross-checks).
     pub fn seeded_wal_snapshots(seed: u64) -> Self {
         ChaosConfig { snapshots: true, ..ChaosConfig::seeded_wal(seed) }
+    }
+
+    /// [`ChaosConfig::seeded_wal`] with top-level commits routed through
+    /// the group-commit pipeline (the differential suite's "on" side).
+    pub fn seeded_wal_group(seed: u64) -> Self {
+        ChaosConfig { group_commit: true, ..ChaosConfig::seeded_wal(seed) }
     }
 
     /// The deadlock policy this seed runs under: both are non-blocking, so
@@ -160,6 +174,12 @@ pub struct ChaosReport {
     /// Whole WAL records on (simulated) disk at the end of a WAL-backed
     /// run — after any injected crash cut (0 for in-memory runs).
     pub wal_records: usize,
+    /// FNV-1a over the raw WAL bytes on (simulated) disk (0 for in-memory
+    /// runs). Equal hashes ⇔ byte-identical logs — the differential
+    /// suite's strongest equivalence: a single-threaded run with the
+    /// group-commit pipeline on must log the *same bytes* as one with it
+    /// off, because singleton batches emit plain `Commit` records.
+    pub wal_hash: u64,
     /// `Ok(())` iff every oracle check passed.
     pub verdict: Result<(), ChaosFailure>,
 }
@@ -513,6 +533,16 @@ fn finish_snapshots(
     Ok(())
 }
 
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// FNV-1a over the audit log and the applied-fault trace.
 fn fingerprint(db: &Db<u64, i64>, applied: &[String]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -553,6 +583,10 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         .lock_timeout(Duration::ZERO)
         .audit(true)
         .durability(if config.wal { Durability::Wal } else { Durability::None })
+        // Zero batch window: the single-threaded driver must never have a
+        // leader wait for peers that cannot arrive.
+        .group_commit(config.group_commit)
+        .max_batch_wait(Duration::ZERO)
         .build();
     let (vfs, db): (Option<Arc<MemVfs>>, Db<u64, i64>) = if config.wal {
         let vfs = Arc::new(MemVfs::new());
@@ -632,9 +666,11 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         }
     }
     let mut wal_records = 0;
+    let mut wal_hash = 0;
     if let Some(vfs) = &vfs {
         let bytes = vfs.snapshot(recovery::WAL_PATH);
         wal_records = record_count(&bytes);
+        wal_hash = fnv1a(&bytes);
         if verdict.is_ok() {
             // Whatever reached the (possibly crash-cut) disk must recover
             // to the reference interpreter's committed state.
@@ -654,6 +690,7 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         audit_records: db.audit_log().map(|l| l.len()).unwrap_or(0),
         fingerprint: fingerprint(&db, &applied),
         wal_records,
+        wal_hash,
         verdict,
     }
 }

@@ -178,6 +178,44 @@ pub fn reference_trace(records: &[Record]) -> Result<ReferenceTrace, String> {
                     }
                 }
             }
+            Record::BatchCommit { commits } => {
+                // A group-commit batch: the listed top-level commits in
+                // epoch order, atomic because they share one frame — the
+                // interpreter either sees the whole batch or none of it
+                // (a torn frame never reaches `scan`'s output). Batch
+                // participants are never checkpoint-pruned: committers
+                // hold the checkpoint latch from registry transition
+                // through batch retirement, so unknown actions here mean
+                // a corrupt log, not a pruned orphan.
+                if commits.is_empty() {
+                    return Err(format!("record {i}: empty commit batch"));
+                }
+                for &(action, epoch) in commits {
+                    match status.get(&action) {
+                        None => {
+                            return Err(format!(
+                                "record {i}: batched commit of unknown action {action}"
+                            ))
+                        }
+                        Some(RefStatus::Active) => {}
+                        Some(_) => return Err(format!("record {i}: double finish of {action}")),
+                    }
+                    if parent.get(&action).copied().flatten().is_some() {
+                        return Err(format!(
+                            "record {i}: batched commit of nested action {action}"
+                        ));
+                    }
+                    if epoch <= last_epoch {
+                        return Err(format!(
+                            "record {i}: batch epoch {epoch} not above the last ({last_epoch})"
+                        ));
+                    }
+                    last_epoch = epoch;
+                    status.insert(action, RefStatus::Committed);
+                    let effects = pending.remove(&action).unwrap_or_default();
+                    trace.batches.insert(epoch, effects);
+                }
+            }
             Record::Abort { action } => {
                 match status.get(action) {
                     None => continue, // pruned by a checkpoint

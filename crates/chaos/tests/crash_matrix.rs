@@ -12,9 +12,10 @@
 use rnt_chaos::recovery::{check_crash_recovery, WAL_PATH};
 use rnt_chaos::{run_with_plan, ChaosConfig, FaultEvent, FaultKind, FaultPlan};
 use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability};
-use rnt_wal::faults::{cut_at_record, record_count};
-use rnt_wal::MemVfs;
-use std::sync::Arc;
+use rnt_wal::faults::{cut_at_record, record_count, record_offsets};
+use rnt_wal::{frame, scan, MemVfs, Record, INIT_ACTION, MAGIC};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 fn wal_db() -> (Arc<MemVfs>, Db<u64, i64>) {
     let vfs = Arc::new(MemVfs::new());
@@ -188,6 +189,191 @@ fn open_snapshots_at_crash_time_never_block_recovery() {
     assert_eq!(s0.read(&3), Some(30));
     assert_eq!(mid.read(&0), Some(1));
     assert_eq!(mid.read(&2), Some(21));
+}
+
+// ---- the group-commit batch crash matrix ----
+
+fn enc_k(k: u64) -> Vec<u8> {
+    rnt_wal::encode_to_vec(&k)
+}
+
+fn enc_v(v: i64) -> Vec<u8> {
+    rnt_wal::encode_to_vec(&v)
+}
+
+/// A handcrafted format-03 log whose centerpiece is a three-participant
+/// `BatchCommit` frame (one participant carries effects merged up from a
+/// committed child), followed by a post-batch singleton commit and a
+/// transaction left in flight at the crash.
+fn batch_records() -> Vec<Record> {
+    let mut records: Vec<Record> = (0..6u64)
+        .map(|k| Record::Write {
+            action: INIT_ACTION,
+            key: enc_k(k),
+            version: enc_v(k as i64 * 10),
+        })
+        .collect();
+    records.extend([
+        Record::Begin { action: 0, parent: None },
+        Record::Write { action: 0, key: enc_k(0), version: enc_v(100) },
+        Record::Begin { action: 1, parent: None },
+        Record::Begin { action: 3, parent: Some(1) },
+        Record::Write { action: 3, key: enc_k(1), version: enc_v(101) },
+        Record::Commit { action: 3, epoch: None },
+        Record::Begin { action: 2, parent: None },
+        Record::Write { action: 2, key: enc_k(2), version: enc_v(102) },
+        Record::BatchCommit { commits: vec![(0, 1), (1, 2), (2, 3)] },
+        Record::Begin { action: 4, parent: None },
+        Record::Write { action: 4, key: enc_k(3), version: enc_v(104) },
+        Record::Commit { action: 4, epoch: Some(4) },
+        Record::Begin { action: 5, parent: None },
+        Record::Write { action: 5, key: enc_k(4), version: enc_v(105) },
+    ]);
+    records
+}
+
+fn encode_log(records: &[Record]) -> Vec<u8> {
+    let mut bytes = MAGIC.to_vec();
+    for r in records {
+        bytes.extend_from_slice(&frame(r));
+    }
+    bytes
+}
+
+fn recover_values(bytes: &[u8], keys: u64) -> Vec<Option<i64>> {
+    let vfs = Arc::new(MemVfs::new());
+    vfs.install(WAL_PATH, bytes.to_vec());
+    let config = DbConfig::builder().durability(Durability::Wal).build();
+    let db = Db::<u64, i64>::recover_with_vfs(vfs, WAL_PATH, config).expect("recover");
+    (0..keys).map(|k| db.committed_value(&k)).collect()
+}
+
+/// Every record-boundary and every byte-offset cut of a batch-bearing log
+/// passes the full recovery oracle — the PR-3 matrix extended across a
+/// multi-commit batch.
+#[test]
+fn batch_log_every_crash_point_recovers() {
+    let bytes = encode_log(&batch_records());
+    let total = record_count(&bytes);
+    for cut in 0..=total {
+        let prefix = cut_at_record(&bytes, cut);
+        if let Err(e) = check_crash_recovery(&prefix) {
+            panic!("crash after record {cut}/{total}: {e}");
+        }
+    }
+    for len in 0..=bytes.len() {
+        if let Err(e) = check_crash_recovery(&bytes[..len]) {
+            panic!("crash after byte {len}/{}: {e}", bytes.len());
+        }
+    }
+}
+
+/// The all-or-nothing obligation, stated directly on recovered values: a
+/// cut anywhere *inside* the batch frame recovers NONE of the three
+/// participants' effects; a cut at or past the frame end recovers ALL of
+/// them. No crash point exists where the batch is partially applied.
+#[test]
+fn batch_is_all_or_nothing_at_every_byte() {
+    let records = batch_records();
+    let bytes = encode_log(&records);
+    let offsets = record_offsets(&bytes);
+    let idx = records
+        .iter()
+        .position(|r| matches!(r, Record::BatchCommit { .. }))
+        .expect("the log has a batch");
+    let (batch_start, batch_end) = (offsets[idx], offsets[idx + 1]);
+    for cut in batch_start..batch_end {
+        let got = recover_values(&bytes[..cut], 3);
+        assert_eq!(
+            got,
+            vec![Some(0), Some(10), Some(20)],
+            "cut {cut} bytes in (batch frame spans {batch_start}..{batch_end}): \
+             a torn batch must leave every participant unapplied"
+        );
+    }
+    let got = recover_values(&bytes[..batch_end], 3);
+    assert_eq!(
+        got,
+        vec![Some(100), Some(101), Some(102)],
+        "the intact frame must apply every participant"
+    );
+}
+
+/// The same matrix over a log the *engine* wrote: real threads group-
+/// committed through the pipeline, so the `BatchCommit` frame under test
+/// is production output, not a handcrafted fixture.
+#[test]
+fn engine_written_batch_crash_matrix() {
+    const THREADS: usize = 4;
+    let vfs = Arc::new(MemVfs::new());
+    let config = DbConfig::builder()
+        .policy(DeadlockPolicy::NoWait)
+        .audit(true)
+        .durability(Durability::Wal)
+        .group_commit(true)
+        .max_batch(THREADS)
+        .max_batch_wait(Duration::from_secs(2))
+        .build();
+    let db = Arc::new(Db::<u64, i64>::open_with_vfs(vfs.clone(), WAL_PATH, config).expect("open"));
+    for k in 0..THREADS as u64 {
+        db.insert(k, k as i64 * 10);
+    }
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|k| {
+            let db = db.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let t = db.begin();
+                t.rmw(&k, |v| v + 100).unwrap();
+                // All writes locked in before anyone stages: every commit
+                // lands inside the leader's batch window.
+                barrier.wait();
+                t.commit().unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.commits_staged, THREADS as u64);
+    assert_eq!(stats.commits_batched, THREADS as u64, "conservation: staged = retired");
+    assert!(
+        stats.commit_batches < THREADS as u64,
+        "no coalescing happened: {} batches for {THREADS} commits",
+        stats.commit_batches
+    );
+
+    let bytes = vfs.snapshot(WAL_PATH);
+    let (records, _) = scan(&bytes).expect("engine log scans");
+    let batched: usize = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::BatchCommit { commits } => Some(commits.len()),
+            _ => None,
+        })
+        .sum();
+    assert!(batched >= 2, "expected a multi-participant BatchCommit frame in the engine log");
+
+    let total = record_count(&bytes);
+    for cut in 0..=total {
+        let prefix = cut_at_record(&bytes, cut);
+        if let Err(e) = check_crash_recovery(&prefix) {
+            panic!("crash after record {cut}/{total} of the engine batch log: {e}");
+        }
+    }
+    // Byte sweep across the batch frame itself.
+    let offsets = record_offsets(&bytes);
+    let idx = records
+        .iter()
+        .position(|r| matches!(r, Record::BatchCommit { .. }))
+        .expect("position exists: scan found one above");
+    for len in offsets[idx]..=offsets[idx + 1] {
+        if let Err(e) = check_crash_recovery(&bytes[..len]) {
+            panic!("crash {} bytes into the engine batch frame: {e}", len - offsets[idx]);
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,124 @@
+//! Property-based sequencer checks: arbitrary thread counts, arrival
+//! staggers, and batch configurations (`max_batch` × `max_batch_wait`),
+//! all of which must preserve the pipeline's contract:
+//!
+//! * **conservation** — no commit is lost or invented: every `commit()`
+//!   call returns, `commits_staged == commits_batched`, and every
+//!   thread's writes are all in the committed state;
+//! * **force-before-ack** — under [`Durability::WalFsync`] the pipeline
+//!   issues exactly one fsync per retired batch (`wal_fsyncs ==
+//!   commit_batches`), and no acked commit is missing from the log;
+//! * **epoch order = log order** — the independent reference interpreter
+//!   rejects any log whose commit epochs are not strictly increasing in
+//!   record order, so a passing [`reference_trace`] *is* the ordering
+//!   proof; its committed state must equal the live engine's;
+//! * **bounded batches** — no `BatchCommit` frame carries more than
+//!   `max_batch` participants.
+
+use proptest::prelude::*;
+use rnt_chaos::recovery::{reference_trace, WAL_PATH};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability};
+use rnt_wal::{scan, MemVfs, Record};
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sequencer_contract_holds(
+        threads in 1usize..7,
+        commits_per in 1usize..5,
+        max_batch in 1usize..9,
+        wait_us in 0u64..400,
+        staggers in prop::collection::vec(0u64..150, 6),
+    ) {
+        let vfs = Arc::new(MemVfs::new());
+        let config = DbConfig::builder()
+            .policy(DeadlockPolicy::NoWait)
+            .durability(Durability::WalFsync)
+            .group_commit(true)
+            .max_batch(max_batch)
+            .max_batch_wait(Duration::from_micros(wait_us))
+            .build();
+        let db = Arc::new(
+            Db::<u64, i64>::open_with_vfs(vfs.clone(), WAL_PATH, config).expect("open"),
+        );
+        for k in 0..threads as u64 {
+            db.insert(k, 0);
+        }
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|k| {
+                let db = db.clone();
+                let stagger = staggers[k as usize % staggers.len()];
+                std::thread::spawn(move || {
+                    // Perturb the arrival order: who stages first (and so
+                    // who leads) varies across cases.
+                    std::thread::sleep(Duration::from_micros(stagger));
+                    for _ in 0..commits_per {
+                        let t = db.begin();
+                        t.rmw(&k, |v| v + 1).unwrap();
+                        t.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let total = (threads * commits_per) as u64;
+        let stats = db.stats();
+        prop_assert_eq!(stats.commits_staged, total, "every top-level commit staged");
+        prop_assert_eq!(
+            stats.commits_batched, total,
+            "conservation: staged = retired"
+        );
+        prop_assert_eq!(
+            stats.wal_fsyncs, stats.commit_batches,
+            "exactly one force per retired batch"
+        );
+        prop_assert!(
+            stats.commit_batches * max_batch as u64 >= total,
+            "{} batches of ≤{} cannot carry {} commits",
+            stats.commit_batches, max_batch, total
+        );
+        prop_assert_eq!(db.current_epoch(), total, "one epoch per top-level commit");
+        for k in 0..threads as u64 {
+            prop_assert_eq!(
+                db.committed_value(&k), Some(commits_per as i64),
+                "thread {}'s acked commits must all be in the committed state", k
+            );
+        }
+
+        // The log side: bounded frames, and the reference interpreter's
+        // strictly-increasing-epoch rule doubles as the ordering oracle.
+        let bytes = vfs.snapshot(WAL_PATH);
+        let (records, _) = scan(&bytes).expect("live log scans clean");
+        for r in &records {
+            if let Record::BatchCommit { commits } = r {
+                prop_assert!(commits.len() >= 2, "singleton batches log plain Commits");
+                prop_assert!(
+                    commits.len() <= max_batch,
+                    "a frame with {} participants exceeds max_batch {}",
+                    commits.len(), max_batch
+                );
+            }
+        }
+        let trace = reference_trace(&records);
+        prop_assert!(
+            trace.is_ok(),
+            "reference interpreter rejected the engine log (epoch order ≠ log order?): {:?}",
+            trace.err()
+        );
+        let trace = trace.unwrap();
+        prop_assert_eq!(trace.max_epoch(), total);
+        let committed = trace.committed();
+        for k in 0..threads as u64 {
+            prop_assert_eq!(
+                committed.get(&k).copied(), Some(commits_per as i64),
+                "log-derived state diverges from acked commits at key {}", k
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@
 use crate::audit::{hash_value, AuditLog, AuditRecord};
 #[cfg(feature = "chaos-hooks")]
 use crate::chaos;
+use crate::commit_pipeline::{CommitPipeline, StagedCommit};
 use crate::deadlock::WaitForGraph;
 use crate::error::TxnError;
 use crate::lock::{Conflict, LockEnv, LockState};
@@ -120,6 +121,21 @@ pub struct DbConfig {
     /// every this many top-level commits; 0 disables auto-checkpointing.
     /// [`Db::checkpoint`] can always be called explicitly.
     pub checkpoint_every: u64,
+    /// Route top-level commits through the group-commit sequencer: staged
+    /// commits share one WAL append + fsync and one publish-mutex
+    /// acquisition per batch (Lemma 7 requires a force *before* a commit
+    /// is visible, not one force *per* commit). Durability and recovery
+    /// semantics are identical either way; batches are atomic-in-log.
+    pub group_commit: bool,
+    /// Most commits retired in one batch (≥ 1; meaningful with
+    /// [`DbConfig::group_commit`]).
+    pub max_batch: usize,
+    /// How long a batch leader waits for more commits to arrive before
+    /// retiring a partial batch. Zero (the default) retires whatever is
+    /// staged immediately — batching then comes purely from commits that
+    /// accumulate while the previous batch is fsyncing, which never
+    /// delays a solo committer.
+    pub max_batch_wait: Duration,
 }
 
 impl Default for DbConfig {
@@ -133,6 +149,9 @@ impl Default for DbConfig {
             wakeups: WakeupMode::Targeted,
             durability: Durability::None,
             checkpoint_every: 0,
+            group_commit: false,
+            max_batch: 32,
+            max_batch_wait: Duration::ZERO,
         }
     }
 }
@@ -207,6 +226,25 @@ impl DbConfigBuilder {
     /// Auto-checkpoint after every `n` top-level commits (0 = never).
     pub fn checkpoint_every(mut self, n: u64) -> Self {
         self.config.checkpoint_every = n;
+        self
+    }
+
+    /// Route top-level commits through the group-commit sequencer.
+    pub fn group_commit(mut self, on: bool) -> Self {
+        self.config.group_commit = on;
+        self
+    }
+
+    /// Most commits retired in one group-commit batch.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.max_batch = n.max(1);
+        self
+    }
+
+    /// How long a batch leader waits for more arrivals before retiring a
+    /// partial batch (zero = retire immediately).
+    pub fn max_batch_wait(mut self, wait: Duration) -> Self {
+        self.config.max_batch_wait = wait;
         self
     }
 
@@ -312,6 +350,8 @@ struct DbInner<K, V> {
     /// [`Db::snapshot`] pins an epoch and reads without ever touching the
     /// lock tables. Lock order: publish → shard → mvcc-shard.
     mvcc: MvccStore<K, V>,
+    /// The group-commit sequencer (used iff [`DbConfig::group_commit`]).
+    pipeline: CommitPipeline<K, Result<(), TxnError>>,
     /// The installed fault injector, if any (chaos harness only).
     #[cfg(feature = "chaos-hooks")]
     injector: parking_lot::RwLock<Option<Arc<dyn chaos::Injector>>>,
@@ -374,6 +414,7 @@ where
                 wal: std::sync::OnceLock::new(),
                 ckpt: RwLock::new(()),
                 mvcc: MvccStore::new(config_shards),
+                pipeline: CommitPipeline::new(),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
             }),
@@ -572,6 +613,10 @@ where
 
     pub(crate) fn raw_mvcc_advance(&self, epoch: u64) {
         self.inner.mvcc.advance_watermark(epoch);
+    }
+
+    pub(crate) fn raw_mvcc_watermark(&self) -> u64 {
+        self.inner.mvcc.watermark()
     }
 
     /// Run `f` on a key's lock state with a registry view (replay only).
@@ -810,6 +855,60 @@ where
             Some(detail) => Err(TxnError::Wal { detail }),
             None => Ok(()),
         }
+    }
+
+    /// Retire one group-commit batch: append the batch's commit record,
+    /// force it with a single fsync, then publish every participant's
+    /// version chains under one publish-mutex acquisition (a contiguous
+    /// epoch run, assigned in staging order). Returns each participant's
+    /// durability verdict, keyed by staging ticket.
+    ///
+    /// A single-participant batch appends a plain `Commit` record — byte-
+    /// identical to the non-batched path — so logs only diverge when
+    /// batching actually coalesced commits, and even then only in framing:
+    /// a `BatchCommit` of `n` commits replays exactly like the `n` plain
+    /// records, except atomically (the frame is torn wholly or not at all).
+    ///
+    /// Participants' write sets are necessarily disjoint (each still holds
+    /// its write locks, and none is an ancestor of another), so chain
+    /// appends across the batch never race on a key and per-key epoch
+    /// order stays ascending.
+    fn process_commit_batch(
+        &self,
+        batch: Vec<StagedCommit<K>>,
+    ) -> Vec<(u64, Result<(), TxnError>)> {
+        let publish = self.mvcc.begin_publish_batch(batch.len());
+        let record = if batch.len() == 1 {
+            Record::Commit { action: batch[0].txn.0, epoch: Some(publish.epoch_of(0)) }
+        } else {
+            Record::BatchCommit {
+                commits: batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.txn.0, publish.epoch_of(i)))
+                    .collect(),
+            }
+        };
+        if let Some(w) = self.wal.get() {
+            self.wal_append(&record);
+            if w.fsync_commits {
+                match w.log.lock().fsync() {
+                    Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
+                    Err(e) => w.mark_broken(&e),
+                }
+            }
+        }
+        for (i, staged) in batch.iter().enumerate() {
+            self.finish_locks(staged.txn, &staged.keys, true, Some(publish.epoch_of(i)));
+        }
+        drop(publish);
+        Stats::bump(&self.stats.commit_batches);
+        Stats::add(&self.stats.commits_batched, batch.len() as u64);
+        let verdict = match self.wal.get().and_then(|w| w.broken.lock().clone()) {
+            Some(detail) => Err(TxnError::Wal { detail }),
+            None => Ok(()),
+        };
+        batch.iter().map(|s| (s.seq, verdict.clone())).collect()
     }
 
     /// Checkpoint after a top-level commit if the configured cadence says
@@ -1336,6 +1435,29 @@ where
         let id = self.id;
         let top_level = self.parent_touched.is_none();
         self.inner.audit_record(|reg| AuditRecord::Commit { path: reg.path(id).expect("known") });
+        if top_level && self.inner.config.group_commit {
+            // Group-commit path: hand the finished commit to the
+            // sequencer and block until a batch containing it has been
+            // appended, forced, and published. Our locks stay held until
+            // the leader runs finish_locks for us, so no conflicting
+            // access can be logged ahead of our batch's commit record —
+            // the same ordering invariant as the inline path below.
+            let keys = std::mem::take(&mut *self.touched.lock());
+            Stats::bump(&self.inner.stats.commits_staged);
+            let inner = &self.inner;
+            let durable = inner.pipeline.stage(
+                id,
+                keys,
+                inner.config.max_batch,
+                inner.config.max_batch_wait,
+                |batch| inner.process_commit_batch(batch),
+            );
+            Stats::bump(&inner.stats.committed);
+            self.done = true;
+            drop(latch);
+            self.inner.maybe_auto_checkpoint(true);
+            return durable;
+        }
         // A top-level commit publishes to the committed version chains:
         // enter the MVCC publish critical section to get the next commit
         // epoch. Holding it across the WAL append makes commit-record log

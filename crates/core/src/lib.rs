@@ -34,6 +34,7 @@
 mod audit;
 #[cfg(feature = "chaos-hooks")]
 pub mod chaos;
+mod commit_pipeline;
 mod db;
 mod deadlock;
 mod error;

@@ -98,6 +98,70 @@ where
     }
 }
 
+/// Apply one logged commit (record index `i`, for error labels) to the
+/// replaying `db`: registry transition, lock inheritance/publication, and
+/// — for top-level commits — the version-chain appends at the logged
+/// epoch.
+///
+/// Top-level epochs must land strictly above the current watermark. The
+/// engine allocates epochs as `watermark + 1` under the publish mutex and
+/// logs the commit record while holding it, so any log claiming an epoch
+/// at or below the watermark carries an epoch that was never durably
+/// allocated — trusting it would replay a commit the pre-crash store
+/// never published (or publish two commits at one epoch).
+fn apply_commit<K, V>(
+    db: &Db<K, V>,
+    touched: &mut HashMap<TxnId, HashSet<K>>,
+    i: usize,
+    id: TxnId,
+    epoch: Option<u64>,
+) -> Result<(), WalError>
+where
+    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    V: Clone + Hash + Send + Sync + WalCodec + 'static,
+{
+    let registry = db.registry();
+    registry.commit(id).map_err(|e| replay_err(format!("record {i}: {e}")))?;
+    let parent = registry.parent(id);
+    if parent.is_none() && epoch.is_none() {
+        return Err(replay_err(format!(
+            "record {i}: top-level commit of {id:?} without a commit epoch"
+        )));
+    }
+    let publish_epoch = if parent.is_none() { epoch } else { None };
+    if let Some(e) = publish_epoch {
+        let watermark = db.raw_mvcc_watermark();
+        if e <= watermark {
+            return Err(replay_err(format!(
+                "record {i}: commit epoch {e} of {id:?} not above watermark {watermark} — \
+                 epoch never durably allocated"
+            )));
+        }
+    }
+    let keys = touched.remove(&id).unwrap_or_default();
+    for key in &keys {
+        let published = db.raw_with_state(key, |state, view| {
+            // Mirror the live engine's publication rule: a top-level
+            // commit appends a chain version for exactly the keys the
+            // committer holds a write lock on (its own writes plus
+            // inherited ones).
+            let wrote = publish_epoch.is_some() && state.write_holders().any(|h| h == id);
+            state.commit_to_parent(id, parent, view);
+            wrote.then(|| state.base_value().clone())
+        });
+        if let Some(Some(value)) = published {
+            db.raw_mvcc_append(key, publish_epoch.expect("wrote implies epoch"), value);
+        }
+    }
+    if let Some(e) = publish_epoch {
+        db.raw_mvcc_advance(e);
+    }
+    if let Some(p) = parent {
+        touched.entry(p).or_default().extend(keys);
+    }
+    Ok(())
+}
+
 /// Replay `records` into the (fresh, log-less) `db`. Returns the number of
 /// actions reconstructed (`Begin` records processed).
 fn replay<K, V>(db: &Db<K, V>, records: &[Record]) -> Result<u64, WalError>
@@ -187,35 +251,32 @@ where
                     }
                     return Err(replay_err(format!("record {i}: commit of unknown action {id:?}")));
                 }
-                registry.commit(id).map_err(|e| replay_err(format!("record {i}: {e}")))?;
-                let parent = registry.parent(id);
-                if parent.is_none() && epoch.is_none() {
-                    return Err(replay_err(format!(
-                        "record {i}: top-level commit of {id:?} without a commit epoch"
-                    )));
+                apply_commit(db, &mut touched, i, id, *epoch)?;
+            }
+            Record::BatchCommit { commits } => {
+                // A group-commit batch: semantically the listed top-level
+                // commits in epoch order, durably atomic because they
+                // share this one frame. Participants are always known —
+                // they were alive and top-level when staged, and the
+                // committing threads hold the checkpoint latch from
+                // registry transition through batch retirement, so no
+                // checkpoint can prune a batch participant's Begin.
+                if commits.is_empty() {
+                    return Err(replay_err(format!("record {i}: empty commit batch")));
                 }
-                let publish_epoch = if parent.is_none() { *epoch } else { None };
-                let keys = touched.remove(&id).unwrap_or_default();
-                for key in &keys {
-                    let published = db.raw_with_state(key, |state, view| {
-                        // Mirror the live engine's publication rule: a
-                        // top-level commit appends a chain version for
-                        // exactly the keys the committer holds a write
-                        // lock on (its own writes plus inherited ones).
-                        let wrote =
-                            publish_epoch.is_some() && state.write_holders().any(|h| h == id);
-                        state.commit_to_parent(id, parent, view);
-                        wrote.then(|| state.base_value().clone())
-                    });
-                    if let Some(Some(value)) = published {
-                        db.raw_mvcc_append(key, publish_epoch.expect("wrote implies epoch"), value);
+                for &(action, epoch) in commits {
+                    let id = TxnId(action);
+                    if registry.status(id).is_none() {
+                        return Err(replay_err(format!(
+                            "record {i}: batched commit of unknown action {id:?}"
+                        )));
                     }
-                }
-                if let Some(e) = publish_epoch {
-                    db.raw_mvcc_advance(e);
-                }
-                if let Some(p) = parent {
-                    touched.entry(p).or_default().extend(keys);
+                    if registry.parent(id).is_some() {
+                        return Err(replay_err(format!(
+                            "record {i}: batched commit of nested action {id:?}"
+                        )));
+                    }
+                    apply_commit(db, &mut touched, i, id, Some(epoch))?;
                 }
             }
             Record::Abort { action } => {

@@ -46,6 +46,16 @@ pub struct Stats {
     /// Reads served from a pinned snapshot (lock-free: these never touch
     /// the lock tables, so they add nothing to `reads`/`conflicts`/`waits`).
     pub snapshot_reads: AtomicU64,
+    /// Top-level commits handed to the group-commit sequencer.
+    pub commits_staged: AtomicU64,
+    /// Top-level commits retired (published) by the sequencer.
+    /// Conservation: equals `commits_staged` at quiescence — the pipeline
+    /// never loses or invents a commit.
+    pub commits_batched: AtomicU64,
+    /// Group-commit batches retired (each one WAL force + one publish
+    /// acquisition). `commits_batched / commit_batches` is the achieved
+    /// amortization factor.
+    pub commit_batches: AtomicU64,
 }
 
 /// A plain snapshot of [`Stats`].
@@ -88,6 +98,13 @@ pub struct StatsSnapshot {
     pub recovered_actions: u64,
     /// Reads served from a pinned snapshot (lock-free).
     pub snapshot_reads: u64,
+    /// Top-level commits handed to the group-commit sequencer.
+    pub commits_staged: u64,
+    /// Top-level commits retired by the sequencer (= `commits_staged` at
+    /// quiescence).
+    pub commits_batched: u64,
+    /// Group-commit batches retired.
+    pub commit_batches: u64,
     /// Committed versions ever appended to the MVCC chains (top-level
     /// commit publications plus seeds).
     pub versions_created: u64,
@@ -121,6 +138,9 @@ impl Stats {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             recovered_actions: self.recovered_actions.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            commits_staged: self.commits_staged.load(Ordering::Relaxed),
+            commits_batched: self.commits_batched.load(Ordering::Relaxed),
+            commit_batches: self.commit_batches.load(Ordering::Relaxed),
             // Filled in by `Db::stats` from the MVCC store's own counters;
             // a bare `Stats` has no version chains to report on.
             versions_created: 0,
@@ -148,6 +168,11 @@ impl StatsSnapshot {
     /// checkpoint rewrites, every begin, write/rmw, commit, and abort
     /// appends exactly one record, and every seeded key appends one init
     /// record — so `wal_appends` must equal this sum for `inserts` keys.
+    ///
+    /// Group-commit runs break the one-record-per-commit assumption: a
+    /// batch of `n` coalesced commits appends ONE `BatchCommit` record, so
+    /// `wal_appends` falls short of this sum by
+    /// `commits_batched - commit_batches`.
     pub fn wal_appends_expected(&self, inserts: u64) -> u64 {
         self.begun + self.writes + self.committed + self.aborted + inserts
     }

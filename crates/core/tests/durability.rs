@@ -4,8 +4,9 @@
 
 use rnt_core::{Db, DbConfig, Durability};
 use rnt_wal::faults::record_count;
-use rnt_wal::{MemVfs, Vfs};
+use rnt_wal::{frame, MemVfs, Record, Vfs, MAGIC};
 use std::sync::Arc;
+use std::time::Duration;
 
 const LOG: &str = "db.wal";
 
@@ -312,6 +313,153 @@ fn durability_none_writes_no_log() {
     t.commit().unwrap();
     assert!(!vfs.exists(LOG));
     assert_eq!(db.stats().wal_appends, 0);
+}
+
+// ---- group commit and the format-03 batch frame ----
+
+fn install_log(records: &[Record]) -> Arc<MemVfs> {
+    let mut bytes = MAGIC.to_vec();
+    for r in records {
+        bytes.extend_from_slice(&frame(r));
+    }
+    let vfs = Arc::new(MemVfs::new());
+    vfs.install(LOG, bytes);
+    vfs
+}
+
+fn enc(s: &str) -> Vec<u8> {
+    rnt_wal::encode_to_vec(&s.to_string())
+}
+
+fn enc_v(v: i64) -> Vec<u8> {
+    rnt_wal::encode_to_vec(&v)
+}
+
+#[test]
+fn batch_commit_replays_every_participant() {
+    let vfs = install_log(&[
+        Record::Write { action: rnt_wal::INIT_ACTION, key: enc("a"), version: enc_v(1) },
+        Record::Write { action: rnt_wal::INIT_ACTION, key: enc("b"), version: enc_v(2) },
+        Record::Begin { action: 0, parent: None },
+        Record::Write { action: 0, key: enc("a"), version: enc_v(10) },
+        Record::Begin { action: 1, parent: None },
+        Record::Write { action: 1, key: enc("b"), version: enc_v(20) },
+        Record::BatchCommit { commits: vec![(0, 1), (1, 2)] },
+    ]);
+    let r = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config()).unwrap();
+    assert_eq!(r.committed_value(&"a".to_string()), Some(10));
+    assert_eq!(r.committed_value(&"b".to_string()), Some(20));
+    assert_eq!(r.current_epoch(), 2, "replay advances the watermark over the batch's run");
+    assert_eq!(r.version_chain(&"a".to_string()), vec![(1, 10)]);
+    assert_eq!(r.version_chain(&"b".to_string()), vec![(2, 20)]);
+}
+
+/// The latent gap this PR closes: a `Commit` record at the log tail whose
+/// epoch was never durably allocated (it is not above the replayed
+/// watermark) must be *rejected*, not silently replayed at a fabricated
+/// position in the serial order.
+#[test]
+fn replay_rejects_a_commit_epoch_at_or_below_the_watermark() {
+    // Epoch 0 is the genesis watermark: nothing can commit "at" it.
+    let vfs = install_log(&[
+        Record::Write { action: rnt_wal::INIT_ACTION, key: enc("a"), version: enc_v(1) },
+        Record::Begin { action: 0, parent: None },
+        Record::Write { action: 0, key: enc("a"), version: enc_v(5) },
+        Record::Commit { action: 0, epoch: Some(0) },
+    ]);
+    let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
+        .err()
+        .expect("a never-allocated epoch must fail replay");
+    assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
+
+    // Same gap behind a checkpoint: the checkpoint proves the watermark
+    // reached 5, so a later commit claiming epoch 3 is corrupt.
+    let vfs = install_log(&[
+        Record::Checkpoint { epoch: 5, snapshot: vec![(enc("a"), 2, enc_v(1))] },
+        Record::Begin { action: 7, parent: None },
+        Record::Write { action: 7, key: enc("a"), version: enc_v(9) },
+        Record::Commit { action: 7, epoch: Some(3) },
+    ]);
+    let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
+        .err()
+        .expect("an epoch below the checkpoint watermark must fail replay");
+    assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
+}
+
+/// The same obligation at a format-03 batch boundary: a batch whose epoch
+/// run dips to or below the replayed watermark is rejected wholesale.
+#[test]
+fn replay_rejects_a_batch_epoch_at_or_below_the_watermark() {
+    let vfs = install_log(&[
+        Record::Checkpoint { epoch: 4, snapshot: vec![(enc("a"), 2, enc_v(1))] },
+        Record::Begin { action: 0, parent: None },
+        Record::Write { action: 0, key: enc("a"), version: enc_v(10) },
+        Record::Begin { action: 1, parent: None },
+        Record::BatchCommit { commits: vec![(0, 5), (1, 4)] },
+    ]);
+    let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
+        .err()
+        .expect("a batch epoch at the watermark must fail replay");
+    assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
+}
+
+#[test]
+fn group_commit_log_recovers_identically_to_plain_commit_log() {
+    // The same single-threaded workload, pipeline off and on: singleton
+    // batches log plain Commit records, so the logs are byte-identical
+    // and so are the recoveries.
+    let run = |group: bool| {
+        let config = DbConfig::builder()
+            .durability(Durability::Wal)
+            .group_commit(group)
+            .max_batch_wait(Duration::ZERO)
+            .build();
+        let (vfs, db) = open_mem(config);
+        db.insert("a".to_string(), 0);
+        db.insert("b".to_string(), 0);
+        for i in 0..4 {
+            let t = db.begin();
+            let c = t.child().unwrap();
+            c.rmw(&if i % 2 == 0 { "a".to_string() } else { "b".to_string() }, |v| v + 1).unwrap();
+            c.commit().unwrap();
+            t.commit().unwrap();
+        }
+        vfs.snapshot(LOG)
+    };
+    let (off, on) = (run(false), run(true));
+    assert_eq!(off, on, "singleton batches must keep the log byte-identical");
+
+    let fresh = Arc::new(MemVfs::new());
+    fresh.install(LOG, on);
+    let r = Db::<String, i64>::recover_with_vfs(fresh, LOG, wal_config()).unwrap();
+    assert_eq!(r.committed_value(&"a".to_string()), Some(2));
+    assert_eq!(r.committed_value(&"b".to_string()), Some(2));
+}
+
+#[test]
+fn group_commit_fsync_acks_are_durable() {
+    // WalFsync + group commit: every acked commit must survive a crash cut
+    // at exactly the bytes on disk at ack time.
+    let config = DbConfig::builder()
+        .durability(Durability::WalFsync)
+        .group_commit(true)
+        .max_batch(8)
+        .build();
+    let (vfs, db) = open_mem(config);
+    db.insert("a".to_string(), 0);
+    for _ in 0..3 {
+        let t = db.begin();
+        t.rmw(&"a".to_string(), |v| v + 1).unwrap();
+        t.commit().unwrap();
+        // The ack has been returned: the state on disk RIGHT NOW must
+        // already contain this commit.
+        let r = crash_recover(&vfs, wal_config());
+        assert_eq!(r.committed_value(&"a".to_string()), db.committed_value(&"a".to_string()));
+    }
+    let s = db.stats();
+    assert_eq!(s.commits_staged, 3);
+    assert_eq!(s.commits_batched, 3);
+    assert_eq!(s.wal_fsyncs, s.commit_batches, "one force per batch");
 }
 
 #[test]

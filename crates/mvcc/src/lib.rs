@@ -30,4 +30,4 @@
 
 mod store;
 
-pub use store::{MvccCounters, MvccStore, Publish, GENESIS_EPOCH};
+pub use store::{MvccCounters, MvccStore, Publish, PublishBatch, GENESIS_EPOCH};

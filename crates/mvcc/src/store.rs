@@ -96,6 +96,49 @@ impl Drop for Publish<'_> {
     }
 }
 
+/// An exclusive publication ticket for a *batch* of top-level commits,
+/// returned by [`MvccStore::begin_publish_batch`]. Holds the publish lock
+/// once for the whole batch; participant `i` (0-based) appends its
+/// versions at [`PublishBatch::epoch_of(i)`](PublishBatch::epoch_of).
+/// Dropping the ticket advances the watermark past the entire epoch run —
+/// the batch becomes visible to new snapshots as one unit, never as a
+/// prefix.
+pub struct PublishBatch<'a> {
+    watermark: &'a AtomicU64,
+    _guard: MutexGuard<'a, ()>,
+    base: u64,
+    len: u64,
+}
+
+impl PublishBatch<'_> {
+    /// The first epoch of the contiguous run.
+    pub fn first_epoch(&self) -> u64 {
+        self.base + 1
+    }
+
+    /// The epoch assigned to the `i`-th batch participant.
+    ///
+    /// # Panics
+    /// If `i` is outside the batch.
+    pub fn epoch_of(&self, i: usize) -> u64 {
+        assert!((i as u64) < self.len, "participant {i} outside batch of {}", self.len);
+        self.base + 1 + i as u64
+    }
+
+    /// The last epoch of the run (the watermark after publication).
+    pub fn last_epoch(&self) -> u64 {
+        self.base + self.len
+    }
+}
+
+impl Drop for PublishBatch<'_> {
+    fn drop(&mut self) {
+        // Serialized like single publication: base was the watermark when
+        // the ticket was taken, so this is a contiguous advance.
+        self.watermark.store(self.base + self.len, Ordering::Release);
+    }
+}
+
 /// Drop every superseded version whose successor is ≤ `min_pin`.
 /// Successor epochs ascend along the chain, so the droppable set is a
 /// prefix. Returns how many versions were dropped.
@@ -139,6 +182,21 @@ where
         let guard = self.publish.lock();
         let epoch = self.watermark.load(Ordering::Acquire) + 1;
         Publish { watermark: &self.watermark, _guard: guard, epoch }
+    }
+
+    /// Enter the publish critical section once for a batch of `n`
+    /// top-level commits, allocating the contiguous epoch run
+    /// `watermark+1 ..= watermark+n`. This is the group-commit
+    /// amortization: one lock acquisition and one watermark advance for
+    /// the whole batch, instead of `n` serialized publish cycles.
+    ///
+    /// # Panics
+    /// If `n == 0` — an empty batch has no epochs to allocate.
+    pub fn begin_publish_batch(&self, n: usize) -> PublishBatch<'_> {
+        assert!(n > 0, "empty publish batch");
+        let guard = self.publish.lock();
+        let base = self.watermark.load(Ordering::Acquire);
+        PublishBatch { watermark: &self.watermark, _guard: guard, base, len: n as u64 }
     }
 
     /// Append a version to `key`'s chain. `epoch` must be strictly above
@@ -361,6 +419,37 @@ mod tests {
         let c = s.counters();
         assert_eq!(c.created - c.reclaimed, s.total_versions());
         assert_eq!(s.total_versions(), 8);
+    }
+
+    #[test]
+    fn batch_publish_allocates_contiguous_run_and_advances_once() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        commit(&s, 1, 1); // watermark -> 1
+        let batch = s.begin_publish_batch(3);
+        assert_eq!(batch.first_epoch(), 2);
+        assert_eq!(batch.epoch_of(0), 2);
+        assert_eq!(batch.epoch_of(2), 4);
+        assert_eq!(batch.last_epoch(), 4);
+        for i in 0..3 {
+            s.append(&(10 + i as u64), batch.epoch_of(i), i as i64);
+        }
+        // Nothing visible until the ticket drops: no partial batch. (A
+        // concurrent pin would block on the publish lock the ticket
+        // holds, then land at 4 — never inside the half-published run.)
+        assert_eq!(s.watermark(), 1);
+        drop(batch);
+        assert_eq!(s.watermark(), 4, "whole run published at once");
+        // Numbering continues contiguously after a batch.
+        assert_eq!(commit(&s, 1, 9), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside batch")]
+    fn batch_epoch_out_of_range_panics() {
+        let s = store();
+        let batch = s.begin_publish_batch(2);
+        batch.epoch_of(2);
     }
 
     #[test]

@@ -17,14 +17,19 @@
 //! Layout of a log file:
 //!
 //! ```text
-//! [8-byte magic "RNTWAL02"]
+//! [8-byte magic "RNTWAL03"]
 //! [frame]*            frame = [len: u32 LE][crc32(payload): u32 LE][payload]
 //! ```
 //!
-//! Format `02` carries the MVCC **commit epoch**: top-level `Commit`
+//! Format `02` added the MVCC **commit epoch**: top-level `Commit`
 //! records stamp the epoch their versions publish at, and `Checkpoint`
 //! records store the watermark plus each object's last commit epoch, so
 //! recovery rebuilds version chains identical to the pre-crash store.
+//! Format `03` adds the [`Record::BatchCommit`] frame: a group-committed
+//! batch of top-level commits encoded as ONE record, so the whole batch
+//! is atomic-in-log-or-absent — a crash tears the entire frame (dropped
+//! by [`scan`]'s tail rule) or none of it, and no prefix of a batch can
+//! ever be replayed as committed.
 //!
 //! Reading is two-mode:
 //!

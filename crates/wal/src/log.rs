@@ -7,9 +7,10 @@ use crate::record::Record;
 use crate::vfs::Vfs;
 use std::sync::Arc;
 
-/// The 8-byte file header every log starts with. `02` added the commit
-/// epoch to `Commit`/`Checkpoint` records; `01` logs are not readable.
-pub const MAGIC: &[u8; 8] = b"RNTWAL02";
+/// The 8-byte file header every log starts with. `03` added the
+/// `BatchCommit` group-commit frame; `02` added the commit epoch to
+/// `Commit`/`Checkpoint` records; older logs are not readable.
+pub const MAGIC: &[u8; 8] = b"RNTWAL03";
 
 /// Wrap a record payload in a `[len][crc][payload]` frame.
 pub fn frame(record: &Record) -> Vec<u8> {

@@ -13,6 +13,7 @@ const TAG_WRITE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
+const TAG_BATCH_COMMIT: u8 = 6;
 
 /// One durable event. Keys and versions are opaque byte strings — the
 /// engine encodes its `K`/`V` types via [`crate::WalCodec`] before
@@ -54,6 +55,18 @@ pub enum Record {
     Abort {
         /// The aborting action.
         action: u64,
+    },
+    /// A group-committed batch of top-level commits, durable as one unit.
+    ///
+    /// Semantically equivalent to the listed `Commit { action, epoch:
+    /// Some(epoch) }` records applied in order, but framed as a *single*
+    /// record so the batch is atomic-in-log-or-absent: a crash can only
+    /// tear the whole frame (discarded by [`crate::scan`]'s tail rule),
+    /// never leave a prefix of the batch replayable as committed.
+    BatchCommit {
+        /// `(action, epoch)` pairs in epoch order — epochs are the
+        /// contiguous run the sequencer allocated for the batch.
+        commits: Vec<(u64, u64)>,
     },
     /// A full snapshot of the committed key space, written as the first
     /// record of a rewritten log so recovery cost stays bounded.
@@ -152,6 +165,14 @@ impl Record {
                 out.push(TAG_ABORT);
                 put_u64(&mut out, *action);
             }
+            Record::BatchCommit { commits } => {
+                out.push(TAG_BATCH_COMMIT);
+                out.extend_from_slice(&(commits.len() as u32).to_le_bytes());
+                for (action, epoch) in commits {
+                    put_u64(&mut out, *action);
+                    put_u64(&mut out, *epoch);
+                }
+            }
             Record::Checkpoint { epoch, snapshot } => {
                 out.push(TAG_CHECKPOINT);
                 put_u64(&mut out, *epoch);
@@ -199,6 +220,19 @@ impl Record {
                     Record::Commit { action, epoch }
                 }
                 TAG_ABORT => Record::Abort { action: c.u64()? },
+                TAG_BATCH_COMMIT => {
+                    let n = c.u32()? as usize;
+                    if n == 0 {
+                        return Err("empty batch commit".to_string());
+                    }
+                    let mut commits = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        let action = c.u64()?;
+                        let epoch = c.u64()?;
+                        commits.push((action, epoch));
+                    }
+                    Record::BatchCommit { commits }
+                }
                 TAG_CHECKPOINT => {
                     let epoch = c.u64()?;
                     let n = c.u32()? as usize;
@@ -222,14 +256,15 @@ impl Record {
         Ok(record)
     }
 
-    /// The acting id, if this record names one (`None` for checkpoints).
+    /// The acting id, if this record names exactly one (`None` for
+    /// checkpoints and batch commits, which name zero or many).
     pub fn action(&self) -> Option<u64> {
         match self {
             Record::Begin { action, .. }
             | Record::Write { action, .. }
             | Record::Commit { action, .. }
             | Record::Abort { action } => Some(*action),
-            Record::Checkpoint { .. } => None,
+            Record::Checkpoint { .. } | Record::BatchCommit { .. } => None,
         }
     }
 }
@@ -252,6 +287,8 @@ mod tests {
         roundtrip(Record::Commit { action: 8, epoch: None });
         roundtrip(Record::Commit { action: 8, epoch: Some(3) });
         roundtrip(Record::Abort { action: 7 });
+        roundtrip(Record::BatchCommit { commits: vec![(3, 11)] });
+        roundtrip(Record::BatchCommit { commits: vec![(3, 11), (9, 12), (1, 13)] });
         roundtrip(Record::Checkpoint { epoch: 0, snapshot: vec![] });
         roundtrip(Record::Checkpoint {
             epoch: 9,
@@ -270,6 +307,12 @@ mod tests {
         let mut payload = Record::Commit { action: 5, epoch: None }.encode();
         payload.truncate(4);
         assert!(matches!(Record::decode(&payload, 0), Err(WalError::BadRecord { .. })));
+    }
+
+    #[test]
+    fn empty_batch_commit_rejected() {
+        let err = Record::decode(&[TAG_BATCH_COMMIT, 0, 0, 0, 0], 0).unwrap_err();
+        assert!(err.to_string().contains("empty batch"), "{err}");
     }
 
     #[test]

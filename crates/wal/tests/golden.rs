@@ -6,13 +6,14 @@
 //! records — so any accidental format change fails loudly. Regenerate
 //! fixtures intentionally with `REGEN_GOLDEN=1 cargo test -p rnt-wal`.
 //!
-//! The committed fixtures are format **02** (`RNTWAL02`): top-level
-//! `Commit` records carry their MVCC commit epoch behind a flag byte
-//! (nested commits a `0` flag, matching `Begin`'s optional-parent
-//! encoding), and `Checkpoint` snapshot entries are `(key, epoch,
-//! value)` triples plus the watermark the log was truncated at. Format
-//! 01 logs have no epoch fields and are rejected by the magic check —
-//! there is no cross-format migration path.
+//! The committed fixtures are format **03** (`RNTWAL03`): format 02's
+//! epoch-carrying `Commit`/`Checkpoint` records (top-level `Commit`s
+//! carry their MVCC commit epoch behind a flag byte; `Checkpoint`
+//! snapshot entries are `(key, epoch, value)` triples plus the
+//! watermark) plus the `BatchCommit` frame — a group-committed batch of
+//! top-level `(action, epoch)` pairs encoded as ONE record so the batch
+//! is atomic-in-log-or-absent. Older-format logs are rejected by the
+//! magic check — there is no cross-format migration path.
 
 use rnt_wal::{decode_strict, faults, frame, scan, Record, Tail, WalError, INIT_ACTION, MAGIC};
 
@@ -96,6 +97,30 @@ fn golden_nested_tree() {
     check_golden("nested_tree.wal", &nested_records());
 }
 
+fn batch_records() -> Vec<Record> {
+    vec![
+        Record::Write { action: INIT_ACTION, key: b"a".to_vec(), version: vec![0] },
+        Record::Write { action: INIT_ACTION, key: b"b".to_vec(), version: vec![0] },
+        Record::Write { action: INIT_ACTION, key: b"c".to_vec(), version: vec![0] },
+        Record::Begin { action: 0, parent: None },
+        Record::Write { action: 0, key: b"a".to_vec(), version: vec![10] },
+        Record::Begin { action: 1, parent: None },
+        Record::Write { action: 1, key: b"b".to_vec(), version: vec![20] },
+        Record::Begin { action: 2, parent: None },
+        Record::Write { action: 2, key: b"c".to_vec(), version: vec![30] },
+        // Three disjoint top-level commits group-committed as one frame:
+        // a contiguous epoch run in staging order.
+        Record::BatchCommit { commits: vec![(0, 1), (1, 2), (2, 3)] },
+    ]
+}
+
+/// Three concurrent top-level commits retired as one group-commit batch —
+/// the format-03 frame.
+#[test]
+fn golden_batch_commit() {
+    check_golden("batch_commit.wal", &batch_records());
+}
+
 /// A checkpointed log: snapshot first, then post-checkpoint traffic.
 #[test]
 fn golden_checkpoint() {
@@ -161,6 +186,66 @@ fn rejects_bad_magic() {
     let mut bytes = nested_fixture();
     bytes[3] ^= 0xFF;
     assert_eq!(decode_strict(&bytes), Err(WalError::BadMagic));
+}
+
+// ---- batch atomicity at the torn tail (the format-03 guarantee) ----
+
+/// Pin the single-commit tail behavior: an INTACT `Commit` frame at the
+/// end of the log is trusted by recovery — its fsync may or may not have
+/// completed before the crash, but Lemma 7 only forbids *acking* before
+/// the force; replaying an unacked durable commit is always sound.
+#[test]
+fn intact_tail_commit_is_replayed() {
+    let records = nested_records();
+    let bytes = encode_log(&records);
+    let (scanned, tail) = scan(&bytes).unwrap();
+    assert_eq!(tail, Tail::Clean);
+    assert_eq!(scanned.last(), Some(&Record::Commit { action: 0, epoch: Some(1) }));
+}
+
+/// The batch all-or-nothing invariant at the byte level: cutting the log
+/// ANYWHERE inside the `BatchCommit` frame discards the whole batch — no
+/// prefix of a batch ever scans as committed. (Contrast with what n
+/// separate `Commit` records would give: a cut between them leaves an
+/// arbitrary prefix of the batch durable without its shared fsync.)
+#[test]
+fn torn_batch_commit_is_all_or_nothing() {
+    let records = batch_records();
+    let bytes = encode_log(&records);
+    let offsets = faults::record_offsets(&bytes);
+    let batch_start = offsets[offsets.len() - 2];
+    for cut in (batch_start + 1)..bytes.len() {
+        let prefix = faults::truncate_to(&bytes, cut);
+        let (scanned, tail) = scan(&prefix).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert!(matches!(tail, Tail::Torn(_)), "cut {cut} inside the batch frame must tear");
+        assert!(
+            !scanned.iter().any(|r| matches!(r, Record::BatchCommit { .. })),
+            "cut {cut}: a torn batch must vanish wholly, never partially"
+        );
+        assert_eq!(scanned.len(), records.len() - 1, "cut {cut}");
+    }
+    // And the intact frame at the tail carries every participant.
+    let (scanned, tail) = scan(&bytes).unwrap();
+    assert_eq!(tail, Tail::Clean);
+    match scanned.last() {
+        Some(Record::BatchCommit { commits }) => assert_eq!(commits.len(), 3),
+        other => panic!("expected the intact batch, got {other:?}"),
+    }
+}
+
+/// A tail bitflip inside the batch frame also discards the whole batch
+/// (CRC covers the full multi-commit payload).
+#[test]
+fn corrupt_tail_batch_commit_is_discarded_wholly() {
+    let bytes = encode_log(&batch_records());
+    for bit in [0, 37, 91] {
+        let offsets = faults::record_offsets(&bytes);
+        let payload_start = offsets[offsets.len() - 2] + 8;
+        let corrupt = faults::flip_bit(&bytes, (payload_start + bit / 8) * 8 + bit % 8);
+        let (scanned, tail) = scan(&corrupt).unwrap();
+        assert!(matches!(tail, Tail::Torn(WalError::BadCrc { .. })), "bit {bit}");
+        assert!(!scanned.iter().any(|r| matches!(r, Record::BatchCommit { .. })), "bit {bit}");
+    }
 }
 
 #[test]
