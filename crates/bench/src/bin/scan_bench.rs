@@ -1,0 +1,51 @@
+//! Range-scan vs locked-scan benchmark over the ordered keyspace.
+//!
+//! Usage: `scan_bench [--smoke] [--out PATH]`
+//!
+//! Runs scanner threads sweeping random key windows against two
+//! background writers, comparing lock-free `Snapshot::range` walks
+//! against read-locked transactional ranges (both through the same
+//! generic `ReadView` kernel), then writes the JSON report (default
+//! `BENCH_scan.json`). `--smoke` runs a reduced grid for CI; the
+//! committed baseline is produced by a full run.
+
+use rnt_bench::scan_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scan.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!(
+        "| mode | scanners | entries/s | scans/s | writer commits/s | conflicts | reclaimed |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {} | {} |",
+            r.mode,
+            r.scanners,
+            r.entries_per_sec,
+            r.scans_per_sec,
+            r.writer_commits_per_sec,
+            r.conflicts,
+            r.versions_reclaimed
+        );
+    }
+    println!();
+    for s in &report.speedups {
+        println!("snapshot/locked scan throughput at {} scanner(s): {:.2}x", s.scanners, s.ratio);
+    }
+    println!("headline (max scanners): {:.2}x", report.headline_speedup);
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.rows.len());
+}

@@ -1,0 +1,273 @@
+//! Range-scan benchmark: lock-free snapshot range walks vs locked
+//! transactional range walks over the ordered keyspace, under write
+//! churn.
+//!
+//! Two background writer threads hammer a Zipf-skewed key space with
+//! `rmw` transactions while N scanner threads sweep random key windows.
+//! Both arms execute the *same* generic code — a helper written once
+//! against [`rnt_core::ReadView`] — so the measured difference is purely
+//! the read surface underneath: a read-only transaction per window
+//! (read locks through the lock manager, colliding with writer-held
+//! write locks) or a pinned snapshot per window (the sharded ordered
+//! index, zero locks). Each rep runs the two arms back-to-back with the
+//! same seed and the pair with the median throughput ratio is reported,
+//! cancelling host-load drift (same protocol as the snapshot-read
+//! benchmark). The `scan_bench` binary renders the result as
+//! `BENCH_scan.json`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnt_core::{Db, DbConfig, DeadlockPolicy, ReadView, TxnError};
+use rnt_sim::engine::ZipfSampler;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ordered keyspace size.
+const KEYS: u64 = 512;
+/// Keys each scan window covers.
+const SPAN: u64 = 64;
+/// Zipf exponent for the background writers.
+const ZIPF_S: f64 = 1.1;
+/// Background writer threads (fixed; the sweep varies scanners).
+const WRITERS: usize = 2;
+
+/// How a scanner arm walks its windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanMode {
+    /// A read-only transaction per window: a read lock per key, through
+    /// the lock manager.
+    Locked,
+    /// A pinned snapshot per window: the lock-free ordered index.
+    Snapshot,
+}
+
+impl ScanMode {
+    fn label(self) -> &'static str {
+        match self {
+            ScanMode::Locked => "locked",
+            ScanMode::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// The whole benchmark kernel, written once against the unified read
+/// API and instantiated at both surfaces.
+fn sweep_window<V: ReadView<u64, i64>>(view: &V, lo: u64) -> Result<(i64, u64), TxnError> {
+    let entries = view.range(lo..lo + SPAN)?;
+    let n = entries.len() as u64;
+    Ok((entries.into_iter().map(|(_, v)| v).sum(), n))
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    /// Scan mode: "locked" or "snapshot".
+    pub mode: String,
+    /// Scanner threads (writers ride on top).
+    pub scanners: usize,
+    /// Background writer threads.
+    pub writers: usize,
+    /// Scan windows completed across all scanners.
+    pub scans: u64,
+    /// Entries returned across all windows.
+    pub entries: u64,
+    /// Entries per second (the headline quantity).
+    pub entries_per_sec: f64,
+    /// Windows per second.
+    pub scans_per_sec: f64,
+    /// Writer transactions committed during the scan window.
+    pub writer_commits: u64,
+    /// Writer commits per second over the scan window.
+    pub writer_commits_per_sec: f64,
+    /// Lock conflicts observed engine-wide over the window.
+    pub conflicts: u64,
+    /// Range scans counted by the engine (both surfaces bump it).
+    pub range_scans: u64,
+    /// Versions reclaimed by epoch GC during the window.
+    pub versions_reclaimed: u64,
+}
+
+/// Snapshot/locked scan-throughput ratio at one scanner count.
+#[derive(Clone, Debug, Serialize)]
+pub struct Speedup {
+    /// Scanner threads.
+    pub scanners: usize,
+    /// snapshot entries/s divided by locked entries/s.
+    pub ratio: f64,
+}
+
+/// The full benchmark report serialized to `BENCH_scan.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// Host core count (context for absolute numbers).
+    pub host_cores: usize,
+    /// Every measured cell.
+    pub rows: Vec<BenchRow>,
+    /// Per-scanner-count snapshot/locked ratios.
+    pub speedups: Vec<Speedup>,
+    /// The ratio at the highest scanner count.
+    pub headline_speedup: f64,
+}
+
+fn db_for(threads: usize) -> Db<u64, i64> {
+    let config = DbConfig::builder().policy(DeadlockPolicy::NoWait).shards(threads.max(1)).build();
+    let db = Db::with_config(config);
+    for k in 0..KEYS {
+        db.insert(k, k as i64);
+    }
+    db
+}
+
+/// Run one cell: writers churn until the scanners finish their quota.
+fn measure_once(mode: ScanMode, scanners: usize, smoke: bool, seed: u64) -> BenchRow {
+    let scans_per_scanner: usize = if smoke { 200 } else { 2000 };
+
+    let db = db_for(scanners + WRITERS);
+    let stop = Arc::new(AtomicBool::new(false));
+    let commits_before = db.stats().committed;
+
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        let db = db.clone();
+        let stop = stop.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ (w as u64 + 1) << 8);
+        writer_handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(KEYS, ZIPF_S);
+            while !stop.load(Ordering::Relaxed) {
+                let key = zipf.sample(&mut rng);
+                let _ = db.run_with_retries(64, |t| t.rmw(&key, |v| v + 1));
+            }
+        }));
+    }
+
+    let start = Instant::now();
+    let mut scanner_handles = Vec::new();
+    for r in 0..scanners {
+        let db = db.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ (r as u64 + 1) << 24);
+        scanner_handles.push(std::thread::spawn(move || {
+            let mut sum = 0i64;
+            let mut entries = 0u64;
+            for _ in 0..scans_per_scanner {
+                let lo = rng.gen_range(0..KEYS - SPAN);
+                match mode {
+                    ScanMode::Locked => {
+                        if let Ok((s, n)) = db.run_with_retries(64, |t| sweep_window(t, lo)) {
+                            sum += s;
+                            entries += n;
+                        }
+                    }
+                    ScanMode::Snapshot => {
+                        let snap = db.snapshot();
+                        let (s, n) = sweep_window(&snap, lo).expect("snapshot scans never err");
+                        sum += s;
+                        entries += n;
+                    }
+                }
+            }
+            std::hint::black_box(sum);
+            (scans_per_scanner as u64, entries)
+        }));
+    }
+
+    let mut scans = 0u64;
+    let mut entries = 0u64;
+    for h in scanner_handles {
+        let (s, e) = h.join().expect("scanner");
+        scans += s;
+        entries += e;
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for h in writer_handles {
+        h.join().expect("writer");
+    }
+
+    let stats = db.stats();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let writer_commits = stats.committed - commits_before;
+    BenchRow {
+        mode: mode.label().into(),
+        scanners,
+        writers: WRITERS,
+        scans,
+        entries,
+        entries_per_sec: entries as f64 / secs,
+        scans_per_sec: scans as f64 / secs,
+        writer_commits,
+        writer_commits_per_sec: writer_commits as f64 / secs,
+        conflicts: stats.conflicts,
+        range_scans: stats.range_scans,
+        versions_reclaimed: stats.versions_reclaimed,
+    }
+}
+
+/// Measure one scanner count as a paired locked/snapshot comparison and
+/// report the median-ratio pair (see the module docs).
+fn measure_pair(scanners: usize, smoke: bool) -> (BenchRow, BenchRow) {
+    let reps = if smoke { 1 } else { 5 };
+    let mut pairs: Vec<(BenchRow, BenchRow)> = (0..reps)
+        .map(|rep| {
+            let seed = 0x5CA9 ^ scanners as u64 ^ (rep as u64) << 16;
+            let l = measure_once(ScanMode::Locked, scanners, smoke, seed);
+            let s = measure_once(ScanMode::Snapshot, scanners, smoke, seed);
+            (l, s)
+        })
+        .collect();
+    let ratio = |p: &(BenchRow, BenchRow)| p.1.entries_per_sec / p.0.entries_per_sec.max(1e-9);
+    pairs.sort_by(|x, y| ratio(x).total_cmp(&ratio(y)));
+    pairs.swap_remove(pairs.len() / 2)
+}
+
+/// Run the full sweep and assemble the report.
+pub fn run_bench(smoke: bool) -> BenchReport {
+    let scanner_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 8] };
+    let max_scanners = *scanner_counts.last().unwrap();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &scanners in scanner_counts {
+        eprintln!("scan bench: {scanners} scanner(s)...");
+        let (l, s) = measure_pair(scanners, smoke);
+        speedups.push(Speedup { scanners, ratio: s.entries_per_sec / l.entries_per_sec.max(1e-9) });
+        rows.push(l);
+        rows.push(s);
+    }
+    let headline_speedup =
+        speedups.iter().find(|s| s.scanners == max_scanners).map(|s| s.ratio).unwrap_or(0.0);
+    BenchReport {
+        schema: "rnt-bench/range-scan/v1".into(),
+        smoke,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+        speedups,
+        headline_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_cell() {
+        let report = run_bench(true);
+        // 2 modes x 2 scanner counts.
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.speedups.len(), 2);
+        assert!(report.rows.iter().all(|r| r.scans > 0));
+        // Snapshot windows never abort, so they return every key in the
+        // window; the engine counts a range scan per window either way.
+        let snapshot_rows: Vec<_> = report.rows.iter().filter(|r| r.mode == "snapshot").collect();
+        assert!(snapshot_rows.iter().all(|r| r.entries == r.scans * SPAN));
+        assert!(report.rows.iter().all(|r| r.range_scans >= r.scans));
+        assert!(report.headline_speedup.is_finite() && report.headline_speedup > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("range-scan"));
+    }
+}

@@ -19,7 +19,9 @@ use crate::schedule::{FaultEvent, FaultKind, FaultPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnt_core::chaos::{AccessFault, Injector};
-use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability, Snapshot, Txn, TxnError, TxnId};
+use rnt_core::{
+    Db, DbConfig, DeadlockPolicy, Durability, ReadView, Snapshot, Txn, TxnError, TxnId,
+};
 use rnt_wal::faults::record_count;
 use rnt_wal::MemVfs;
 use std::collections::{BTreeMap, HashSet};
@@ -435,10 +437,19 @@ fn committed_state(db: &Db<u64, i64>, keys: u64) -> BTreeMap<u64, i64> {
     (0..keys.max(1)).filter_map(|k| db.committed_value(&k).map(|v| (k, v))).collect()
 }
 
+/// Full key-ordered scan through any read surface — the oracle's single
+/// implementation against the unified [`ReadView`] API, so the snapshot
+/// and transactional surfaces are checked by literally the same code.
+fn full_scan<R: ReadView<u64, i64>>(view: &R) -> Result<Vec<(u64, i64)>, String> {
+    view.scan_all().map_err(|e| format!("range scan through read view failed: {e}"))
+}
+
 /// One seeded snapshot-schedule step: sometimes open a snapshot (capturing
 /// the state it must stay frozen at, and for live WAL runs cross-checking
 /// that state against the reference trace at the pinned epoch), sometimes
-/// re-read a pinned snapshot against its capture, sometimes drop one.
+/// re-read a pinned snapshot against its capture — point reads and
+/// key-ordered range scans — sometimes re-open its epoch by time travel,
+/// sometimes drop one.
 fn step_snapshots(
     config: &ChaosConfig,
     db: &Db<u64, i64>,
@@ -474,13 +485,48 @@ fn step_snapshots(
         snaps.push((snap, expected));
     } else if roll < 0.50 && !snaps.is_empty() {
         let (snap, expected) = &snaps[rng.gen_range(0..snaps.len())];
-        let key = rng.gen_range(0..config.keys.max(1));
-        let got = snap.read(&key);
-        if got != expected.get(&key).copied() {
+        if rng.gen_bool(0.5) {
+            let key = rng.gen_range(0..config.keys.max(1));
+            let got = snap.read(&key);
+            if got != expected.get(&key).copied() {
+                return Err(format!(
+                    "pinned snapshot (epoch {}) moved at key {key}: read {got:?}, pinned {:?}",
+                    snap.epoch(),
+                    expected.get(&key)
+                ));
+            }
+        } else {
+            // A key-ordered range walk over the pinned view must equal the
+            // captured state filtered to the bounds — same freshness rule
+            // as a point read, checked across keys at once.
+            let a = rng.gen_range(0..config.keys.max(1));
+            let b = rng.gen_range(0..=config.keys.max(1));
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got = snap.range(lo..hi);
+            let expect: Vec<(u64, i64)> = expected.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+            if got != expect {
+                return Err(format!(
+                    "pinned snapshot (epoch {}) range {lo}..{hi} moved: scanned {got:?}, \
+                     pinned {expect:?}",
+                    snap.epoch()
+                ));
+            }
+        }
+    } else if roll < 0.58 && !snaps.is_empty() {
+        // Time travel back to a live pin's epoch: the pin keeps the epoch
+        // at or above the retained floor, so `snapshot_at` must succeed,
+        // and the re-opened view must reproduce the original capture.
+        let (snap, expected) = &snaps[rng.gen_range(0..snaps.len())];
+        let again = db.snapshot_at(snap.epoch()).map_err(|e| {
+            format!("time travel to live-pinned epoch {} refused: {e}", snap.epoch())
+        })?;
+        let got = full_scan(&again)?;
+        let expect: Vec<(u64, i64)> = expected.iter().map(|(k, v)| (*k, *v)).collect();
+        if got != expect {
             return Err(format!(
-                "pinned snapshot (epoch {}) moved at key {key}: read {got:?}, pinned {:?}",
-                snap.epoch(),
-                expected.get(&key)
+                "time-travel snapshot at epoch {} disagrees with the original capture: \
+                 scanned {got:?}, pinned {expect:?}",
+                again.epoch()
             ));
         }
     } else if roll < 0.65 && !snaps.is_empty() {
@@ -510,15 +556,40 @@ fn finish_snapshots(
                 ));
             }
         }
+        // The full ordered walk must agree with the capture too — one
+        // scan covering every key the point loop just checked, exercising
+        // the index merge instead of per-key chain lookups.
+        let scanned = full_scan(snap)?;
+        let expect: Vec<(u64, i64)> = expected.iter().map(|(k, v)| (*k, *v)).collect();
+        if scanned != expect {
+            return Err(format!(
+                "snapshot (epoch {}) range walk diverged by teardown: scanned {scanned:?}, \
+                 pinned {expect:?}",
+                snap.epoch()
+            ));
+        }
     }
     drop(snaps);
+    // At quiescence the *transactional* read surface must see the same
+    // keyspace: the unified-API check — the same `full_scan` the snapshot
+    // checks above used, now through a locked transaction.
+    let committed: Vec<(u64, i64)> = committed_state(db, config.keys).into_iter().collect();
+    let scanned = db
+        .run(|t| ReadView::range(t, ..))
+        .map_err(|e| format!("teardown transactional scan failed: {e}"))?;
+    if scanned != committed {
+        return Err(format!(
+            "transactional range walk at quiescence disagrees with committed state: \
+             scanned {scanned:?}, committed {committed:?}"
+        ));
+    }
     let stats = db.stats();
     if stats.snapshot_pins_live != 0 {
         return Err(format!("{} pins still live after teardown", stats.snapshot_pins_live));
     }
     let mut held = 0u64;
     for k in 0..config.keys.max(1) {
-        let chain = db.version_chain(&k);
+        let chain = db.history(&k);
         held += chain.len() as u64;
         if chain.len() != 1 {
             return Err(format!("chain for key {k} not reclaimed after all snapshots dropped"));

@@ -44,7 +44,7 @@ pub fn check_log(log: &AuditLog) -> Result<(), String> {
 /// the engine-level lock invariants (after an eager reap).
 pub fn check<K, V>(db: &Db<K, V>) -> Result<(), String>
 where
-    K: Eq + Hash + Clone + Send + Sync + Debug + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + Debug + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     let log = db.audit_log().ok_or("auditing is not enabled on this database")?;

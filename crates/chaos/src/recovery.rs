@@ -287,12 +287,42 @@ pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
             ));
         }
     }
+    // The rebuilt ordered index must walk the reference state in key
+    // order: recovery replays chain appends through the same primitive
+    // the live engine publishes with, so index membership and order come
+    // back identical — checked differentially, not assumed.
+    let scanned = snap.range(..);
+    let reference: Vec<(u64, i64)> = expected.iter().map(|(k, v)| (*k, *v)).collect();
+    if scanned != reference {
+        return Err(format!(
+            "post-recovery range walk diverges from the reference state: scanned {scanned:?}, \
+             reference {reference:?}"
+        ));
+    }
+    // Time travel across the crash boundary is honest: replay compacts
+    // chains (no pins are live during recovery), so every pre-crash epoch
+    // is either servable-and-consistent or a typed Pruned refusal — and
+    // the floor itself must always be servable.
+    let bounds = db.epochs();
+    match db.snapshot_at(bounds.oldest_retained) {
+        Ok(at_floor) => {
+            if at_floor.range(..) != scanned {
+                // With chains compacted to single versions, the floor
+                // view and the fresh snapshot must coincide.
+                return Err(format!(
+                    "snapshot at the retained floor {} disagrees with the fresh snapshot",
+                    bounds.oldest_retained
+                ));
+            }
+        }
+        Err(e) => return Err(format!("retained floor {} unservable: {e}", bounds.oldest_retained)),
+    }
     drop(snap);
     // With no pins, every recovered chain must have collapsed to exactly
     // its committed value, and the version counters must conserve.
     let mut held = 0u64;
     for (k, v) in &expected {
-        let chain = db.version_chain(k);
+        let chain = db.history(k);
         held += chain.len() as u64;
         if chain.len() != 1 {
             return Err(format!("recovered chain for key {k} not reclaimed: {chain:?}"));
@@ -311,10 +341,10 @@ pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
             stats.versions_created, stats.versions_reclaimed
         ));
     }
-    if db.current_epoch() < trace.max_epoch() {
+    if db.epochs().watermark < trace.max_epoch() {
         return Err(format!(
             "recovered epoch watermark {} below the log's max commit epoch {}",
-            db.current_epoch(),
+            db.epochs().watermark,
             trace.max_epoch()
         ));
     }
@@ -333,12 +363,15 @@ pub fn check_crash_recovery(bytes: &[u8]) -> Result<RecoveryReport, String> {
         if db2.committed_value(k) != Some(*v) {
             return Err(format!("second recovery diverges at key {k}"));
         }
-        if db2.version_chain(k) != db.version_chain(k) {
+        if db2.history(k) != db.history(k) {
             return Err(format!("second recovery rebuilds a different chain for key {k}"));
         }
     }
-    if db2.current_epoch() != db.current_epoch() {
+    if db2.epochs().watermark != db.epochs().watermark {
         return Err("second recovery lands on a different epoch watermark".into());
+    }
+    if db2.snapshot().range(..) != db.snapshot().range(..) {
+        return Err("second recovery rebuilds a different ordered index".into());
     }
     if vfs2.snapshot(WAL_PATH) != after_first {
         return Err("second recovery rewrote a different log: recovery is not idempotent".into());

@@ -159,7 +159,7 @@ fn open_snapshots_at_crash_time_never_block_recovery() {
     }
     let mid = mid.unwrap();
     assert!(
-        (0..4u64).map(|k| db.version_chain(&k).len()).sum::<usize>() > 4,
+        (0..4u64).map(|k| db.history(&k).len()).sum::<usize>() > 4,
         "the pins must be holding superseded versions for this test to bite"
     );
 
@@ -179,7 +179,7 @@ fn open_snapshots_at_crash_time_never_block_recovery() {
             let r = Db::<u64, i64>::recover_with_vfs(fresh, WAL_PATH, config).expect("recover");
             for k in 0..4u64 {
                 assert_eq!(r.committed_value(&k), db.committed_value(&k));
-                assert_eq!(r.version_chain(&k).len(), 1, "pins must not survive a crash");
+                assert_eq!(r.history(&k).len(), 1, "pins must not survive a crash");
             }
             assert_eq!(r.stats().snapshot_pins_live, 0);
         }

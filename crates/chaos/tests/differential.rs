@@ -113,7 +113,7 @@ fn concurrent_group_commit_converges_to_the_same_state() {
         // modes. (Head *epochs* legitimately differ: which commit landed
         // last on a key depends on thread interleaving, not on the mode.)
         for (mode, db) in [("off", &db_off), ("on", &db_on)] {
-            let chain = db.version_chain(&k);
+            let chain = db.history(&k);
             assert_eq!(chain.len(), 1, "{mode}: chain for key {k} not reclaimed");
             assert_eq!(chain[0].1, 12, "{mode}: chain head for key {k}");
         }

@@ -83,7 +83,7 @@ proptest! {
             "{} batches of ≤{} cannot carry {} commits",
             stats.commit_batches, max_batch, total
         );
-        prop_assert_eq!(db.current_epoch(), total, "one epoch per top-level commit");
+        prop_assert_eq!(db.epochs().watermark, total, "one epoch per top-level commit");
         for k in 0..threads as u64 {
             prop_assert_eq!(
                 db.committed_value(&k), Some(commits_per as i64),

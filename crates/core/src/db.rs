@@ -33,12 +33,14 @@ use crate::error::TxnError;
 use crate::lock::{Conflict, LockEnv, LockState};
 use crate::registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
 use crate::stats::{Stats, StatsSnapshot};
+use crate::view::{EpochBounds, ReadView, SnapshotError};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use rnt_model::UpdateFn;
 use rnt_mvcc::{MvccStore, GENESIS_EPOCH};
 use rnt_wal::{Record, Wal, WalError, INIT_ACTION};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::ops::RangeBounds;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -136,6 +138,16 @@ pub struct DbConfig {
     /// accumulate while the previous batch is fsyncing, which never
     /// delays a solo committer.
     pub max_batch_wait: Duration,
+    /// Per-key bound on committed version-chain length; 0 (the default)
+    /// means unbounded. With a budget set, a commit that grows a chain
+    /// past it force-prunes the oldest versions *even if a live snapshot
+    /// pin holds them* — the escape hatch for a stuck (leaked or wedged)
+    /// snapshot that would otherwise make chains grow without bound.
+    /// Force-pruning expires such a snapshot: the affected keys read as
+    /// absent through it, and the retained-epoch floor reported by
+    /// [`Db::epochs`] rises past its pin. Snapshots at or above the floor
+    /// are never affected.
+    pub max_versions_per_key: usize,
 }
 
 impl Default for DbConfig {
@@ -152,6 +164,7 @@ impl Default for DbConfig {
             group_commit: false,
             max_batch: 32,
             max_batch_wait: Duration::ZERO,
+            max_versions_per_key: 0,
         }
     }
 }
@@ -245,6 +258,14 @@ impl DbConfigBuilder {
     /// partial batch (zero = retire immediately).
     pub fn max_batch_wait(mut self, wait: Duration) -> Self {
         self.config.max_batch_wait = wait;
+        self
+    }
+
+    /// Per-key bound on committed version-chain length (0 = unbounded).
+    /// See [`DbConfig::max_versions_per_key`] for the stuck-snapshot
+    /// trade-off this knob buys.
+    pub fn max_versions_per_key(mut self, n: usize) -> Self {
+        self.config.max_versions_per_key = n;
         self
     }
 
@@ -377,9 +398,19 @@ impl<K, V> Clone for Db<K, V> {
     }
 }
 
+impl<K, V> std::fmt::Debug for Db<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db")
+            .field("config", &self.inner.config)
+            .field("watermark", &self.inner.mvcc.watermark())
+            .field("oldest_retained", &self.inner.mvcc.oldest_retained())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K, V> Db<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     /// Create a database with default configuration.
@@ -390,6 +421,7 @@ where
     /// Create a database with the given configuration.
     pub fn with_config(config: DbConfig) -> Self {
         let config_shards = config.shards.max(1);
+        let max_versions = config.max_versions_per_key;
         let shards = (0..config_shards)
             .map(|_| Shard {
                 state: Mutex::new(ShardState { objects: HashMap::new(), gates: HashMap::new() }),
@@ -413,7 +445,7 @@ where
                 run_seq: AtomicU64::new(0),
                 wal: std::sync::OnceLock::new(),
                 ckpt: RwLock::new(()),
-                mvcc: MvccStore::new(config_shards),
+                mvcc: MvccStore::with_budget(config_shards, max_versions),
                 pipeline: CommitPipeline::new(),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
@@ -469,16 +501,55 @@ where
         Snapshot { epoch: self.inner.mvcc.pin(), inner: self.inner.clone() }
     }
 
-    /// The committed version chain of a key, oldest first, as
+    /// Open a snapshot pinned to a *specific* past epoch (time travel).
+    ///
+    /// Succeeds for any epoch the store still retains —
+    /// [`Db::epochs`]`().contains(epoch)` — and fails with a typed
+    /// [`SnapshotError`] otherwise: [`SnapshotError::Pruned`] below the
+    /// retained floor (permanent: history only shrinks),
+    /// [`SnapshotError::Future`] above the watermark (transient: more
+    /// commits may land). The returned snapshot behaves exactly like
+    /// [`Db::snapshot`] — lock-free reads and range scans, GC protection
+    /// until dropped.
+    ///
+    /// How far back travel reaches is workload-dependent: versions are
+    /// retained as long as some live pin needs them, so the floor is the
+    /// oldest live pin (or the watermark when idle). To hold a restore
+    /// point open, keep a snapshot alive — retention never reclaims at or
+    /// above the oldest live pin unless
+    /// [`DbConfig::max_versions_per_key`] forces it to.
+    pub fn snapshot_at(&self, epoch: u64) -> Result<Snapshot<K, V>, SnapshotError> {
+        let epoch = self.inner.mvcc.pin_at(epoch)?;
+        Ok(Snapshot { epoch, inner: self.inner.clone() })
+    }
+
+    /// The window of epochs [`Db::snapshot_at`] can currently serve:
+    /// oldest retained through the publish watermark.
+    pub fn epochs(&self) -> EpochBounds {
+        // Read the floor first: it only rises, and it trails the
+        // watermark, so a torn read can only understate the window.
+        let oldest_retained = self.inner.mvcc.oldest_retained();
+        let watermark = self.inner.mvcc.watermark();
+        EpochBounds { oldest_retained, watermark: watermark.max(oldest_retained) }
+    }
+
+    /// The committed version history of a key, oldest first, as
     /// `(commit_epoch, value)` pairs. Introspection for tests and the
-    /// chaos oracle; with no snapshots open every chain has length 1.
-    pub fn version_chain(&self, key: &K) -> Vec<(u64, V)> {
+    /// chaos oracle; with no snapshots open every history has length 1.
+    pub fn history(&self, key: &K) -> Vec<(u64, V)> {
         self.inner.mvcc.chain(key)
     }
 
+    /// The committed version chain of a key, oldest first.
+    #[deprecated(note = "use `Db::history` (same data) or `Db::snapshot_at` for reading the past")]
+    pub fn version_chain(&self, key: &K) -> Vec<(u64, V)> {
+        self.history(key)
+    }
+
     /// The current commit epoch (the highest fully published one).
+    #[deprecated(note = "use `Db::epochs().watermark`")]
     pub fn current_epoch(&self) -> u64 {
-        self.inner.mvcc.watermark()
+        self.epochs().watermark
     }
 
     /// Begin a top-level transaction.
@@ -615,6 +686,14 @@ where
         self.inner.mvcc.advance_watermark(epoch);
     }
 
+    /// Replay-only: concede that epochs below `epoch` are unresolvable. A
+    /// checkpoint compacts history beneath its watermark (chains restart
+    /// at their per-key last-commit epochs), so post-recovery time travel
+    /// must not reach under it.
+    pub(crate) fn raw_mvcc_concede(&self, epoch: u64) {
+        self.inner.mvcc.concede_retained(epoch);
+    }
+
     pub(crate) fn raw_mvcc_watermark(&self) -> u64 {
         self.inner.mvcc.watermark()
     }
@@ -694,7 +773,7 @@ where
 #[cfg(feature = "chaos-hooks")]
 impl<K, V> Db<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + std::fmt::Debug + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + std::fmt::Debug + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     /// Install (or with `None`, remove) the fault injector consulted on
@@ -760,7 +839,7 @@ where
 
 impl<K, V> Default for Db<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     fn default() -> Self {
@@ -770,7 +849,7 @@ where
 
 impl<K, V> DbInner<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     fn shard_of(&self, key: &K) -> usize {
@@ -1286,7 +1365,7 @@ where
 /// it — the resilient default.
 pub struct Txn<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     inner: Arc<DbInner<K, V>>,
@@ -1301,7 +1380,7 @@ where
 
 impl<K, V> Txn<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     /// This transaction's id.
@@ -1515,6 +1594,72 @@ where
     }
 }
 
+impl<K, V> std::fmt::Debug for Txn<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("top_level", &self.parent_touched.is_none())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K, V> ReadView<K, V> for Txn<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// The publish watermark observed at call time: this transaction's
+    /// reads are at least that fresh (and see its own writes on top).
+    fn epoch(&self) -> u64 {
+        self.inner.mvcc.watermark()
+    }
+
+    /// [`Txn::read`] as a total lookup: an unknown key is `Ok(None)`, not
+    /// an error. Acquires a read lock like any transactional read, so it
+    /// can fail with the usual conflict errors.
+    fn get(&self, key: &K) -> Result<Option<V>, TxnError> {
+        match self.read(key) {
+            Ok(v) => Ok(Some(v)),
+            Err(TxnError::UnknownKey) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A *locked* range read: walks the ordered key index and acquires a
+    /// read lock on every key in `bounds`, in key order. The pairs
+    /// reflect this transaction's view — its own (and its ancestors')
+    /// uncommitted writes included — and the locks held afterwards keep
+    /// the scanned values stable until the transaction finishes, making
+    /// this the serializable counterpart of the lock-free
+    /// [`Snapshot::range`]. Any single lock acquisition failing (die,
+    /// deadlock, timeout) fails the whole scan.
+    ///
+    /// A key seeded by a concurrent [`Db::insert`] mid-walk may or may
+    /// not appear (seeding is non-transactional); keys born by replayed
+    /// checkpoints are always indexed and always appear.
+    fn range<R: RangeBounds<K>>(&self, bounds: R) -> Result<Vec<(K, V)>, TxnError> {
+        Stats::bump(&self.inner.stats.range_scans);
+        let keys = self.inner.mvcc.keys_in(bounds);
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            match self.read(&key) {
+                Ok(v) => out.push((key, v)),
+                // Indexed but not yet in the lock table: an in-flight
+                // seed. Skip it, matching a by-key read racing the same
+                // insert.
+                Err(TxnError::UnknownKey) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// Allocate the action-tree path of a fresh access leaf under `t`.
 fn access_path(reg: &RegistryView<'_>, t: TxnId) -> Vec<u32> {
     let mut path = reg.path(t).expect("txn registered");
@@ -1524,7 +1669,7 @@ fn access_path(reg: &RegistryView<'_>, t: TxnId) -> Vec<u32> {
 
 impl<K, V> Drop for Txn<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     fn drop(&mut self) {
@@ -1540,7 +1685,7 @@ where
 /// releases its epoch pin, letting GC reclaim the versions it held.
 pub struct Snapshot<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     inner: Arc<DbInner<K, V>>,
@@ -1549,7 +1694,7 @@ where
 
 impl<K, V> Snapshot<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     /// The commit epoch this snapshot is pinned to.
@@ -1564,11 +1709,79 @@ where
         Stats::bump(&self.inner.stats.snapshot_reads);
         self.inner.mvcc.read_at(key, self.epoch)
     }
+
+    /// All committed `(key, value)` pairs with keys in `bounds` as of the
+    /// pinned epoch, in ascending key order — a consistent scan: every
+    /// pair is from the same committed state, no matter what writers
+    /// commit while the walk runs. Lock-free like [`Snapshot::read`]:
+    /// walks the ordered key index shard by shard under sharded read
+    /// locks, never blocking (or blocked by) the lock manager or
+    /// publication.
+    pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Vec<(K, V)> {
+        Stats::bump(&self.inner.stats.range_scans);
+        self.inner.mvcc.range_at(bounds, self.epoch)
+    }
+
+    /// True iff this snapshot's epoch fell below the retained floor — only
+    /// possible when [`DbConfig::max_versions_per_key`] force-pruned
+    /// versions this pin was holding. Reads from an expired snapshot may
+    /// see force-pruned keys as absent.
+    pub fn is_expired(&self) -> bool {
+        self.epoch < self.inner.mvcc.oldest_retained()
+    }
+}
+
+impl<K, V> std::fmt::Debug for Snapshot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("expired", &self.is_expired())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Cloning a snapshot adds a pin to the *same* epoch: the clone sees the
+/// identical frozen state, and the versions stay protected until both
+/// (all) clones drop. Sound because the original's pin already protects
+/// the epoch — the clone can never observe a half-reclaimed state.
+impl<K, V> Clone for Snapshot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn clone(&self) -> Self {
+        self.inner.mvcc.repin(self.epoch);
+        Snapshot { inner: self.inner.clone(), epoch: self.epoch }
+    }
+}
+
+impl<K, V> ReadView<K, V> for Snapshot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Infallible on this surface: always `Ok`.
+    fn get(&self, key: &K) -> Result<Option<V>, TxnError> {
+        Ok(self.read(key))
+    }
+
+    /// Infallible on this surface: always `Ok`.
+    fn range<R: RangeBounds<K>>(&self, bounds: R) -> Result<Vec<(K, V)>, TxnError> {
+        Ok(Snapshot::range(self, bounds))
+    }
 }
 
 impl<K, V> Drop for Snapshot<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
     V: Clone + Hash + Send + Sync + 'static,
 {
     fn drop(&mut self) {

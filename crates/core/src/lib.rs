@@ -42,6 +42,7 @@ mod lock;
 mod recover;
 mod registry;
 mod stats;
+mod view;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
 pub use db::{
@@ -52,3 +53,4 @@ pub use error::TxnError;
 pub use lock::{Conflict, LockEnv, LockState};
 pub use registry::{Registry, RegistryError, RegistryView, TxnId, TxnStatus};
 pub use stats::{Stats, StatsSnapshot};
+pub use view::{EpochBounds, ReadView, SnapshotError};

@@ -37,7 +37,7 @@ fn replay_err(detail: impl Into<String>) -> WalError {
 
 impl<K, V> Db<K, V>
 where
-    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + WalCodec + 'static,
     V: Clone + Hash + Send + Sync + WalCodec + 'static,
 {
     /// Create a fresh database writing a **new** write-ahead log at
@@ -117,7 +117,7 @@ fn apply_commit<K, V>(
     epoch: Option<u64>,
 ) -> Result<(), WalError>
 where
-    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + WalCodec + 'static,
     V: Clone + Hash + Send + Sync + WalCodec + 'static,
 {
     let registry = db.registry();
@@ -166,7 +166,7 @@ where
 /// actions reconstructed (`Begin` records processed).
 fn replay<K, V>(db: &Db<K, V>, records: &[Record]) -> Result<u64, WalError>
 where
-    K: Eq + Hash + Clone + Send + Sync + WalCodec + 'static,
+    K: Eq + Hash + Ord + Clone + Send + Sync + WalCodec + 'static,
     V: Clone + Hash + Send + Sync + WalCodec + 'static,
 {
     let registry = db.registry();
@@ -197,6 +197,12 @@ where
                 // not at the max per-key epoch: keys whose latest commits
                 // were reclaimed must not see their epochs reissued.
                 db.raw_mvcc_advance(*epoch);
+                // And time travel must not reach beneath the checkpoint:
+                // recovered chains start at their per-key epochs, not at
+                // the versions that existed pre-compaction, so a snapshot
+                // pinned below the checkpointed watermark would see keys
+                // flicker out of existence.
+                db.raw_mvcc_concede(*epoch);
             }
             Record::Write { action, key, version } if *action == INIT_ACTION => {
                 let key = K::decode(key).ok_or_else(|| replay_err("undecodable init key"))?;

@@ -46,6 +46,9 @@ pub struct Stats {
     /// Reads served from a pinned snapshot (lock-free: these never touch
     /// the lock tables, so they add nothing to `reads`/`conflicts`/`waits`).
     pub snapshot_reads: AtomicU64,
+    /// Range scans started through any read view (snapshot walks of the
+    /// ordered index, plus locked transactional range reads).
+    pub range_scans: AtomicU64,
     /// Top-level commits handed to the group-commit sequencer.
     pub commits_staged: AtomicU64,
     /// Top-level commits retired (published) by the sequencer.
@@ -98,6 +101,8 @@ pub struct StatsSnapshot {
     pub recovered_actions: u64,
     /// Reads served from a pinned snapshot (lock-free).
     pub snapshot_reads: u64,
+    /// Range scans started through any read view.
+    pub range_scans: u64,
     /// Top-level commits handed to the group-commit sequencer.
     pub commits_staged: u64,
     /// Top-level commits retired by the sequencer (= `commits_staged` at
@@ -138,6 +143,7 @@ impl Stats {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             recovered_actions: self.recovered_actions.load(Ordering::Relaxed),
             snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            range_scans: self.range_scans.load(Ordering::Relaxed),
             commits_staged: self.commits_staged.load(Ordering::Relaxed),
             commits_batched: self.commits_batched.load(Ordering::Relaxed),
             commit_batches: self.commit_batches.load(Ordering::Relaxed),

@@ -349,9 +349,9 @@ fn batch_commit_replays_every_participant() {
     let r = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config()).unwrap();
     assert_eq!(r.committed_value(&"a".to_string()), Some(10));
     assert_eq!(r.committed_value(&"b".to_string()), Some(20));
-    assert_eq!(r.current_epoch(), 2, "replay advances the watermark over the batch's run");
-    assert_eq!(r.version_chain(&"a".to_string()), vec![(1, 10)]);
-    assert_eq!(r.version_chain(&"b".to_string()), vec![(2, 20)]);
+    assert_eq!(r.epochs().watermark, 2, "replay advances the watermark over the batch's run");
+    assert_eq!(r.history(&"a".to_string()), vec![(1, 10)]);
+    assert_eq!(r.history(&"b".to_string()), vec![(2, 20)]);
 }
 
 /// The latent gap this PR closes: a `Commit` record at the log tail whose
@@ -368,8 +368,7 @@ fn replay_rejects_a_commit_epoch_at_or_below_the_watermark() {
         Record::Commit { action: 0, epoch: Some(0) },
     ]);
     let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
-        .err()
-        .expect("a never-allocated epoch must fail replay");
+        .expect_err("a never-allocated epoch must fail replay");
     assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
 
     // Same gap behind a checkpoint: the checkpoint proves the watermark
@@ -381,8 +380,7 @@ fn replay_rejects_a_commit_epoch_at_or_below_the_watermark() {
         Record::Commit { action: 7, epoch: Some(3) },
     ]);
     let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
-        .err()
-        .expect("an epoch below the checkpoint watermark must fail replay");
+        .expect_err("an epoch below the checkpoint watermark must fail replay");
     assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
 }
 
@@ -398,8 +396,7 @@ fn replay_rejects_a_batch_epoch_at_or_below_the_watermark() {
         Record::BatchCommit { commits: vec![(0, 5), (1, 4)] },
     ]);
     let err = Db::<String, i64>::recover_with_vfs(vfs, LOG, wal_config())
-        .err()
-        .expect("a batch epoch at the watermark must fail replay");
+        .expect_err("a batch epoch at the watermark must fail replay");
     assert!(err.to_string().contains("never durably allocated"), "unexpected error: {err}");
 }
 

@@ -1,0 +1,218 @@
+//! The unified read API: range scans, time travel, the `ReadView` trait,
+//! and the chain budget.
+
+use rnt_core::{Db, DbConfig, ReadView, Snapshot, SnapshotError, TxnError};
+
+fn db() -> Db<u64, i64> {
+    let db = Db::new();
+    for k in 0..10 {
+        db.insert(k, k as i64 * 10);
+    }
+    db
+}
+
+/// Written once against the trait; exercised below through both surfaces.
+fn sum_range<V: ReadView<u64, i64>>(view: &V, lo: u64, hi: u64) -> Result<i64, TxnError> {
+    Ok(view.range(lo..hi)?.into_iter().map(|(_, v)| v).sum())
+}
+
+#[test]
+fn snapshot_range_walks_keys_in_order() {
+    let db = db();
+    let snap = db.snapshot();
+    let all = snap.range(..);
+    assert_eq!(all.len(), 10);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "ascending key order");
+    assert_eq!(snap.range(3..6), vec![(3, 30), (4, 40), (5, 50)]);
+    assert_eq!(snap.range(3..=6), vec![(3, 30), (4, 40), (5, 50), (6, 60)]);
+    assert_eq!(snap.range(42..), vec![]);
+}
+
+#[test]
+fn snapshot_range_is_frozen_against_later_commits() {
+    let db = db();
+    let snap = db.snapshot();
+    for i in 0..5 {
+        db.run(|t| t.write(&i, -1).map(|_| ())).unwrap();
+    }
+    assert_eq!(snap.range(0..5), vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+    let fresh = db.snapshot();
+    assert!(fresh.range(0..5).iter().all(|&(_, v)| v == -1));
+}
+
+#[test]
+fn snapshot_at_time_travels_to_retained_epochs() {
+    let db = db();
+    let hold = db.snapshot(); // pin genesis so no epoch gets reclaimed
+    for round in 1..=3i64 {
+        db.run(|t| t.write(&0, round * 100).map(|_| ())).unwrap();
+    }
+    let bounds = db.epochs();
+    assert_eq!(bounds.watermark, 3);
+    for epoch in 1..=3u64 {
+        assert!(bounds.contains(epoch));
+        let past = db.snapshot_at(epoch).unwrap();
+        assert_eq!(past.epoch(), epoch);
+        assert_eq!(past.read(&0), Some(epoch as i64 * 100));
+        // Keys not rewritten still read their seeds at every epoch.
+        assert_eq!(past.read(&5), Some(50));
+    }
+    drop(hold);
+}
+
+#[test]
+fn snapshot_at_rejects_future_epochs() {
+    let db = db();
+    db.run(|t| t.write(&0, 1).map(|_| ())).unwrap();
+    match db.snapshot_at(99) {
+        Err(SnapshotError::Future { requested: 99, watermark }) => assert_eq!(watermark, 1),
+        other => panic!("expected Future, got {other:?}"),
+    }
+    // Transient: once the epoch is published the same call succeeds.
+    db.run(|t| t.write(&0, 2).map(|_| ())).unwrap();
+    assert!(db.snapshot_at(2).is_ok());
+}
+
+#[test]
+fn snapshot_at_rejects_pruned_epochs() {
+    let db = db();
+    for round in 1..=4i64 {
+        db.run(|t| t.write(&0, round).map(|_| ())).unwrap();
+    }
+    // No snapshot was live, so superseded versions are gone; opening and
+    // dropping a snapshot concedes the floor up to the watermark.
+    drop(db.snapshot());
+    match db.snapshot_at(1) {
+        Err(SnapshotError::Pruned { requested: 1, oldest_retained }) => {
+            assert!(oldest_retained > 1)
+        }
+        other => panic!("expected Pruned, got {other:?}"),
+    }
+    // The watermark itself is always servable.
+    assert!(db.snapshot_at(db.epochs().watermark).is_ok());
+}
+
+#[test]
+fn retained_floor_follows_the_oldest_live_pin() {
+    let db = db();
+    db.run(|t| t.write(&0, 1).map(|_| ())).unwrap();
+    let old = db.snapshot(); // pins epoch 1
+    for round in 2..=5i64 {
+        db.run(|t| t.write(&0, round).map(|_| ())).unwrap();
+    }
+    // Open/drop a newer snapshot: the sweep may only concede up to the
+    // oldest live pin, so every epoch since `old` stays travelable.
+    drop(db.snapshot());
+    for epoch in 1..=5u64 {
+        let past = db.snapshot_at(epoch).expect("held epoch must stay servable");
+        assert_eq!(past.read(&0), Some(epoch as i64));
+    }
+    drop(old);
+}
+
+#[test]
+fn read_view_unifies_snapshot_and_txn() {
+    let db = db();
+    // Snapshot surface.
+    let snap = db.snapshot();
+    assert_eq!(sum_range(&snap, 2, 5).unwrap(), 20 + 30 + 40);
+    assert_eq!(ReadView::get(&snap, &3).unwrap(), Some(30));
+    assert_eq!(ReadView::get(&snap, &42).unwrap(), None, "unknown key is None, not an error");
+    assert_eq!(ReadView::epoch(&snap), snap.epoch());
+    assert_eq!(snap.scan_all().unwrap().len(), 10);
+
+    // Transactional surface: same generic code, live semantics.
+    let t = db.begin();
+    t.write(&3, 999).unwrap();
+    assert_eq!(sum_range(&t, 2, 5).unwrap(), 20 + 999 + 40, "txn range sees own writes");
+    assert_eq!(ReadView::get(&t, &42).unwrap(), None);
+    assert_eq!(ReadView::epoch(&t), db.epochs().watermark);
+    t.abort();
+
+    // The snapshot was isolated from the aborted write all along.
+    assert_eq!(sum_range(&snap, 2, 5).unwrap(), 90);
+}
+
+#[test]
+fn txn_range_conflicts_surface_as_errors() {
+    let db: Db<u64, i64> =
+        Db::with_config(DbConfig::builder().policy(rnt_core::DeadlockPolicy::NoWait).build());
+    for k in 0..4 {
+        db.insert(k, 0);
+    }
+    let writer = db.begin();
+    writer.write(&2, 7).unwrap();
+    // A locked scan crossing the held key dies under NoWait...
+    let reader = db.begin();
+    assert!(ReadView::range(&reader, 0..4).is_err());
+    reader.abort();
+    // ...while the lock-free snapshot scan sails through.
+    assert_eq!(db.snapshot().range(0..4).len(), 4);
+    writer.commit().unwrap();
+}
+
+#[test]
+fn version_budget_bounds_history_under_a_stuck_snapshot() {
+    let db: Db<u64, i64> = Db::with_config(DbConfig::builder().max_versions_per_key(3).build());
+    db.insert(0, 0);
+    let stuck = db.snapshot();
+    for round in 1..=20i64 {
+        db.run(|t| t.write(&0, round).map(|_| ())).unwrap();
+    }
+    assert!(db.history(&0).len() <= 3, "budget must bound the chain");
+    assert_eq!(db.history(&0).last(), Some(&(20, 20)));
+    // The stuck snapshot expired: detectable, and the key reads as absent.
+    assert!(stuck.is_expired());
+    assert_eq!(stuck.read(&0), None);
+    assert!(db.epochs().oldest_retained > stuck.epoch());
+    // A fresh snapshot is unaffected.
+    let fresh = db.snapshot();
+    assert!(!fresh.is_expired());
+    assert_eq!(fresh.read(&0), Some(20));
+}
+
+#[test]
+fn snapshot_clone_shares_the_pin() {
+    let db = db();
+    let snap = db.snapshot();
+    let clone = snap.clone();
+    assert_eq!(clone.epoch(), snap.epoch());
+    assert_eq!(db.stats().snapshot_pins_live, 2);
+    db.run(|t| t.write(&0, -5).map(|_| ())).unwrap();
+    drop(snap);
+    // The clone alone still protects the old version.
+    assert_eq!(clone.read(&0), Some(0));
+    assert_eq!(db.stats().snapshot_pins_live, 1);
+    drop(clone);
+    assert_eq!(db.stats().snapshot_pins_live, 0);
+    assert_eq!(db.history(&0).len(), 1, "versions reclaimed once every clone dropped");
+}
+
+#[test]
+fn debug_impls_are_present_and_informative() {
+    let db = db();
+    let s = format!("{db:?}");
+    assert!(s.contains("watermark"));
+    let snap: Snapshot<u64, i64> = db.snapshot();
+    let s = format!("{snap:?}");
+    assert!(s.contains("epoch"));
+    let t = db.begin();
+    let s = format!("{t:?}");
+    assert!(s.contains("top_level"));
+    t.abort();
+    let s = format!("{:?}", db.epochs());
+    assert!(s.contains("oldest_retained"));
+    let s = format!("{:?}", SnapshotError::Pruned { requested: 1, oldest_retained: 2 });
+    assert!(s.contains("Pruned"));
+}
+
+#[test]
+fn range_scans_are_counted() {
+    let db = db();
+    let before = db.stats().range_scans;
+    let _ = db.snapshot().range(..);
+    let t = db.begin();
+    let _ = ReadView::range(&t, 0..3).unwrap();
+    t.abort();
+    assert_eq!(db.stats().range_scans, before + 2);
+}

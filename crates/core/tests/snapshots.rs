@@ -111,7 +111,7 @@ fn counter_conservation_and_gc_liveness() {
         commit_write(&db, i % 4, 1);
     }
     let stats = db.stats();
-    let held: u64 = (0..8).map(|k| db.version_chain(&k).len() as u64).sum();
+    let held: u64 = (0..8).map(|k| db.history(&k).len() as u64).sum();
     assert_eq!(
         stats.versions_created - stats.versions_reclaimed,
         held,
@@ -122,7 +122,7 @@ fn counter_conservation_and_gc_liveness() {
     drop(snap);
     // Liveness: with no pins, every chain collapses back to length 1.
     for k in 0..8 {
-        assert_eq!(db.version_chain(&k).len(), 1, "key {k} chain not reclaimed");
+        assert_eq!(db.history(&k).len(), 1, "key {k} chain not reclaimed");
     }
     let stats = db.stats();
     assert_eq!(stats.versions_created - stats.versions_reclaimed, 8);
@@ -183,7 +183,7 @@ fn snapshot_readers_race_writers() {
     let total: i64 = (0..4).map(|k| db.committed_value(&k).unwrap()).sum();
     assert_eq!(total, 4 * 200);
     for k in 0..4 {
-        assert_eq!(db.version_chain(&k).len(), 1, "all chains reclaimed after readers exit");
+        assert_eq!(db.history(&k).len(), 1, "all chains reclaimed after readers exit");
     }
 }
 
@@ -202,25 +202,86 @@ fn recovery_rebuilds_identical_version_chains() {
         }
         t.commit().unwrap();
     }
-    let forward_a = db.version_chain(&"a".to_string());
-    let forward_b = db.version_chain(&"b".to_string());
-    let forward_epoch = db.current_epoch();
+    let forward_a = db.history(&"a".to_string());
+    let forward_b = db.history(&"b".to_string());
+    let forward_epoch = db.epochs().watermark;
 
     let v1 = Arc::new(MemVfs::new());
     v1.install(LOG, vfs.snapshot(LOG));
     let r1 = Db::<String, i64>::recover_with_vfs(v1.clone(), LOG, config.clone()).unwrap();
-    assert_eq!(r1.version_chain(&"a".to_string()), forward_a);
-    assert_eq!(r1.version_chain(&"b".to_string()), forward_b);
-    assert_eq!(r1.current_epoch(), forward_epoch);
+    assert_eq!(r1.history(&"a".to_string()), forward_a);
+    assert_eq!(r1.history(&"b".to_string()), forward_b);
+    assert_eq!(r1.epochs().watermark, forward_epoch);
 
     // recover ∘ recover ≡ recover, extended to chains: recovering the
     // recovered (checkpointed) log reproduces the same chains and epoch.
     let v2 = Arc::new(MemVfs::new());
     v2.install(LOG, v1.snapshot(LOG));
     let r2 = Db::<String, i64>::recover_with_vfs(v2, LOG, config.clone()).unwrap();
-    assert_eq!(r2.version_chain(&"a".to_string()), forward_a);
-    assert_eq!(r2.version_chain(&"b".to_string()), forward_b);
-    assert_eq!(r2.current_epoch(), forward_epoch);
+    assert_eq!(r2.history(&"a".to_string()), forward_a);
+    assert_eq!(r2.history(&"b".to_string()), forward_b);
+    assert_eq!(r2.epochs().watermark, forward_epoch);
+
+    // …and to the ordered index: a full range scan over each recovered
+    // database walks the same keys to the same values, in the same order.
+    let forward_scan = db.snapshot().range(..);
+    assert_eq!(r1.snapshot().range(..), forward_scan);
+    assert_eq!(r2.snapshot().range(..), forward_scan);
+}
+
+#[test]
+fn recovery_compacts_history_and_reports_the_floor_honestly() {
+    let vfs = Arc::new(MemVfs::new());
+    let config = DbConfig::builder().durability(Durability::Wal).build();
+    let db: Db<String, i64> = Db::open_with_vfs(vfs.clone(), LOG, config.clone()).unwrap();
+    db.insert("a".into(), 0);
+    for i in 1..=3i64 {
+        let t = db.begin();
+        t.write(&"a".to_string(), i * 10).unwrap();
+        t.commit().unwrap();
+    }
+    // Replay runs with no live pins, so recovery compacts every chain to
+    // its newest version: time travel does not survive a restart, and the
+    // retained floor must SAY so — a pre-crash epoch is a typed `Pruned`
+    // rejection, never a silently inconsistent view.
+    let fresh = Arc::new(MemVfs::new());
+    fresh.install(LOG, vfs.snapshot(LOG));
+    let r = Db::<String, i64>::recover_with_vfs(fresh, LOG, config.clone()).unwrap();
+    let bounds = r.epochs();
+    assert_eq!(bounds.watermark, 3);
+    assert_eq!(bounds.oldest_retained, 3, "floor rose to the newest surviving versions");
+    for epoch in 1..=2u64 {
+        assert!(
+            matches!(r.snapshot_at(epoch), Err(rnt_core::SnapshotError::Pruned { .. })),
+            "compacted epoch {epoch} must be rejected, not served inconsistently"
+        );
+    }
+    let now = r.snapshot_at(3).unwrap();
+    assert_eq!(now.range(..), vec![("a".to_string(), 30)]);
+
+    // Same story behind a checkpoint: chains restart at their per-key
+    // checkpoint epochs, so the concession covers the compacted span and
+    // only the post-recovery present is travelable.
+    db.checkpoint().unwrap();
+    let t = db.begin();
+    t.write(&"a".to_string(), 40).unwrap();
+    t.commit().unwrap(); // epoch 4, above the checkpoint
+    let fresh = Arc::new(MemVfs::new());
+    fresh.install(LOG, vfs.snapshot(LOG));
+    let r = Db::<String, i64>::recover_with_vfs(fresh, LOG, config).unwrap();
+    assert!(matches!(r.snapshot_at(1), Err(rnt_core::SnapshotError::Pruned { .. })));
+    let past = r.snapshot_at(r.epochs().watermark).unwrap();
+    assert_eq!(past.read(&"a".to_string()), Some(40));
+
+    // Time travel re-arms going forward: pin the recovered present, then
+    // commit on top — the held epoch stays travelable.
+    let hold = r.snapshot();
+    let t = r.begin();
+    t.write(&"a".to_string(), 50).unwrap();
+    t.commit().unwrap();
+    let back = r.snapshot_at(hold.epoch()).unwrap();
+    assert_eq!(back.read(&"a".to_string()), Some(40));
+    drop((hold, back));
 }
 
 #[test]
@@ -241,12 +302,12 @@ fn recovered_checkpoint_preserves_per_key_epochs() {
     let fresh = Arc::new(MemVfs::new());
     fresh.install(LOG, vfs.snapshot(LOG));
     let r = Db::<String, i64>::recover_with_vfs(fresh, LOG, config).unwrap();
-    assert_eq!(r.version_chain(&"a".to_string()), db.version_chain(&"a".to_string()));
-    assert_eq!(r.version_chain(&"b".to_string()), db.version_chain(&"b".to_string()));
-    assert_eq!(r.current_epoch(), db.current_epoch());
+    assert_eq!(r.history(&"a".to_string()), db.history(&"a".to_string()));
+    assert_eq!(r.history(&"b".to_string()), db.history(&"b".to_string()));
+    assert_eq!(r.epochs().watermark, db.epochs().watermark);
     // New commits on the recovered db continue the epoch sequence.
     let t = r.begin();
     t.rmw(&"a".to_string(), |v| v + 1).unwrap();
     t.commit().unwrap();
-    assert_eq!(r.current_epoch(), db.current_epoch() + 1);
+    assert_eq!(r.epochs().watermark, db.epochs().watermark + 1);
 }

@@ -25,9 +25,17 @@
 //! superseded and no live snapshot pins an epoch below its successor's
 //! (the watermark rule — see [`MvccStore`] for the precise statement and
 //! why it is race-free against pin creation).
+//!
+//! The store also maintains a sharded **ordered key index** alongside the
+//! chains — updated under the same shard lock as every append, so the
+//! single-publish, batch-publish, and recovery-replay paths all keep it
+//! consistent for free. [`MvccStore::range_at`] walks it to produce
+//! key-ordered scans resolved at a pinned epoch, and [`MvccStore::pin_at`]
+//! pins *past* epochs (time travel) down to the oldest retained one, with
+//! [`PinError`] distinguishing pruned history from the unpublished future.
 
 #![warn(missing_docs)]
 
 mod store;
 
-pub use store::{MvccCounters, MvccStore, Publish, PublishBatch, GENESIS_EPOCH};
+pub use store::{MvccCounters, MvccStore, PinError, Publish, PublishBatch, GENESIS_EPOCH};

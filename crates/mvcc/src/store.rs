@@ -1,9 +1,11 @@
-//! The sharded version-chain store, the publish critical section, and
-//! epoch-based reclamation.
+//! The sharded version-chain store, the ordered key index, the publish
+//! critical section, and epoch-based reclamation.
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::hash::{BuildHasher, Hash, RandomState};
+use std::ops::RangeBounds;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The epoch of non-transactional base seeds (the paper's `init(x)`).
@@ -17,8 +19,22 @@ pub const GENESIS_EPOCH: u64 = 0;
 /// ascending epoch order. The last entry is the current committed value.
 type Chain<V> = Vec<(u64, V)>;
 
-/// One shard of the store: keys → version chains under a single lock.
-type Shard<K, V> = RwLock<HashMap<K, Chain<V>>>;
+/// One shard of the store: keys → version chains, plus the shard's slice
+/// of the ordered key index, under a single lock.
+///
+/// The index is a `BTreeSet` over exactly the keys this shard holds a
+/// chain for. Hash-sharding scatters adjacent keys across shards, so each
+/// shard's index is an ordered *subsequence* of the global keyspace; a
+/// range scan walks every shard's slice and k-way merges the runs back
+/// into one key-ordered stream. Keys are never deleted (the engine has no
+/// transactional delete), so the index is insert-only and a key's index
+/// membership is exactly its chain's existence.
+struct ShardState<K, V> {
+    chains: HashMap<K, Chain<V>>,
+    index: BTreeSet<K>,
+}
+
+type Shard<K, V> = RwLock<ShardState<K, V>>;
 
 /// Monotonic counters the store maintains (see [`MvccStore::counters`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,10 +47,33 @@ pub struct MvccCounters {
     pub pins_live: u64,
 }
 
+/// Why an epoch could not be pinned by [`MvccStore::pin_at`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinError {
+    /// The epoch predates the oldest retained one: reclamation (or the
+    /// per-chain version budget) has already dropped versions a consistent
+    /// view at this epoch would need.
+    Pruned {
+        /// The epoch that was requested.
+        requested: u64,
+        /// The oldest epoch still consistently resolvable.
+        oldest_retained: u64,
+    },
+    /// The epoch is above the publish watermark: no commit with that epoch
+    /// has been published yet.
+    Future {
+        /// The epoch that was requested.
+        requested: u64,
+        /// The highest fully published epoch.
+        watermark: u64,
+    },
+}
+
 /// The multi-version object store.
 ///
 /// Keys map to [version chains](Chain) sharded like the engine's lock
-/// table. Three pieces of epoch state tie the chains to the commit order:
+/// table, with a per-shard ordered index for range scans. Three pieces of
+/// epoch state tie the chains to the commit order:
 ///
 /// * `watermark` — the highest *fully published* epoch: every commit with
 ///   epoch ≤ watermark has all its versions appended. Snapshots pin the
@@ -55,18 +94,40 @@ pub struct MvccCounters {
 /// they always pin the current watermark.) With no pins this prunes every
 /// chain to length 1 — liveness — and it never drops a version some live
 /// pin still resolves to — safety. Both are property-tested.
+///
+/// **Time travel** ([`MvccStore::pin_at`]) is bounded below by
+/// `oldest_retained`: the low-water mark of epochs still consistently
+/// resolvable. Every prune raises it to the sweep bound *before* any
+/// version is dropped (conservatively, inside the pin-table lock), so a
+/// racing `pin_at` either sees the raise and rejects, or lands its pin
+/// first and is respected by the sweep's bound.
+///
+/// **Chain budget**: with `max_versions > 0`, an append that grows a chain
+/// past the budget force-prunes the oldest versions regardless of live
+/// pins — the escape hatch for a stuck (leaked or wedged) snapshot pin
+/// that would otherwise make chains grow without bound. Force-pruning
+/// raises `oldest_retained` past the dropped span, so *new* time-travel
+/// pins can never land on an inconsistent epoch; a pre-existing pin below
+/// the raise is **expired** — the budget deliberately sacrifices its
+/// consistency instead of holding memory hostage: a force-pruned key has
+/// no version at or below the expired epoch anymore and reads as absent.
+/// Callers detect expiry by comparing the pin against `oldest_retained`.
 pub struct MvccStore<K, V> {
     shards: Box<[Shard<K, V>]>,
     hasher: RandomState,
     /// Highest fully published epoch.
     watermark: AtomicU64,
     /// See the struct docs; held by [`MvccStore::begin_publish`] guards
-    /// and briefly by [`MvccStore::pin`].
+    /// and briefly by [`MvccStore::pin`] / [`MvccStore::pin_at`].
     publish: Mutex<()>,
     /// Live pins: epoch → snapshot count.
     pins: Mutex<BTreeMap<u64, u64>>,
     /// Cached minimum of `pins` (`u64::MAX` when empty).
     min_pin: AtomicU64,
+    /// Oldest epoch still consistently resolvable (see the struct docs).
+    oldest_retained: AtomicU64,
+    /// Per-chain version budget; 0 = unbounded.
+    max_versions: usize,
     created: AtomicU64,
     reclaimed: AtomicU64,
 }
@@ -86,6 +147,12 @@ impl Publish<'_> {
     /// The commit epoch assigned to this publication.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+}
+
+impl std::fmt::Debug for Publish<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publish").field("epoch", &self.epoch).finish_non_exhaustive()
     }
 }
 
@@ -131,6 +198,15 @@ impl PublishBatch<'_> {
     }
 }
 
+impl std::fmt::Debug for PublishBatch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishBatch")
+            .field("first_epoch", &self.first_epoch())
+            .field("last_epoch", &self.last_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Drop for PublishBatch<'_> {
     fn drop(&mut self) {
         // Serialized like single publication: base was the watermark when
@@ -151,20 +227,82 @@ fn prune<V>(chain: &mut Chain<V>, min_pin: u64) -> u64 {
     cut as u64
 }
 
+impl<K, V> MvccStore<K, V> {
+    /// The highest fully published epoch.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// The oldest epoch a time-travel pin ([`MvccStore::pin_at`]) can
+    /// still land on: reclamation has conceded everything below it.
+    pub fn oldest_retained(&self) -> u64 {
+        self.oldest_retained.load(Ordering::Acquire)
+    }
+
+    /// Raise the watermark to at least `epoch` (replay only: recovery
+    /// learns epochs from the log instead of allocating them).
+    pub fn advance_watermark(&self, epoch: u64) {
+        self.watermark.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Concede that epochs below `epoch` are no longer consistently
+    /// resolvable (replay only: a checkpoint compacts the history beneath
+    /// its watermark, so post-recovery time travel must not reach under
+    /// it — chains there start at their per-key checkpoint epochs, not at
+    /// the versions that actually existed).
+    pub fn concede_retained(&self, epoch: u64) {
+        self.oldest_retained.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// The store's monotonic counters plus the live-pin gauge.
+    pub fn counters(&self) -> MvccCounters {
+        MvccCounters {
+            created: self.created.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            pins_live: self.pins.lock().values().sum(),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for MvccStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvccStore")
+            .field("shards", &self.shards.len())
+            .field("watermark", &self.watermark())
+            .field("oldest_retained", &self.oldest_retained())
+            .field("max_versions", &self.max_versions)
+            .field("counters", &self.counters())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<K, V> MvccStore<K, V>
 where
-    K: Eq + Hash + Clone,
+    K: Eq + Hash + Ord + Clone,
     V: Clone,
 {
-    /// An empty store with `shards` chain shards (at least 1).
+    /// An empty store with `shards` chain shards (at least 1) and no
+    /// per-chain version budget.
     pub fn new(shards: usize) -> Self {
+        Self::with_budget(shards, 0)
+    }
+
+    /// An empty store with a per-chain version budget (`0` = unbounded):
+    /// an append that grows a chain past `max_versions` force-prunes the
+    /// oldest versions even if a live pin holds them, raising the
+    /// oldest-retained bound past the dropped span.
+    pub fn with_budget(shards: usize, max_versions: usize) -> Self {
         MvccStore {
-            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards.max(1))
+                .map(|_| RwLock::new(ShardState { chains: HashMap::new(), index: BTreeSet::new() }))
+                .collect(),
             hasher: RandomState::new(),
             watermark: AtomicU64::new(GENESIS_EPOCH),
             publish: Mutex::new(()),
             pins: Mutex::new(BTreeMap::new()),
             min_pin: AtomicU64::new(u64::MAX),
+            oldest_retained: AtomicU64::new(GENESIS_EPOCH),
+            max_versions,
             created: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
         }
@@ -199,17 +337,42 @@ where
         PublishBatch { watermark: &self.watermark, _guard: guard, base, len: n as u64 }
     }
 
-    /// Append a version to `key`'s chain. `epoch` must be strictly above
-    /// the chain's last (per-key publications are serialized by the lock
+    /// Append a version to `key`'s chain, entering the key into the
+    /// ordered index on first contact. `epoch` must be strictly above the
+    /// chain's last (per-key publications are serialized by the lock
     /// manager, so callers get this for free). Reclaims any versions the
-    /// append just made droppable.
+    /// append just made droppable, and enforces the per-chain version
+    /// budget if one is set.
     pub fn append(&self, key: &K, epoch: u64, value: V) {
         let mut shard = self.shards[self.shard_of(key)].write();
-        let chain = shard.entry(key.clone()).or_default();
+        if !shard.chains.contains_key(key) {
+            shard.index.insert(key.clone());
+        }
+        let chain = shard.chains.entry(key.clone()).or_default();
         debug_assert!(chain.last().is_none_or(|&(e, _)| e < epoch), "chain epochs must ascend");
         chain.push((epoch, value));
         self.created.fetch_add(1, Ordering::Relaxed);
-        let dropped = prune(chain, self.min_pin.load(Ordering::Acquire));
+        let mut dropped = prune(chain, self.min_pin.load(Ordering::Acquire));
+        if dropped > 0 {
+            // Epochs below the new head just lost resolution on this
+            // chain: concede them so no later `pin_at` lands there. The
+            // new head is ≤ every live pin (the prune rule keeps the
+            // latest version at or below the minimum pin), so no live pin
+            // is invalidated; and publish-path appends hold the publish
+            // lock, serializing this raise against `pin_at`'s check.
+            self.oldest_retained.fetch_max(chain[0].0, Ordering::AcqRel);
+        }
+        if self.max_versions > 0 && chain.len() > self.max_versions {
+            // Budget overflow: a stuck pin is holding this chain hostage.
+            // Force-prune the oldest versions and concede every epoch
+            // below the new head — raised *before* the shard lock drops,
+            // so `pin_at` (serialized against this publisher by the
+            // publish lock) can never validate into the dropped span.
+            let cut = chain.len() - self.max_versions;
+            self.oldest_retained.fetch_max(chain[cut].0, Ordering::AcqRel);
+            chain.drain(..cut);
+            dropped += cut as u64;
+        }
         self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
     }
 
@@ -226,28 +389,82 @@ where
         epoch
     }
 
-    /// Release a pin taken by [`MvccStore::pin`]. If the minimum live pin
-    /// rose, sweep every chain — the liveness half of reclamation: once
-    /// all snapshots drop, chains shrink back to length 1.
-    pub fn unpin(&self, epoch: u64) {
-        let min = {
-            let mut pins = self.pins.lock();
-            match pins.get_mut(&epoch) {
-                Some(n) if *n > 1 => *n -= 1,
-                Some(_) => {
-                    pins.remove(&epoch);
-                }
-                None => debug_assert!(false, "unpin of an epoch never pinned"),
+    /// Pin a *specific* epoch for a time-travel snapshot. Fails with
+    /// [`PinError::Future`] above the watermark and [`PinError::Pruned`]
+    /// below the oldest retained epoch. Serialized against publishers by
+    /// the publish lock; ordered against concurrent sweeps by the
+    /// pin-table lock (sweeps concede their bound to `oldest_retained`
+    /// inside it, before dropping anything — so this check is race-free).
+    pub fn pin_at(&self, epoch: u64) -> Result<u64, PinError> {
+        let _publish = self.publish.lock();
+        let watermark = self.watermark.load(Ordering::Acquire);
+        if epoch > watermark {
+            return Err(PinError::Future { requested: epoch, watermark });
+        }
+        let mut pins = self.pins.lock();
+        let oldest_retained = self.oldest_retained.load(Ordering::Acquire);
+        if epoch < oldest_retained {
+            return Err(PinError::Pruned { requested: epoch, oldest_retained });
+        }
+        *pins.entry(epoch).or_insert(0) += 1;
+        let min = *pins.keys().next().expect("just inserted");
+        self.min_pin.store(min, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Add one more pin to an epoch that is already pinned (snapshot
+    /// cloning). The epoch's versions are protected by the existing pin,
+    /// so no publisher/sweep coordination is needed.
+    ///
+    /// # Panics
+    /// If `epoch` has no live pin (debug builds).
+    pub fn repin(&self, epoch: u64) {
+        let mut pins = self.pins.lock();
+        match pins.get_mut(&epoch) {
+            Some(n) => *n += 1,
+            None => {
+                debug_assert!(false, "repin of an epoch never pinned");
+                pins.insert(epoch, 1);
+                let min = *pins.keys().next().expect("just inserted");
+                self.min_pin.store(min, Ordering::Release);
             }
-            let min = pins.keys().next().copied().unwrap_or(u64::MAX);
-            self.min_pin.store(min, Ordering::Release);
-            min
-        };
-        // New pins land at the current watermark ≥ every successor epoch
-        // already in a chain, so sweeping with this min cannot race a
-        // concurrent pin into unsafety (only a publisher can introduce a
-        // higher successor, and it prunes with its own min_pin read).
+        }
+    }
+
+    /// Release a pin taken by [`MvccStore::pin`] / [`MvccStore::pin_at`].
+    /// If the minimum live pin rose, sweep every chain — the liveness half
+    /// of reclamation: once all snapshots drop, chains shrink back to
+    /// length 1.
+    pub fn unpin(&self, epoch: u64) {
+        let mut pins = self.pins.lock();
+        match pins.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                pins.remove(&epoch);
+            }
+            None => debug_assert!(false, "unpin of an epoch never pinned"),
+        }
+        let min = pins.keys().next().copied().unwrap_or(u64::MAX);
+        self.min_pin.store(min, Ordering::Release);
+        // Concede everything below the sweep bound *before* pruning,
+        // still inside the pin-table lock: a concurrent `pin_at` either
+        // locks the table after us (sees the raise, rejects an epoch the
+        // sweep may drop) or locked it before us (its pin is in `pins`,
+        // so `min` respects it). Capped at the watermark so a pin-free
+        // store still allows pinning the present.
+        let cap = self.watermark.load(Ordering::Acquire);
+        self.oldest_retained.fetch_max(min.min(cap), Ordering::AcqRel);
+        // The sweep itself must also run inside the pin-table lock. If it
+        // ran after releasing it with the captured `min`, a fresh pin
+        // could land (its epoch ≥ the raised floor, so `pin_at` admits
+        // it) and a publisher could append — pruning that chain down to
+        // the new pin, correctly — before our stale, laxer `min` swept
+        // the very version the new pin resolves to. Holding the lock
+        // makes pin-accounting and its sweep one atomic step; new pins
+        // wait, and everything they need survives a prune at `min`
+        // (prune keeps the newest version ≤ `min` and all later ones).
         self.sweep(min);
+        drop(pins);
     }
 
     /// Drop every version reclaimable under `min_pin`, store-wide.
@@ -255,7 +472,7 @@ where
         let mut dropped = 0;
         for shard in self.shards.iter() {
             let mut shard = shard.write();
-            for chain in shard.values_mut() {
+            for chain in shard.chains.values_mut() {
                 dropped += prune(chain, min_pin);
             }
         }
@@ -267,31 +484,75 @@ where
     /// reverse linear scan under the shard's read lock.
     pub fn read_at(&self, key: &K, epoch: u64) -> Option<V> {
         let shard = self.shards[self.shard_of(key)].read();
-        let chain = shard.get(key)?;
+        let chain = shard.chains.get(key)?;
         chain.iter().rev().find(|&&(e, _)| e <= epoch).map(|(_, v)| v.clone())
     }
 
-    /// The highest fully published epoch.
-    pub fn watermark(&self) -> u64 {
-        self.watermark.load(Ordering::Acquire)
+    /// A consistent key-ordered walk over every chain in `bounds`,
+    /// resolved at `epoch`: for each indexed key in range, the latest
+    /// version with epoch ≤ `epoch` (keys with no such version — born
+    /// after the pinned epoch by checkpoint replay — are skipped).
+    ///
+    /// Shards are visited one at a time under their read locks and the
+    /// sorted per-shard runs are k-way merged, so the scan never holds
+    /// more than one shard lock and never blocks publication. Consistency
+    /// comes from the epoch filter, not the locking: versions at or below
+    /// a pinned epoch are immutable and GC-protected, and any commit
+    /// racing the walk publishes at an epoch above it — invisible by
+    /// construction. (Non-transactional genesis seeds are the one
+    /// exception, exactly as for [`MvccStore::read_at`]: a seed landing
+    /// mid-scan may appear in later shards only.)
+    pub fn range_at<R>(&self, bounds: R, epoch: u64) -> Vec<(K, V)>
+    where
+        R: RangeBounds<K>,
+    {
+        let mut runs: Vec<std::iter::Peekable<std::vec::IntoIter<(K, V)>>> =
+            Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let state = shard.read();
+            let mut run = Vec::new();
+            for key in state.index.range((bounds.start_bound(), bounds.end_bound())) {
+                let Some(chain) = state.chains.get(key) else { continue };
+                if let Some((_, v)) = chain.iter().rev().find(|&&(e, _)| e <= epoch) {
+                    run.push((key.clone(), v.clone()));
+                }
+            }
+            runs.push(run.into_iter().peekable());
+        }
+        merge_runs(runs)
     }
 
-    /// Raise the watermark to at least `epoch` (replay only: recovery
-    /// learns epochs from the log instead of allocating them).
-    pub fn advance_watermark(&self, epoch: u64) {
-        self.watermark.fetch_max(epoch, Ordering::AcqRel);
+    /// Every indexed key in `bounds`, ascending. (The key set is
+    /// insert-only, so this is stable under concurrent commits; only a
+    /// concurrent non-transactional seed can extend it.)
+    pub fn keys_in<R>(&self, bounds: R) -> Vec<K>
+    where
+        R: RangeBounds<K>,
+    {
+        let mut runs: Vec<std::iter::Peekable<std::vec::IntoIter<(K, ())>>> =
+            Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let state = shard.read();
+            let run: Vec<(K, ())> = state
+                .index
+                .range((bounds.start_bound(), bounds.end_bound()))
+                .map(|k| (k.clone(), ()))
+                .collect();
+            runs.push(run.into_iter().peekable());
+        }
+        merge_runs(runs).into_iter().map(|(k, ())| k).collect()
     }
 
     /// The epoch of `key`'s newest version (`None` for unknown keys).
     pub fn last_epoch(&self, key: &K) -> Option<u64> {
         let shard = self.shards[self.shard_of(key)].read();
-        shard.get(key).and_then(|c| c.last()).map(|&(e, _)| e)
+        shard.chains.get(key).and_then(|c| c.last()).map(|&(e, _)| e)
     }
 
     /// `key`'s full committed version chain, oldest first.
     pub fn chain(&self, key: &K) -> Vec<(u64, V)> {
         let shard = self.shards[self.shard_of(key)].read();
-        shard.get(key).cloned().unwrap_or_default()
+        shard.chains.get(key).cloned().unwrap_or_default()
     }
 
     /// Every key's chain (unordered; callers sort as needed).
@@ -299,7 +560,7 @@ where
         let mut out = Vec::new();
         for shard in self.shards.iter() {
             let shard = shard.read();
-            out.extend(shard.iter().map(|(k, c)| (k.clone(), c.clone())));
+            out.extend(shard.chains.iter().map(|(k, c)| (k.clone(), c.clone())));
         }
         out
     }
@@ -307,17 +568,33 @@ where
     /// Total versions currently held across all chains. Conservation:
     /// always equals `created - reclaimed` (property-tested).
     pub fn total_versions(&self) -> u64 {
-        self.shards.iter().map(|s| s.read().values().map(|c| c.len() as u64).sum::<u64>()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().chains.values().map(|c| c.len() as u64).sum::<u64>())
+            .sum()
     }
+}
 
-    /// The store's monotonic counters plus the live-pin gauge.
-    pub fn counters(&self) -> MvccCounters {
-        MvccCounters {
-            created: self.created.load(Ordering::Relaxed),
-            reclaimed: self.reclaimed.load(Ordering::Relaxed),
-            pins_live: self.pins.lock().values().sum(),
+/// K-way merge of key-sorted runs with pairwise-disjoint key sets (each
+/// key lives in exactly one shard) into one key-ordered vector.
+fn merge_runs<K: Ord + Clone, V>(
+    mut runs: Vec<std::iter::Peekable<std::vec::IntoIter<(K, V)>>>,
+) -> Vec<(K, V)> {
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter_mut().enumerate() {
+        if let Some((k, _)) = run.peek() {
+            heap.push(Reverse((k.clone(), i)));
         }
     }
+    let mut out = Vec::new();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (k, v) = runs[i].next().expect("heap entry implies a head");
+        out.push((k, v));
+        if let Some((next, _)) = runs[i].peek() {
+            heap.push(Reverse((next.clone(), i)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -465,5 +742,175 @@ mod tests {
         assert_eq!(s.read_at(&1, b), Some(0), "second pin still holds the version");
         s.unpin(b);
         assert_eq!(s.chain(&1), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn range_at_walks_keys_in_order() {
+        let s = store();
+        for k in [5u64, 1, 9, 3, 7] {
+            s.append(&k, GENESIS_EPOCH, k as i64 * 10);
+        }
+        let pin = s.pin();
+        assert_eq!(
+            s.range_at(.., pin),
+            vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)],
+            "full scan in key order"
+        );
+        assert_eq!(s.range_at(3..8, pin), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(s.range_at(3..=7, pin), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(s.range_at(10.., pin), vec![]);
+        assert_eq!(s.keys_in(..), vec![1, 3, 5, 7, 9]);
+        s.unpin(pin);
+    }
+
+    #[test]
+    fn range_at_resolves_the_pinned_epoch() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 10);
+        s.append(&2, GENESIS_EPOCH, 20);
+        let pin = s.pin();
+        commit(&s, 1, 11);
+        commit(&s, 2, 22);
+        assert_eq!(s.range_at(.., pin), vec![(1, 10), (2, 20)], "scan frozen at the pin");
+        assert_eq!(s.range_at(.., s.watermark()), vec![(1, 11), (2, 22)]);
+        // A key whose chain starts above the scanned epoch is skipped.
+        s.append(&3, 5, 30); // checkpoint-style late-born key
+        assert_eq!(s.range_at(.., pin), vec![(1, 10), (2, 20)]);
+        s.unpin(pin);
+    }
+
+    #[test]
+    fn pin_at_travels_within_retained_epochs() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let hold = s.pin(); // pin genesis: everything ≥ 0 stays retained
+        for i in 1..=4 {
+            commit(&s, 1, i);
+        }
+        for epoch in 0..=4u64 {
+            let pin = s.pin_at(epoch).expect("epoch within retained span");
+            assert_eq!(s.read_at(&1, pin), Some(epoch as i64));
+            s.unpin(pin);
+        }
+        assert_eq!(
+            s.pin_at(9),
+            Err(PinError::Future { requested: 9, watermark: 4 }),
+            "cannot pin the future"
+        );
+        s.unpin(hold);
+    }
+
+    #[test]
+    fn pin_at_rejects_pruned_epochs() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        for i in 1..=3 {
+            commit(&s, 1, i);
+        }
+        // No pins were live, so every superseded version is gone and the
+        // sweep bound was conceded: the deep past must be rejected.
+        let pin = s.pin();
+        s.unpin(pin); // trigger a sweep that raises the concession
+        match s.pin_at(0) {
+            Err(PinError::Pruned { requested: 0, oldest_retained }) => {
+                assert!(oldest_retained > 0);
+            }
+            other => panic!("expected Pruned, got {other:?}"),
+        }
+        // The present always pins.
+        let now = s.pin_at(s.watermark()).expect("watermark is always retained");
+        s.unpin(now);
+    }
+
+    #[test]
+    fn version_budget_bounds_chains_under_a_stuck_pin() {
+        let s: MvccStore<u64, i64> = MvccStore::with_budget(4, 3);
+        s.append(&1, GENESIS_EPOCH, 0);
+        let stuck = s.pin(); // never dropped: simulates a wedged reader
+        for i in 1..=10 {
+            commit(&s, 1, i);
+        }
+        let chain = s.chain(&1);
+        assert!(chain.len() <= 3, "budget must bound the chain, got {chain:?}");
+        assert_eq!(chain.last(), Some(&(10, 10)), "newest version always retained");
+        // The stuck pin's epoch was conceded: new time-travel pins below
+        // the force-pruned span are rejected rather than inconsistent.
+        assert!(s.oldest_retained() > GENESIS_EPOCH);
+        assert!(matches!(s.pin_at(GENESIS_EPOCH), Err(PinError::Pruned { .. })));
+        // The expired pin lost its history: the force-pruned key reads as
+        // absent at the stuck epoch (documented budget trade-off), and the
+        // expiry is detectable by comparing the pin to oldest_retained.
+        assert_eq!(s.read_at(&1, stuck), None);
+        assert!(stuck < s.oldest_retained());
+        s.unpin(stuck);
+        assert_eq!(s.chain(&1), vec![(10, 10)]);
+    }
+
+    #[test]
+    fn repin_shares_the_epoch() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let pin = s.pin();
+        s.repin(pin);
+        assert_eq!(s.counters().pins_live, 2);
+        commit(&s, 1, 1);
+        s.unpin(pin);
+        assert_eq!(s.read_at(&1, pin), Some(0), "clone still holds the version");
+        s.unpin(pin);
+        assert_eq!(s.chain(&1), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn concurrent_pins_never_lose_their_version() {
+        // Regression: `unpin` once swept *outside* the pin-table lock
+        // with its captured minimum. A fresh pin plus a publish could
+        // land in between, and the stale sweep then dropped the very
+        // version the new pin resolves to. Under churn, every live pin
+        // must always resolve every seeded key.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        const KEYS: u64 = 8;
+        let s = Arc::new(MvccStore::<u64, i64>::new(4));
+        for k in 0..KEYS {
+            s.append(&k, GENESIS_EPOCH, k as i64);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let publish = s.begin_publish();
+                    let epoch = publish.epoch();
+                    s.append(&(v as u64 % KEYS), epoch, v);
+                    drop(publish);
+                    v += 1;
+                }
+            })
+        };
+        let pinners: Vec<_> = (0..2)
+            .map(|p| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..20_000u64 {
+                        let pin = s.pin();
+                        let key = (p + i) % KEYS;
+                        assert!(s.read_at(&key, pin).is_some(), "live pin at {pin} lost key {key}");
+                        assert_eq!(
+                            s.range_at(.., pin).len(),
+                            KEYS as usize,
+                            "live pin at {pin} lost part of the keyspace"
+                        );
+                        s.unpin(pin);
+                    }
+                })
+            })
+            .collect();
+        for h in pinners {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

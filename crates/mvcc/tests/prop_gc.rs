@@ -24,6 +24,9 @@ enum Op {
     Pin,
     /// Read `key` through live pin `idx % live`, checking the shadow.
     Read { pin: usize, key: u64 },
+    /// Range-scan `[lo, hi)` through live pin `idx % live`, checking the
+    /// shadow filtered to the bounds in key order.
+    RangeRead { pin: usize, lo: u64, hi: u64 },
     /// Drop live pin `idx % live`.
     Unpin(usize),
 }
@@ -33,6 +36,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => proptest::collection::vec((0..KEYS, -1000i64..1000), 1..4).prop_map(Op::Publish),
         2 => Just(Op::Pin),
         4 => (0usize..64, 0..KEYS).prop_map(|(pin, key)| Op::Read { pin, key }),
+        2 => (0usize..64, 0..KEYS, 0..=KEYS).prop_map(|(pin, lo, hi)| Op::RangeRead { pin, lo, hi }),
         2 => (0usize..64).prop_map(Op::Unpin),
     ]
 }
@@ -75,6 +79,21 @@ proptest! {
                             store.read_at(&key, *epoch),
                             shadow.get(&key).copied(),
                             "pinned read diverged from the state at pin time"
+                        );
+                    }
+                }
+                Op::RangeRead { pin, lo, hi } => {
+                    if !pins.is_empty() {
+                        let hi = hi.max(lo); // empty, not inverted
+                        let (epoch, shadow) = &pins[pin % pins.len()];
+                        let expect: Vec<(u64, i64)> =
+                            shadow.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                        // The ordered walk over the pinned view matches the
+                        // shadow filtered to the bounds, in key order.
+                        prop_assert_eq!(
+                            store.range_at(lo..hi, *epoch),
+                            expect,
+                            "pinned range diverged from the state at pin time"
                         );
                     }
                 }

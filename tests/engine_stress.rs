@@ -114,7 +114,7 @@ fn intra_transaction_parallelism() {
             });
         }
     });
-    let top = Arc::try_unwrap(top).ok().expect("threads joined");
+    let top = Arc::try_unwrap(top).expect("threads joined");
     let sum_inside: i64 = (0..4u64).map(|k| top.read(&k).unwrap()).sum();
     assert_eq!(sum_inside, 200, "4 threads x 25 subtxns x 2 increments");
     top.commit().unwrap();
