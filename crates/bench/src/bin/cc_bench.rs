@@ -1,0 +1,55 @@
+//! Optimistic vs locking concurrency-control benchmark.
+//!
+//! Usage: `cc_bench [--smoke] [--out PATH]`
+//!
+//! Runs both CC modes over a read-heavy low-contention workload and a
+//! write-heavy hot-key workload at several thread counts, then writes
+//! the JSON report (default `BENCH_cc.json`). The interesting output is
+//! the crossover: optimistic wins the low-contention cell, locking wins
+//! the hot-key cell. `--smoke` runs a reduced grid for CI; the committed
+//! baseline is produced by a full run.
+
+use rnt_bench::cc_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cc.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| workload | mode | threads | commits/s | lock conflicts | occ conflicts | aborts |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {} | {:.0} | {} | {} | {} |",
+            r.workload,
+            r.mode,
+            r.threads,
+            r.commits_per_sec,
+            r.lock_conflicts,
+            r.occ_conflicts,
+            r.aborts
+        );
+    }
+    println!();
+    for s in &report.speedups {
+        println!(
+            "optimistic/locking throughput on {} at {} threads: {:.2}x",
+            s.workload, s.threads, s.ratio
+        );
+    }
+    println!(
+        "headline (max threads): read-heavy {:.2}x, write-hot {:.2}x",
+        report.headline_read_heavy, report.headline_write_hot
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.rows.len());
+}

@@ -1,0 +1,312 @@
+//! Concurrency-control crossover benchmark: optimistic
+//! (first-committer-wins) vs pessimistic locking on the same workloads.
+//!
+//! Two workloads bracket the design space:
+//!
+//! * **read-heavy / low contention** — a read-mostly mix over a wide
+//!   uniform key space: most transactions are pure reads, a minority add
+//!   one rmw. Conflicts are rare, so the cost that matters is the
+//!   per-operation overhead: optimistic reads are lock-free (no shard
+//!   mutex, no lock state machine, no release pass at commit), so
+//!   optimistic mode should win and keep winning as threads grow.
+//! * **write-heavy / hot keys** — short all-rmw transactions over a
+//!   Zipf-skewed key space. Conflicts are the common case: a locking
+//!   transaction discovers the conflict at *first access* (NoWait) and
+//!   aborts having done almost no work, while an optimistic one runs to
+//!   completion and only then loses validation — wasted work that grows
+//!   with concurrency, so locking should win here.
+//!
+//! Both arms run the identical seeded key sequence per rep; reps are
+//! paired back-to-back and the pair with the median optimistic/locking
+//! throughput ratio is reported (host-load drift cancels, same protocol
+//! as the snapshot benchmark). The `cc_bench` binary renders the result
+//! as `BENCH_cc.json`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnt_core::{CcMode, Db, DbConfig, DeadlockPolicy};
+use rnt_sim::engine::ZipfSampler;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wide key space for the low-contention workload.
+const UNIFORM_KEYS: u64 = 4096;
+/// Narrow key space for the hot-key workload.
+const HOT_KEYS: u64 = 128;
+/// Zipf exponent for the hot-key workload.
+const ZIPF_S: f64 = 1.1;
+/// Per-retry-batch bound handed to `run_with_retries`; a transaction that
+/// exhausts it just starts a fresh batch (the quota counts successes).
+const RETRY_BATCH: u32 = 256;
+/// Fraction of read-heavy transactions that carry a write: 1 in
+/// [`WRITE_1_IN`] transactions does 7 reads + 1 rmw, the rest are pure
+/// 8-read transactions. Read-mostly is the canonical OCC-friendly shape —
+/// a pure-read transaction validates against an untouched footprint and
+/// releases nothing, while the locking arm still pays shard-lock
+/// acquire/release per key.
+const WRITE_1_IN: u64 = 8;
+
+/// The two workload shapes (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// 8 uniform reads, 1 in [`WRITE_1_IN`] transactions converting the
+    /// last read into an rmw, over [`UNIFORM_KEYS`].
+    ReadHeavy,
+    /// 4 Zipf-skewed rmws over [`HOT_KEYS`].
+    WriteHot,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::ReadHeavy => "read-heavy-uniform",
+            Workload::WriteHot => "write-heavy-zipf",
+        }
+    }
+
+    fn keys(self) -> u64 {
+        match self {
+            Workload::ReadHeavy => UNIFORM_KEYS,
+            Workload::WriteHot => HOT_KEYS,
+        }
+    }
+}
+
+fn mode_label(mode: CcMode) -> &'static str {
+    match mode {
+        CcMode::Locking => "locking",
+        CcMode::Optimistic => "optimistic",
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    /// Workload label: "read-heavy-uniform" or "write-heavy-zipf".
+    pub workload: String,
+    /// CC mode: "locking" or "optimistic".
+    pub mode: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Successful top-level transactions (the fixed per-run quota).
+    pub txns: u64,
+    /// Committed transactions per second (the headline quantity).
+    pub commits_per_sec: f64,
+    /// Lock-manager conflicts over the run (0 in optimistic mode).
+    pub lock_conflicts: u64,
+    /// Commit-time validation failures over the run (0 in locking mode).
+    pub occ_conflicts: u64,
+    /// Total aborts (each conflict of either kind aborts one attempt).
+    pub aborts: u64,
+}
+
+/// Optimistic/locking throughput ratio for one (workload, threads) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Speedup {
+    /// Workload label.
+    pub workload: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// optimistic commits/s divided by locking commits/s: > 1 means
+    /// optimistic wins the cell.
+    pub ratio: f64,
+}
+
+/// The full benchmark report serialized to `BENCH_cc.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// Host core count (context for absolute numbers).
+    pub host_cores: usize,
+    /// Every measured cell.
+    pub rows: Vec<BenchRow>,
+    /// Per-cell optimistic/locking ratios.
+    pub speedups: Vec<Speedup>,
+    /// The read-heavy ratio at the highest thread count — expected > 1
+    /// (lock-free reads amortize the validator).
+    pub headline_read_heavy: f64,
+    /// The write-hot ratio at the highest thread count — expected < 1
+    /// (optimistic wastes whole transactions per conflict; locking aborts
+    /// at first access). Together with `headline_read_heavy` this is the
+    /// crossover: neither mode dominates, the workload picks.
+    pub headline_write_hot: f64,
+}
+
+fn db_for(mode: CcMode, workload: Workload, threads: usize) -> Db<u64, i64> {
+    // NoWait + retry keeps the locking arm abort-based like the
+    // optimistic one, so the comparison is conflict *placement* (first
+    // access vs commit validation), not blocking vs aborting.
+    let config = DbConfig::builder()
+        .cc_mode(mode)
+        .policy(DeadlockPolicy::NoWait)
+        .shards(threads.max(1))
+        .build();
+    let db = Db::with_config(config);
+    for k in 0..workload.keys() {
+        db.insert(k, k as i64);
+    }
+    db
+}
+
+fn run_quota(db: &Db<u64, i64>, workload: Workload, quota: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(HOT_KEYS, ZIPF_S);
+    for _ in 0..quota {
+        loop {
+            let done = match workload {
+                Workload::ReadHeavy => {
+                    let keys: Vec<u64> = (0..8).map(|_| rng.gen_range(0..UNIFORM_KEYS)).collect();
+                    let writes = rng.gen_range(0..WRITE_1_IN) == 0;
+                    db.run_with_retries(RETRY_BATCH, |t| {
+                        let mut s = 0i64;
+                        for key in &keys[..7] {
+                            s += t.read(key)?;
+                        }
+                        if writes {
+                            t.rmw(&keys[7], move |v| v + (s & 1))?;
+                        } else {
+                            s += t.read(&keys[7])?;
+                            std::hint::black_box(s);
+                        }
+                        Ok(())
+                    })
+                }
+                Workload::WriteHot => {
+                    let keys: Vec<u64> = (0..4).map(|_| zipf.sample(&mut rng)).collect();
+                    db.run_with_retries(RETRY_BATCH, |t| {
+                        for key in &keys {
+                            t.rmw(key, |v| v + 1)?;
+                        }
+                        Ok(())
+                    })
+                }
+            };
+            if done.is_ok() {
+                break;
+            }
+        }
+    }
+}
+
+/// Run one cell: `threads` workers each committing a fixed quota of
+/// transactions; throughput is quota-over-wall-clock.
+fn measure_once(
+    mode: CcMode,
+    workload: Workload,
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> BenchRow {
+    let quota: usize = if smoke { 300 } else { 3000 };
+    let db = Arc::new(db_for(mode, workload, threads));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|w| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                run_quota(&db, workload, quota, seed ^ ((w as u64 + 1) << 8));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = db.stats();
+    let txns = (threads * quota) as u64;
+    BenchRow {
+        workload: workload.label().into(),
+        mode: mode_label(mode).into(),
+        threads,
+        txns,
+        commits_per_sec: txns as f64 / secs,
+        lock_conflicts: stats.conflicts,
+        occ_conflicts: stats.occ_conflicts,
+        aborts: stats.aborted,
+    }
+}
+
+/// Measure one (workload, threads) cell as a paired locking/optimistic
+/// comparison and report the median-ratio pair (see the module docs).
+fn measure_pair(workload: Workload, threads: usize, smoke: bool) -> (BenchRow, BenchRow) {
+    let reps = if smoke { 1 } else { 5 };
+    let mut pairs: Vec<(BenchRow, BenchRow)> = (0..reps)
+        .map(|rep| {
+            let seed = 0xCC ^ (threads as u64) << 4 ^ (rep as u64) << 16;
+            let l = measure_once(CcMode::Locking, workload, threads, smoke, seed);
+            let o = measure_once(CcMode::Optimistic, workload, threads, smoke, seed);
+            (l, o)
+        })
+        .collect();
+    let ratio = |p: &(BenchRow, BenchRow)| p.1.commits_per_sec / p.0.commits_per_sec.max(1e-9);
+    pairs.sort_by(|x, y| ratio(x).total_cmp(&ratio(y)));
+    pairs.swap_remove(pairs.len() / 2)
+}
+
+/// Run the full sweep and assemble the report.
+pub fn run_bench(smoke: bool) -> BenchReport {
+    let thread_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 8] };
+    let max_threads = *thread_counts.last().unwrap();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for workload in [Workload::ReadHeavy, Workload::WriteHot] {
+        for &threads in thread_counts {
+            eprintln!("cc bench: {} x {threads} threads...", workload.label());
+            let (l, o) = measure_pair(workload, threads, smoke);
+            speedups.push(Speedup {
+                workload: workload.label().into(),
+                threads,
+                ratio: o.commits_per_sec / l.commits_per_sec.max(1e-9),
+            });
+            rows.push(l);
+            rows.push(o);
+        }
+    }
+    let headline = |label: &str, speedups: &[Speedup]| {
+        speedups
+            .iter()
+            .find(|s| s.workload == label && s.threads == max_threads)
+            .map(|s| s.ratio)
+            .unwrap_or(0.0)
+    };
+    let headline_read_heavy = headline(Workload::ReadHeavy.label(), &speedups);
+    let headline_write_hot = headline(Workload::WriteHot.label(), &speedups);
+    BenchReport {
+        schema: "rnt-bench/cc-mode/v1".into(),
+        smoke,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+        speedups,
+        headline_read_heavy,
+        headline_write_hot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_cell() {
+        let report = run_bench(true);
+        // 2 workloads x 2 thread counts x 2 modes.
+        assert_eq!(report.rows.len(), 8);
+        assert_eq!(report.speedups.len(), 4);
+        assert!(report.rows.iter().all(|r| r.txns > 0 && r.commits_per_sec > 0.0));
+        // Mode purity: each arm only ever pays its own conflict kind.
+        assert!(report.rows.iter().filter(|r| r.mode == "locking").all(|r| r.occ_conflicts == 0));
+        assert!(report
+            .rows
+            .iter()
+            .filter(|r| r.mode == "optimistic")
+            .all(|r| r.lock_conflicts == 0));
+        assert!(report.headline_read_heavy.is_finite() && report.headline_read_heavy > 0.0);
+        assert!(report.headline_write_hot.is_finite() && report.headline_write_hot > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("cc-mode"));
+    }
+}

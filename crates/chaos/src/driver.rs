@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnt_core::chaos::{AccessFault, Injector};
 use rnt_core::{
-    Db, DbConfig, DeadlockPolicy, Durability, ReadView, Snapshot, Txn, TxnError, TxnId,
+    CcMode, Db, DbConfig, DeadlockPolicy, Durability, ReadView, Snapshot, Txn, TxnError, TxnId,
 };
 use rnt_wal::faults::record_count;
 use rnt_wal::MemVfs;
@@ -72,6 +72,13 @@ pub struct ChaosConfig {
     /// run without the pipeline. The differential suite asserts exactly
     /// that.
     pub group_commit: bool,
+    /// Concurrency-control mode the database runs under. `Locking` is the
+    /// historical default (so pre-existing seed fingerprints stay
+    /// comparable); `Optimistic` runs the same seeded schedule against the
+    /// first-committer-wins validator — commit-time `Conflict` aborts
+    /// instead of lock conflicts. The cross-mode differential suite runs
+    /// every seed under both and compares the final committed states.
+    pub cc_mode: CcMode,
 }
 
 impl Default for ChaosConfig {
@@ -90,6 +97,7 @@ impl Default for ChaosConfig {
             wal: false,
             snapshots: false,
             group_commit: false,
+            cc_mode: CcMode::Locking,
         }
     }
 }
@@ -121,6 +129,13 @@ impl ChaosConfig {
     /// the group-commit pipeline (the differential suite's "on" side).
     pub fn seeded_wal_group(seed: u64) -> Self {
         ChaosConfig { group_commit: true, ..ChaosConfig::seeded_wal(seed) }
+    }
+
+    /// The same schedule under optimistic (first-committer-wins)
+    /// concurrency control — the cross-mode differential suite's other
+    /// side.
+    pub fn optimistic(self) -> Self {
+        ChaosConfig { cc_mode: CcMode::Optimistic, ..self }
     }
 
     /// The deadlock policy this seed runs under: both are non-blocking, so
@@ -182,6 +197,19 @@ pub struct ChaosReport {
     /// group-commit pipeline on must log the *same bytes* as one with it
     /// off, because singleton batches emit plain `Commit` records.
     pub wal_hash: u64,
+    /// FNV-1a over the final committed state (key/value pairs in key
+    /// order). Unlike [`fingerprint`] and [`wal_hash`] — which encode
+    /// record *ordering* and so legitimately differ across CC modes —
+    /// this hashes only what the run left behind, so a conflict-free seed
+    /// must produce the same value under `Locking` and `Optimistic`.
+    pub state_fingerprint: u64,
+    /// Lock-manager conflicts the run hit (zero in optimistic mode, where
+    /// transactions never contend on locks).
+    pub lock_conflicts: u64,
+    /// Optimistic validation failures at commit (zero in locking mode).
+    /// `lock_conflicts == 0 && occ_conflicts == 0` ⇔ the schedule was
+    /// conflict-free, which is when cross-mode state equality is owed.
+    pub occ_conflicts: u64,
     /// `Ok(())` iff every oracle check passed.
     pub verdict: Result<(), ChaosFailure>,
 }
@@ -651,6 +679,7 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
 pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     let db_config = DbConfig::builder()
         .policy(config.policy())
+        .cc_mode(config.cc_mode)
         .lock_timeout(Duration::ZERO)
         .audit(true)
         .durability(if config.wal { Durability::Wal } else { Durability::None })
@@ -752,6 +781,11 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
     }
 
     let stats = db.stats();
+    let mut state_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in committed_state(&db, config.keys) {
+        state_hash ^= fnv1a(format!("{k}={v};").as_bytes());
+        state_hash = state_hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
     ChaosReport {
         seed: config.seed,
         steps: step,
@@ -762,6 +796,9 @@ pub fn run_with_plan(config: &ChaosConfig, plan: &FaultPlan) -> ChaosReport {
         fingerprint: fingerprint(&db, &applied),
         wal_records,
         wal_hash,
+        state_fingerprint: state_hash,
+        lock_conflicts: stats.conflicts,
+        occ_conflicts: stats.occ_conflicts,
         verdict,
     }
 }

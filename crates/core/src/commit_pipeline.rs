@@ -24,7 +24,7 @@
 
 use crate::registry::TxnId;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Fallback re-check bound for a parked stager. Notifications (results
@@ -34,17 +34,23 @@ use std::time::{Duration, Instant};
 const STAGER_WAIT_SLICE: Duration = Duration::from_millis(2);
 
 /// One staged top-level commit, queued until a leader retires it.
-pub(crate) struct StagedCommit<K> {
+///
+/// `P` is the mode-specific payload: the locking engine stages the key
+/// set whose locks the commit holds; the optimistic engine stages its
+/// whole validation footprint (begin epoch, buffered writes, read set,
+/// buffered audit records) so the leader can validate and publish — or
+/// abort — each participant under one publish-gate acquisition.
+pub(crate) struct StagedCommit<P> {
     /// The committing transaction.
     pub txn: TxnId,
-    /// The keys whose locks it holds (its write/read footprint).
-    pub keys: HashSet<K>,
+    /// Mode-specific commit payload.
+    pub payload: P,
     /// Queue ticket, unique per staging.
     pub seq: u64,
 }
 
-struct PipelineState<K, R> {
-    queue: VecDeque<StagedCommit<K>>,
+struct PipelineState<P, R> {
+    queue: VecDeque<StagedCommit<P>>,
     results: HashMap<u64, R>,
     leader_active: bool,
     /// True only while the leader is parked inside its batch window.
@@ -57,14 +63,14 @@ struct PipelineState<K, R> {
 }
 
 /// The sequencer shared by all committing threads of one database.
-pub(crate) struct CommitPipeline<K, R> {
-    state: Mutex<PipelineState<K, R>>,
+pub(crate) struct CommitPipeline<P, R> {
+    state: Mutex<PipelineState<P, R>>,
     /// Wakes parked stagers (results posted / leadership released) and a
     /// leader waiting out `max_batch_wait` (new arrivals).
     cv: Condvar,
 }
 
-impl<K, R: Clone> CommitPipeline<K, R> {
+impl<P, R: Clone> CommitPipeline<P, R> {
     pub fn new() -> Self {
         CommitPipeline {
             state: Mutex::new(PipelineState {
@@ -88,16 +94,16 @@ impl<K, R: Clone> CommitPipeline<K, R> {
     pub fn stage(
         &self,
         txn: TxnId,
-        keys: HashSet<K>,
+        payload: P,
         max_batch: usize,
         max_batch_wait: Duration,
-        process: impl Fn(Vec<StagedCommit<K>>) -> Vec<(u64, R)>,
+        process: impl Fn(Vec<StagedCommit<P>>) -> Vec<(u64, R)>,
     ) -> R {
         let max_batch = max_batch.max(1);
         let mut state = self.state.lock();
         let seq = state.next_seq;
         state.next_seq += 1;
-        state.queue.push_back(StagedCommit { txn, keys, seq });
+        state.queue.push_back(StagedCommit { txn, payload, seq });
         // Wake a leader parked in its batch window only when this arrival
         // *fills* the batch — below that the leader sleeps to its deadline
         // regardless, and a notify per arrival would drag every parked
@@ -128,7 +134,7 @@ impl<K, R: Clone> CommitPipeline<K, R> {
                         state.leader_waiting = false;
                     }
                     let take = state.queue.len().min(max_batch);
-                    let batch: Vec<StagedCommit<K>> = state.queue.drain(..take).collect();
+                    let batch: Vec<StagedCommit<P>> = state.queue.drain(..take).collect();
                     debug_assert!(!batch.is_empty(), "leader with an empty queue");
                     drop(state);
                     let results = process(batch);
@@ -171,21 +177,21 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
-    fn retire_all(batch: Vec<StagedCommit<u64>>) -> Vec<(u64, Result<(), ()>)> {
+    fn retire_all(batch: Vec<StagedCommit<()>>) -> Vec<(u64, Result<(), ()>)> {
         batch.iter().map(|s| (s.seq, Ok(()))).collect()
     }
 
     #[test]
     fn solo_stager_leads_itself() {
-        let p: CommitPipeline<u64, Result<(), ()>> = CommitPipeline::new();
-        let out = p.stage(TxnId(1), HashSet::new(), 8, Duration::ZERO, retire_all);
+        let p: CommitPipeline<(), Result<(), ()>> = CommitPipeline::new();
+        let out = p.stage(TxnId(1), (), 8, Duration::ZERO, retire_all);
         assert_eq!(out, Ok(()));
         assert_eq!(p.queued(), 0);
     }
 
     #[test]
     fn many_threads_all_retire() {
-        let p: Arc<CommitPipeline<u64, Result<(), ()>>> = Arc::new(CommitPipeline::new());
+        let p: Arc<CommitPipeline<(), Result<(), ()>>> = Arc::new(CommitPipeline::new());
         let batches = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
         for t in 0..16u64 {
@@ -193,17 +199,12 @@ mod tests {
             let batches = batches.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..25 {
-                    let out = p.stage(
-                        TxnId(t * 100 + i),
-                        HashSet::new(),
-                        4,
-                        Duration::from_micros(50),
-                        |batch| {
+                    let out =
+                        p.stage(TxnId(t * 100 + i), (), 4, Duration::from_micros(50), |batch| {
                             batches.fetch_add(1, Ordering::Relaxed);
                             assert!(batch.len() <= 4, "batch over max_batch");
                             retire_all(batch)
-                        },
-                    );
+                        });
                     assert_eq!(out, Ok(()));
                 }
             }));
@@ -219,14 +220,14 @@ mod tests {
 
     #[test]
     fn results_reach_the_right_stager() {
-        let p: Arc<CommitPipeline<u64, Result<u64, ()>>> = Arc::new(CommitPipeline::new());
+        let p: Arc<CommitPipeline<(), Result<u64, ()>>> = Arc::new(CommitPipeline::new());
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let p = p.clone();
             handles.push(std::thread::spawn(move || {
                 // Result = the staging transaction's id: each stager must
                 // get its own back, never a batchmate's.
-                let out = p.stage(TxnId(t), HashSet::new(), 8, Duration::from_micros(200), |b| {
+                let out = p.stage(TxnId(t), (), 8, Duration::from_micros(200), |b| {
                     b.iter().map(|s| (s.seq, Ok(s.txn.0))).collect()
                 });
                 assert_eq!(out, Ok(t));
@@ -242,8 +243,8 @@ mod tests {
         // max_batch 64 but nobody else ever stages: with a zero window the
         // solo stager must retire immediately instead of waiting for 63
         // peers that will never come.
-        let p: CommitPipeline<u64, Result<(), ()>> = CommitPipeline::new();
-        let out = p.stage(TxnId(9), HashSet::new(), 64, Duration::ZERO, retire_all);
+        let p: CommitPipeline<(), Result<(), ()>> = CommitPipeline::new();
+        let out = p.stage(TxnId(9), (), 64, Duration::ZERO, retire_all);
         assert_eq!(out, Ok(()));
     }
 }

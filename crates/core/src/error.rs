@@ -27,6 +27,16 @@ pub enum TxnError {
     },
     /// Commit attempted while children are still active.
     ChildrenActive(u32),
+    /// Optimistic (first-committer-wins) validation failed: a key in the
+    /// transaction's read or write set gained a committed version after
+    /// the transaction pinned its begin snapshot. The transaction is
+    /// aborted; the caller should retry from a fresh snapshot.
+    Conflict {
+        /// The snapshot epoch the transaction pinned at begin.
+        begin_epoch: u64,
+        /// The newer committed epoch that invalidated the footprint.
+        committed_epoch: u64,
+    },
     /// The transaction already committed or aborted.
     NotActive,
     /// The write-ahead log failed; the commit's durability cannot be
@@ -47,6 +57,11 @@ impl std::fmt::Display for TxnError {
             TxnError::Timeout(d) => write!(f, "lock wait timed out after {d:?}"),
             TxnError::Die { blocker } => write!(f, "wait-die: must die (blocked by {blocker:?})"),
             TxnError::Deadlock { cycle } => write!(f, "deadlock detected: {cycle:?}"),
+            TxnError::Conflict { begin_epoch, committed_epoch } => write!(
+                f,
+                "first-committer-wins conflict: footprint key committed at epoch \
+                 {committed_epoch} after begin snapshot {begin_epoch}"
+            ),
             TxnError::ChildrenActive(n) => write!(f, "{n} children still active"),
             TxnError::NotActive => write!(f, "transaction not active"),
             TxnError::Wal { detail } => write!(f, "write-ahead log failure: {detail}"),
@@ -60,7 +75,13 @@ impl TxnError {
     /// True for errors a caller is expected to handle by aborting the
     /// transaction and retrying it afresh (contention outcomes).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, TxnError::Timeout(_) | TxnError::Die { .. } | TxnError::Deadlock { .. })
+        matches!(
+            self,
+            TxnError::Timeout(_)
+                | TxnError::Die { .. }
+                | TxnError::Deadlock { .. }
+                | TxnError::Conflict { .. }
+        )
     }
 }
 
@@ -73,6 +94,7 @@ mod tests {
         assert!(TxnError::Timeout(Duration::from_millis(1)).is_retryable());
         assert!(TxnError::Die { blocker: TxnId(0) }.is_retryable());
         assert!(TxnError::Deadlock { cycle: vec![] }.is_retryable());
+        assert!(TxnError::Conflict { begin_epoch: 3, committed_epoch: 5 }.is_retryable());
         assert!(!TxnError::Orphaned.is_retryable());
         assert!(!TxnError::UnknownKey.is_retryable());
         assert!(!TxnError::NotActive.is_retryable());
@@ -83,5 +105,7 @@ mod tests {
     fn display_forms() {
         assert_eq!(TxnError::UnknownKey.to_string(), "unknown key");
         assert!(TxnError::Die { blocker: TxnId(3) }.to_string().contains("TxnId(3)"));
+        let c = TxnError::Conflict { begin_epoch: 3, committed_epoch: 5 }.to_string();
+        assert!(c.contains("epoch 5") && c.contains("snapshot 3"), "{c}");
     }
 }

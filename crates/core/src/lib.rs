@@ -46,7 +46,7 @@ mod view;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
 pub use db::{
-    Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Snapshot, Txn, WakeupMode,
+    CcMode, Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Snapshot, Txn, WakeupMode,
 };
 pub use deadlock::WaitForGraph;
 pub use error::TxnError;

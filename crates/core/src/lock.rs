@@ -61,6 +61,19 @@ impl<V: Clone> LockState<V> {
         &self.base
     }
 
+    /// Publish a validated optimistic commit's value directly to base.
+    ///
+    /// Optimistic transactions never enter the lock table — their writes
+    /// live in a private buffer until first-committer-wins validation
+    /// passes under the publish gate — so at publication time the object
+    /// has no holders to inherit through: the committed value simply
+    /// replaces base, exactly as a top-level `commit_to_parent` would
+    /// have done had the write gone through a lock.
+    pub fn publish_base(&mut self, value: V) {
+        debug_assert!(self.writes.is_empty(), "optimistic publication under live lock holders");
+        self.base = value;
+    }
+
     /// Current write-lock holders, outermost first.
     pub fn write_holders(&self) -> impl Iterator<Item = TxnId> + '_ {
         self.writes.iter().map(|(t, _)| *t)

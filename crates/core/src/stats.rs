@@ -59,6 +59,14 @@ pub struct Stats {
     /// acquisition). `commits_batched / commit_batches` is the achieved
     /// amortization factor.
     pub commit_batches: AtomicU64,
+    /// Optimistic (first-committer-wins) validation failures at commit:
+    /// a footprint key had a committed version newer than the begin
+    /// snapshot, so the transaction aborted with [`Conflict`] instead of
+    /// publishing. The optimistic counterpart of `conflicts` (which
+    /// counts lock-manager conflicts and stays zero in optimistic mode).
+    ///
+    /// [`Conflict`]: crate::TxnError::Conflict
+    pub occ_conflicts: AtomicU64,
 }
 
 /// A plain snapshot of [`Stats`].
@@ -110,6 +118,9 @@ pub struct StatsSnapshot {
     pub commits_batched: u64,
     /// Group-commit batches retired.
     pub commit_batches: u64,
+    /// Optimistic validation failures at commit (first-committer-wins
+    /// losers, each surfaced as a retryable `Conflict`).
+    pub occ_conflicts: u64,
     /// Committed versions ever appended to the MVCC chains (top-level
     /// commit publications plus seeds).
     pub versions_created: u64,
@@ -147,6 +158,7 @@ impl Stats {
             commits_staged: self.commits_staged.load(Ordering::Relaxed),
             commits_batched: self.commits_batched.load(Ordering::Relaxed),
             commit_batches: self.commit_batches.load(Ordering::Relaxed),
+            occ_conflicts: self.occ_conflicts.load(Ordering::Relaxed),
             // Filled in by `Db::stats` from the MVCC store's own counters;
             // a bare `Stats` has no version chains to report on.
             versions_created: 0,

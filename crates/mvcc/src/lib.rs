@@ -38,4 +38,6 @@
 
 mod store;
 
-pub use store::{MvccCounters, MvccStore, PinError, Publish, PublishBatch, GENESIS_EPOCH};
+pub use store::{
+    MvccCounters, MvccStore, PinError, Publish, PublishBatch, PublishGate, GENESIS_EPOCH,
+};

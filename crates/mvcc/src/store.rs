@@ -3,7 +3,7 @@
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::hash::{BuildHasher, Hash, RandomState};
 use std::ops::RangeBounds;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +19,12 @@ pub const GENESIS_EPOCH: u64 = 0;
 /// ascending epoch order. The last entry is the current committed value.
 type Chain<V> = Vec<(u64, V)>;
 
+/// Staleness bound for the amortized pin-release sweep: while other pins
+/// are live, at most this many unpins may pass before a sweep runs anyway
+/// (see [`MvccStore::unpin`]). Quiescence — the pin table draining —
+/// always sweeps immediately.
+const SWEEP_EVERY: u64 = 64;
+
 /// One shard of the store: keys → version chains, plus the shard's slice
 /// of the ordered key index, under a single lock.
 ///
@@ -32,9 +38,24 @@ type Chain<V> = Vec<(u64, V)>;
 struct ShardState<K, V> {
     chains: HashMap<K, Chain<V>>,
     index: BTreeSet<K>,
+    /// Keys whose chains currently hold more than one version — the only
+    /// chains a pin-release sweep could reclaim from. Appends maintain
+    /// the set (a chain enters when an append leaves it long, leaves when
+    /// a prune collapses it), so [`MvccStore::unpin`]'s sweep visits the
+    /// handful of pinned-down chains instead of walking the whole
+    /// keyspace — which would make every snapshot drop and every
+    /// optimistic commit O(total keys).
+    dirty: HashSet<K>,
 }
 
-type Shard<K, V> = RwLock<ShardState<K, V>>;
+/// One shard: its chain state under a reader-writer lock, plus a gauge of
+/// its dirty-chain count readable *without* the lock — the pin-release
+/// sweep consults the gauge to skip clean shards entirely, so a sweep's
+/// cost scales with the number of dirty shards, not the shard count.
+struct Shard<K, V> {
+    state: RwLock<ShardState<K, V>>,
+    dirty: AtomicU64,
+}
 
 /// Monotonic counters the store maintains (see [`MvccStore::counters`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -128,6 +149,12 @@ pub struct MvccStore<K, V> {
     oldest_retained: AtomicU64,
     /// Per-chain version budget; 0 = unbounded.
     max_versions: usize,
+    /// Unpins since the last non-quiescent sweep (see [`MvccStore::unpin`]).
+    unswept: AtomicU64,
+    /// Store-wide count of dirty chains (chains longer than one version),
+    /// mirroring the per-shard `dirty` sets. Lets a sweep with nothing to
+    /// do return on one atomic load instead of write-locking every shard.
+    dirty_count: AtomicU64,
     created: AtomicU64,
     reclaimed: AtomicU64,
 }
@@ -215,6 +242,53 @@ impl Drop for PublishBatch<'_> {
     }
 }
 
+/// The publish critical section held *without* an epoch allocated yet,
+/// returned by [`MvccStore::begin_publish_gate`]. Optimistic commit
+/// validation runs under the gate: the lock excludes concurrent
+/// publications *and* new pins, so the chain heads it observes are final
+/// for the duration. On validation success the gate converts into a
+/// [`Publish`] (or [`PublishBatch`]) ticket, allocating epochs; on
+/// failure it is simply dropped, releasing the lock **without advancing
+/// the watermark** — an aborted validation leaves no epoch gap.
+pub struct PublishGate<'a> {
+    watermark: &'a AtomicU64,
+    guard: MutexGuard<'a, ()>,
+}
+
+impl<'a> PublishGate<'a> {
+    /// The epoch the next publication through this gate would receive.
+    pub fn next_epoch(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire) + 1
+    }
+
+    /// Convert the gate into a single-commit publication ticket,
+    /// allocating the next epoch. The lock is retained throughout.
+    pub fn into_publish(self) -> Publish<'a> {
+        let epoch = self.next_epoch();
+        Publish { watermark: self.watermark, _guard: self.guard, epoch }
+    }
+
+    /// Convert the gate into a batch publication ticket for `n` commits,
+    /// allocating the contiguous epoch run `watermark+1 ..= watermark+n`.
+    /// The lock is retained throughout.
+    ///
+    /// # Panics
+    /// If `n == 0` — an empty batch has no epochs to allocate.
+    pub fn into_batch(self, n: usize) -> PublishBatch<'a> {
+        assert!(n > 0, "empty publish batch");
+        let base = self.watermark.load(Ordering::Acquire);
+        PublishBatch { watermark: self.watermark, _guard: self.guard, base, len: n as u64 }
+    }
+}
+
+impl std::fmt::Debug for PublishGate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishGate")
+            .field("next_epoch", &self.next_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Drop every superseded version whose successor is ≤ `min_pin`.
 /// Successor epochs ascend along the chain, so the droppable set is a
 /// prefix. Returns how many versions were dropped.
@@ -294,7 +368,14 @@ where
     pub fn with_budget(shards: usize, max_versions: usize) -> Self {
         MvccStore {
             shards: (0..shards.max(1))
-                .map(|_| RwLock::new(ShardState { chains: HashMap::new(), index: BTreeSet::new() }))
+                .map(|_| Shard {
+                    state: RwLock::new(ShardState {
+                        chains: HashMap::new(),
+                        index: BTreeSet::new(),
+                        dirty: HashSet::new(),
+                    }),
+                    dirty: AtomicU64::new(0),
+                })
                 .collect(),
             hasher: RandomState::new(),
             watermark: AtomicU64::new(GENESIS_EPOCH),
@@ -303,6 +384,8 @@ where
             min_pin: AtomicU64::new(u64::MAX),
             oldest_retained: AtomicU64::new(GENESIS_EPOCH),
             max_versions,
+            unswept: AtomicU64::new(0),
+            dirty_count: AtomicU64::new(0),
             created: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
         }
@@ -337,6 +420,15 @@ where
         PublishBatch { watermark: &self.watermark, _guard: guard, base, len: n as u64 }
     }
 
+    /// Enter the publish critical section *without* allocating an epoch.
+    /// Optimistic commits validate their footprints against chain heads
+    /// under the gate, then convert it ([`PublishGate::into_publish`] /
+    /// [`PublishGate::into_batch`]) only if validation succeeds; dropping
+    /// an unconverted gate releases the lock with the watermark untouched.
+    pub fn begin_publish_gate(&self) -> PublishGate<'_> {
+        PublishGate { watermark: &self.watermark, guard: self.publish.lock() }
+    }
+
     /// Append a version to `key`'s chain, entering the key into the
     /// ordered index on first contact. `epoch` must be strictly above the
     /// chain's last (per-key publications are serialized by the lock
@@ -344,11 +436,13 @@ where
     /// append just made droppable, and enforces the per-chain version
     /// budget if one is set.
     pub fn append(&self, key: &K, epoch: u64, value: V) {
-        let mut shard = self.shards[self.shard_of(key)].write();
-        if !shard.chains.contains_key(key) {
-            shard.index.insert(key.clone());
+        let shard = &self.shards[self.shard_of(key)];
+        let mut guard = shard.state.write();
+        let state = &mut *guard;
+        if !state.chains.contains_key(key) {
+            state.index.insert(key.clone());
         }
-        let chain = shard.chains.entry(key.clone()).or_default();
+        let chain = state.chains.entry(key.clone()).or_default();
         debug_assert!(chain.last().is_none_or(|&(e, _)| e < epoch), "chain epochs must ascend");
         chain.push((epoch, value));
         self.created.fetch_add(1, Ordering::Relaxed);
@@ -372,6 +466,19 @@ where
             self.oldest_retained.fetch_max(chain[cut].0, Ordering::AcqRel);
             chain.drain(..cut);
             dropped += cut as u64;
+        }
+        // Dirty-set upkeep: a live pin just kept superseded versions
+        // alive on this chain — remember it so the pin-release sweep can
+        // find it without walking every chain in the store. Both gauges
+        // (per-shard and store-wide) move under the shard's write lock.
+        if chain.len() > 1 {
+            if state.dirty.insert(key.clone()) {
+                shard.dirty.fetch_add(1, Ordering::Release);
+                self.dirty_count.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if state.dirty.remove(key) {
+            shard.dirty.fetch_sub(1, Ordering::Release);
+            self.dirty_count.fetch_sub(1, Ordering::Relaxed);
         }
         self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
     }
@@ -463,17 +570,57 @@ where
         // makes pin-accounting and its sweep one atomic step; new pins
         // wait, and everything they need survives a prune at `min`
         // (prune keeps the newest version ≤ `min` and all later ones).
-        self.sweep(min);
+        //
+        // Sweeping is amortized: while other pins are live, most unpins
+        // skip it (appends already prune their own chains eagerly, so
+        // only written-then-idle chains wait on a sweep). Skipping is
+        // always safe — it only delays reclamation, never drops more —
+        // and two events force a real sweep: the pin table draining
+        // (quiescence: chains must collapse the moment the last snapshot
+        // lets go) and a staleness bound of [`SWEEP_EVERY`] unpins, so a
+        // busy store still reclaims promptly. Without this, every
+        // snapshot drop and every optimistic commit serializes behind a
+        // store-wide shard-lock walk under the pin-table lock.
+        let backlog = self.unswept.fetch_add(1, Ordering::Relaxed) + 1;
+        if pins.is_empty() || backlog >= SWEEP_EVERY {
+            self.unswept.store(0, Ordering::Relaxed);
+            self.sweep(min);
+        }
         drop(pins);
     }
 
     /// Drop every version reclaimable under `min_pin`, store-wide.
+    ///
+    /// Only chains in a shard's dirty set can hold a reclaimable version
+    /// (append prunes eagerly, so a chain is long only when some pin held
+    /// its old versions back), so the sweep visits exactly those — O(live
+    /// multi-version chains), not O(keyspace). Chains still long after
+    /// the prune (an older pin persists) stay in the set.
     fn sweep(&self, min_pin: u64) {
+        if self.dirty_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
         let mut dropped = 0;
         for shard in self.shards.iter() {
-            let mut shard = shard.write();
-            for chain in shard.chains.values_mut() {
+            // The gauge is read without the lock: a clean shard costs one
+            // load. (A racing append can dirty it right after — that key
+            // waits for the next sweep, like any key written mid-sweep.)
+            if shard.dirty.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let mut guard = shard.state.write();
+            let state = &mut *guard;
+            let before = state.dirty.len() as u64;
+            let chains = &mut state.chains;
+            state.dirty.retain(|key| {
+                let Some(chain) = chains.get_mut(key) else { return false };
                 dropped += prune(chain, min_pin);
+                chain.len() > 1
+            });
+            let cleaned = before - state.dirty.len() as u64;
+            if cleaned > 0 {
+                shard.dirty.fetch_sub(cleaned, Ordering::Release);
+                self.dirty_count.fetch_sub(cleaned, Ordering::Release);
             }
         }
         self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
@@ -483,7 +630,7 @@ where
     /// are short (reclamation keeps only pinned spans), so this is a
     /// reverse linear scan under the shard's read lock.
     pub fn read_at(&self, key: &K, epoch: u64) -> Option<V> {
-        let shard = self.shards[self.shard_of(key)].read();
+        let shard = self.shards[self.shard_of(key)].state.read();
         let chain = shard.chains.get(key)?;
         chain.iter().rev().find(|&&(e, _)| e <= epoch).map(|(_, v)| v.clone())
     }
@@ -509,7 +656,7 @@ where
         let mut runs: Vec<std::iter::Peekable<std::vec::IntoIter<(K, V)>>> =
             Vec::with_capacity(self.shards.len());
         for shard in self.shards.iter() {
-            let state = shard.read();
+            let state = shard.state.read();
             let mut run = Vec::new();
             for key in state.index.range((bounds.start_bound(), bounds.end_bound())) {
                 let Some(chain) = state.chains.get(key) else { continue };
@@ -532,7 +679,7 @@ where
         let mut runs: Vec<std::iter::Peekable<std::vec::IntoIter<(K, ())>>> =
             Vec::with_capacity(self.shards.len());
         for shard in self.shards.iter() {
-            let state = shard.read();
+            let state = shard.state.read();
             let run: Vec<(K, ())> = state
                 .index
                 .range((bounds.start_bound(), bounds.end_bound()))
@@ -545,13 +692,13 @@ where
 
     /// The epoch of `key`'s newest version (`None` for unknown keys).
     pub fn last_epoch(&self, key: &K) -> Option<u64> {
-        let shard = self.shards[self.shard_of(key)].read();
+        let shard = self.shards[self.shard_of(key)].state.read();
         shard.chains.get(key).and_then(|c| c.last()).map(|&(e, _)| e)
     }
 
     /// `key`'s full committed version chain, oldest first.
     pub fn chain(&self, key: &K) -> Vec<(u64, V)> {
-        let shard = self.shards[self.shard_of(key)].read();
+        let shard = self.shards[self.shard_of(key)].state.read();
         shard.chains.get(key).cloned().unwrap_or_default()
     }
 
@@ -559,7 +706,7 @@ where
     pub fn chains(&self) -> Vec<(K, Vec<(u64, V)>)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let shard = shard.read();
+            let shard = shard.state.read();
             out.extend(shard.chains.iter().map(|(k, c)| (k.clone(), c.clone())));
         }
         out
@@ -570,7 +717,7 @@ where
     pub fn total_versions(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read().chains.values().map(|c| c.len() as u64).sum::<u64>())
+            .map(|s| s.state.read().chains.values().map(|c| c.len() as u64).sum::<u64>())
             .sum()
     }
 }
@@ -624,6 +771,49 @@ mod tests {
         assert_eq!(s.read_at(&1, s.watermark()), Some(30));
         assert_eq!(s.read_at(&2, pin), None);
         s.unpin(pin);
+    }
+
+    #[test]
+    fn dropped_gate_leaves_the_watermark_untouched() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        commit(&s, 1, 1);
+        {
+            let gate = s.begin_publish_gate();
+            assert_eq!(gate.next_epoch(), 2);
+            // Validation failed: drop without converting.
+        }
+        assert_eq!(s.watermark(), 1, "no epoch allocated by an abandoned gate");
+        // The lock was released: the next publication proceeds and gets
+        // the epoch the gate previewed.
+        assert_eq!(commit(&s, 1, 2), 2);
+    }
+
+    #[test]
+    fn gate_converts_into_single_publication() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let gate = s.begin_publish_gate();
+        let publish = gate.into_publish();
+        assert_eq!(publish.epoch(), 1);
+        s.append(&1, publish.epoch(), 10);
+        drop(publish);
+        assert_eq!(s.watermark(), 1);
+        assert_eq!(s.read_at(&1, 1), Some(10));
+    }
+
+    #[test]
+    fn gate_converts_into_batch_publication() {
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        commit(&s, 1, 1); // watermark -> 1
+        let gate = s.begin_publish_gate();
+        let batch = gate.into_batch(2);
+        assert_eq!((batch.first_epoch(), batch.last_epoch()), (2, 3));
+        s.append(&1, batch.epoch_of(0), 20);
+        s.append(&1, batch.epoch_of(1), 30);
+        drop(batch);
+        assert_eq!(s.watermark(), 3, "whole run published at once");
     }
 
     #[test]
