@@ -1,0 +1,52 @@
+//! Hot-path scaling benchmark: legacy vs scaled internals.
+//!
+//! Usage: `hotpath_bench [--smoke] [--out PATH]`
+//!
+//! Runs the pre-scaling internals (`HotPath::Legacy`: single-map
+//! registry, shared stats block, fully locked pins) against the scaled
+//! internals (`HotPath::Scaled`: sharded registry, striped stats,
+//! lock-free pin ring) over read-heavy, write-heavy and snapshot-churn
+//! workloads at several thread counts, then writes the JSON report
+//! (default `BENCH_hotpath.json`). Arms are paired on the same seeds
+//! per rep; each row carries throughput plus p50/p99 operation latency.
+//! `--smoke` runs a reduced grid for CI; the committed baseline is
+//! produced by a full run.
+
+use rnt_bench::hotpath_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| workload | arm | threads | ops/s | p50 us | p99 us |");
+    println!("|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {} | {:.0} | {:.1} | {:.1} |",
+            r.workload, r.arm, r.threads, r.commits_per_sec, r.p50_us, r.p99_us
+        );
+    }
+    println!();
+    for s in &report.speedups {
+        println!(
+            "scaled/legacy throughput on {} at {} threads: {:.2}x",
+            s.workload, s.threads, s.ratio
+        );
+    }
+    println!(
+        "single-thread geomean {:.2}x, read-heavy@1t {:.2}x, worst cell {:.2}x",
+        report.geomean_single_thread, report.headline_read_heavy_1t, report.worst_ratio
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.rows.len());
+}

@@ -1,0 +1,340 @@
+//! Hot-path scaling benchmark: the pre-scaling internals
+//! ([`HotPath::Legacy`] — one registry map under one lock, one shared
+//! stats block, a fully locked pin table) against the scaled internals
+//! ([`HotPath::Scaled`] — sharded registry, striped stats, lock-free
+//! pins) on the same workloads, same seeds, same binary.
+//!
+//! Three workloads isolate the bottlenecks the scaling pass removed:
+//!
+//! * **read-heavy** — the cc-bench read-mostly mix (8 uniform reads,
+//!   1-in-8 transactions carrying one rmw) under locking. Dominated by
+//!   registry lookups, stats bumps, and per-access bookkeeping.
+//! * **write-heavy** — short all-rmw Zipf transactions under locking:
+//!   the conflict/abort machinery plus WAL-less commit bookkeeping.
+//! * **snapshot-churn** — open a snapshot, read 8 keys, drop it, with
+//!   1-in-8 iterations committing a small write so the watermark moves.
+//!   Dominated by pin/unpin, the exact path the lock-free ring serves.
+//!
+//! Arms are paired per rep (legacy then scaled, identical seeds,
+//! back-to-back so host-load drift cancels) and the pair with the median
+//! scaled/legacy throughput ratio is reported — the same protocol as the
+//! cc and snapshot benchmarks. Unlike those, every row also carries
+//! p50/p99 operation latency: the trajectory's first latency numbers,
+//! the seed for the ROADMAP's open-loop serving direction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnt_core::{CcMode, Db, DbConfig, DeadlockPolicy, HotPath};
+use rnt_sim::engine::ZipfSampler;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wide key space for the low-contention workloads.
+const UNIFORM_KEYS: u64 = 4096;
+/// Narrow key space for the hot-key workload.
+const HOT_KEYS: u64 = 128;
+/// Zipf exponent for the hot-key workload.
+const ZIPF_S: f64 = 1.1;
+/// Per-retry-batch bound handed to `run_with_retries`.
+const RETRY_BATCH: u32 = 256;
+/// 1 in this many read-heavy transactions (and snapshot-churn
+/// iterations) carries a write.
+const WRITE_1_IN: u64 = 8;
+
+/// The three workload shapes (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// 8 uniform reads, 1-in-[`WRITE_1_IN`] with a trailing rmw.
+    ReadHeavy,
+    /// 4 Zipf-skewed rmws over [`HOT_KEYS`].
+    WriteHeavy,
+    /// Snapshot open + 8 reads + drop; 1-in-[`WRITE_1_IN`] iterations
+    /// also commit a 1-rmw transaction to advance the watermark.
+    SnapshotChurn,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::ReadHeavy => "read-heavy",
+            Workload::WriteHeavy => "write-heavy",
+            Workload::SnapshotChurn => "snapshot-churn",
+        }
+    }
+
+    fn keys(self) -> u64 {
+        match self {
+            Workload::WriteHeavy => HOT_KEYS,
+            _ => UNIFORM_KEYS,
+        }
+    }
+}
+
+fn arm_label(arm: HotPath) -> &'static str {
+    match arm {
+        HotPath::Legacy => "legacy",
+        HotPath::Scaled => "scaled",
+    }
+}
+
+/// One measured cell of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRow {
+    /// Workload label: "read-heavy", "write-heavy" or "snapshot-churn".
+    pub workload: String,
+    /// Internals arm: "legacy" or "scaled".
+    pub arm: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Completed operations (committed transactions, or snapshots for
+    /// the churn workload) — the fixed per-run quota.
+    pub txns: u64,
+    /// Operations per second (the headline quantity).
+    pub commits_per_sec: f64,
+    /// Median operation latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile operation latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// Scaled/legacy throughput ratio for one (workload, threads) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Speedup {
+    /// Workload label.
+    pub workload: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// scaled ops/s divided by legacy ops/s: > 1 means the scaling pass
+    /// pays for itself on the cell.
+    pub ratio: f64,
+}
+
+/// The full benchmark report serialized to `BENCH_hotpath.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Report format marker.
+    pub schema: String,
+    /// `true` when produced by the reduced `--smoke` grid.
+    pub smoke: bool,
+    /// Host core count (context for absolute numbers).
+    pub host_cores: usize,
+    /// Every measured cell.
+    pub rows: Vec<BenchRow>,
+    /// Per-cell scaled/legacy ratios.
+    pub speedups: Vec<Speedup>,
+    /// Geometric mean of the single-thread ratios across workloads —
+    /// the serial-overhead verdict (parallel wins don't inflate it).
+    pub geomean_single_thread: f64,
+    /// The single-thread read-heavy ratio (the acceptance headline).
+    pub headline_read_heavy_1t: f64,
+    /// The worst ratio on the grid — anything below 0.95 means some
+    /// workload regressed past the noise allowance.
+    pub worst_ratio: f64,
+}
+
+fn db_for(arm: HotPath, workload: Workload, threads: usize) -> Db<u64, i64> {
+    // NoWait + retry mirrors cc_exp's locking arm, keeping the two
+    // benchmarks' absolute numbers comparable.
+    let config = DbConfig::builder()
+        .cc_mode(CcMode::Locking)
+        .policy(DeadlockPolicy::NoWait)
+        .shards(threads.max(1))
+        .hot_path(arm)
+        .build();
+    let db = Db::with_config(config);
+    for k in 0..workload.keys() {
+        db.insert(k, k as i64);
+    }
+    db
+}
+
+/// Run one worker's quota, recording one latency sample (nanoseconds)
+/// per completed operation, retries included.
+fn run_quota(db: &Db<u64, i64>, workload: Workload, quota: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(HOT_KEYS, ZIPF_S);
+    let mut latencies = Vec::with_capacity(quota);
+    for i in 0..quota {
+        let op_start = Instant::now();
+        loop {
+            let done = match workload {
+                Workload::ReadHeavy => {
+                    let keys: Vec<u64> = (0..8).map(|_| rng.gen_range(0..UNIFORM_KEYS)).collect();
+                    let writes = rng.gen_range(0..WRITE_1_IN) == 0;
+                    db.run_with_retries(RETRY_BATCH, |t| {
+                        let mut s = 0i64;
+                        for key in &keys[..7] {
+                            s += t.read(key)?;
+                        }
+                        if writes {
+                            t.rmw(&keys[7], move |v| v + (s & 1))?;
+                        } else {
+                            s += t.read(&keys[7])?;
+                            std::hint::black_box(s);
+                        }
+                        Ok(())
+                    })
+                }
+                Workload::WriteHeavy => {
+                    let keys: Vec<u64> = (0..4).map(|_| zipf.sample(&mut rng)).collect();
+                    db.run_with_retries(RETRY_BATCH, |t| {
+                        for key in &keys {
+                            t.rmw(key, |v| v + 1)?;
+                        }
+                        Ok(())
+                    })
+                }
+                Workload::SnapshotChurn => {
+                    let keys: Vec<u64> = (0..8).map(|_| rng.gen_range(0..UNIFORM_KEYS)).collect();
+                    let snap = db.snapshot();
+                    let mut s = 0i64;
+                    for key in &keys {
+                        s += snap.read(key).unwrap_or(0);
+                    }
+                    std::hint::black_box(s);
+                    drop(snap);
+                    if (i as u64).is_multiple_of(WRITE_1_IN) {
+                        let key = keys[0];
+                        db.run_with_retries(RETRY_BATCH, |t| {
+                            t.rmw(&key, |v| v + 1)?;
+                            Ok(())
+                        })
+                    } else {
+                        Ok(())
+                    }
+                }
+            };
+            if done.is_ok() {
+                break;
+            }
+        }
+        latencies.push(op_start.elapsed().as_nanos() as u64);
+    }
+    latencies
+}
+
+fn percentile_us(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[idx] as f64 / 1000.0
+}
+
+/// Run one cell: `threads` workers each completing a fixed quota;
+/// throughput is quota-over-wall-clock, latency the merged per-op
+/// distribution.
+fn measure_once(
+    arm: HotPath,
+    workload: Workload,
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> BenchRow {
+    let quota: usize = if smoke { 300 } else { 3000 };
+    let db = Arc::new(db_for(arm, workload, threads));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|w| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                run_quota(&db, workload, quota, seed ^ ((w as u64 + 1) << 8))
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(threads * quota);
+    for h in handles {
+        latencies.extend(h.join().expect("worker"));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    let txns = (threads * quota) as u64;
+    BenchRow {
+        workload: workload.label().into(),
+        arm: arm_label(arm).into(),
+        threads,
+        txns,
+        commits_per_sec: txns as f64 / secs,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+/// Measure one (workload, threads) cell as a paired legacy/scaled
+/// comparison and report the median-ratio pair (see the module docs).
+fn measure_pair(workload: Workload, threads: usize, smoke: bool) -> (BenchRow, BenchRow) {
+    let reps = if smoke { 1 } else { 5 };
+    let mut pairs: Vec<(BenchRow, BenchRow)> = (0..reps)
+        .map(|rep| {
+            let seed = 0x407 ^ (threads as u64) << 4 ^ (rep as u64) << 16;
+            let l = measure_once(HotPath::Legacy, workload, threads, smoke, seed);
+            let s = measure_once(HotPath::Scaled, workload, threads, smoke, seed);
+            (l, s)
+        })
+        .collect();
+    let ratio = |p: &(BenchRow, BenchRow)| p.1.commits_per_sec / p.0.commits_per_sec.max(1e-9);
+    pairs.sort_by(|x, y| ratio(x).total_cmp(&ratio(y)));
+    pairs.swap_remove(pairs.len() / 2)
+}
+
+/// Run the full sweep and assemble the report.
+pub fn run_bench(smoke: bool) -> BenchReport {
+    let thread_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 4, 8] };
+    let workloads = [Workload::ReadHeavy, Workload::WriteHeavy, Workload::SnapshotChurn];
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for workload in workloads {
+        for &threads in thread_counts {
+            eprintln!("hotpath bench: {} x {threads} threads...", workload.label());
+            let (l, s) = measure_pair(workload, threads, smoke);
+            speedups.push(Speedup {
+                workload: workload.label().into(),
+                threads,
+                ratio: s.commits_per_sec / l.commits_per_sec.max(1e-9),
+            });
+            rows.push(l);
+            rows.push(s);
+        }
+    }
+    let single: Vec<f64> =
+        speedups.iter().filter(|s| s.threads == 1).map(|s| s.ratio.max(1e-9)).collect();
+    let geomean_single_thread =
+        (single.iter().map(|r| r.ln()).sum::<f64>() / single.len().max(1) as f64).exp();
+    let headline_read_heavy_1t = speedups
+        .iter()
+        .find(|s| s.workload == Workload::ReadHeavy.label() && s.threads == 1)
+        .map(|s| s.ratio)
+        .unwrap_or(0.0);
+    let worst_ratio = speedups.iter().map(|s| s.ratio).fold(f64::INFINITY, f64::min);
+    BenchReport {
+        schema: "rnt-bench/hotpath/v1".into(),
+        smoke,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        rows,
+        speedups,
+        geomean_single_thread,
+        headline_read_heavy_1t,
+        worst_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_every_cell() {
+        let report = run_bench(true);
+        // 3 workloads x 2 thread counts x 2 arms.
+        assert_eq!(report.rows.len(), 12);
+        assert_eq!(report.speedups.len(), 6);
+        assert!(report.rows.iter().all(|r| r.txns > 0 && r.commits_per_sec > 0.0));
+        // Latency percentiles are populated and ordered on every row.
+        assert!(report.rows.iter().all(|r| r.p50_us > 0.0 && r.p99_us >= r.p50_us));
+        assert!(report.geomean_single_thread.is_finite() && report.geomean_single_thread > 0.0);
+        assert!(report.worst_ratio.is_finite() && report.worst_ratio > 0.0);
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        assert!(json.contains("hotpath"));
+    }
+}

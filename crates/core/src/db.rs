@@ -120,6 +120,23 @@ pub enum CcMode {
     Optimistic,
 }
 
+/// Which generation of hot-path internals the engine runs on.
+///
+/// Both generations implement identical semantics — the toggle exists so
+/// the hot-path benchmark can run paired same-seed arms against the same
+/// binary and attribute speedups to the internals alone. Nothing else
+/// should select [`HotPath::Legacy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HotPath {
+    /// The scaled internals: sharded transaction registry, striped
+    /// statistics counters, and lock-free snapshot pins. The default.
+    #[default]
+    Scaled,
+    /// The pre-scaling internals: one registry map under one lock, one
+    /// shared stats block, a fully locked pin table.
+    Legacy,
+}
+
 /// Engine configuration. Construct via [`DbConfig::builder`] (or start
 /// from [`DbConfig::default`] and adjust fields); the struct is
 /// `#[non_exhaustive]` so new knobs can be added without breaking callers.
@@ -178,6 +195,9 @@ pub struct DbConfig {
     /// [`CcMode`]). Mode is a per-database decision: every transaction of
     /// one [`Db`] runs under the same discipline.
     pub cc_mode: CcMode,
+    /// Which generation of hot-path internals to run on (see [`HotPath`]).
+    /// Benchmark plumbing; leave at the default.
+    pub hot_path: HotPath,
 }
 
 impl Default for DbConfig {
@@ -196,6 +216,7 @@ impl Default for DbConfig {
             max_batch_wait: Duration::ZERO,
             max_versions_per_key: 0,
             cc_mode: CcMode::Locking,
+            hot_path: HotPath::Scaled,
         }
     }
 }
@@ -306,6 +327,13 @@ impl DbConfigBuilder {
         self
     }
 
+    /// Which generation of hot-path internals to run on (benchmark
+    /// plumbing; see [`HotPath`]).
+    pub fn hot_path(mut self, hot_path: HotPath) -> Self {
+        self.config.hot_path = hot_path;
+        self
+    }
+
     /// Finish, yielding the configuration.
     pub fn build(self) -> DbConfig {
         self.config
@@ -394,6 +422,25 @@ impl<K: Eq + Hash + Ord + Clone, V: Clone> OptCtx<K, V> {
             return Some(v.clone());
         }
         self.parent.as_ref().and_then(|p| p.buffered(key))
+    }
+
+    /// Enter `key` into the read set, cloning only on first contact.
+    fn track_read(&self, key: &K) {
+        let mut reads = self.reads.lock();
+        if !reads.contains(key) {
+            reads.insert(key.clone());
+        }
+    }
+
+    /// Buffer a written value, cloning the key only on first write.
+    fn track_write(&self, key: &K, value: V) {
+        let mut writes = self.writes.lock();
+        match writes.get_mut(key) {
+            Some(slot) => *slot = value,
+            None => {
+                writes.insert(key.clone(), value);
+            }
+        }
     }
 }
 
@@ -533,12 +580,13 @@ where
         let audit = config
             .audit
             .then(|| AuditState { log: AuditLog::new(), keymap: Mutex::new(HashMap::new()) });
+        let scaled = config.hot_path == HotPath::Scaled;
         Db {
             inner: Arc::new(DbInner {
-                registry: Registry::new(),
+                registry: if scaled { Registry::new() } else { Registry::legacy() },
                 shards,
                 hasher: RandomState::new(),
-                stats: Stats::default(),
+                stats: if scaled { Stats::default() } else { Stats::striped(1) },
                 wfg: WaitForGraph::new(),
                 config,
                 audit,
@@ -546,7 +594,7 @@ where
                 run_seq: AtomicU64::new(0),
                 wal: std::sync::OnceLock::new(),
                 ckpt: RwLock::new(()),
-                mvcc: MvccStore::with_budget(config_shards, max_versions),
+                mvcc: MvccStore::with_opts(config_shards, max_versions, scaled),
                 pipeline: CommitPipeline::new(),
                 #[cfg(feature = "chaos-hooks")]
                 injector: parking_lot::RwLock::new(None),
@@ -565,9 +613,11 @@ where
         }
         if let Some(audit) = &inner.audit {
             let mut keymap = audit.keymap.lock();
-            let id = keymap.len() as u32;
-            keymap.entry(key.clone()).or_insert(id);
-            audit.log.register_object(id, hash_value(&value));
+            if !keymap.contains_key(&key) {
+                let id = keymap.len() as u32;
+                keymap.insert(key.clone(), id);
+                audit.log.register_object(id, hash_value(&value));
+            }
         }
         // Logged under the shard guard, like transactional writes, so the
         // per-key log order is the true lock-table mutation order.
@@ -641,18 +691,6 @@ where
         self.inner.mvcc.chain(key)
     }
 
-    /// The committed version chain of a key, oldest first.
-    #[deprecated(note = "use `Db::history` (same data) or `Db::snapshot_at` for reading the past")]
-    pub fn version_chain(&self, key: &K) -> Vec<(u64, V)> {
-        self.history(key)
-    }
-
-    /// The current commit epoch (the highest fully published one).
-    #[deprecated(note = "use `Db::epochs().watermark`")]
-    pub fn current_epoch(&self) -> u64 {
-        self.epochs().watermark
-    }
-
     /// Begin a top-level transaction.
     ///
     /// In [`CcMode::Optimistic`] this also pins the current commit epoch:
@@ -661,7 +699,7 @@ where
     pub fn begin(&self) -> Txn<K, V> {
         let _latch = self.inner.wal_latch();
         let id = self.inner.registry.begin_top();
-        Stats::bump(&self.inner.stats.begun);
+        self.inner.stats.bump(|b| &b.begun);
         self.inner.audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh") });
         self.inner.wal_append(&Record::Begin { action: id.0, parent: None });
         let opt = (self.inner.config.cc_mode == CcMode::Optimistic).then(|| {
@@ -845,9 +883,14 @@ where
         for shard in self.inner.shards.iter() {
             let guard = shard.state.lock();
             for (key, state) in guard.objects.iter() {
-                let id = keymap.len() as u32;
-                keymap.entry(key.clone()).or_insert(id);
-                audit.log.register_object(id, hash_value(state.base_value()));
+                // Contains-first keeps registration idempotent (a key
+                // already mapped keeps its id and is not re-registered)
+                // and clones the key only when it actually enters.
+                if !keymap.contains_key(key) {
+                    let id = keymap.len() as u32;
+                    keymap.insert(key.clone(), id);
+                    audit.log.register_object(id, hash_value(state.base_value()));
+                }
             }
         }
     }
@@ -995,7 +1038,7 @@ where
     fn wal_append(&self, record: &Record) {
         if let Some(w) = self.wal.get() {
             match w.log.lock().append(record) {
-                Ok(()) => Stats::bump(&self.stats.wal_appends),
+                Ok(()) => self.stats.bump(|b| &b.wal_appends),
                 Err(e) => w.mark_broken(&e),
             }
         }
@@ -1004,9 +1047,11 @@ where
     /// Log a non-transactional base-value seed (the paper's `init(x)`).
     fn wal_log_init(&self, key: &K, value: &V) {
         if let Some(w) = self.wal.get() {
-            let mut kb = Vec::new();
+            // Sized for the common fixed-width integer encodings, so the
+            // two buffers are one allocation each, no regrow.
+            let mut kb = Vec::with_capacity(16);
             (w.enc_key)(key, &mut kb);
-            let mut vb = Vec::new();
+            let mut vb = Vec::with_capacity(16);
             (w.enc_val)(value, &mut vb);
             self.wal_append(&Record::Write { action: INIT_ACTION, key: kb, version: vb });
         }
@@ -1017,9 +1062,9 @@ where
     /// that makes replay conflict-free.
     fn wal_log_write(&self, t: TxnId, key: &K, value: &V) {
         if let Some(w) = self.wal.get() {
-            let mut kb = Vec::new();
+            let mut kb = Vec::with_capacity(16);
             (w.enc_key)(key, &mut kb);
-            let mut vb = Vec::new();
+            let mut vb = Vec::with_capacity(16);
             (w.enc_val)(value, &mut vb);
             self.wal_append(&Record::Write { action: t.0, key: kb, version: vb });
         }
@@ -1041,7 +1086,7 @@ where
         self.wal_append(&Record::Commit { action: t.0, epoch });
         if top_level && w.fsync_commits {
             match w.log.lock().fsync() {
-                Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
+                Ok(()) => self.stats.bump(|b| &b.wal_fsyncs),
                 Err(e) => w.mark_broken(&e),
             }
         }
@@ -1098,7 +1143,7 @@ where
             self.wal_append(&record);
             if w.fsync_commits {
                 match w.log.lock().fsync() {
-                    Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
+                    Ok(()) => self.stats.bump(|b| &b.wal_fsyncs),
                     Err(e) => w.mark_broken(&e),
                 }
             }
@@ -1110,8 +1155,8 @@ where
             self.finish_locks(staged.txn, keys, true, Some(publish.epoch_of(i)));
         }
         drop(publish);
-        Stats::bump(&self.stats.commit_batches);
-        Stats::add(&self.stats.commits_batched, batch.len() as u64);
+        self.stats.bump(|b| &b.commit_batches);
+        self.stats.add(|b| &b.commits_batched, batch.len() as u64);
         let verdict = match self.wal.get().and_then(|w| w.broken.lock().clone()) {
             Some(detail) => Err(TxnError::Wal { detail }),
             None => Ok(()),
@@ -1172,7 +1217,12 @@ where
             let epoch = base + survivor_count;
             survivor_count += 1;
             for key in writes.keys() {
-                batch_writes.insert(key.clone(), epoch);
+                match batch_writes.get_mut(key) {
+                    Some(slot) => *slot = epoch,
+                    None => {
+                        batch_writes.insert(key.clone(), epoch);
+                    }
+                }
             }
             epochs.push(Some(epoch));
             failures.push(None);
@@ -1186,9 +1236,9 @@ where
             self.wal_append(&Record::Abort { action: id.0 });
             let _ = self.registry.abort(id);
             if matches!(failure, TxnError::Conflict { .. }) {
-                Stats::bump(&self.stats.occ_conflicts);
+                self.stats.bump(|b| &b.occ_conflicts);
             }
-            Stats::bump(&self.stats.aborted);
+            self.stats.bump(|b| &b.aborted);
         }
         // Survivors: flush buffered Access records in epoch order (audit
         // data order = commit order, the Theorem-9 invariant), then write
@@ -1229,7 +1279,7 @@ where
                 self.wal_append(&record);
                 if w.fsync_commits {
                     match w.log.lock().fsync() {
-                        Ok(()) => Stats::bump(&self.stats.wal_fsyncs),
+                        Ok(()) => self.stats.bump(|b| &b.wal_fsyncs),
                         Err(e) => w.mark_broken(&e),
                     }
                 }
@@ -1244,8 +1294,8 @@ where
             }
             drop(publish);
         }
-        Stats::bump(&self.stats.commit_batches);
-        Stats::add(&self.stats.commits_batched, survivor_count);
+        self.stats.bump(|b| &b.commit_batches);
+        self.stats.add(|b| &b.commits_batched, survivor_count);
         let broken = self.wal.get().and_then(|w| w.broken.lock().clone());
         batch
             .into_iter()
@@ -1362,6 +1412,7 @@ where
     fn with_locked_state<R>(
         &self,
         t: TxnId,
+        top_level: bool,
         key: &K,
         mut op: impl FnMut(
             &mut LockState<V>,
@@ -1374,22 +1425,32 @@ where
         let mut guard = shard.state.lock();
         loop {
             let view = self.registry.read_view();
-            match view.status(t) {
-                Some(TxnStatus::Active) => {}
-                _ => return Err(TxnError::NotActive),
-            }
-            if view.is_dead(t) {
-                return Err(TxnError::Orphaned);
+            // The liveness preamble runs only for nested transactions,
+            // by [`DbInner::opt_preamble`]'s argument: orphanhood means
+            // an ancestor died, which a top-level transaction has none
+            // of, and `commit`/`abort` consume the handle, so a
+            // top-level id observed here is always Active. The verdict
+            // is identical either way (the check is vacuous at top
+            // level); skipping it keeps two registry lookups off every
+            // locked access of the dominant transaction shape.
+            if !top_level {
+                match view.status(t) {
+                    Some(TxnStatus::Active) => {}
+                    _ => return Err(TxnError::NotActive),
+                }
+                if view.is_dead(t) {
+                    return Err(TxnError::Orphaned);
+                }
             }
             #[cfg(feature = "chaos-hooks")]
             match self.injector_decision(t, shard_idx) {
                 chaos::AccessFault::Proceed => {}
                 chaos::AccessFault::Die => {
-                    Stats::bump(&self.stats.dies);
+                    self.stats.bump(|b| &b.dies);
                     return Err(TxnError::Die { blocker: t });
                 }
                 chaos::AccessFault::Timeout => {
-                    Stats::bump(&self.stats.timeouts);
+                    self.stats.bump(|b| &b.timeouts);
                     return Err(TxnError::Timeout(self.config.lock_timeout));
                 }
             }
@@ -1407,17 +1468,17 @@ where
                 }
                 Err(c) => c,
             };
-            Stats::bump(&self.stats.conflicts);
+            self.stats.bump(|b| &b.conflicts);
             match self.config.policy {
                 DeadlockPolicy::NoWait => {
-                    Stats::bump(&self.stats.dies);
+                    self.stats.bump(|b| &b.dies);
                     return Err(TxnError::Die { blocker: conflict.blockers[0] });
                 }
                 DeadlockPolicy::Timeout => {
                     drop(view);
                     let elapsed = start.elapsed();
                     if elapsed >= self.config.lock_timeout {
-                        Stats::bump(&self.stats.timeouts);
+                        self.stats.bump(|b| &b.timeouts);
                         return Err(TxnError::Timeout(self.config.lock_timeout));
                     }
                     let bound = (self.config.lock_timeout - elapsed).min(self.config.wait_slice);
@@ -1434,7 +1495,7 @@ where
                         .iter()
                         .find(|&&b| view.root(b).is_some_and(|r| (r, b) < (my_root, t)));
                     if let Some(&b) = older_blocker {
-                        Stats::bump(&self.stats.dies);
+                        self.stats.bump(|b| &b.dies);
                         return Err(TxnError::Die { blocker: b });
                     }
                     drop(view);
@@ -1452,7 +1513,7 @@ where
                     if let Some(cycle) =
                         self.wfg.block(t, &conflict.blockers, |b| view.active_subtree(b))
                     {
-                        Stats::bump(&self.stats.deadlocks);
+                        self.stats.bump(|b| &b.deadlocks);
                         return Err(TxnError::Deadlock { cycle });
                     }
                     drop(view);
@@ -1487,23 +1548,29 @@ where
         t: TxnId,
         bound: Duration,
     ) -> Result<(), TxnError> {
-        let gate = guard.gates.entry(key.clone()).or_default().clone();
+        // Clone the key only when this is the key's first-ever waiter:
+        // the gate map is insert-only, so the common conflict re-waits
+        // on an existing gate.
+        let gate = match guard.gates.get(key) {
+            Some(gate) => gate.clone(),
+            None => guard.gates.entry(key.clone()).or_default().clone(),
+        };
         let gen_before = gate.generation.load(Ordering::Relaxed);
         gate.waiters.fetch_add(1, Ordering::Relaxed);
         self.waiting.lock().push(WaitEntry { txn: t, shard: shard_idx, gate: gate.clone() });
         let died = self.registry.read_view().is_dead(t);
         if !died {
-            Stats::bump(&self.stats.waits);
+            self.stats.bump(|b| &b.waits);
             let slept = Instant::now();
             match self.config.wakeups {
                 WakeupMode::Targeted => gate.cv.wait_for(guard, bound),
                 WakeupMode::Broadcast => shard.cv.wait_for(guard, bound),
             };
-            Stats::add(&self.stats.wait_nanos, slept.elapsed().as_nanos() as u64);
+            self.stats.add(|b| &b.wait_nanos, slept.elapsed().as_nanos() as u64);
             if gate.generation.load(Ordering::Relaxed) != gen_before {
-                Stats::bump(&self.stats.wakeups_productive);
+                self.stats.bump(|b| &b.wakeups_productive);
             } else {
-                Stats::bump(&self.stats.wakeups_spurious);
+                self.stats.bump(|b| &b.wakeups_spurious);
             }
         }
         {
@@ -1538,7 +1605,7 @@ where
     fn notify_released(&self, state: &ShardState<K, V>, shard: &Shard<K, V>, key: &K) {
         if let Some(gate) = state.gates.get(key) {
             gate.generation.fetch_add(1, Ordering::Relaxed);
-            Stats::bump(&self.stats.notifies);
+            self.stats.bump(|b| &b.notifies);
             if self.config.wakeups == WakeupMode::Targeted {
                 gate.cv.notify_all();
             }
@@ -1663,11 +1730,11 @@ where
         match self.injector_decision(t, shard_idx) {
             chaos::AccessFault::Proceed => {}
             chaos::AccessFault::Die => {
-                Stats::bump(&self.stats.dies);
+                self.stats.bump(|b| &b.dies);
                 return Err(TxnError::Die { blocker: t });
             }
             chaos::AccessFault::Timeout => {
-                Stats::bump(&self.stats.timeouts);
+                self.stats.bump(|b| &b.timeouts);
                 return Err(TxnError::Timeout(self.config.lock_timeout));
             }
         }
@@ -1788,12 +1855,12 @@ where
     pub fn child(&self) -> Result<Txn<K, V>, TxnError> {
         #[cfg(feature = "chaos-hooks")]
         if self.inner.injector_fails_child(self.id) {
-            Stats::bump(&self.inner.stats.dies);
+            self.inner.stats.bump(|b| &b.dies);
             return Err(TxnError::Die { blocker: self.id });
         }
         let _latch = self.inner.wal_latch();
         let id = self.inner.registry.begin_child(self.id).map_err(map_reg_err)?;
-        Stats::bump(&self.inner.stats.begun);
+        self.inner.stats.bump(|b| &b.begun);
         self.inner
             .audit_record(|reg| AuditRecord::Begin { path: reg.path(id).expect("fresh child") });
         self.inner.wal_append(&Record::Begin { action: id.0, parent: Some(self.id.0) });
@@ -1823,11 +1890,12 @@ where
     pub fn read(&self, key: &K) -> Result<V, TxnError> {
         if let Some(opt) = self.opt.clone() {
             let out = self.opt_read(key, &opt)?;
-            Stats::bump(&self.inner.stats.reads);
+            self.inner.stats.bump(|b| &b.reads);
             return Ok(out);
         }
         let inner = &self.inner;
-        let out = inner.with_locked_state(self.id, key, |state, reg| {
+        let top_level = self.parent_touched.is_none();
+        let out = inner.with_locked_state(self.id, top_level, key, |state, reg| {
             state.try_read(self.id, reg).map(|v| {
                 let value = v.clone();
                 let record = inner.audit_object(key).map(|object| AuditRecord::Access {
@@ -1839,9 +1907,17 @@ where
                 (value, record)
             })
         })?;
-        self.touched.lock().insert(key.clone());
-        Stats::bump(&inner.stats.reads);
+        self.touch(key);
+        inner.stats.bump(|b| &b.reads);
         Ok(out)
+    }
+
+    /// Record `key` in the touched set, cloning only on first touch.
+    fn touch(&self, key: &K) {
+        let mut touched = self.touched.lock();
+        if !touched.contains(key) {
+            touched.insert(key.clone());
+        }
     }
 
     /// Overwrite a key (acquiring a write lock). Returns the value that was
@@ -1856,11 +1932,12 @@ where
     pub fn rmw(&self, key: &K, f: impl Fn(&V) -> V) -> Result<V, TxnError> {
         if let Some(opt) = self.opt.clone() {
             let out = self.opt_rmw(key, f, &opt)?;
-            Stats::bump(&self.inner.stats.writes);
+            self.inner.stats.bump(|b| &b.writes);
             return Ok(out);
         }
         let inner = &self.inner;
-        let out = inner.with_locked_state(self.id, key, |state, reg| {
+        let top_level = self.parent_touched.is_none();
+        let out = inner.with_locked_state(self.id, top_level, key, |state, reg| {
             let mut written: Option<V> = None;
             let seen = state.try_write(self.id, reg, |old| {
                 let new = f(old);
@@ -1877,8 +1954,8 @@ where
             inner.wal_log_write(self.id, key, written.as_ref().expect("written set"));
             Ok((seen, record))
         })?;
-        self.touched.lock().insert(key.clone());
-        Stats::bump(&inner.stats.writes);
+        self.touch(key);
+        inner.stats.bump(|b| &b.writes);
         Ok(out)
     }
 
@@ -1895,7 +1972,7 @@ where
         }
         match inner.mvcc.read_at(key, opt.begin_epoch) {
             Some(v) => {
-                opt.reads.lock().insert(key.clone());
+                opt.track_read(key);
                 inner.opt_buffer_access(opt, self.id, key, UpdateFn::Read, hash_value(&v));
                 Ok(v)
             }
@@ -1919,7 +1996,7 @@ where
                 Some(v) => {
                     // The written value depends on the snapshot value:
                     // the key joins the read set for validation.
-                    opt.reads.lock().insert(key.clone());
+                    opt.track_read(key);
                     v
                 }
                 None => return Err(inner.opt_absent_error(self.id)),
@@ -1933,7 +2010,7 @@ where
             UpdateFn::Write(hash_value(&new)),
             hash_value(&seen),
         );
-        opt.writes.lock().insert(key.clone(), new);
+        opt.track_write(key, new);
         Ok(seen)
     }
 
@@ -1999,7 +2076,7 @@ where
             // access can be logged ahead of our batch's commit record —
             // the same ordering invariant as the inline path below.
             let keys = std::mem::take(&mut *self.touched.lock());
-            Stats::bump(&self.inner.stats.commits_staged);
+            self.inner.stats.bump(|b| &b.commits_staged);
             let inner = &self.inner;
             let durable = inner.pipeline.stage(
                 id,
@@ -2008,7 +2085,7 @@ where
                 inner.config.max_batch_wait,
                 |batch| inner.process_commit_batch(batch),
             );
-            Stats::bump(&inner.stats.committed);
+            inner.stats.bump(|b| &b.committed);
             self.done = true;
             drop(latch);
             self.inner.maybe_auto_checkpoint(true);
@@ -2030,7 +2107,7 @@ where
             // Inherited locks become the parent's responsibility.
             parent.lock().extend(keys);
         }
-        Stats::bump(&self.inner.stats.committed);
+        self.inner.stats.bump(|b| &b.committed);
         self.done = true;
         drop(latch);
         self.inner.maybe_auto_checkpoint(top_level);
@@ -2063,7 +2140,7 @@ where
             parent.writes.lock().append(&mut opt.writes.lock());
             parent.reads.lock().extend(opt.reads.lock().drain());
             parent.audit_buf.lock().append(&mut opt.audit_buf.lock());
-            Stats::bump(&inner.stats.committed);
+            inner.stats.bump(|b| &b.committed);
             self.done = true;
             return durable;
         }
@@ -2085,7 +2162,7 @@ where
                 reads: std::mem::take(&mut *opt.reads.lock()),
                 audit: std::mem::take(&mut *opt.audit_buf.lock()),
             };
-            Stats::bump(&inner.stats.commits_staged);
+            inner.stats.bump(|b| &b.commits_staged);
             let verdict = inner.pipeline.stage(
                 id,
                 payload,
@@ -2098,7 +2175,7 @@ where
             // leader aborted us.
             let committed = matches!(&verdict, Ok(()) | Err(TxnError::Wal { .. }));
             if committed {
-                Stats::bump(&inner.stats.committed);
+                inner.stats.bump(|b| &b.committed);
             }
             inner.mvcc.unpin(opt.begin_epoch);
             self.done = true;
@@ -2144,8 +2221,8 @@ where
             inner.audit_record(|reg| AuditRecord::Abort { path: reg.path(id).expect("known") });
             inner.wal_append(&Record::Abort { action: id.0 });
             let _ = inner.registry.abort(id);
-            Stats::bump(&inner.stats.occ_conflicts);
-            Stats::bump(&inner.stats.aborted);
+            inner.stats.bump(|b| &b.occ_conflicts);
+            inner.stats.bump(|b| &b.aborted);
             inner.mvcc.unpin(opt.begin_epoch);
             self.done = true;
             return Err(TxnError::Conflict { begin_epoch: opt.begin_epoch, committed_epoch });
@@ -2170,7 +2247,7 @@ where
         drop(publish);
         drop(writes);
         drop(reads);
-        Stats::bump(&inner.stats.committed);
+        inner.stats.bump(|b| &b.committed);
         inner.mvcc.unpin(opt.begin_epoch);
         self.done = true;
         drop(latch);
@@ -2213,7 +2290,7 @@ where
                 // full wait slice.
                 self.inner.wake_orphaned_waiters();
             }
-            Stats::bump(&self.inner.stats.aborted);
+            self.inner.stats.bump(|b| &b.aborted);
         }
         self.done = true;
     }
@@ -2273,7 +2350,7 @@ where
     /// not appear (seeding is non-transactional); keys born by replayed
     /// checkpoints are always indexed and always appear.
     fn range<R: RangeBounds<K>>(&self, bounds: R) -> Result<Vec<(K, V)>, TxnError> {
-        Stats::bump(&self.inner.stats.range_scans);
+        self.inner.stats.bump(|b| &b.range_scans);
         let keys = self.inner.mvcc.keys_in(bounds);
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
@@ -2336,7 +2413,7 @@ where
     /// key did not exist yet). Lock-free: reads the version chain under a
     /// sharded read lock, never the lock manager.
     pub fn read(&self, key: &K) -> Option<V> {
-        Stats::bump(&self.inner.stats.snapshot_reads);
+        self.inner.stats.bump(|b| &b.snapshot_reads);
         self.inner.mvcc.read_at(key, self.epoch)
     }
 
@@ -2348,7 +2425,7 @@ where
     /// locks, never blocking (or blocked by) the lock manager or
     /// publication.
     pub fn range<R: RangeBounds<K>>(&self, bounds: R) -> Vec<(K, V)> {
-        Stats::bump(&self.inner.stats.range_scans);
+        self.inner.stats.bump(|b| &b.range_scans);
         self.inner.mvcc.range_at(bounds, self.epoch)
     }
 

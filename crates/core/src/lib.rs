@@ -46,7 +46,8 @@ mod view;
 
 pub use audit::{hash_value, AuditLog, AuditRecord};
 pub use db::{
-    CcMode, Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, Snapshot, Txn, WakeupMode,
+    CcMode, Db, DbConfig, DbConfigBuilder, DeadlockPolicy, Durability, HotPath, Snapshot, Txn,
+    WakeupMode,
 };
 pub use deadlock::WaitForGraph;
 pub use error::TxnError;

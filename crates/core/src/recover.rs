@@ -21,7 +21,6 @@
 
 use crate::db::{Db, DbConfig, Durability};
 use crate::registry::{TxnId, TxnStatus};
-use crate::stats::Stats;
 use rnt_wal::{scan, Record, StdVfs, Vfs, Wal, WalCodec, WalError, INIT_ACTION};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -85,7 +84,7 @@ where
         let bytes = if vfs.exists(path) { vfs.read(path)? } else { Vec::new() };
         let (records, _tail) = scan(&bytes)?;
         let recovered = replay(&db, &records)?;
-        Stats::add(&db.stats_raw().recovered_actions, recovered);
+        db.stats_raw().add(|b| &b.recovered_actions, recovered);
         db.audit_register_all();
         if config.durability != Durability::None {
             let log = Wal::open(vfs, path)?;

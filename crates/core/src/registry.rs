@@ -6,12 +6,36 @@
 //! functions of registry state.
 //!
 //! Hot-path queries (status, liveness, ancestry) go through a
-//! [`RegistryView`] — a single read guard over the id table with all
-//! per-transaction state in atomics — so one lock acquisition covers an
-//! entire lock-table operation instead of one per query.
+//! [`RegistryView`]. Two table layouts exist behind the same API:
+//!
+//! * **Sharded** (default): a fixed power-of-two array of shards, each an
+//!   insert-only slot vector indexed by `TxnId`. Consecutive ids
+//!   round-robin across shards, so concurrent begins and lookups touch
+//!   different locks; a lookup is one short shard read-lock plus an
+//!   `Arc` clone, with no hashing at all.
+//! * **Legacy**: the pre-scaling single `RwLock<HashMap>`; a view holds
+//!   one global read guard for its whole lifetime. Kept so the hot-path
+//!   benchmark can run paired same-seed before/after arms in one binary.
+//!
+//! # Consistency semantics (sharded mode)
+//!
+//! The table is *insert-only*: a registered id is never removed, so a
+//! `TxnMeta` can never be lost or resurrected. A sharded view no longer
+//! freezes table membership across queries the way the legacy global
+//! guard did, but no caller could observe that freeze: per-transaction
+//! state (status, active-children) always lived in atomics that mutate
+//! under a read guard, and an id becomes visible to other threads only
+//! after its meta is published (begin returns after the insert). The one
+//! pre-existing window — a child id appears in its parent's `child_ids`
+//! just before its meta is inserted — resolves the same way in both
+//! layouts: `active_subtree` skips ids it cannot resolve, exactly as the
+//! legacy code skipped ids missing from the frozen map. Wait-for-graph
+//! expansion only needs per-id atomicity plus "no id disappears", both
+//! of which hold; the liveness storm test below exercises this.
 
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
@@ -35,6 +59,11 @@ const ST_ACTIVE: u8 = 0;
 const ST_COMMITTED: u8 = 1;
 const ST_ABORTED: u8 = 2;
 
+/// log2 of the shard count; shard = id & mask, slot = id >> bits.
+const SHARD_BITS: u32 = 6;
+const SHARD_COUNT: usize = 1 << SHARD_BITS;
+const SHARD_MASK: u64 = (SHARD_COUNT as u64) - 1;
+
 fn decode(s: u8) -> TxnStatus {
     match s {
         ST_ACTIVE => TxnStatus::Active,
@@ -57,8 +86,33 @@ struct TxnMeta {
     /// Number of children still active.
     active_children: AtomicU32,
     /// Child transaction ids (for wait-for expansion over subtrees);
-    /// mutated only under the table's write lock.
+    /// guarded by its own lock, never by the table's.
     child_ids: RwLock<Vec<TxnId>>,
+}
+
+impl TxnMeta {
+    fn new(parent: Option<TxnId>, root: TxnId, path: Vec<u32>) -> Arc<Self> {
+        Arc::new(TxnMeta {
+            parent,
+            root,
+            path,
+            status: AtomicU8::new(ST_ACTIVE),
+            children: AtomicU32::new(0),
+            active_children: AtomicU32::new(0),
+            child_ids: RwLock::new(Vec::new()),
+        })
+    }
+}
+
+/// One shard of the scaled layout: an insert-only slot vector.
+type Shard = RwLock<Vec<Option<Arc<TxnMeta>>>>;
+
+#[derive(Debug)]
+enum Table {
+    /// Pre-scaling layout: one map, one guard per view.
+    Legacy(RwLock<HashMap<TxnId, Arc<TxnMeta>>>),
+    /// Scaled layout: insert-only slot vectors, one per shard.
+    Sharded(Box<[Shard]>),
 }
 
 /// The registry of all transactions ever created in a database.
@@ -68,21 +122,63 @@ struct TxnMeta {
 /// descendant can still act. (A production system would prune fully-done
 /// subtrees; the registry keeps everything so the audit can reconstruct the
 /// full action tree.)
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     next: AtomicU64,
     top_count: AtomicU64,
-    map: RwLock<HashMap<TxnId, Arc<TxnMeta>>>,
+    table: Table,
 }
 
-/// A read view over the registry: one guard, arbitrarily many queries.
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A resolved transaction meta: borrowed from a held legacy guard, or an
+/// owned `Arc` cloned out of a shard.
+enum MetaRef<'a> {
+    Borrowed(&'a TxnMeta),
+    Owned(Arc<TxnMeta>),
+}
+
+impl Deref for MetaRef<'_> {
+    type Target = TxnMeta;
+    fn deref(&self) -> &TxnMeta {
+        match self {
+            MetaRef::Borrowed(m) => m,
+            MetaRef::Owned(m) => m,
+        }
+    }
+}
+
+/// A read view over the registry: arbitrarily many queries per view.
+///
+/// Over the legacy table this holds the global read guard for its whole
+/// lifetime (the pre-scaling behaviour); over the sharded table it is a
+/// free handle and each query briefly read-locks one shard.
 pub struct RegistryView<'a> {
-    map: RwLockReadGuard<'a, HashMap<TxnId, Arc<TxnMeta>>>,
+    inner: ViewInner<'a>,
+}
+
+enum ViewInner<'a> {
+    Legacy(RwLockReadGuard<'a, HashMap<TxnId, Arc<TxnMeta>>>),
+    Sharded(&'a [Shard]),
+}
+
+fn shard_slot(id: TxnId) -> (usize, usize) {
+    ((id.0 & SHARD_MASK) as usize, (id.0 >> SHARD_BITS) as usize)
 }
 
 impl<'a> RegistryView<'a> {
-    fn meta(&self, id: TxnId) -> Option<&Arc<TxnMeta>> {
-        self.map.get(&id)
+    fn meta(&self, id: TxnId) -> Option<MetaRef<'_>> {
+        match &self.inner {
+            ViewInner::Legacy(map) => map.get(&id).map(|m| MetaRef::Borrowed(m)),
+            ViewInner::Sharded(shards) => {
+                let (s, slot) = shard_slot(id);
+                shards[s].read().get(slot).and_then(|m| m.clone()).map(MetaRef::Owned)
+            }
+        }
     }
 
     /// The status of `id`.
@@ -170,30 +266,68 @@ impl crate::lock::LockEnv for RegistryView<'_> {
 }
 
 impl Registry {
-    /// Create an empty registry.
+    /// Create an empty registry with the sharded (scaled) table.
     pub fn new() -> Self {
-        Self::default()
+        let shards: Vec<_> = (0..SHARD_COUNT).map(|_| RwLock::new(Vec::new())).collect();
+        Registry {
+            next: AtomicU64::new(0),
+            top_count: AtomicU64::new(0),
+            table: Table::Sharded(shards.into_boxed_slice()),
+        }
+    }
+
+    /// Create an empty registry with the pre-scaling single-map table.
+    ///
+    /// Only used by the legacy arm of the hot-path benchmark and by tests
+    /// that check both layouts agree; semantics are identical.
+    pub fn legacy() -> Self {
+        Registry {
+            next: AtomicU64::new(0),
+            top_count: AtomicU64::new(0),
+            table: Table::Legacy(RwLock::new(HashMap::new())),
+        }
     }
 
     /// Take a read view for a batch of queries.
     pub fn read_view(&self) -> RegistryView<'_> {
-        RegistryView { map: self.map.read() }
+        let inner = match &self.table {
+            Table::Legacy(map) => ViewInner::Legacy(map.read()),
+            Table::Sharded(shards) => ViewInner::Sharded(shards),
+        };
+        RegistryView { inner }
+    }
+
+    fn insert(&self, id: TxnId, meta: Arc<TxnMeta>) {
+        match &self.table {
+            Table::Legacy(map) => {
+                map.write().insert(id, meta);
+            }
+            Table::Sharded(shards) => {
+                let (s, slot) = shard_slot(id);
+                let mut g = shards[s].write();
+                if g.len() <= slot {
+                    g.resize(slot + 1, None);
+                }
+                g[slot] = Some(meta);
+            }
+        }
+    }
+
+    fn contains(&self, id: TxnId) -> bool {
+        match &self.table {
+            Table::Legacy(map) => map.read().contains_key(&id),
+            Table::Sharded(shards) => {
+                let (s, slot) = shard_slot(id);
+                shards[s].read().get(slot).is_some_and(|m| m.is_some())
+            }
+        }
     }
 
     /// Register a new top-level transaction.
     pub fn begin_top(&self) -> TxnId {
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
         let top = self.top_count.fetch_add(1, Ordering::Relaxed) as u32;
-        let meta = Arc::new(TxnMeta {
-            parent: None,
-            root: id,
-            path: vec![top],
-            status: AtomicU8::new(ST_ACTIVE),
-            children: AtomicU32::new(0),
-            active_children: AtomicU32::new(0),
-            child_ids: RwLock::new(Vec::new()),
-        });
-        self.map.write().insert(id, meta);
+        self.insert(id, TxnMeta::new(None, id, vec![top]));
         id
     }
 
@@ -208,8 +342,8 @@ impl Registry {
     /// the atomic counter updates here rely on that.
     pub fn begin_child(&self, parent: TxnId) -> Result<TxnId, RegistryError> {
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
-        let map = self.map.read();
-        let pm = map.get(&parent).ok_or(RegistryError::Unknown(parent))?;
+        let view = self.read_view();
+        let pm = view.meta(parent).ok_or(RegistryError::Unknown(parent))?;
         if pm.status.load(Ordering::Acquire) != ST_ACTIVE {
             return Err(RegistryError::NotActive(parent));
         }
@@ -219,17 +353,9 @@ impl Registry {
         path.push(idx);
         let root = pm.root;
         pm.child_ids.write().push(id);
-        drop(map);
-        let meta = Arc::new(TxnMeta {
-            parent: Some(parent),
-            root,
-            path,
-            status: AtomicU8::new(ST_ACTIVE),
-            children: AtomicU32::new(0),
-            active_children: AtomicU32::new(0),
-            child_ids: RwLock::new(Vec::new()),
-        });
-        self.map.write().insert(id, meta);
+        drop(pm);
+        drop(view);
+        self.insert(id, TxnMeta::new(Some(parent), root, path));
         Ok(id)
     }
 
@@ -286,8 +412,8 @@ impl Registry {
     }
 
     fn finish(&self, id: TxnId, to: u8, require_no_children: bool) -> Result<(), RegistryError> {
-        let map = self.map.read();
-        let meta = map.get(&id).ok_or(RegistryError::Unknown(id))?;
+        let view = self.read_view();
+        let meta = view.meta(id).ok_or(RegistryError::Unknown(id))?;
         if require_no_children {
             let n = meta.active_children.load(Ordering::Acquire);
             if n > 0 {
@@ -298,7 +424,7 @@ impl Registry {
             .compare_exchange(ST_ACTIVE, to, Ordering::AcqRel, Ordering::Acquire)
             .map_err(|_| RegistryError::NotActive(id))?;
         if let Some(p) = meta.parent {
-            if let Some(pm) = map.get(&p) {
+            if let Some(pm) = view.meta(p) {
                 pm.active_children.fetch_sub(1, Ordering::AcqRel);
             }
         }
@@ -323,21 +449,11 @@ impl Registry {
     /// begun after recovery can never collide with replayed ones.
     pub fn replay_top(&self, id: TxnId) -> Result<(), RegistryError> {
         self.next.fetch_max(id.0.saturating_add(1), Ordering::Relaxed);
-        let mut map = self.map.write();
-        if map.contains_key(&id) {
+        if self.contains(id) {
             return Err(RegistryError::Duplicate(id));
         }
         let top = self.top_count.fetch_add(1, Ordering::Relaxed) as u32;
-        let meta = Arc::new(TxnMeta {
-            parent: None,
-            root: id,
-            path: vec![top],
-            status: AtomicU8::new(ST_ACTIVE),
-            children: AtomicU32::new(0),
-            active_children: AtomicU32::new(0),
-            child_ids: RwLock::new(Vec::new()),
-        });
-        map.insert(id, meta);
+        self.insert(id, TxnMeta::new(None, id, vec![top]));
         Ok(())
     }
 
@@ -345,11 +461,11 @@ impl Registry {
     /// only); the parent must already be replayed and active.
     pub fn replay_child(&self, id: TxnId, parent: TxnId) -> Result<(), RegistryError> {
         self.next.fetch_max(id.0.saturating_add(1), Ordering::Relaxed);
-        let map = self.map.read();
-        if map.contains_key(&id) {
+        if self.contains(id) {
             return Err(RegistryError::Duplicate(id));
         }
-        let pm = map.get(&parent).ok_or(RegistryError::Unknown(parent))?;
+        let view = self.read_view();
+        let pm = view.meta(parent).ok_or(RegistryError::Unknown(parent))?;
         if pm.status.load(Ordering::Acquire) != ST_ACTIVE {
             return Err(RegistryError::NotActive(parent));
         }
@@ -359,17 +475,9 @@ impl Registry {
         path.push(idx);
         let root = pm.root;
         pm.child_ids.write().push(id);
-        drop(map);
-        let meta = Arc::new(TxnMeta {
-            parent: Some(parent),
-            root,
-            path,
-            status: AtomicU8::new(ST_ACTIVE),
-            children: AtomicU32::new(0),
-            active_children: AtomicU32::new(0),
-            child_ids: RwLock::new(Vec::new()),
-        });
-        self.map.write().insert(id, meta);
+        drop(pm);
+        drop(view);
+        self.insert(id, TxnMeta::new(Some(parent), root, path));
         Ok(())
     }
 
@@ -387,13 +495,36 @@ impl Registry {
 
     /// Snapshot of all transactions: `(id, parent, status, path)`.
     pub fn snapshot(&self) -> Vec<(TxnId, Option<TxnId>, TxnStatus, Vec<u32>)> {
-        let map = self.map.read();
-        let mut out: Vec<_> = map
-            .iter()
-            .map(|(&id, m)| {
-                (id, m.parent, decode(m.status.load(Ordering::Acquire)), m.path.clone())
-            })
-            .collect();
+        let mut out: Vec<_> = match &self.table {
+            Table::Legacy(map) => map
+                .read()
+                .iter()
+                .map(|(&id, m)| {
+                    (id, m.parent, decode(m.status.load(Ordering::Acquire)), m.path.clone())
+                })
+                .collect(),
+            Table::Sharded(shards) => shards
+                .iter()
+                .enumerate()
+                .flat_map(|(s, shard)| {
+                    shard
+                        .read()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(slot, m)| {
+                            let m = m.as_ref()?;
+                            let id = TxnId(((slot as u64) << SHARD_BITS) | s as u64);
+                            Some((
+                                id,
+                                m.parent,
+                                decode(m.status.load(Ordering::Acquire)),
+                                m.path.clone(),
+                            ))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        };
         out.sort_by_key(|(id, ..)| *id);
         out
     }
@@ -433,150 +564,179 @@ impl std::error::Error for RegistryError {}
 mod tests {
     use super::*;
 
+    fn both_layouts(test: impl Fn(Registry)) {
+        test(Registry::new());
+        test(Registry::legacy());
+    }
+
     #[test]
     fn begin_and_status() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        assert_eq!(r.status(t), Some(TxnStatus::Active));
-        assert_eq!(r.parent(t), None);
-        assert_eq!(r.root(t), Some(t));
-        assert!(r.is_live(t));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            assert_eq!(r.status(t), Some(TxnStatus::Active));
+            assert_eq!(r.parent(t), None);
+            assert_eq!(r.root(t), Some(t));
+            assert!(r.is_live(t));
+        });
     }
 
     #[test]
     fn child_paths_extend_parent() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c1 = r.begin_child(t).unwrap();
-        let c2 = r.begin_child(t).unwrap();
-        let g = r.begin_child(c1).unwrap();
-        let tp = r.path(t).unwrap();
-        assert_eq!(r.path(c1).unwrap(), [tp.clone(), vec![0]].concat());
-        assert_eq!(r.path(c2).unwrap(), [tp.clone(), vec![1]].concat());
-        assert_eq!(r.path(g).unwrap(), [tp, vec![0, 0]].concat());
-        assert_eq!(r.root(g), Some(t));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c1 = r.begin_child(t).unwrap();
+            let c2 = r.begin_child(t).unwrap();
+            let g = r.begin_child(c1).unwrap();
+            let tp = r.path(t).unwrap();
+            assert_eq!(r.path(c1).unwrap(), [tp.clone(), vec![0]].concat());
+            assert_eq!(r.path(c2).unwrap(), [tp.clone(), vec![1]].concat());
+            assert_eq!(r.path(g).unwrap(), [tp, vec![0, 0]].concat());
+            assert_eq!(r.root(g), Some(t));
+        });
     }
 
     #[test]
     fn distinct_top_level_paths() {
-        let r = Registry::new();
-        let a = r.begin_top();
-        let b = r.begin_top();
-        assert_ne!(r.path(a), r.path(b));
+        both_layouts(|r| {
+            let a = r.begin_top();
+            let b = r.begin_top();
+            assert_ne!(r.path(a), r.path(b));
+        });
     }
 
     #[test]
     fn ancestor_checks() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c = r.begin_child(t).unwrap();
-        let g = r.begin_child(c).unwrap();
-        let other = r.begin_top();
-        assert!(r.is_ancestor(t, g));
-        assert!(r.is_ancestor(c, g));
-        assert!(r.is_ancestor(g, g));
-        assert!(!r.is_ancestor(g, t));
-        assert!(!r.is_ancestor(other, g));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c = r.begin_child(t).unwrap();
+            let g = r.begin_child(c).unwrap();
+            let other = r.begin_top();
+            assert!(r.is_ancestor(t, g));
+            assert!(r.is_ancestor(c, g));
+            assert!(r.is_ancestor(g, g));
+            assert!(!r.is_ancestor(g, t));
+            assert!(!r.is_ancestor(other, g));
+        });
     }
 
     #[test]
     fn commit_requires_children_done() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c = r.begin_child(t).unwrap();
-        assert_eq!(r.commit(t), Err(RegistryError::ChildrenActive(t, 1)));
-        r.commit(c).unwrap();
-        r.commit(t).unwrap();
-        assert_eq!(r.status(t), Some(TxnStatus::Committed));
-        assert_eq!(r.commit(t), Err(RegistryError::NotActive(t)));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c = r.begin_child(t).unwrap();
+            assert_eq!(r.commit(t), Err(RegistryError::ChildrenActive(t, 1)));
+            r.commit(c).unwrap();
+            r.commit(t).unwrap();
+            assert_eq!(r.status(t), Some(TxnStatus::Committed));
+            assert_eq!(r.commit(t), Err(RegistryError::NotActive(t)));
+        });
     }
 
     #[test]
     fn abort_orphans_descendants() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c = r.begin_child(t).unwrap();
-        let g = r.begin_child(c).unwrap();
-        r.abort(c).unwrap();
-        assert!(r.is_dead(c));
-        assert!(r.is_dead(g), "descendants of aborted are dead");
-        assert!(r.is_live(t));
-        assert_eq!(r.status(g), Some(TxnStatus::Active), "orphan is still 'active'");
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c = r.begin_child(t).unwrap();
+            let g = r.begin_child(c).unwrap();
+            r.abort(c).unwrap();
+            assert!(r.is_dead(c));
+            assert!(r.is_dead(g), "descendants of aborted are dead");
+            assert!(r.is_live(t));
+            assert_eq!(r.status(g), Some(TxnStatus::Active), "orphan is still 'active'");
+        });
     }
 
     #[test]
     fn abort_with_active_children_allowed() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let _c = r.begin_child(t).unwrap();
-        r.abort(t).unwrap();
-        assert!(r.is_dead(t));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let _c = r.begin_child(t).unwrap();
+            r.abort(t).unwrap();
+            assert!(r.is_dead(t));
+        });
     }
 
     #[test]
     fn no_children_under_done_parent() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        r.commit(t).unwrap();
-        assert_eq!(r.begin_child(t), Err(RegistryError::NotActive(t)));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            r.commit(t).unwrap();
+            assert_eq!(r.begin_child(t), Err(RegistryError::NotActive(t)));
+        });
     }
 
     #[test]
     fn wait_die_timestamps_monotone() {
-        let r = Registry::new();
-        let a = r.begin_top();
-        let b = r.begin_top();
-        assert!(a < b, "ids are monotone");
-        let ac = r.begin_child(a).unwrap();
-        assert_eq!(r.root(ac), Some(a), "children inherit root timestamp");
+        both_layouts(|r| {
+            let a = r.begin_top();
+            let b = r.begin_top();
+            assert!(a < b, "ids are monotone");
+            let ac = r.begin_child(a).unwrap();
+            assert_eq!(r.root(ac), Some(a), "children inherit root timestamp");
+        });
     }
 
     #[test]
     fn active_subtree_walks_children() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c = r.begin_child(t).unwrap();
-        let g = r.begin_child(c).unwrap();
-        let mut sub = r.active_subtree(t);
-        sub.sort();
-        assert_eq!(sub, vec![t, c, g]);
-        r.commit(g).unwrap();
-        let mut sub = r.active_subtree(t);
-        sub.sort();
-        assert_eq!(sub, vec![t, c]);
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c = r.begin_child(t).unwrap();
+            let g = r.begin_child(c).unwrap();
+            let mut sub = r.active_subtree(t);
+            sub.sort();
+            assert_eq!(sub, vec![t, c, g]);
+            r.commit(g).unwrap();
+            let mut sub = r.active_subtree(t);
+            sub.sort();
+            assert_eq!(sub, vec![t, c]);
+        });
     }
 
     #[test]
     fn view_batches_queries() {
-        let r = Registry::new();
-        let t = r.begin_top();
-        let c = r.begin_child(t).unwrap();
-        let view = r.read_view();
-        assert_eq!(view.status(t), Some(TxnStatus::Active));
-        assert!(view.is_ancestor(t, c));
-        assert!(!view.is_dead(c));
-        assert_eq!(view.root(c), Some(t));
-        assert_eq!(view.parent(c), Some(t));
+        both_layouts(|r| {
+            let t = r.begin_top();
+            let c = r.begin_child(t).unwrap();
+            let view = r.read_view();
+            assert_eq!(view.status(t), Some(TxnStatus::Active));
+            assert!(view.is_ancestor(t, c));
+            assert!(!view.is_dead(c));
+            assert_eq!(view.root(c), Some(t));
+            assert_eq!(view.parent(c), Some(t));
+        });
     }
 
     #[test]
     fn replay_preserves_ids_and_advances_allocator() {
-        let r = Registry::new();
-        r.replay_top(TxnId(0)).unwrap();
-        r.replay_child(TxnId(1), TxnId(0)).unwrap();
-        r.replay_child(TxnId(5), TxnId(1)).unwrap();
-        assert!(r.is_ancestor(TxnId(0), TxnId(5)));
-        assert_eq!(r.root(TxnId(5)), Some(TxnId(0)));
-        assert_eq!(r.active_children(TxnId(0)), 1);
-        // Fresh ids allocated after replay never collide with logged ones.
-        let fresh = r.begin_top();
-        assert!(fresh > TxnId(5), "allocator past replayed ids, got {fresh:?}");
-        // Duplicate and orphan replays are rejected.
-        assert_eq!(r.replay_top(TxnId(0)), Err(RegistryError::Duplicate(TxnId(0))));
-        assert_eq!(r.replay_child(TxnId(9), TxnId(99)), Err(RegistryError::Unknown(TxnId(99))));
-        r.commit(TxnId(5)).unwrap();
-        r.commit(TxnId(1)).unwrap();
-        assert_eq!(r.replay_child(TxnId(9), TxnId(1)), Err(RegistryError::NotActive(TxnId(1))));
+        both_layouts(|r| {
+            r.replay_top(TxnId(0)).unwrap();
+            r.replay_child(TxnId(1), TxnId(0)).unwrap();
+            r.replay_child(TxnId(5), TxnId(1)).unwrap();
+            assert!(r.is_ancestor(TxnId(0), TxnId(5)));
+            assert_eq!(r.root(TxnId(5)), Some(TxnId(0)));
+            assert_eq!(r.active_children(TxnId(0)), 1);
+            // Fresh ids allocated after replay never collide with logged ones.
+            let fresh = r.begin_top();
+            assert!(fresh > TxnId(5), "allocator past replayed ids, got {fresh:?}");
+            // Duplicate and orphan replays are rejected.
+            assert_eq!(r.replay_top(TxnId(0)), Err(RegistryError::Duplicate(TxnId(0))));
+            assert_eq!(r.replay_child(TxnId(9), TxnId(99)), Err(RegistryError::Unknown(TxnId(99))));
+            r.commit(TxnId(5)).unwrap();
+            r.commit(TxnId(1)).unwrap();
+            assert_eq!(r.replay_child(TxnId(9), TxnId(1)), Err(RegistryError::NotActive(TxnId(1))));
+        });
+    }
+
+    #[test]
+    fn replay_sparse_ids_leave_gaps_unregistered() {
+        both_layouts(|r| {
+            r.replay_top(TxnId(1000)).unwrap();
+            assert_eq!(r.status(TxnId(1000)), Some(TxnStatus::Active));
+            assert_eq!(r.status(TxnId(999)), None, "gap slots resolve to nothing");
+            assert!(r.is_dead(TxnId(999)), "unknown ids are dead");
+            let fresh = r.begin_top();
+            assert!(fresh > TxnId(1000));
+        });
     }
 
     #[test]
@@ -604,5 +764,75 @@ mod tests {
         paths.dedup();
         assert_eq!(paths.len(), 400, "paths unique");
         assert_eq!(r.active_children(t), 400);
+    }
+
+    /// Satellite regression: concurrent begin/finish/lookup storm over the
+    /// sharded table. Asserts no meta is ever lost (every id begun resolves
+    /// forever after) and none resurrected (a finished id never reads
+    /// `Active` again), while a reader thread hammers views.
+    #[test]
+    fn sharded_storm_no_lost_or_resurrected_metas() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let r = Arc::new(Registry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for w in 0..4 {
+            let r = r.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut done = Vec::new();
+                for i in 0..500 {
+                    let t = r.begin_top();
+                    let c = r.begin_child(t).unwrap();
+                    assert_eq!(r.status(c), Some(TxnStatus::Active), "fresh child resolves");
+                    if (i + w) % 2 == 0 {
+                        r.commit(c).unwrap();
+                        r.commit(t).unwrap();
+                        done.push((t, TxnStatus::Committed));
+                    } else {
+                        r.abort(t).unwrap();
+                        assert!(r.is_dead(c), "orphan of aborted parent is dead");
+                        r.abort(c).unwrap();
+                        done.push((t, TxnStatus::Aborted));
+                    }
+                }
+                done
+            }));
+        }
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let r = r.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let view = r.read_view();
+                        // Any id below the allocator either resolves or is a
+                        // not-yet-published begin; it must never flap back to
+                        // None once seen (checked via the final pass below).
+                        seen = seen.max(view.active_subtree(TxnId(0)).len());
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut finished = Vec::new();
+        for w in workers {
+            finished.extend(w.join().unwrap());
+        }
+        stop.store(true, Ordering::Relaxed);
+        for rd in readers {
+            rd.join().unwrap();
+        }
+        // No lost metas: every begun id still resolves, with its final status.
+        for (t, want) in finished {
+            assert_eq!(r.status(t), Some(want), "{t:?} kept its terminal status");
+        }
+        // No resurrected metas: snapshot ids are unique and statuses terminal
+        // for every root the workers finished.
+        let snap = r.snapshot();
+        let mut ids: Vec<_> = snap.iter().map(|(id, ..)| *id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), snap.len(), "snapshot ids unique");
     }
 }

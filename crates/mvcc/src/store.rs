@@ -25,6 +25,23 @@ type Chain<V> = Vec<(u64, V)>;
 /// always sweeps immediately.
 const SWEEP_EVERY: u64 = 64;
 
+/// Slots in the fast-pin ring (a power of two). Two live pins whose
+/// epochs collide modulo the ring size can't share a slot; the loser
+/// falls back to the locked pin table, which is always correct.
+const RING_SLOTS: usize = 64;
+
+/// Low bits of a ring slot hold the pin count; high bits the epoch.
+const COUNT_BITS: u32 = 16;
+const COUNT_MASK: u64 = (1 << COUNT_BITS) - 1;
+
+/// Epochs above this don't fit a packed slot (2^48 commits — unreachable
+/// in practice); they always take the locked path.
+const MAX_FAST_EPOCH: u64 = u64::MAX >> COUNT_BITS;
+
+/// Bounded retries for the seqlock-validated fast pin and for the
+/// min-pin settle loop before falling back to the always-correct path.
+const FAST_PIN_TRIES: usize = 4;
+
 /// One shard of the store: keys → version chains, plus the shard's slice
 /// of the ordered key index, under a single lock.
 ///
@@ -141,6 +158,29 @@ pub struct MvccStore<K, V> {
     /// See the struct docs; held by [`MvccStore::begin_publish`] guards
     /// and briefly by [`MvccStore::pin`] / [`MvccStore::pin_at`].
     publish: Mutex<()>,
+    /// Seqlock over the publish critical section: odd while a publish
+    /// ticket or gate is live, even otherwise. A fast pin registers in
+    /// the ring and then validates that the sequence is unchanged and
+    /// even — proof that no publisher overlapped its registration, which
+    /// substitutes for taking the publish lock (see [`MvccStore::pin`]).
+    publish_seq: AtomicU64,
+    /// Fast-pin ring: `RING_SLOTS` packed `(epoch << COUNT_BITS) | count`
+    /// slots indexed by `epoch % RING_SLOTS`. A slot with count 0 is
+    /// free (its epoch bits are stale). Ring pins and tree pins are
+    /// fungible per epoch: the live pin count at epoch `e` is the ring
+    /// count plus the tree count.
+    ring: Box<[AtomicU64]>,
+    /// Bumped once per completed ring registration (after the slot CAS
+    /// and the `min_pin` lowering). [`MvccStore::settle_min`] uses it to
+    /// detect registrations racing its recompute-and-store of `min_pin`.
+    reg_seq: AtomicU64,
+    /// Gauge of live pins across ring and tree (the `pins_live` counter
+    /// and the quiescence trigger for sweeps in fast-pin mode).
+    live_pins: AtomicU64,
+    /// Whether [`MvccStore::pin`] may use the lock-free ring fast path.
+    /// Off reproduces the pre-scaling locked pin table exactly (the
+    /// benchmark's legacy arm).
+    fast_pins: bool,
     /// Live pins: epoch → snapshot count.
     pins: Mutex<BTreeMap<u64, u64>>,
     /// Cached minimum of `pins` (`u64::MAX` when empty).
@@ -159,13 +199,39 @@ pub struct MvccStore<K, V> {
     reclaimed: AtomicU64,
 }
 
+/// RAII half of the publish seqlock: constructing it flips `publish_seq`
+/// odd (publisher active), dropping it flips it back even. Fast pins
+/// validate against the sequence instead of taking the publish lock, so
+/// every ticket that holds the lock must also hold one of these.
+struct SeqCrit<'a> {
+    seq: &'a AtomicU64,
+}
+
+impl<'a> SeqCrit<'a> {
+    fn enter(seq: &'a AtomicU64) -> Self {
+        seq.fetch_add(1, Ordering::SeqCst);
+        SeqCrit { seq }
+    }
+}
+
+impl Drop for SeqCrit<'_> {
+    fn drop(&mut self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
 /// An exclusive publication ticket for one top-level commit, returned by
 /// [`MvccStore::begin_publish`]. Holds the publish lock; the commit
 /// appends its versions at [`Publish::epoch`] and drops the ticket, which
 /// advances the watermark — the instant the commit becomes visible to new
 /// snapshots.
+///
+/// Field order is load-bearing: the `Drop` body stores the watermark,
+/// then `_crit` drops (sequence goes even — fast pins may now trust the
+/// new watermark), then `_guard` releases the lock.
 pub struct Publish<'a> {
     watermark: &'a AtomicU64,
+    _crit: SeqCrit<'a>,
     _guard: MutexGuard<'a, ()>,
     epoch: u64,
 }
@@ -186,7 +252,10 @@ impl std::fmt::Debug for Publish<'_> {
 impl Drop for Publish<'_> {
     fn drop(&mut self) {
         // Publication is serialized, so this is always watermark + 1.
-        self.watermark.store(self.epoch, Ordering::Release);
+        // SeqCst: the store must order before `_crit`'s sequence flip so
+        // a fast pin that reads the even sequence also reads this
+        // watermark (it pins the published epoch, never a stale one).
+        self.watermark.store(self.epoch, Ordering::SeqCst);
     }
 }
 
@@ -199,6 +268,7 @@ impl Drop for Publish<'_> {
 /// prefix.
 pub struct PublishBatch<'a> {
     watermark: &'a AtomicU64,
+    _crit: SeqCrit<'a>,
     _guard: MutexGuard<'a, ()>,
     base: u64,
     len: u64,
@@ -237,8 +307,9 @@ impl std::fmt::Debug for PublishBatch<'_> {
 impl Drop for PublishBatch<'_> {
     fn drop(&mut self) {
         // Serialized like single publication: base was the watermark when
-        // the ticket was taken, so this is a contiguous advance.
-        self.watermark.store(self.base + self.len, Ordering::Release);
+        // the ticket was taken, so this is a contiguous advance. SeqCst
+        // for the same reason as [`Publish`]'s drop.
+        self.watermark.store(self.base + self.len, Ordering::SeqCst);
     }
 }
 
@@ -252,6 +323,7 @@ impl Drop for PublishBatch<'_> {
 /// the watermark** — an aborted validation leaves no epoch gap.
 pub struct PublishGate<'a> {
     watermark: &'a AtomicU64,
+    crit: SeqCrit<'a>,
     guard: MutexGuard<'a, ()>,
 }
 
@@ -265,7 +337,7 @@ impl<'a> PublishGate<'a> {
     /// allocating the next epoch. The lock is retained throughout.
     pub fn into_publish(self) -> Publish<'a> {
         let epoch = self.next_epoch();
-        Publish { watermark: self.watermark, _guard: self.guard, epoch }
+        Publish { watermark: self.watermark, _crit: self.crit, _guard: self.guard, epoch }
     }
 
     /// Convert the gate into a batch publication ticket for `n` commits,
@@ -277,7 +349,13 @@ impl<'a> PublishGate<'a> {
     pub fn into_batch(self, n: usize) -> PublishBatch<'a> {
         assert!(n > 0, "empty publish batch");
         let base = self.watermark.load(Ordering::Acquire);
-        PublishBatch { watermark: self.watermark, _guard: self.guard, base, len: n as u64 }
+        PublishBatch {
+            watermark: self.watermark,
+            _crit: self.crit,
+            _guard: self.guard,
+            base,
+            len: n as u64,
+        }
     }
 }
 
@@ -333,8 +411,97 @@ impl<K, V> MvccStore<K, V> {
         MvccCounters {
             created: self.created.load(Ordering::Relaxed),
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
-            pins_live: self.pins.lock().values().sum(),
+            pins_live: self.live_pins.load(Ordering::SeqCst),
         }
+    }
+
+    /// Register one pin at `epoch` in the ring. Fails (caller takes the
+    /// locked path) when the slot holds a different epoch with live pins,
+    /// the slot's count would overflow, or the epoch doesn't pack.
+    fn ring_register(&self, epoch: u64) -> bool {
+        if epoch > MAX_FAST_EPOCH {
+            return false;
+        }
+        let slot = &self.ring[(epoch as usize) % RING_SLOTS];
+        let mut cur = slot.load(Ordering::SeqCst);
+        loop {
+            let (slot_epoch, count) = (cur >> COUNT_BITS, cur & COUNT_MASK);
+            let next = if count == 0 {
+                // Free slot (stale epoch bits): claim it.
+                (epoch << COUNT_BITS) | 1
+            } else if slot_epoch == epoch {
+                if count == COUNT_MASK {
+                    return false;
+                }
+                cur + 1
+            } else {
+                return false;
+            };
+            match slot.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Release one ring pin at `epoch`. Returns false when the ring holds
+    /// no pin at that epoch (the pin lives in the locked table instead).
+    fn ring_unregister(&self, epoch: u64) -> bool {
+        if epoch > MAX_FAST_EPOCH {
+            return false;
+        }
+        let slot = &self.ring[(epoch as usize) % RING_SLOTS];
+        let mut cur = slot.load(Ordering::SeqCst);
+        loop {
+            if cur >> COUNT_BITS != epoch || cur & COUNT_MASK == 0 {
+                return false;
+            }
+            match slot.compare_exchange_weak(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Minimum epoch with a live ring pin (`u64::MAX` when none).
+    fn ring_min(&self) -> u64 {
+        let mut min = u64::MAX;
+        for slot in self.ring.iter() {
+            let v = slot.load(Ordering::SeqCst);
+            if v & COUNT_MASK != 0 {
+                min = min.min(v >> COUNT_BITS);
+            }
+        }
+        min
+    }
+
+    /// Recompute `min_pin` from the ring and the locked table and *store*
+    /// it — the only place `min_pin` ever rises. Must be called with the
+    /// publish lock held: that excludes publishers, so every ring pin
+    /// below the current watermark is visible to the scan (a pin below
+    /// the watermark can only exist because some publisher ran after its
+    /// validated registration, and we are ordered after that publisher by
+    /// the lock). Ring pins still mid-registration can be missed, but
+    /// they pin the current watermark, and no prune at any bound drops a
+    /// chain's newest version — which has epoch ≤ watermark — so they
+    /// are safe regardless.
+    ///
+    /// The store may race a concurrent registration's `fetch_min` and
+    /// clobber it; `reg_seq` detects that, and the loop re-scans. If
+    /// registrations keep landing, the bounded loop gives up and lowers
+    /// conservatively (`fetch_min` never raises, so it can't clobber).
+    fn settle_min(&self, tree_min: u64) -> u64 {
+        for _ in 0..FAST_PIN_TRIES {
+            let seq = self.reg_seq.load(Ordering::SeqCst);
+            let min = self.ring_min().min(tree_min);
+            self.min_pin.store(min, Ordering::SeqCst);
+            if self.reg_seq.load(Ordering::SeqCst) == seq {
+                return min;
+            }
+        }
+        let min = self.ring_min().min(tree_min);
+        self.min_pin.fetch_min(min, Ordering::SeqCst);
+        min
     }
 }
 
@@ -366,6 +533,13 @@ where
     /// oldest versions even if a live pin holds them, raising the
     /// oldest-retained bound past the dropped span.
     pub fn with_budget(shards: usize, max_versions: usize) -> Self {
+        Self::with_opts(shards, max_versions, true)
+    }
+
+    /// An empty store with full control over the scaling knobs:
+    /// `fast_pins = false` reproduces the pre-scaling locked pin table
+    /// exactly (the hot-path benchmark's legacy arm).
+    pub fn with_opts(shards: usize, max_versions: usize, fast_pins: bool) -> Self {
         MvccStore {
             shards: (0..shards.max(1))
                 .map(|_| Shard {
@@ -380,6 +554,11 @@ where
             hasher: RandomState::new(),
             watermark: AtomicU64::new(GENESIS_EPOCH),
             publish: Mutex::new(()),
+            publish_seq: AtomicU64::new(0),
+            ring: (0..RING_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            reg_seq: AtomicU64::new(0),
+            live_pins: AtomicU64::new(0),
+            fast_pins,
             pins: Mutex::new(BTreeMap::new()),
             min_pin: AtomicU64::new(u64::MAX),
             oldest_retained: AtomicU64::new(GENESIS_EPOCH),
@@ -401,8 +580,9 @@ where
     /// to advance the watermark.
     pub fn begin_publish(&self) -> Publish<'_> {
         let guard = self.publish.lock();
+        let crit = SeqCrit::enter(&self.publish_seq);
         let epoch = self.watermark.load(Ordering::Acquire) + 1;
-        Publish { watermark: &self.watermark, _guard: guard, epoch }
+        Publish { watermark: &self.watermark, _crit: crit, _guard: guard, epoch }
     }
 
     /// Enter the publish critical section once for a batch of `n`
@@ -416,8 +596,9 @@ where
     pub fn begin_publish_batch(&self, n: usize) -> PublishBatch<'_> {
         assert!(n > 0, "empty publish batch");
         let guard = self.publish.lock();
+        let crit = SeqCrit::enter(&self.publish_seq);
         let base = self.watermark.load(Ordering::Acquire);
-        PublishBatch { watermark: &self.watermark, _guard: guard, base, len: n as u64 }
+        PublishBatch { watermark: &self.watermark, _crit: crit, _guard: guard, base, len: n as u64 }
     }
 
     /// Enter the publish critical section *without* allocating an epoch.
@@ -426,7 +607,9 @@ where
     /// [`PublishGate::into_batch`]) only if validation succeeds; dropping
     /// an unconverted gate releases the lock with the watermark untouched.
     pub fn begin_publish_gate(&self) -> PublishGate<'_> {
-        PublishGate { watermark: &self.watermark, guard: self.publish.lock() }
+        let guard = self.publish.lock();
+        let crit = SeqCrit::enter(&self.publish_seq);
+        PublishGate { watermark: &self.watermark, crit, guard }
     }
 
     /// Append a version to `key`'s chain, entering the key into the
@@ -439,10 +622,13 @@ where
         let shard = &self.shards[self.shard_of(key)];
         let mut guard = shard.state.write();
         let state = &mut *guard;
+        // First contact clones the key into the chain map and the index;
+        // every later append to the key is clone-free.
         if !state.chains.contains_key(key) {
             state.index.insert(key.clone());
+            state.chains.insert(key.clone(), Chain::new());
         }
-        let chain = state.chains.entry(key.clone()).or_default();
+        let chain = state.chains.get_mut(key).expect("chain just ensured");
         debug_assert!(chain.last().is_none_or(|&(e, _)| e < epoch), "chain epochs must ascend");
         chain.push((epoch, value));
         self.created.fetch_add(1, Ordering::Relaxed);
@@ -472,7 +658,8 @@ where
         // find it without walking every chain in the store. Both gauges
         // (per-shard and store-wide) move under the shard's write lock.
         if chain.len() > 1 {
-            if state.dirty.insert(key.clone()) {
+            if !state.dirty.contains(key) {
+                state.dirty.insert(key.clone());
                 shard.dirty.fetch_add(1, Ordering::Release);
                 self.dirty_count.fetch_add(1, Ordering::Relaxed);
             }
@@ -483,16 +670,73 @@ where
         self.reclaimed.fetch_add(dropped, Ordering::Relaxed);
     }
 
-    /// Pin the current watermark for a snapshot. Serialized against
-    /// publishers (see the struct docs for why). Balance with
+    /// Pin the current watermark for a snapshot. Balance with
     /// [`MvccStore::unpin`].
+    ///
+    /// **Fast path** (when enabled): instead of taking the publish lock,
+    /// register in the ring and *validate* that no publisher overlapped,
+    /// via the publish seqlock. The registration order is load-bearing:
+    ///
+    /// 1. read `publish_seq` — bail to the locked path if odd;
+    /// 2. read the watermark `w`;
+    /// 3. CAS the ring slot (the pin becomes visible to min scans);
+    /// 4. lower `min_pin` to ≤ `w`;
+    /// 5. bump `reg_seq` (min scans racing us re-check);
+    /// 6. re-read `publish_seq` — if unchanged, no publisher's critical
+    ///    section overlapped steps 1–5, so every later publisher reads
+    ///    `min_pin` ≤ `w` *after* our step 4 and respects the pin; if it
+    ///    changed, undo the slot and retry (a publisher may have missed
+    ///    us and pruned as if we weren't there).
+    ///
+    /// This is the pre-scaling guarantee — "a pin either lands before
+    /// the publisher reads the pin set or after the watermark advance" —
+    /// enforced by optimistic validation instead of the lock.
     pub fn pin(&self) -> u64 {
+        if self.fast_pins {
+            for _ in 0..FAST_PIN_TRIES {
+                let seq = self.publish_seq.load(Ordering::SeqCst);
+                if seq & 1 == 1 {
+                    break; // publisher active — queue on its lock instead
+                }
+                let epoch = self.watermark.load(Ordering::SeqCst);
+                if !self.ring_register(epoch) {
+                    break; // slot collision or overflow — locked path
+                }
+                self.min_pin.fetch_min(epoch, Ordering::SeqCst);
+                self.reg_seq.fetch_add(1, Ordering::SeqCst);
+                if self.publish_seq.load(Ordering::SeqCst) == seq {
+                    self.live_pins.fetch_add(1, Ordering::SeqCst);
+                    return epoch;
+                }
+                // A publisher overlapped the registration: the watermark
+                // we pinned may already be stale. Undo and retry. (Ring
+                // counts at one epoch are fungible, so decrementing a
+                // slot another thread also bumped nets out correctly;
+                // `min_pin` stays conservatively low until a settle.)
+                self.ring_unregister(epoch);
+            }
+        }
+        self.pin_slow()
+    }
+
+    /// The locked pin path: serialized against publishers by the publish
+    /// lock (see the struct docs for why). In legacy mode this *is*
+    /// [`MvccStore::pin`], byte for byte the pre-scaling behavior.
+    fn pin_slow(&self) -> u64 {
         let _publish = self.publish.lock();
         let epoch = self.watermark.load(Ordering::Acquire);
         let mut pins = self.pins.lock();
         *pins.entry(epoch).or_insert(0) += 1;
-        let min = *pins.keys().next().expect("just inserted");
-        self.min_pin.store(min, Ordering::Release);
+        if self.fast_pins {
+            // Ring pins may sit below the tree minimum, so never
+            // recompute-and-store here — only lower. Raising `min_pin`
+            // is exclusively `sweep_locked`'s job.
+            self.min_pin.fetch_min(epoch, Ordering::SeqCst);
+        } else {
+            let min = *pins.keys().next().expect("just inserted");
+            self.min_pin.store(min, Ordering::Release);
+        }
+        self.live_pins.fetch_add(1, Ordering::SeqCst);
         epoch
     }
 
@@ -514,8 +758,14 @@ where
             return Err(PinError::Pruned { requested: epoch, oldest_retained });
         }
         *pins.entry(epoch).or_insert(0) += 1;
-        let min = *pins.keys().next().expect("just inserted");
-        self.min_pin.store(min, Ordering::Release);
+        if self.fast_pins {
+            // Only lower: ring pins may sit below the tree minimum.
+            self.min_pin.fetch_min(epoch, Ordering::SeqCst);
+        } else {
+            let min = *pins.keys().next().expect("just inserted");
+            self.min_pin.store(min, Ordering::Release);
+        }
+        self.live_pins.fetch_add(1, Ordering::SeqCst);
         Ok(epoch)
     }
 
@@ -526,6 +776,22 @@ where
     /// # Panics
     /// If `epoch` has no live pin (debug builds).
     pub fn repin(&self, epoch: u64) {
+        if self.fast_pins {
+            // The epoch is already protected by the caller's existing
+            // pin (ring or tree), so no publisher validation is needed —
+            // just land the count wherever there is room.
+            if self.ring_register(epoch) {
+                self.min_pin.fetch_min(epoch, Ordering::SeqCst);
+                self.reg_seq.fetch_add(1, Ordering::SeqCst);
+            } else {
+                // The base pin may live in the ring, so a missing tree
+                // entry is legitimate here (unlike legacy mode).
+                *self.pins.lock().entry(epoch).or_insert(0) += 1;
+                self.min_pin.fetch_min(epoch, Ordering::SeqCst);
+            }
+            self.live_pins.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
         let mut pins = self.pins.lock();
         match pins.get_mut(&epoch) {
             Some(n) => *n += 1,
@@ -536,18 +802,82 @@ where
                 self.min_pin.store(min, Ordering::Release);
             }
         }
+        self.live_pins.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Release a pin taken by [`MvccStore::pin`] / [`MvccStore::pin_at`].
     /// If the minimum live pin rose, sweep every chain — the liveness half
     /// of reclamation: once all snapshots drop, chains shrink back to
     /// length 1.
+    ///
+    /// **Fast-pin mode**: a ring-resident pin releases with one CAS; the
+    /// `min_pin` raise, `oldest_retained` concession and sweep happen at
+    /// sweep points only — quiescence (the gauge draining) or the
+    /// [`SWEEP_EVERY`] staleness bound — inside [`MvccStore::sweep_locked`],
+    /// which takes the publish lock so the recompute can never race a
+    /// publisher. Deferring the floor raise is safe: the floor only ever
+    /// lags, admitting `pin_at`s the per-unpin raise would have rejected
+    /// a little earlier, and those epochs are still resolvable (nothing
+    /// was swept). Ring and tree counts at one epoch are fungible, so
+    /// releasing "a" pin at the epoch — whichever copy is found first —
+    /// keeps the totals exact.
     pub fn unpin(&self, epoch: u64) {
+        if !self.fast_pins {
+            return self.unpin_legacy(epoch);
+        }
+        if !self.ring_unregister(epoch) {
+            // Tree-resident pin (collision/overflow/`pin_at`).
+            let mut pins = self.pins.lock();
+            match pins.get_mut(&epoch) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    pins.remove(&epoch);
+                }
+                None => {
+                    debug_assert!(false, "unpin of an epoch never pinned");
+                    return;
+                }
+            }
+        }
+        let left = self.live_pins.fetch_sub(1, Ordering::SeqCst) - 1;
+        let backlog = self.unswept.fetch_add(1, Ordering::Relaxed) + 1;
+        if left == 0 || backlog >= SWEEP_EVERY {
+            self.sweep_locked();
+        }
+    }
+
+    /// Raise `min_pin` and the `oldest_retained` floor to the settled
+    /// minimum live pin, then sweep. The publish lock excludes
+    /// publishers and `pin_at` for the duration, so the bound cannot go
+    /// stale mid-sweep; fast pins may still land concurrently, but they
+    /// pin the current watermark, and no prune drops a chain's newest
+    /// version (epoch ≤ watermark), so they are safe under any bound
+    /// this computes.
+    fn sweep_locked(&self) {
+        let _publish = self.publish.lock();
+        let pins = self.pins.lock();
+        let tree_min = pins.keys().next().copied().unwrap_or(u64::MAX);
+        let min = self.settle_min(tree_min);
+        let cap = self.watermark.load(Ordering::SeqCst);
+        self.oldest_retained.fetch_max(min.min(cap), Ordering::AcqRel);
+        self.unswept.store(0, Ordering::Relaxed);
+        self.sweep(min);
+        drop(pins);
+    }
+
+    /// The pre-scaling unpin, byte for byte (plus the live-pin gauge):
+    /// every release recomputes the minimum, concedes the floor, and
+    /// sweeps at quiescence or staleness — all inside the pin-table lock.
+    fn unpin_legacy(&self, epoch: u64) {
         let mut pins = self.pins.lock();
         match pins.get_mut(&epoch) {
-            Some(n) if *n > 1 => *n -= 1,
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                self.live_pins.fetch_sub(1, Ordering::SeqCst);
+            }
             Some(_) => {
                 pins.remove(&epoch);
+                self.live_pins.fetch_sub(1, Ordering::SeqCst);
             }
             None => debug_assert!(false, "unpin of an epoch never pinned"),
         }
@@ -1102,5 +1432,95 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_pins_never_lose_their_version_legacy_mode() {
+        // The same churn storm against the pre-scaling locked pin table
+        // (`fast_pins = false`), which the hot-path benchmark's legacy
+        // arm runs — it must stay exactly as safe as before.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        const KEYS: u64 = 8;
+        let s = Arc::new(MvccStore::<u64, i64>::with_opts(4, 0, false));
+        for k in 0..KEYS {
+            s.append(&k, GENESIS_EPOCH, k as i64);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let publish = s.begin_publish();
+                    let epoch = publish.epoch();
+                    s.append(&(v as u64 % KEYS), epoch, v);
+                    drop(publish);
+                    v += 1;
+                }
+            })
+        };
+        let pinners: Vec<_> = (0..2)
+            .map(|p| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let pin = s.pin();
+                        let key = (p + i) % KEYS;
+                        assert!(s.read_at(&key, pin).is_some(), "live pin at {pin} lost key {key}");
+                        s.unpin(pin);
+                    }
+                })
+            })
+            .collect();
+        for h in pinners {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert_eq!(s.counters().pins_live, 0);
+    }
+
+    #[test]
+    fn fast_pins_fall_back_on_ring_slot_collision() {
+        // Two live pins whose epochs collide modulo the ring size cannot
+        // share a slot: the second lands in the locked table instead,
+        // and both still hold their versions until released.
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        let old = s.pin();
+        for _ in 0..RING_SLOTS {
+            commit(&s, 1, 1);
+        }
+        let new = s.pin();
+        assert_eq!(new, old + RING_SLOTS as u64, "epochs collide modulo the ring");
+        assert_eq!(s.counters().pins_live, 2);
+        assert_eq!(s.read_at(&1, old), Some(0), "colliding pin still resolves");
+        s.unpin(old);
+        s.unpin(new);
+        assert_eq!(s.counters().pins_live, 0);
+        s.unpin(s.pin()); // quiescent release forces a settle + sweep
+        assert_eq!(s.chain(&1).len(), 1, "chains collapse once all pins drop");
+    }
+
+    #[test]
+    fn fast_pins_mix_ring_and_tree_at_one_epoch() {
+        // `pin()` lands in the ring, `pin_at` of the same epoch lands in
+        // the tree. Counts at one epoch are fungible: releases resolve
+        // against either copy and the totals stay exact.
+        let s = store();
+        s.append(&1, GENESIS_EPOCH, 0);
+        commit(&s, 1, 1);
+        let ring_pin = s.pin();
+        let tree_pin = s.pin_at(ring_pin).expect("watermark epoch is retained");
+        assert_eq!(ring_pin, tree_pin);
+        assert_eq!(s.counters().pins_live, 2);
+        commit(&s, 1, 2);
+        s.unpin(ring_pin);
+        assert_eq!(s.read_at(&1, tree_pin), Some(1), "remaining pin holds the version");
+        s.unpin(tree_pin);
+        assert_eq!(s.counters().pins_live, 0);
+        assert_eq!(s.chain(&1), vec![(2, 2)]);
     }
 }
