@@ -1,0 +1,46 @@
+//! Cluster scaling benchmark: sharded multi-node engine vs raw `Db`.
+//!
+//! Usage: `cluster_bench [--smoke] [--out PATH]`
+//!
+//! Runs read-mostly and cross-node-write mixes against a raw single-node
+//! `Db` baseline and `Cluster` arms at 1/2/4/8 in-process nodes under
+//! eager gossip, then writes the JSON report (default
+//! `BENCH_cluster.json`). All arms run the same closed-loop worker count
+//! on paired seeds; the summary carries cluster-N/cluster-1 scaling and
+//! the cluster-1/db routing overhead. `--smoke` runs a reduced grid for
+//! CI; the committed baseline is produced by a full run.
+
+use rnt_bench::cluster_exp::run_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    let report = run_bench(smoke);
+
+    println!("| mix | arm | threads | txns/s | gossip sends | entries shipped |");
+    println!("|---|---|---|---|---|---|");
+    for r in &report.rows {
+        println!(
+            "| {} | {} | {} | {:.0} | {} | {} |",
+            r.mix, r.arm, r.threads, r.commits_per_sec, r.gossip_sends, r.gossip_entries
+        );
+    }
+    println!();
+    for s in &report.scaling {
+        println!("{} at {} nodes: {:.2}x vs 1 node", s.mix, s.nodes, s.vs_one_node);
+    }
+    for s in &report.routing_overhead {
+        println!("{} routing layer: {:.2}x of raw db", s.mix, s.vs_one_node);
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out} ({} cells)", report.rows.len());
+}

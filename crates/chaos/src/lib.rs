@@ -26,7 +26,10 @@
 //! Every run — schedule, faults, verdict — is a pure function of a single
 //! `u64` seed ([`driver::run`]); failures shrink to a minimal fault
 //! schedule with [`shrink::shrink_failing_run`]. The [`dist`] module runs
-//! the same idea over the level-5 distributed state machine.
+//! the same idea over the level-5 distributed state machine, and the
+//! [`cluster`] module over the running sharded engine
+//! ([`rnt_cluster::Cluster`]) with node-crash, delayed-gossip and
+//! partition fault classes.
 //!
 //! WAL-backed runs ([`ChaosConfig::wal`]) add machine crashes to the fault
 //! model: [`FaultKind::CrashAfterRecord`] tears the write-ahead log at a
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod dist;
 pub mod driver;
 pub mod oracle;
@@ -51,6 +55,7 @@ pub mod recovery;
 pub mod schedule;
 pub mod shrink;
 
+pub use cluster::{run_cluster_chaos, ClusterChaosConfig, ClusterChaosReport, ClusterFaultClass};
 pub use dist::{run_dist_chaos, DistChaosConfig, DistChaosReport};
 pub use driver::{run, run_with_plan, ChaosConfig, ChaosFailure, ChaosInjector, ChaosReport};
 pub use recovery::{check_crash_recovery, reference_committed, RecoveryReport};

@@ -1,0 +1,1080 @@
+//! The sharded multi-node engine.
+//!
+//! A [`Cluster`] is `k` full [`Db`] nodes — each with its own lock
+//! manager, MVCC store, commit pipeline and (optionally) write-ahead log
+//! — behind one transaction surface. Keys are routed by the
+//! deterministic [`Partition`] (`home(x)`, Section 9.1); a cluster
+//! transaction materializes a *participant* engine transaction per node
+//! it touches, lazily, and nested cluster transactions materialize
+//! engine subtransactions under the participants.
+//!
+//! Commit protocol (no two-phase commit needed): nodes run Moss locking
+//! ([`rnt_core::CcMode::Locking`]), under which a participant that
+//! performed its accesses can always commit — validation cannot fail at
+//! commit time. A cluster commit therefore commits the **home**
+//! participant synchronously (that is the commit point, sequenced by a
+//! cluster sequence number) and hands each remote participant to the
+//! gossip router, which commits it when the status delivery arrives.
+//! Until then the remote node's locks stay held — gossip is
+//! load-bearing, exactly as in the paper's level-5 algebra where a node
+//! may release a lock only once its *local* summary knows the holder
+//! committed. Aborts propagate eagerly (the resilience bias: locks of
+//! dead transactions should die fast).
+
+use crate::partition::Partition;
+use crate::router::{apply_delivery, Delivery, Router, RouterStats};
+use crate::trace::{RecOp, Recorder, ReleasedByNode, TraceValue};
+use parking_lot::{Mutex, RwLock};
+use rnt_core::{Db, DbConfig, Durability, Snapshot, StatsSnapshot, Txn, TxnError};
+use rnt_distributed::{GossipPolicy, NodeId, TraceReport};
+use rnt_model::{Status, UpdateFn};
+use rnt_wal::{MemVfs, WalCodec, WalError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
+use std::ops::RangeBounds;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The per-node WAL file name (each node has its own [`MemVfs`]).
+const NODE_WAL: &str = "node.wal";
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes `k`.
+    pub nodes: usize,
+    /// How commit status gossips to remote participants.
+    pub gossip: GossipPolicy,
+    /// The configuration every node's [`Db`] is built with. Must use
+    /// [`rnt_core::CcMode::Locking`] (the commit protocol relies on
+    /// locking-mode commits being conflict-free).
+    pub node_config: DbConfig,
+    /// Record a level-5 event journal of the run (single-threaded
+    /// drivers only; see [`crate::TraceValue`]).
+    pub trace: bool,
+}
+
+impl ClusterConfig {
+    /// A configuration with `nodes` in-memory nodes, eager gossip, the
+    /// default node config and tracing off.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            gossip: GossipPolicy::EagerFull,
+            node_config: DbConfig::default(),
+            trace: false,
+        }
+    }
+
+    /// Set the gossip policy.
+    pub fn gossip(mut self, gossip: GossipPolicy) -> Self {
+        self.gossip = gossip;
+        self
+    }
+
+    /// Set the per-node engine configuration.
+    pub fn node_config(mut self, config: DbConfig) -> Self {
+        self.node_config = config;
+        self
+    }
+
+    /// Enable or disable trace recording.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// One node: its engine, its (simulated) durable medium, and its
+/// fail-stop bookkeeping.
+struct NodeSlot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    db: Db<K, V>,
+    vfs: Option<Arc<MemVfs>>,
+    /// WAL bytes captured at crash time — what the durable medium held
+    /// when the node failed (later appends by the dying process must not
+    /// leak into recovery).
+    crash_image: Option<Vec<u8>>,
+    incarnation: u64,
+    up: bool,
+}
+
+/// Keys for per-(cluster-action, node) bookkeeping: the action's path
+/// *relative to the transaction* (empty = the top level) plus the node.
+type Slot = (Vec<u32>, NodeId);
+
+/// The mutable state of one live cluster transaction.
+struct TxnState<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// Engine transactions: participants at `(\[\], node)`, engine
+    /// subtransactions below them.
+    txns: BTreeMap<Slot, Txn<K, V>>,
+    /// Final written value per key per slot (redo images; durable
+    /// clusters only).
+    writes: BTreeMap<Slot, BTreeMap<K, V>>,
+    /// Keys each cluster action write-locked, per node (the journal's
+    /// lock bookkeeping; engine read locks have no model image).
+    touched: BTreeMap<Slot, BTreeSet<K>>,
+    /// Node incarnation each participant was created against.
+    participant_inc: BTreeMap<NodeId, u64>,
+    /// Live (unresolved) cluster actions, as relative paths; always
+    /// contains `[]` until the top level resolves.
+    live_paths: BTreeSet<Vec<u32>>,
+    /// Next child index per relative path (shared by subtransactions and
+    /// accesses, so model action ids never collide).
+    next_idx: BTreeMap<Vec<u32>, u32>,
+    /// Set when a participant node crashed under the transaction.
+    doomed: Option<NodeId>,
+    /// The top level has resolved (committed or aborted).
+    finished: bool,
+}
+
+struct TxnInner<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    ctid: u64,
+    home: NodeId,
+    state: Mutex<TxnState<K, V>>,
+}
+
+struct ClusterInner<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    config: ClusterConfig,
+    partition: Partition,
+    durable: bool,
+    nodes: Vec<RwLock<NodeSlot<K, V>>>,
+    /// Commits/aborts take this shared; cluster-wide snapshots take it
+    /// exclusively, so a snapshot never observes a half-propagated
+    /// commit.
+    gate: RwLock<()>,
+    router: Mutex<Router<K, V>>,
+    live: Mutex<BTreeMap<u64, Arc<TxnInner<K, V>>>>,
+    commit_log: Mutex<Vec<(u64, u64)>>,
+    next_ctid: AtomicU64,
+    next_cseq: AtomicU64,
+    aborts: AtomicU64,
+    recorder: Option<Mutex<Recorder<K>>>,
+}
+
+/// A sharded multi-node database: the paper's level-5 system as a
+/// runtime. Cheap to clone (all clones share the cluster).
+pub struct Cluster<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    inner: Arc<ClusterInner<K, V>>,
+}
+
+impl<K, V> Clone for Cluster<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn clone(&self) -> Self {
+        Cluster { inner: self.inner.clone() }
+    }
+}
+
+/// Counters over the whole cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterStats {
+    /// Cluster transactions committed.
+    pub commits: u64,
+    /// Cluster transactions aborted.
+    pub aborts: u64,
+    /// Gossip traffic and fault accounting.
+    pub router: RouterStats,
+    /// Deliveries currently queued.
+    pub pending_deliveries: usize,
+    /// Per-node engine counters.
+    pub nodes: Vec<StatsSnapshot>,
+}
+
+/// A cluster-wide consistent snapshot: one pinned MVCC snapshot per
+/// node, taken under the commit gate after a full router flush, so every
+/// cluster commit is either fully visible on all nodes or on none.
+pub struct ClusterSnapshot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    partition: Partition,
+    pins: Vec<Snapshot<K, V>>,
+}
+
+impl<K, V> ClusterSnapshot<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    /// Read a key through the snapshot.
+    pub fn read(&self, key: &K) -> Option<V> {
+        self.pins[self.partition.home(key)].read(key)
+    }
+
+    /// All key/value pairs in `bounds`, ascending by key, merged across
+    /// nodes.
+    pub fn range<R: RangeBounds<K> + Clone>(&self, bounds: R) -> Vec<(K, V)> {
+        let mut out: Vec<(K, V)> = Vec::new();
+        for pin in &self.pins {
+            out.extend(pin.range(bounds.clone()));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The pinned epoch at each node.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.pins.iter().map(Snapshot::epoch).collect()
+    }
+}
+
+/// A (possibly nested) cluster transaction. The top-level handle comes
+/// from [`Cluster::begin`]; [`ClusterTxn::child`] opens a resilient
+/// subtransaction whose failure aborts only its own subtree, even when
+/// that subtree spans nodes. Dropping a live handle aborts it.
+pub struct ClusterTxn<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + TraceValue + Send + Sync + 'static,
+{
+    cluster: Cluster<K, V>,
+    txn: Arc<TxnInner<K, V>>,
+    path: Vec<u32>,
+}
+
+impl<K, V> Cluster<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + TraceValue + Send + Sync + 'static,
+{
+    /// Build an in-memory cluster (no write-ahead logs; node crash is
+    /// not survivable — see [`Cluster::new_durable`]).
+    pub fn new(config: ClusterConfig) -> Self {
+        assert_eq!(
+            config.node_config.durability,
+            Durability::None,
+            "durable node configs need Cluster::new_durable (WalCodec bounds)"
+        );
+        let slots = (0..config.nodes)
+            .map(|_| NodeSlot {
+                db: Db::with_config(config.node_config.clone()),
+                vfs: None,
+                crash_image: None,
+                incarnation: 0,
+                up: true,
+            })
+            .collect();
+        Self::assemble(config, slots, false)
+    }
+
+    fn assemble(config: ClusterConfig, slots: Vec<NodeSlot<K, V>>, durable: bool) -> Self {
+        assert!(config.nodes > 0, "a cluster needs at least one node");
+        let recorder = config.trace.then(|| Mutex::new(Recorder::new()));
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                partition: Partition::new(config.nodes),
+                durable,
+                nodes: slots.into_iter().map(RwLock::new).collect(),
+                gate: RwLock::new(()),
+                router: Mutex::new(Router::new(config.nodes)),
+                live: Mutex::new(BTreeMap::new()),
+                commit_log: Mutex::new(Vec::new()),
+                next_ctid: AtomicU64::new(0),
+                next_cseq: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                recorder,
+                config,
+            }),
+        }
+    }
+
+    fn record(&self, op: impl FnOnce() -> RecOp<K>) {
+        if let Some(rec) = &self.inner.recorder {
+            rec.lock().ops.push(op());
+        }
+    }
+
+    /// Number of nodes `k`.
+    pub fn node_count(&self) -> usize {
+        self.inner.config.nodes
+    }
+
+    /// The partition map (`home`).
+    pub fn partition(&self) -> Partition {
+        self.inner.partition
+    }
+
+    /// The engine at `node` — an escape hatch for harnesses (audit logs,
+    /// chaos hooks, per-node inspection).
+    pub fn node(&self, node: NodeId) -> Db<K, V> {
+        self.inner.nodes[node].db_clone()
+    }
+
+    /// Whether `node` is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.inner.nodes[node].read().up
+    }
+
+    /// Seed a key at its home node (the fixed object universe of the
+    /// paper: keys exist before transactions use them). Returns false if
+    /// the key was already present.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let node = self.inner.partition.home(&key);
+        let init = value.trace_value();
+        let key_for_trace = key.clone();
+        let fresh = {
+            let slot = self.inner.nodes[node].read();
+            slot.db.insert(key, value)
+        };
+        if fresh {
+            self.record(|| RecOp::Seed { key: key_for_trace, node, init });
+        }
+        fresh
+    }
+
+    /// The committed value of `key` at its home node.
+    pub fn committed_value(&self, key: &K) -> Result<Option<V>, TxnError> {
+        let node = self.inner.partition.home(key);
+        let slot = self.inner.nodes[node].read();
+        if !slot.up {
+            return Err(TxnError::Unavailable { node });
+        }
+        Ok(slot.db.committed_value(key))
+    }
+
+    /// Begin a top-level cluster transaction. Its home node is chosen
+    /// round-robin; all its non-access bookkeeping lives there, mirroring
+    /// `origin(A) = home(parent(A))`.
+    pub fn begin(&self) -> ClusterTxn<K, V> {
+        let ctid = self.inner.next_ctid.fetch_add(1, Ordering::Relaxed);
+        let home = (ctid % self.inner.config.nodes as u64) as NodeId;
+        let mut live_paths = BTreeSet::new();
+        live_paths.insert(Vec::new());
+        let txn = Arc::new(TxnInner {
+            ctid,
+            home,
+            state: Mutex::new(TxnState {
+                txns: BTreeMap::new(),
+                writes: BTreeMap::new(),
+                touched: BTreeMap::new(),
+                participant_inc: BTreeMap::new(),
+                live_paths,
+                next_idx: BTreeMap::new(),
+                doomed: None,
+                finished: false,
+            }),
+        });
+        self.inner.live.lock().insert(ctid, txn.clone());
+        self.record(|| RecOp::Create { action: vec![ctid as u32], home });
+        ClusterTxn { cluster: self.clone(), txn, path: Vec::new() }
+    }
+
+    /// Run `body` in a cluster transaction with automatic retry on
+    /// retryable (contention) errors — [`Db::run`] one level up.
+    pub fn run<R>(
+        &self,
+        body: impl FnMut(&ClusterTxn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        self.run_with_retries(u32::MAX, body)
+    }
+
+    /// [`Cluster::run`] with an explicit bound on re-runs (0 = try once).
+    pub fn run_with_retries<R>(
+        &self,
+        max_retries: u32,
+        mut body: impl FnMut(&ClusterTxn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut attempts: u32 = 0;
+        loop {
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(out) => match txn.commit() {
+                    Ok(()) => return Ok(out),
+                    Err(e) if e.is_retryable() && attempts < max_retries => {
+                        attempts += 1;
+                        backoff(attempts);
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() && attempts < max_retries => {
+                    txn.abort();
+                    attempts += 1;
+                    backoff(attempts);
+                }
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// A cluster-wide consistent snapshot: drains the router under an
+    /// exclusive commit gate, then pins every node. Fails with
+    /// [`TxnError::Unavailable`] while any node is down.
+    pub fn snapshot(&self) -> Result<ClusterSnapshot<K, V>, TxnError> {
+        let _gate = self.inner.gate.write();
+        for (node, slot) in self.inner.nodes.iter().enumerate() {
+            if !slot.read().up {
+                return Err(TxnError::Unavailable { node });
+            }
+        }
+        {
+            let mut router = self.inner.router.lock();
+            self.pump_locked(&mut router, true);
+            debug_assert_eq!(router.pending(), 0, "flush must drain the router");
+        }
+        let pins = self.inner.nodes.iter().map(|slot| slot.read().db.snapshot()).collect();
+        Ok(ClusterSnapshot { partition: self.inner.partition, pins })
+    }
+
+    /// Deliver whatever the links currently allow (one pump round).
+    /// Useful with [`GossipPolicy::Periodic`] and in fault drivers.
+    pub fn pump(&self) {
+        let _gate = self.inner.gate.read();
+        let mut router = self.inner.router.lock();
+        self.pump_locked(&mut router, false);
+    }
+
+    /// Force-deliver everything to every up node, ignoring link faults.
+    pub fn flush(&self) {
+        let _gate = self.inner.gate.write();
+        let mut router = self.inner.router.lock();
+        self.pump_locked(&mut router, true);
+    }
+
+    /// Partition or heal the directed link `from → to`.
+    pub fn set_link_blocked(&self, from: NodeId, to: NodeId, blocked: bool) {
+        self.inner.router.lock().blocked[from][to] = blocked;
+    }
+
+    /// Delay deliveries on the directed link `from → to` by `rounds`
+    /// pump rounds.
+    pub fn set_link_delay(&self, from: NodeId, to: NodeId, rounds: u32) {
+        self.inner.router.lock().delay[from][to] = rounds;
+    }
+
+    /// Heal all partitions and clear all delays.
+    pub fn heal_links(&self) {
+        let mut router = self.inner.router.lock();
+        for row in router.blocked.iter_mut() {
+            row.fill(false);
+        }
+        for row in router.delay.iter_mut() {
+            row.fill(0);
+        }
+    }
+
+    /// The global commit order as `(cseq, ctid)` pairs.
+    pub fn commit_log(&self) -> Vec<(u64, u64)> {
+        self.inner.commit_log.lock().clone()
+    }
+
+    /// The order `(cseq, ctid)` in which `node` applied remote commits.
+    pub fn delivery_log(&self, node: NodeId) -> Vec<(u64, u64)> {
+        self.inner.router.lock().delivery_log[node].clone()
+    }
+
+    /// Cluster-wide counters.
+    pub fn stats(&self) -> ClusterStats {
+        let router = self.inner.router.lock();
+        ClusterStats {
+            commits: self.inner.commit_log.lock().len() as u64,
+            aborts: self.inner.aborts.load(Ordering::Relaxed),
+            router: router.stats,
+            pending_deliveries: router.pending(),
+            nodes: self.inner.nodes.iter().map(|slot| slot.read().db.stats()).collect(),
+        }
+    }
+
+    /// Validate the recorded journal against the formal tower (requires
+    /// [`ClusterConfig::trace`]); `deep` adds the Theorem-29 composed
+    /// simulation. Pending deliveries are fine — a valid prefix is still
+    /// a valid run.
+    pub fn validate_trace(&self, deep: bool) -> Result<TraceReport, String> {
+        let rec = self.inner.recorder.as_ref().ok_or("tracing is disabled for this cluster")?;
+        let ops = rec.lock();
+        crate::trace::validate(self.inner.config.nodes, &ops.ops, deep)
+    }
+
+    /// Mark `node` failed (fail-stop): its engine is frozen, every live
+    /// cluster transaction with a participant there is force-aborted
+    /// cluster-wide, and — on a durable cluster — the WAL bytes as of
+    /// this instant become the recovery image for
+    /// [`Cluster::recover_node`].
+    pub fn crash_node(&self, node: NodeId) {
+        {
+            let mut slot = self.inner.nodes[node].write();
+            assert!(slot.up, "crash of a node that is already down");
+            slot.up = false;
+            slot.incarnation += 1;
+            slot.crash_image = slot.vfs.as_ref().map(|vfs| vfs.snapshot(NODE_WAL));
+        }
+        let victims: Vec<Arc<TxnInner<K, V>>> = self.inner.live.lock().values().cloned().collect();
+        for victim in victims {
+            let mut st = victim.state.lock();
+            if st.finished || !st.participant_inc.contains_key(&node) {
+                continue;
+            }
+            self.abort_subtree(&victim, &mut st, &[]);
+            st.finished = true;
+            st.doomed = Some(node);
+            drop(st);
+            self.inner.aborts.fetch_add(1, Ordering::Relaxed);
+            self.inner.live.lock().remove(&victim.ctid);
+        }
+    }
+
+    /// One delivery round under the router lock.
+    fn pump_locked(&self, router: &mut Router<K, V>, flush: bool) {
+        router.age();
+        for node in 0..self.inner.config.nodes {
+            self.drain_node_locked(router, node, flush);
+        }
+    }
+
+    /// Drain `node`'s queue as far as the links (or `flush`) allow.
+    fn drain_node_locked(&self, router: &mut Router<K, V>, node: NodeId, flush: bool) {
+        while router.front_deliverable(node, flush) {
+            let (db, incarnation, up) = {
+                let slot = self.inner.nodes[node].read();
+                (slot.db.clone(), slot.incarnation, slot.up)
+            };
+            if !up {
+                break;
+            }
+            let delivery = router.queues[node].pop_front().expect("front checked");
+            let entry = (delivery.cseq, delivery.ctid);
+            let ctid = delivery.ctid;
+            let released = apply_delivery(delivery, &db, incarnation, &mut router.stats);
+            router.delivery_log[node].push(entry);
+            router.known[node].insert(ctid, Status::Committed);
+            self.record(|| RecOp::Deliver {
+                node,
+                action: vec![ctid as u32],
+                released: released.into_iter().map(|k| (vec![ctid as u32], k)).collect(),
+            });
+        }
+    }
+
+    /// Policy-directed pumping after a commit enqueued deliveries.
+    fn pump_policy_locked(&self, router: &mut Router<K, V>) {
+        match self.inner.config.gossip {
+            GossipPolicy::EagerFull | GossipPolicy::DeltaOnChange => {
+                self.pump_locked(router, false);
+            }
+            GossipPolicy::Periodic(n) => {
+                router.since_pump += 1;
+                if router.since_pump >= n {
+                    router.since_pump = 0;
+                    self.pump_locked(router, false);
+                }
+            }
+        }
+    }
+
+    /// Create the engine-transaction chain for `path` at `node` (the
+    /// participant, then one engine subtransaction per nesting level).
+    fn ensure_chain(
+        &self,
+        txn: &TxnInner<K, V>,
+        st: &mut TxnState<K, V>,
+        node: NodeId,
+        path: &[u32],
+    ) -> Result<(), TxnError> {
+        for depth in 0..=path.len() {
+            let slot_key = (path[..depth].to_vec(), node);
+            if st.txns.contains_key(&slot_key) {
+                continue;
+            }
+            let engine_txn = if depth == 0 {
+                let slot = self.inner.nodes[node].read();
+                if !slot.up {
+                    return Err(TxnError::Unavailable { node });
+                }
+                st.participant_inc.insert(node, slot.incarnation);
+                slot.db.begin()
+            } else {
+                let parent_key = (path[..depth - 1].to_vec(), node);
+                st.txns.get(&parent_key).expect("parent ensured").child()?
+            };
+            st.txns.insert(slot_key, engine_txn);
+        }
+        let _ = txn;
+        Ok(())
+    }
+
+    /// Abort the cluster-action subtree rooted at `root` (relative
+    /// path): engine aborts deepest-first everywhere, eager status
+    /// gossip, and the journal's `lose-lock`s.
+    fn abort_subtree(&self, txn: &TxnInner<K, V>, st: &mut TxnState<K, V>, root: &[u32]) {
+        let mut paths: Vec<Vec<u32>> = st
+            .live_paths
+            .iter()
+            .filter(|p| p.len() >= root.len() && p[..root.len()] == *root)
+            .cloned()
+            .collect();
+        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        let mut released: BTreeMap<NodeId, Vec<(Vec<u32>, K)>> = BTreeMap::new();
+        for path in &paths {
+            let slots: Vec<Slot> = st.txns.keys().filter(|(p, _)| p == path).cloned().collect();
+            for slot in slots {
+                let handle = st.txns.remove(&slot).expect("listed");
+                handle.abort();
+            }
+            let touched_slots: Vec<Slot> =
+                st.touched.keys().filter(|(p, _)| p == path).cloned().collect();
+            for slot in touched_slots {
+                let keys = st.touched.remove(&slot).expect("listed");
+                let holder = Self::action_path(txn.ctid, &slot.0);
+                released
+                    .entry(slot.1)
+                    .or_default()
+                    .extend(keys.into_iter().map(|k| (holder.clone(), k)));
+            }
+            st.writes.retain(|(p, _), _| p != path);
+            st.next_idx.remove(path);
+            st.live_paths.remove(path);
+        }
+        self.record(|| RecOp::Finish {
+            action: Self::action_path(txn.ctid, root),
+            home: txn.home,
+            committed: false,
+            released: released.into_iter().collect(),
+        });
+    }
+
+    fn action_path(ctid: u64, rel: &[u32]) -> Vec<u32> {
+        let mut path = Vec::with_capacity(rel.len() + 1);
+        path.push(ctid as u32);
+        path.extend_from_slice(rel);
+        path
+    }
+}
+
+/// Read-only slot access without poisoning generic bounds.
+trait SlotExt<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn db_clone(&self) -> Db<K, V>;
+}
+
+impl<K, V> SlotExt<K, V> for RwLock<NodeSlot<K, V>>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + Send + Sync + 'static,
+{
+    fn db_clone(&self) -> Db<K, V> {
+        self.read().db.clone()
+    }
+}
+
+impl<K, V> Cluster<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + WalCodec + 'static,
+    V: Clone + Hash + TraceValue + Send + Sync + WalCodec + 'static,
+{
+    /// Build a durable cluster: every node writes a WAL on its own
+    /// in-memory VFS, so [`Cluster::crash_node`] /
+    /// [`Cluster::recover_node`] model fail-stop crashes that keep
+    /// committed state. The node config must enable durability
+    /// ([`Durability::Wal`] or [`Durability::WalFsync`]).
+    pub fn new_durable(config: ClusterConfig) -> Result<Self, WalError> {
+        assert_ne!(
+            config.node_config.durability,
+            Durability::None,
+            "durable clusters need a WAL-enabled node config"
+        );
+        let mut slots = Vec::with_capacity(config.nodes);
+        for _ in 0..config.nodes {
+            let vfs = Arc::new(MemVfs::new());
+            let db = Db::open_with_vfs(vfs.clone(), NODE_WAL, config.node_config.clone())?;
+            slots.push(NodeSlot {
+                db,
+                vfs: Some(vfs),
+                crash_image: None,
+                incarnation: 0,
+                up: true,
+            });
+        }
+        Ok(Self::assemble(config, slots, true))
+    }
+
+    /// Recover a crashed node from its WAL image: replay its log into a
+    /// fresh engine (in-flight participants become the crash's aborted
+    /// casualties), then flush every queued delivery destined to it —
+    /// commits the crash interrupted are re-applied from their redo
+    /// images, which is what makes a cluster commit durable even when a
+    /// remote participant dies before its status arrives.
+    pub fn recover_node(&self, node: NodeId) -> Result<(), WalError> {
+        {
+            let mut slot = self.inner.nodes[node].write();
+            assert!(!slot.up, "recover of a node that is up");
+            let image = slot.crash_image.take().unwrap_or_default();
+            let vfs = Arc::new(MemVfs::new());
+            vfs.install(NODE_WAL, image);
+            let db =
+                Db::recover_with_vfs(vfs.clone(), NODE_WAL, self.inner.config.node_config.clone())?;
+            slot.db = db;
+            slot.vfs = Some(vfs);
+            slot.up = true;
+        }
+        let mut router = self.inner.router.lock();
+        self.drain_node_locked(&mut router, node, true);
+        Ok(())
+    }
+}
+
+/// Seeded-free backoff between cluster retry attempts (mirrors
+/// [`Db::run`]'s spirit without per-db state): yield first, then sleep a
+/// capped, attempt-scaled duration.
+fn backoff(attempt: u32) {
+    if attempt <= 2 {
+        std::thread::yield_now();
+        return;
+    }
+    let micros = 1u64 << attempt.min(7);
+    std::thread::sleep(Duration::from_micros(micros));
+}
+
+impl<K, V> ClusterTxn<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + TraceValue + Send + Sync + 'static,
+{
+    /// The cluster transaction id.
+    pub fn id(&self) -> u64 {
+        self.txn.ctid
+    }
+
+    /// The transaction's home node.
+    pub fn home(&self) -> NodeId {
+        self.txn.home
+    }
+
+    /// True while this (sub)transaction is unresolved.
+    pub fn is_live(&self) -> bool {
+        let st = self.txn.state.lock();
+        !st.finished && st.live_paths.contains(&self.path)
+    }
+
+    /// Read `key` at its home node.
+    pub fn get(&self, key: &K) -> Result<V, TxnError> {
+        self.op(self.cluster.inner.partition.home(key), key, None)
+    }
+
+    /// Write `key` at its home node; returns the previously visible
+    /// value.
+    pub fn put(&self, key: &K, value: V) -> Result<V, TxnError> {
+        self.op(self.cluster.inner.partition.home(key), key, Some(value))
+    }
+
+    /// Read-modify-write: `get` then `put` under the same (held) lock.
+    /// Returns the value seen.
+    pub fn rmw(&self, key: &K, f: impl Fn(&V) -> V) -> Result<V, TxnError> {
+        let seen = self.get(key)?;
+        self.put(key, f(&seen))?;
+        Ok(seen)
+    }
+
+    /// [`ClusterTxn::get`] addressed to an explicit node — the paper's
+    /// side condition `home(x) = i` checked at runtime: a mismatch is
+    /// [`TxnError::WrongNode`].
+    pub fn get_at(&self, node: NodeId, key: &K) -> Result<V, TxnError> {
+        self.op(node, key, None)
+    }
+
+    fn op(&self, node: NodeId, key: &K, write: Option<V>) -> Result<V, TxnError> {
+        let home_of_key = self.cluster.inner.partition.home(key);
+        if node != home_of_key {
+            return Err(TxnError::WrongNode { node, home: home_of_key });
+        }
+        let mut st = self.txn.state.lock();
+        if st.finished || !st.live_paths.contains(&self.path) {
+            return Err(self.gone_error(&st));
+        }
+        self.cluster.ensure_chain(&self.txn, &mut st, node, &self.path)?;
+        let engine_txn = st.txns.get(&(self.path.clone(), node)).expect("chain ensured");
+        let seen = match &write {
+            Some(value) => engine_txn.write(key, value.clone()),
+            None => engine_txn.read(key),
+        }?;
+        // Only writes enter the journal bookkeeping: the formal tower
+        // models the exclusive-lock algebra, so the trace maps the run's
+        // write skeleton (see trace.rs); reads hold engine read locks
+        // but have no model image.
+        if let Some(value) = &write {
+            let slot = (self.path.clone(), node);
+            st.touched.entry(slot.clone()).or_default().insert(key.clone());
+            if self.cluster.inner.durable {
+                st.writes.entry(slot).or_default().insert(key.clone(), value.clone());
+            }
+            let idx_slot = st.next_idx.entry(self.path.clone()).or_insert(0);
+            let aidx = *idx_slot;
+            *idx_slot += 1;
+            let (ctid, home) = (self.txn.ctid, self.txn.home);
+            let update = UpdateFn::Write(value.trace_value());
+            let pre = seen.trace_value();
+            let rel = &self.path;
+            self.cluster.record(|| {
+                let mut action = Cluster::<K, V>::action_path(ctid, rel);
+                action.push(aidx);
+                RecOp::Access { action, home, node, key: key.clone(), pre, update }
+            });
+        }
+        Ok(seen)
+    }
+
+    fn gone_error(&self, st: &TxnState<K, V>) -> TxnError {
+        match st.doomed {
+            Some(node) => TxnError::Unavailable { node },
+            None => TxnError::NotActive,
+        }
+    }
+
+    /// Open a resilient subtransaction: its failure (or a node failure
+    /// under it) aborts only its own subtree; its commit publishes its
+    /// work to this transaction via engine lock inheritance on every
+    /// node it touched.
+    pub fn child(&self) -> Result<ClusterTxn<K, V>, TxnError> {
+        let mut st = self.txn.state.lock();
+        if st.finished || !st.live_paths.contains(&self.path) {
+            return Err(self.gone_error(&st));
+        }
+        let idx_slot = st.next_idx.entry(self.path.clone()).or_insert(0);
+        let idx = *idx_slot;
+        *idx_slot += 1;
+        let mut child_path = self.path.clone();
+        child_path.push(idx);
+        st.live_paths.insert(child_path.clone());
+        let (ctid, home) = (self.txn.ctid, self.txn.home);
+        let rel = &child_path;
+        self.cluster
+            .record(|| RecOp::Create { action: Cluster::<K, V>::action_path(ctid, rel), home });
+        Ok(ClusterTxn { cluster: self.cluster.clone(), txn: self.txn.clone(), path: child_path })
+    }
+
+    /// Run `body` in a subtransaction with bounded retry — the cluster
+    /// mirror of [`Txn::run_child`].
+    pub fn run_child<R>(
+        &self,
+        max_retries: u32,
+        mut body: impl FnMut(&ClusterTxn<K, V>) -> Result<R, TxnError>,
+    ) -> Result<R, TxnError> {
+        let mut attempts = 0;
+        loop {
+            let child = self.child()?;
+            match body(&child) {
+                Ok(out) => match child.commit() {
+                    Ok(()) => return Ok(out),
+                    Err(e) if e.is_retryable() && attempts < max_retries => attempts += 1,
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() && attempts < max_retries => {
+                    child.abort();
+                    attempts += 1;
+                }
+                Err(e) => {
+                    child.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Commit. For the top level this is the cluster commit point: the
+    /// home participant commits synchronously under the commit gate, the
+    /// commit takes its place in the cluster serialization, and each
+    /// remote participant is handed to the gossip router. For a
+    /// subtransaction every engine subtransaction commits synchronously
+    /// (lock inheritance is node-local).
+    pub fn commit(self) -> Result<(), TxnError> {
+        if self.path.is_empty() {
+            self.commit_top()
+        } else {
+            self.commit_child()
+        }
+    }
+
+    fn commit_top(&self) -> Result<(), TxnError> {
+        let cluster = self.cluster.clone();
+        let _gate = cluster.inner.gate.read();
+        let mut st = self.txn.state.lock();
+        if st.finished {
+            return Err(self.gone_error(&st));
+        }
+        let live_children = st.live_paths.iter().filter(|p| !p.is_empty()).count();
+        if live_children > 0 {
+            return Err(TxnError::ChildrenActive(live_children as u32));
+        }
+        let (ctid, home) = (self.txn.ctid, self.txn.home);
+        if let Some(home_txn) = st.txns.remove(&(Vec::new(), home)) {
+            if let Err(e) = home_txn.commit() {
+                cluster.abort_subtree(&self.txn, &mut st, &[]);
+                st.finished = true;
+                drop(st);
+                cluster.inner.aborts.fetch_add(1, Ordering::Relaxed);
+                cluster.inner.live.lock().remove(&ctid);
+                return Err(e);
+            }
+        }
+        let cseq = cluster.inner.next_cseq.fetch_add(1, Ordering::Relaxed);
+        cluster.inner.commit_log.lock().push((cseq, ctid));
+        st.finished = true;
+        let home_released: Vec<K> =
+            st.touched.remove(&(Vec::new(), home)).unwrap_or_default().into_iter().collect();
+        cluster.record(|| RecOp::Finish {
+            action: vec![ctid as u32],
+            home,
+            committed: true,
+            released: vec![(
+                home,
+                home_released.iter().map(|k| (vec![ctid as u32], k.clone())).collect(),
+            )],
+        });
+        // Hand each remote participant to the router: its locks stay
+        // held until the status delivery arrives.
+        let remotes: Vec<NodeId> =
+            st.txns.keys().filter(|(p, _)| p.is_empty()).map(|(_, n)| *n).collect();
+        let mut deliveries = Vec::with_capacity(remotes.len());
+        for node in remotes {
+            let engine_txn = st.txns.remove(&(Vec::new(), node)).expect("listed");
+            let writes: Vec<(K, V)> =
+                st.writes.remove(&(Vec::new(), node)).unwrap_or_default().into_iter().collect();
+            let touched: Vec<K> =
+                st.touched.remove(&(Vec::new(), node)).unwrap_or_default().into_iter().collect();
+            let incarnation = st.participant_inc[&node];
+            deliveries.push((
+                node,
+                Delivery {
+                    cseq,
+                    ctid,
+                    from: home,
+                    txn: Some(engine_txn),
+                    incarnation,
+                    writes,
+                    touched,
+                    hold: 0,
+                },
+            ));
+        }
+        drop(st);
+        cluster.inner.live.lock().remove(&ctid);
+        if !deliveries.is_empty()
+            || matches!(cluster.inner.config.gossip, GossipPolicy::Periodic(_))
+        {
+            let eager = matches!(cluster.inner.config.gossip, GossipPolicy::EagerFull);
+            let mut router = cluster.inner.router.lock();
+            router.known[home].insert(ctid, Status::Committed);
+            for (node, delivery) in deliveries {
+                cluster.record(|| RecOp::Send { from: home, to: node, action: vec![ctid as u32] });
+                router.enqueue(delivery, node, eager);
+            }
+            cluster.pump_policy_locked(&mut router);
+        }
+        Ok(())
+    }
+
+    fn commit_child(&self) -> Result<(), TxnError> {
+        let cluster = self.cluster.clone();
+        let mut st = self.txn.state.lock();
+        if st.finished || !st.live_paths.contains(&self.path) {
+            return Err(self.gone_error(&st));
+        }
+        let live_descendants = st
+            .live_paths
+            .iter()
+            .filter(|p| p.len() > self.path.len() && p[..self.path.len()] == self.path[..])
+            .count();
+        if live_descendants > 0 {
+            return Err(TxnError::ChildrenActive(live_descendants as u32));
+        }
+        let (ctid, home) = (self.txn.ctid, self.txn.home);
+        // Commit the engine subtransactions node by node; inheritance
+        // publishes their work to the parent chain on each node.
+        let slots: Vec<Slot> = st.txns.keys().filter(|(p, _)| *p == self.path).cloned().collect();
+        for slot in &slots {
+            let engine_txn = st.txns.remove(slot).expect("listed");
+            if let Err(e) = engine_txn.commit() {
+                cluster.abort_subtree(&self.txn, &mut st, &self.path);
+                return Err(e);
+            }
+        }
+        // The journal's releases: this action's locks pass to its parent.
+        let action = Cluster::<K, V>::action_path(ctid, &self.path);
+        let touched_slots: Vec<Slot> =
+            st.touched.keys().filter(|(p, _)| *p == self.path).cloned().collect();
+        let mut released: ReleasedByNode<K> = Vec::new();
+        let parent_path = self.path[..self.path.len() - 1].to_vec();
+        for slot in touched_slots {
+            let keys = st.touched.remove(&slot).expect("listed");
+            released.push((slot.1, keys.iter().map(|k| (action.clone(), k.clone())).collect()));
+            st.touched.entry((parent_path.clone(), slot.1)).or_default().extend(keys);
+        }
+        let write_slots: Vec<Slot> =
+            st.writes.keys().filter(|(p, _)| *p == self.path).cloned().collect();
+        for slot in write_slots {
+            let writes = st.writes.remove(&slot).expect("listed");
+            st.writes.entry((parent_path.clone(), slot.1)).or_default().extend(writes);
+        }
+        st.live_paths.remove(&self.path);
+        st.next_idx.remove(&self.path);
+        cluster.record(|| RecOp::Finish { action, home, committed: true, released });
+        Ok(())
+    }
+
+    /// Abort this (sub)transaction: engine aborts everywhere it ran,
+    /// eager status gossip, locks lost. A subtransaction abort leaves
+    /// its parent fully usable — the paper's resilience, across nodes.
+    pub fn abort(self) {
+        self.abort_in_place();
+    }
+
+    fn abort_in_place(&self) {
+        let cluster = self.cluster.clone();
+        if self.path.is_empty() {
+            let _gate = cluster.inner.gate.read();
+            let mut st = self.txn.state.lock();
+            if st.finished {
+                return;
+            }
+            cluster.abort_subtree(&self.txn, &mut st, &[]);
+            st.finished = true;
+            drop(st);
+            cluster.inner.aborts.fetch_add(1, Ordering::Relaxed);
+            cluster.inner.live.lock().remove(&self.txn.ctid);
+        } else {
+            let mut st = self.txn.state.lock();
+            if st.finished || !st.live_paths.contains(&self.path) {
+                return;
+            }
+            cluster.abort_subtree(&self.txn, &mut st, &self.path);
+        }
+    }
+}
+
+impl<K, V> Drop for ClusterTxn<K, V>
+where
+    K: Eq + Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Hash + TraceValue + Send + Sync + 'static,
+{
+    fn drop(&mut self) {
+        self.abort_in_place();
+    }
+}

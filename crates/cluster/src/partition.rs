@@ -1,0 +1,89 @@
+//! The partition map: `home(x)` for runtime keys.
+//!
+//! The paper fixes an a-priori assignment of objects to nodes (Section
+//! 9.1); the runtime equivalent is a deterministic hash partition over
+//! the key space. Determinism matters twice over: every handle of the
+//! same cluster must route a key identically, and the chaos harness
+//! replays whole runs from a seed — so the hash must not depend on
+//! process-random state the way `std`'s default `RandomState` does. We
+//! use FNV-1a over the key's `Hash` byte stream.
+
+use rnt_distributed::NodeId;
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, a fixed (seedless) hasher for the partition map.
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The cluster's `home` function: key → owning node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    nodes: usize,
+}
+
+impl Partition {
+    /// A partition over `nodes` nodes (at least one).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Partition { nodes }
+    }
+
+    /// Number of nodes `k`.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// `home(x)`: the node owning `key`. Deterministic across processes
+    /// and handles.
+    pub fn home<K: Hash + ?Sized>(&self, key: &K) -> NodeId {
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        key.hash(&mut h);
+        (h.finish() % self.nodes as u64) as NodeId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let p = Partition::new(4);
+        for k in 0u64..1000 {
+            let h = p.home(&k);
+            assert!(h < 4);
+            assert_eq!(h, p.home(&k), "routing must be stable");
+            assert_eq!(h, Partition::new(4).home(&k), "routing must be shared");
+        }
+    }
+
+    #[test]
+    fn single_node_takes_all() {
+        let p = Partition::new(1);
+        assert_eq!(p.home(&"anything"), 0);
+    }
+
+    #[test]
+    fn spreads_keys() {
+        let p = Partition::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0u64..4000 {
+            counts[p.home(&k)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 500, "node {i} got only {c}/4000 keys");
+        }
+    }
+}

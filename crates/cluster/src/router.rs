@@ -1,0 +1,185 @@
+//! The gossip router: the paper's message buffer made executable.
+//!
+//! Cross-node commit status travels as *deliveries*: when a cluster
+//! transaction commits at its home node, each remote participant
+//! transaction is handed to the router together with the commit's
+//! cluster sequence number and a redo image of the writes it performed
+//! at that node. The router keeps one FIFO queue per recipient and
+//! applies deliveries **strictly in enqueue (= cluster commit) order**,
+//! so each node's apply order embeds into the cluster serialization —
+//! the runtime shadow of Theorem 29's order embedding.
+//!
+//! Fault classes the queues model:
+//!
+//! * **delayed gossip** — a per-link hold count; a held delivery blocks
+//!   its recipient's queue (head-of-line, preserving order);
+//! * **partition** — a blocked link; deliveries pile up until healed;
+//! * **node crash** — a delivery that arrives at a node whose
+//!   incarnation changed since enqueue has lost its participant
+//!   transaction to recovery; a committed delivery is then applied as a
+//!   *redo* (fresh transaction re-playing the write image), which is
+//!   exactly why the enqueue captures one.
+//!
+//! The abort path never queues: aborts propagate eagerly (the paper's
+//! resilience bias — release locks as soon as status is known), so only
+//! commit statuses are subject to gossip policy and faults.
+
+use rnt_core::{Db, Txn};
+use rnt_distributed::NodeId;
+use rnt_model::Status;
+use std::collections::{HashMap, VecDeque};
+
+/// One queued commit status for a remote participant.
+pub(crate) struct Delivery<K, V>
+where
+    K: Eq + std::hash::Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + std::hash::Hash + Send + Sync + 'static,
+{
+    /// Cluster commit sequence number of the transaction.
+    pub cseq: u64,
+    /// Cluster transaction id.
+    pub ctid: u64,
+    /// The sending (home) node.
+    pub from: NodeId,
+    /// The remote participant transaction, committed on delivery. Dead
+    /// (dropped without commit) if the node crashed in between.
+    pub txn: Option<Txn<K, V>>,
+    /// The recipient-node incarnation the participant belongs to.
+    pub incarnation: u64,
+    /// Final value per key written at the recipient — the redo image
+    /// applied if the participant did not survive a crash.
+    pub writes: Vec<(K, V)>,
+    /// Keys touched at the recipient (for the trace's lock releases).
+    pub touched: Vec<K>,
+    /// Remaining pump rounds this delivery is held by link delay.
+    pub hold: u32,
+}
+
+/// Traffic and fault accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Deliveries enqueued (`send` events).
+    pub sends: u64,
+    /// Deliveries applied (`receive` events).
+    pub receives: u64,
+    /// Summary entries shipped (eager gossip re-ships full knowledge).
+    pub entries_shipped: u64,
+    /// Committed deliveries applied as redo after a crash.
+    pub redo_applied: u64,
+    /// Remote participant commits that failed (e.g. a WAL fault at the
+    /// recipient); the cluster commit itself already stood.
+    pub remote_commit_failures: u64,
+}
+
+/// Per-recipient FIFO queues plus link state.
+pub(crate) struct Router<K, V>
+where
+    K: Eq + std::hash::Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + std::hash::Hash + Send + Sync + 'static,
+{
+    pub queues: Vec<VecDeque<Delivery<K, V>>>,
+    /// `blocked[from][to]`: the link is partitioned.
+    pub blocked: Vec<Vec<bool>>,
+    /// `delay[from][to]`: pump rounds a fresh delivery on this link waits.
+    pub delay: Vec<Vec<u32>>,
+    /// What each node knows (delivered or locally resolved statuses) —
+    /// the runtime `i.T`, used for eager-gossip payload accounting.
+    pub known: Vec<HashMap<u64, Status>>,
+    /// Commits resolved since the last periodic pump.
+    pub since_pump: u32,
+    pub stats: RouterStats,
+    /// Per-node applied `(cseq, ctid)` order, for the embedding checks.
+    pub delivery_log: Vec<Vec<(u64, u64)>>,
+}
+
+impl<K, V> Router<K, V>
+where
+    K: Eq + std::hash::Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + std::hash::Hash + Send + Sync + 'static,
+{
+    pub fn new(nodes: usize) -> Self {
+        Router {
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            blocked: vec![vec![false; nodes]; nodes],
+            delay: vec![vec![0; nodes]; nodes],
+            known: (0..nodes).map(|_| HashMap::new()).collect(),
+            since_pump: 0,
+            stats: RouterStats::default(),
+            delivery_log: (0..nodes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Enqueue a commit delivery, charging the link's current delay.
+    pub fn enqueue(&mut self, mut d: Delivery<K, V>, to: NodeId, eager_full: bool) {
+        d.hold = self.delay[d.from][to];
+        self.stats.sends += 1;
+        // Delta gossip ships one entry; eager gossip re-ships the
+        // sender's whole knowledge alongside it.
+        self.stats.entries_shipped +=
+            if eager_full { self.known[d.from].len() as u64 + 1 } else { 1 };
+        self.queues[to].push_back(d);
+    }
+
+    /// True if the front delivery for `to` may be applied now.
+    pub fn front_deliverable(&self, to: NodeId, flush: bool) -> bool {
+        match self.queues[to].front() {
+            None => false,
+            Some(d) => flush || (!self.blocked[d.from][to] && d.hold == 0),
+        }
+    }
+
+    /// Age the head-of-line holds by one pump round.
+    pub fn age(&mut self) {
+        for q in &mut self.queues {
+            if let Some(front) = q.front_mut() {
+                front.hold = front.hold.saturating_sub(1);
+            }
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Apply one delivery against the recipient's current database state.
+/// Returns the keys whose locks the recipient released (for the trace).
+pub(crate) fn apply_delivery<K, V>(
+    d: Delivery<K, V>,
+    db: &Db<K, V>,
+    incarnation: u64,
+    stats: &mut RouterStats,
+) -> Vec<K>
+where
+    K: Eq + std::hash::Hash + Ord + Clone + Send + Sync + 'static,
+    V: Clone + std::hash::Hash + Send + Sync + 'static,
+{
+    stats.receives += 1;
+    if d.incarnation == incarnation {
+        if let Some(txn) = d.txn {
+            if txn.commit().is_err() {
+                stats.remote_commit_failures += 1;
+            }
+        }
+    } else {
+        // The participant died with the old incarnation; recovery kept
+        // only locally-committed state, so re-play the write image.
+        drop(d.txn);
+        if !d.writes.is_empty() {
+            let txn = db.begin();
+            let mut ok = true;
+            for (k, v) in &d.writes {
+                if txn.write(k, v.clone()).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && txn.commit().is_ok() {
+                stats.redo_applied += 1;
+            } else {
+                stats.remote_commit_failures += 1;
+            }
+        }
+    }
+    d.touched
+}

@@ -800,6 +800,36 @@ where
         snap
     }
 
+    /// Current status of every transaction this database has seen, in id
+    /// order — the raw material of the paper's action summaries.
+    pub fn status_summary(&self) -> Vec<(TxnId, TxnStatus)> {
+        self.inner.registry.snapshot().into_iter().map(|(id, _, status, _)| (id, status)).collect()
+    }
+
+    /// The database's transaction-status knowledge rendered in the
+    /// paper's action-summary vocabulary (Section 9.1's `i.T` for the
+    /// node this engine embodies): every transaction the registry has
+    /// seen, mapped to an [`rnt_model::ActionId`] by `name` (which sees
+    /// the id and the registry path and may decline with `None`), with
+    /// its current status. This is the summary-extraction hook a
+    /// distribution layer gossips and traces with.
+    pub fn action_summary(
+        &self,
+        name: impl Fn(TxnId, &[u32]) -> Option<rnt_model::ActionId>,
+    ) -> rnt_model::ActionSummary {
+        rnt_model::ActionSummary::from_entries(
+            self.inner.registry.snapshot().into_iter().filter_map(|(id, _, status, path)| {
+                let action = name(id, &path)?;
+                let status = match status {
+                    TxnStatus::Active => rnt_model::Status::Active,
+                    TxnStatus::Committed => rnt_model::Status::Committed,
+                    TxnStatus::Aborted => rnt_model::Status::Aborted,
+                };
+                Some((action, status))
+            }),
+        )
+    }
+
     /// The audit log, if auditing is enabled.
     pub fn audit_log(&self) -> Option<&AuditLog> {
         self.inner.audit.as_ref().map(|a| &a.log)
@@ -2515,6 +2545,29 @@ mod tests {
             db.insert(k, 100 + k as i64);
         }
         db
+    }
+
+    #[test]
+    fn action_summary_reflects_registry() {
+        use rnt_model::{act, Status};
+        let db = db();
+        let t1 = db.begin();
+        let c = t1.child().unwrap();
+        c.commit().unwrap();
+        t1.commit().unwrap();
+        let t2 = db.begin();
+        t2.abort();
+        let t3 = db.begin();
+        let statuses = db.status_summary();
+        assert_eq!(statuses.len(), 4);
+        // Name top-level txns by their id; skip subtransactions.
+        let summary = db.action_summary(|id, path| (path.len() == 1).then(|| act![id.0 as u32]));
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary.status(&act![t3.id().0 as u32]), Some(Status::Active));
+        let committed = summary.entries().filter(|(_, s)| *s == Status::Committed).count();
+        let aborted = summary.entries().filter(|(_, s)| *s == Status::Aborted).count();
+        assert_eq!((committed, aborted), (1, 1));
+        t3.abort();
     }
 
     #[test]

@@ -47,6 +47,25 @@ pub enum TxnError {
         /// The underlying log failure.
         detail: String,
     },
+    /// A multi-node router directed an operation at a node that does not
+    /// home the key (the paper's `home(x)` side condition, violated):
+    /// the partition map and the executing node disagree. Always a
+    /// routing bug, never a transient condition.
+    WrongNode {
+        /// The node that received the operation.
+        node: usize,
+        /// The node the key is actually homed at.
+        home: usize,
+    },
+    /// The node homing the key is down (crashed and not yet recovered,
+    /// or unreachable). The transaction should abort; the caller may try
+    /// again once the node rejoins — unlike the contention errors this
+    /// is not resolved by an immediate retry, so it is not
+    /// [retryable](TxnError::is_retryable).
+    Unavailable {
+        /// The unreachable node.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for TxnError {
@@ -65,6 +84,10 @@ impl std::fmt::Display for TxnError {
             TxnError::ChildrenActive(n) => write!(f, "{n} children still active"),
             TxnError::NotActive => write!(f, "transaction not active"),
             TxnError::Wal { detail } => write!(f, "write-ahead log failure: {detail}"),
+            TxnError::WrongNode { node, home } => {
+                write!(f, "operation routed to node {node} but the key is homed at node {home}")
+            }
+            TxnError::Unavailable { node } => write!(f, "node {node} is unavailable"),
         }
     }
 }
@@ -99,6 +122,8 @@ mod tests {
         assert!(!TxnError::UnknownKey.is_retryable());
         assert!(!TxnError::NotActive.is_retryable());
         assert!(!TxnError::Wal { detail: "disk full".into() }.is_retryable());
+        assert!(!TxnError::WrongNode { node: 1, home: 0 }.is_retryable());
+        assert!(!TxnError::Unavailable { node: 2 }.is_retryable());
     }
 
     #[test]
@@ -107,5 +132,8 @@ mod tests {
         assert!(TxnError::Die { blocker: TxnId(3) }.to_string().contains("TxnId(3)"));
         let c = TxnError::Conflict { begin_epoch: 3, committed_epoch: 5 }.to_string();
         assert!(c.contains("epoch 5") && c.contains("snapshot 3"), "{c}");
+        let w = TxnError::WrongNode { node: 1, home: 0 }.to_string();
+        assert!(w.contains("node 1") && w.contains("node 0"), "{w}");
+        assert_eq!(TxnError::Unavailable { node: 2 }.to_string(), "node 2 is unavailable");
     }
 }

@@ -11,7 +11,13 @@
 //! * [`HDist`] — the local mapping `h''', h_i` of Section 9.3
 //!   (Lemmas 23–28); composing with the higher mappings yields the main
 //!   correctness theorem, Theorem 29, checked on runs in the tests and
-//!   experiments.
+//!   experiments;
+//! * [`GossipPolicy`] — the shared vocabulary of summary-propagation
+//!   strategies (eager / delta / periodic), used both by the `rnt-sim`
+//!   gossip sweeps and the `rnt-cluster` runtime router;
+//! * [`validate_level5_run`] — the trace oracle: replays an event trace
+//!   recorded by a *running* engine through the algebra and the mapping
+//!   tower, so real executions are judged by the formal model.
 //!
 //! ```
 //! use rnt_algebra::{is_valid, Algebra};
@@ -40,8 +46,12 @@
 
 mod level5;
 mod local_mapping;
+mod policy;
 mod topology;
+mod trace;
 
 pub use level5::{Component, ComponentState, DistEvent, DistState, Level5, NodeState};
 pub use local_mapping::{summary_le_tree, HDist};
+pub use policy::GossipPolicy;
 pub use topology::{NodeId, Topology, TopologyError};
+pub use trace::{validate_level5_run, TraceReport};

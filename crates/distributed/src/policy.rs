@@ -1,0 +1,47 @@
+//! When and how nodes exchange action summaries.
+//!
+//! The policy vocabulary is shared by every consumer of the level-5
+//! gossip rules: the `rnt-sim` gossip runner (experiment E8), and the
+//! `rnt-cluster` runtime router, which carries real cross-node
+//! commit/abort status under the same three strategies. One definition
+//! keeps the formal sweeps and the running system comparable cell by
+//! cell.
+
+use serde::{Deserialize, Serialize};
+
+/// When and how nodes exchange action summaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipPolicy {
+    /// After every transaction event, the doer broadcasts its *full*
+    /// summary to every other node.
+    EagerFull,
+    /// After every status-changing event, the doer broadcasts only the
+    /// changed entry.
+    DeltaOnChange,
+    /// Nodes run silently; every `n` transaction events, a full all-to-all
+    /// sync round runs (also forced when progress stalls).
+    Periodic(u32),
+}
+
+impl GossipPolicy {
+    /// Short human-readable label for tables and reports.
+    pub fn label(&self) -> String {
+        match self {
+            GossipPolicy::EagerFull => "eager".to_string(),
+            GossipPolicy::DeltaOnChange => "delta".to_string(),
+            GossipPolicy::Periodic(n) => format!("periodic({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(GossipPolicy::EagerFull.label(), "eager");
+        assert_eq!(GossipPolicy::DeltaOnChange.label(), "delta");
+        assert_eq!(GossipPolicy::Periodic(8).label(), "periodic(8)");
+    }
+}

@@ -1,0 +1,161 @@
+//! Validation of recorded level-5 event traces.
+//!
+//! A *running* distributed engine (the `rnt-cluster` runtime) can emit
+//! the sequence of level-5 events its execution corresponds to. This
+//! module is the correctness oracle for such traces: it replays them
+//! through [`Level5`] (every event must be enabled where it fires),
+//! checks the local mapping `h'''` against level 4 step by step
+//! (Lemmas 23–28 — in particular every inbox stays `≤` the mapped action
+//! tree, the [`summary_le_tree`](crate::summary_le_tree) condition), and
+//! optionally drives the full composed simulation down to level 1
+//! (Theorem 29).
+//!
+//! Keeping the checker here, next to the algebra it checks, means the
+//! runtime crate only needs to *record*; the judgment of what a valid
+//! distributed execution is stays with the formal tower.
+
+use crate::level5::{DistEvent, Level5};
+use crate::local_mapping::HDist;
+use crate::topology::Topology;
+use rnt_algebra::{check_local_mapping_on_run, check_simulation_on_run, Composed};
+use rnt_locking::{HDoublePrime, HPrime, Level3, Level4};
+use rnt_model::Universe;
+use rnt_spec::{HSpec, Level1, Level2};
+use std::sync::Arc;
+
+/// What a successful trace validation measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total level-5 events in the trace.
+    pub events: usize,
+    /// Transaction (non-communication) events.
+    pub tx_events: usize,
+    /// `send` events.
+    pub sends: usize,
+    /// `receive` events.
+    pub receives: usize,
+    /// Steps the mapped level-4 run took (communication maps to Λ).
+    pub high_steps: usize,
+}
+
+/// Validate a recorded level-5 run against the formal tower.
+///
+/// Checks, in order:
+///
+/// 1. the trace is a valid [`Level5`] run (every event enabled where it
+///    fires — the eight preconditions (a)–(h) of Section 9.2);
+/// 2. the local mapping `h'''` holds at every step (Lemmas 23–28): each
+///    node's knowledge stays consistent with the mapped level-4 state
+///    and every inbox satisfies `T' ≤ T` against the mapped action tree;
+/// 3. with `deep`, the composed simulation `h ∘ h' ∘ h'' ∘ h'''` down to
+///    level 1 (Theorem 29) — costlier, so drivers typically sample it.
+///
+/// Returns a [`TraceReport`] on success and the first violation,
+/// rendered, on failure.
+pub fn validate_level5_run(
+    universe: &Arc<Universe>,
+    topology: &Arc<Topology>,
+    events: &[DistEvent],
+    deep: bool,
+) -> Result<TraceReport, String> {
+    let l5 = Level5::new(universe.clone(), topology.clone());
+    let l4 = Level4::new(universe.clone());
+    let h = HDist::new(universe.clone(), topology.clone());
+    let run: Vec<DistEvent> = events.to_vec();
+    let rep = check_local_mapping_on_run(&l5, &l4, &h, &run)
+        .map_err(|e| format!("local mapping (Lemmas 23-28) failed: {e:?}"))?;
+    if deep {
+        let hdp = HDoublePrime::new(universe.clone());
+        let h54: Composed<'_, _, _, Level4> = Composed::new(&h, &hdp);
+        let h53: Composed<'_, _, _, Level3> = Composed::new(&h54, &HPrime);
+        let h52: Composed<'_, _, _, Level2> = Composed::new(&h53, &HSpec);
+        let l1 = Level1::new(universe.clone());
+        check_simulation_on_run(&l5, &l1, &h52, &run)
+            .map_err(|e| format!("Theorem 29 composed simulation failed: {e:?}"))?;
+    }
+    let (mut tx, mut sends, mut receives) = (0usize, 0usize, 0usize);
+    for e in &run {
+        match e {
+            DistEvent::Tx(..) => tx += 1,
+            DistEvent::Send { .. } => sends += 1,
+            DistEvent::Receive { .. } => receives += 1,
+        }
+    }
+    Ok(TraceReport {
+        events: run.len(),
+        tx_events: tx,
+        sends,
+        receives,
+        high_steps: rep.high_steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnt_model::{act, ActionSummary, Status, TxEvent, UniverseBuilder, UpdateFn};
+
+    fn setup() -> (Arc<Universe>, Arc<Topology>) {
+        let u = Arc::new(
+            UniverseBuilder::new()
+                .object(0, 1)
+                .object(1, 10)
+                .action(act![0])
+                .access(act![0, 0], 0, UpdateFn::Add(1))
+                .access(act![0, 1], 1, UpdateFn::Add(2))
+                .build()
+                .unwrap(),
+        );
+        let t = Arc::new(Topology::round_robin(&u, 2));
+        (u, t)
+    }
+
+    fn cross_node_run(t: &Topology) -> Vec<DistEvent> {
+        let n0 = t.home_of_action(&act![0]);
+        let n1 = 1 - n0;
+        let active =
+            ActionSummary::from_entries([(act![0], Status::Active), (act![0, 1], Status::Active)]);
+        vec![
+            DistEvent::Tx(n0, TxEvent::Create(act![0])),
+            DistEvent::Tx(n0, TxEvent::Create(act![0, 1])),
+            DistEvent::Send { from: n0, to: n1, summary: active.clone() },
+            DistEvent::Receive { to: n1, summary: active },
+            DistEvent::Tx(n1, TxEvent::Perform(act![0, 1], 10)),
+        ]
+    }
+
+    #[test]
+    fn valid_trace_passes_shallow_and_deep() {
+        let (u, t) = setup();
+        let run = cross_node_run(&t);
+        let rep = validate_level5_run(&u, &t, &run, false).unwrap();
+        assert_eq!(rep.events, 5);
+        assert_eq!(rep.sends, 1);
+        assert_eq!(rep.receives, 1);
+        assert_eq!(rep.tx_events, 3);
+        let deep = validate_level5_run(&u, &t, &run, true).unwrap();
+        assert_eq!(deep, rep);
+    }
+
+    #[test]
+    fn invalid_trace_is_rejected() {
+        let (u, t) = setup();
+        // Perform without the gossip: not enabled at level 5.
+        let run = vec![DistEvent::Tx(
+            t.home_of_object(rnt_model::ObjectId(1)),
+            TxEvent::Perform(act![0, 1], 10),
+        )];
+        let err = validate_level5_run(&u, &t, &run, false).unwrap_err();
+        assert!(err.contains("Lemmas 23-28"), "{err}");
+    }
+
+    #[test]
+    fn unsent_receive_is_rejected() {
+        let (u, t) = setup();
+        let run = vec![DistEvent::Receive {
+            to: 0,
+            summary: ActionSummary::singleton(act![0], Status::Committed),
+        }];
+        assert!(validate_level5_run(&u, &t, &run, false).is_err());
+    }
+}

@@ -7,19 +7,9 @@ use rnt_algebra::Algebra;
 use rnt_distributed::{DistEvent, DistState, Level5};
 use rnt_model::{ActionSummary, Status, TxEvent};
 
-/// When and how nodes exchange action summaries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum GossipPolicy {
-    /// After every transaction event, the doer broadcasts its *full*
-    /// summary to every other node.
-    EagerFull,
-    /// After every status-changing event, the doer broadcasts only the
-    /// changed entry.
-    DeltaOnChange,
-    /// Nodes run silently; every `n` transaction events, a full all-to-all
-    /// sync round runs (also forced when progress stalls).
-    Periodic(u32),
-}
+// One policy vocabulary for the formal sweeps and the runtime router
+// (`rnt-cluster`); the enum itself lives next to the algebra it drives.
+pub use rnt_distributed::GossipPolicy;
 
 /// Gossip run configuration.
 #[derive(Clone, Copy, Debug)]
